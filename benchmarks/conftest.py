@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Every benchmark executes
+its experiment exactly once (``pedantic`` with one round): the experiments
+are deterministic sweeps whose *internal* timings are part of the reported
+series, so statistical repetition would only multiply runtime.
+
+Each benchmark persists its rendered table under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

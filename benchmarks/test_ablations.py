@@ -1,0 +1,107 @@
+"""Ablation benchmarks for design choices beyond the paper's figures.
+
+DESIGN.md calls out three mechanisms whose effect the paper describes but
+does not plot separately; these benches quantify each on the TREC-like
+workload so regressions in any of them are visible:
+
+* prefix-event compression (Section V-C) — fewer heap operations;
+* temporary-result seeding (Section V-B) — fewer warm-up verifications;
+* the accessing-bound list truncation (Section IV-C) — smaller index.
+"""
+
+import time
+
+from repro import TopkOptions, TopkStats, topk_join
+from repro.bench import collection, format_table, workload, write_report
+
+K = 1000
+
+
+def _run(**overrides):
+    bench = workload("trec")
+    options = TopkOptions(maxdepth=bench.maxdepth, **overrides)
+    stats = TopkStats()
+    start = time.perf_counter()
+    topk_join(
+        collection("trec"), K, similarity=bench.similarity,
+        options=options, stats=stats,
+    )
+    return stats, time.perf_counter() - start
+
+
+def test_ablation_event_compression(once):
+    def driver():
+        with_stats, with_seconds = _run(compress_events=True)
+        without_stats, without_seconds = _run(compress_events=False)
+        return [
+            ("compressed", with_stats.events, with_seconds),
+            ("per-record", without_stats.events, without_seconds),
+        ]
+
+    rows = once(driver)
+    write_report(
+        "ablation_event_compression",
+        "Ablation — prefix-event compression (TREC-like, k=%d)" % K,
+        format_table(["events", "heap pops", "seconds"], rows),
+    )
+    compressed_pops = rows[0][1]
+    plain_pops = rows[1][1]
+    assert compressed_pops <= plain_pops, (
+        "compression must not increase heap pops"
+    )
+
+
+def test_ablation_seeding(once):
+    def driver():
+        with_stats, with_seconds = _run(seed_results=True)
+        without_stats, without_seconds = _run(seed_results=False)
+        return [
+            ("seeded", with_stats.verifications, with_seconds),
+            ("unseeded", without_stats.verifications, without_seconds),
+        ]
+
+    rows = once(driver)
+    write_report(
+        "ablation_seeding",
+        "Ablation — temporary-result seeding (TREC-like, k=%d)" % K,
+        format_table(["seeding", "verifications", "seconds"], rows),
+    )
+    seeded_verifications = rows[0][1]
+    unseeded_verifications = rows[1][1]
+    assert seeded_verifications <= unseeded_verifications * 1.1, (
+        "seeding should not inflate verification counts materially"
+    )
+
+
+def test_ablation_access_optimization(once):
+    def driver():
+        with_stats, with_seconds = _run(access_optimization=True)
+        without_stats, without_seconds = _run(access_optimization=False)
+        return [
+            (
+                "access opt on",
+                with_stats.index_deleted,
+                with_stats.candidates,
+                with_seconds,
+            ),
+            (
+                "access opt off",
+                without_stats.index_deleted,
+                without_stats.candidates,
+                without_seconds,
+            ),
+        ]
+
+    rows = once(driver)
+    write_report(
+        "ablation_access_optimization",
+        "Ablation — accessing-bound truncation (TREC-like, k=%d)" % K,
+        format_table(
+            ["variant", "postings deleted", "candidates", "seconds"], rows
+        ),
+    )
+    assert rows[0][1] >= 0
+    assert rows[1][1] == 0, "without the optimisation nothing is truncated"
+    assert rows[0][2] <= rows[1][2], (
+        "truncation must not increase scanned candidates"
+    )

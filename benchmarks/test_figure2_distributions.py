@@ -1,0 +1,46 @@
+"""Figure 2 — token-frequency and record-size distributions.
+
+Panel (a): token frequency follows an approximate Zipf law (DBLP shown in
+the paper; all datasets are similar).  Panels (b, c): the record-size
+distributions differ sharply across datasets — that contrast is what
+drives the differing algorithm behaviour in Figures 3-5.
+"""
+
+import pytest
+
+from repro.bench import ascii_chart, figure2_series, format_table, write_report
+
+
+@pytest.mark.parametrize("name", ["dblp", "trec", "trec-3gram", "uniref-3gram"])
+def test_figure2_distributions(once, name):
+    token_series, size_series = once(figure2_series, name)
+
+    body = "\n\n".join(
+        [
+            "Token-frequency distribution (log-binned):\n"
+            + format_table(["frequency (bin center)", "#tokens"], token_series),
+            ascii_chart(
+                {"tokens": token_series}, log_x=True, log_y=True,
+                x_label="document frequency", y_label="#tokens",
+            ),
+            "Record-size distribution (log-binned):\n"
+            + format_table(["record size (bin center)", "#records"], size_series),
+            ascii_chart(
+                {"records": size_series}, log_x=True, log_y=True,
+                x_label="record size", y_label="#records",
+            ),
+        ]
+    )
+    write_report(
+        "figure2_distribution_%s" % name,
+        "Figure 2 — distributions, %s" % name,
+        body,
+    )
+
+    # Zipf shape: many rare tokens, few frequent ones.  (Log bins have
+    # uneven widths, so compare the head region against the tail rather
+    # than single bins.)
+    counts = [count for __, count in token_series]
+    assert max(counts[:3]) == max(counts), "head bins must dominate"
+    assert max(counts[:3]) > 10 * counts[-1], "heavy head vs light tail"
+    assert size_series, "size histogram must be non-empty"

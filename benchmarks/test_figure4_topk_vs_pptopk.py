@@ -1,0 +1,82 @@
+"""Figure 4 — candidate size and running time: topk-join vs pptopk.
+
+Panels (a, d): DBLP-like, Jaccard.  Panels (b, e): TREC-like, Jaccard.
+Panels (c, f): TREC-3GRAM-like, cosine.  The paper's shape claims:
+
+* both algorithms verify more candidates as k grows; topk-join's counts
+  grow smoothly while pptopk's jump at threshold-round boundaries;
+* topk-join wins on running time in most settings (up to 1.6x on DBLP,
+  2x on TREC, 3.4x on TREC-3GRAM in the paper).
+"""
+
+import pytest
+
+from repro.bench import ascii_chart, figure4_rows, format_table, write_report
+
+PANELS = [
+    pytest.param("dblp", "a/d", id="dblp-jaccard"),
+    pytest.param("trec", "b/e", id="trec-jaccard"),
+    pytest.param("trec-3gram", "c/f", id="trec3gram-cosine"),
+]
+
+
+@pytest.mark.parametrize("name,panel", PANELS)
+def test_figure4_candidates_and_time(once, name, panel):
+    rows = once(figure4_rows, name)
+    table = format_table(
+        ["k", "verified (topk-join)", "verified (pptopk)",
+         "seconds (topk-join)", "seconds (pptopk)"],
+        rows,
+    )
+    candidates_chart = ascii_chart(
+        {
+            "topk-join": [(k, verified) for k, verified, *__ in rows],
+            "pptopk": [(k, verified) for k, __, verified, *__u in rows],
+        },
+        log_y=True, x_label="k", y_label="pairs verified",
+    )
+    time_chart = ascii_chart(
+        {
+            "topk-join": [(row[0], row[3]) for row in rows],
+            "pptopk": [(row[0], row[4]) for row in rows],
+        },
+        x_label="k", y_label="seconds",
+    )
+    write_report(
+        "figure4_%s" % name,
+        "Figure 4(%s) — topk-join vs pptopk, %s workload" % (panel, name),
+        "\n\n".join(
+            [table,
+             "Candidate size vs k:\n" + candidates_chart,
+             "Running time vs k:\n" + time_chart]
+        ),
+    )
+
+    # Candidate counts are non-decreasing in k for topk-join.
+    topk_candidates = [row[1] for row in rows]
+    assert topk_candidates == sorted(topk_candidates)
+
+    if name == "trec":
+        # The TREC panel is the crossover case (paper Fig. 4e: pptopk is
+        # competitive at shallow k, topk-join pulls ahead as k grows).
+        # The sweep *total* therefore sits near parity and is wall-clock
+        # noisy; assert the paper's robust claims instead: at the deepest
+        # k, topk-join both verifies fewer pairs and runs faster.
+        deepest = rows[-1]
+        assert deepest[1] < deepest[2], (
+            "topk-join should verify fewer pairs than pptopk at k=%d"
+            % deepest[0]
+        )
+        assert deepest[3] < deepest[4], (
+            "topk-join should win at k=%d (topk %.2fs vs pptopk %.2fs)"
+            % (deepest[0], deepest[3], deepest[4])
+        )
+    else:
+        # Headline claim: topk-join wins on total wall clock over the
+        # sweep (paper: up to 1.6x on DBLP, 3.4x on TREC-3GRAM).
+        total_topk = sum(row[3] for row in rows)
+        total_pptopk = sum(row[4] for row in rows)
+        assert total_topk < total_pptopk, (
+            "topk-join should beat pptopk overall on %s "
+            "(topk %.2fs vs pptopk %.2fs)" % (name, total_topk, total_pptopk)
+        )

@@ -1,0 +1,68 @@
+"""Figure 5(b, c) — progressive output of join results (3-gram sets, k=200).
+
+Panel (b): the probing upper bound of unprocessed events starts near 1.0
+and decays roughly linearly per emitted result, while the k-th temporary
+similarity s_k is nearly flat after warm-up.  Panel (c): results come out
+slowly at first, then accelerate.
+"""
+
+import pytest
+
+from repro.bench import ascii_chart, figure5bc_rows, format_table, write_report
+
+DATASETS = [
+    pytest.param("trec-3gram", id="trec-3gram"),
+    pytest.param("uniref-3gram", id="uniref-3gram"),
+]
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_figure5bc_progressive_trace(once, name):
+    rows = once(figure5bc_rows, name, 200)
+    # Persist every 10th point to keep the artifact readable.
+    sampled = [row for row in rows if row[0] % 10 == 0 or row[0] == 1]
+    table = format_table(
+        ["i", "similarity", "upper bound", "s_k", "elapsed (s)"], sampled
+    )
+    bounds_chart = ascii_chart(
+        {
+            "upper bound": [(row[0], row[2]) for row in rows],
+            "s_k": [(row[0], row[3]) for row in rows],
+        },
+        x_label="i-th result", y_label="similarity",
+    )
+    time_chart = ascii_chart(
+        {"elapsed": [(row[0], row[4]) for row in rows]},
+        x_label="i-th result", y_label="seconds",
+    )
+    write_report(
+        "figure5bc_progressive_%s" % name,
+        "Figure 5(b, c) — progressive emission trace, %s, k=200" % name,
+        "\n\n".join(
+            [table,
+             "Panel (b) — bounds per emitted result:\n" + bounds_chart,
+             "Panel (c) — output time per emitted result:\n" + time_chart]
+        ),
+    )
+
+    assert rows, "no results emitted"
+    bounds = [row[2] for row in rows]
+    s_k_values = [row[3] for row in rows]
+    elapsed = [row[4] for row in rows]
+
+    # (b) bounds decay monotonically; s_k is monotone non-decreasing.
+    assert bounds == sorted(bounds, reverse=True)
+    assert s_k_values == sorted(s_k_values)
+    assert bounds[0] > 0.8, "first emission should occur at a high bound"
+    # s_k nearly flat: warmed-up value close to final.
+    if len(s_k_values) > 20:
+        assert s_k_values[-1] - s_k_values[19] < 0.35
+
+    # (c) elapsed time is non-decreasing and emission accelerates: the
+    # second half of the results takes no longer than the first half.
+    assert elapsed == sorted(elapsed)
+    if len(elapsed) >= 40:
+        midpoint = len(elapsed) // 2
+        first_half = elapsed[midpoint] - elapsed[0]
+        second_half = elapsed[-1] - elapsed[midpoint]
+        assert second_half <= first_half * 1.5

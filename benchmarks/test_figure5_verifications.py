@@ -1,0 +1,33 @@
+"""Figure 5(a) — average verifications per record vs k (TREC, Jaccard).
+
+The paper's observation: topk-join verifies far fewer than k pairs per
+record (13.3 at k=500, 397.8 at k=2500 in the paper) — fewer even than a
+hypothetical Oracle algorithm that verifies exactly the k best candidates
+per record.
+"""
+
+from repro.bench import ascii_chart, figure5a_rows, format_table, write_report
+
+
+def test_figure5a_verifications_per_record(once):
+    rows = once(figure5a_rows)
+    table = format_table(["k", "verifications per record"], rows)
+    chart = ascii_chart(
+        {
+            "topk-join": list(rows),
+            "k (oracle line)": [(k, float(k)) for k, __ in rows],
+        },
+        log_y=True, x_label="k", y_label="verifications per record",
+    )
+    write_report(
+        "figure5a_verifications_per_record",
+        "Figure 5(a) — verifications per record (TREC-like, Jaccard)",
+        table + "\n\n" + chart,
+    )
+
+    for k, per_record in rows:
+        assert per_record < k, (
+            "verifications/record (%.1f) must stay below k=%d" % (per_record, k)
+        )
+    series = [per_record for __, per_record in rows]
+    assert series == sorted(series), "work grows with k"

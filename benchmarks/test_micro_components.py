@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the hot building blocks.
+
+Not a paper figure — these track the per-operation costs that dominate the
+Python implementation (similarity merges, suffix-filter probes, bound
+arithmetic, index maintenance), so regressions in the substrate are caught
+independently of the end-to-end sweeps.
+"""
+
+import random
+
+import pytest
+
+from repro.index import BoundedInvertedIndex
+from repro.joins.filters import suffix_hamming_lower_bound
+from repro.similarity import Cosine, Jaccard
+from repro.similarity.overlap import (
+    overlap_with_common_positions,
+    overlap_with_early_abort,
+)
+
+
+@pytest.fixture(scope="module")
+def long_records():
+    rng = random.Random(99)
+    x = tuple(sorted(rng.sample(range(5000), 400)))
+    y = tuple(sorted(rng.sample(range(5000), 400)))
+    return x, y
+
+
+def test_bench_similarity_merge(benchmark, long_records):
+    x, y = long_records
+    sim = Jaccard()
+    benchmark(sim.similarity, x, y)
+
+
+def test_bench_verify_with_early_abort(benchmark, long_records):
+    x, y = long_records
+    benchmark(overlap_with_early_abort, x, y, 300)
+
+
+def test_bench_overlap_with_positions(benchmark, long_records):
+    x, y = long_records
+    benchmark(overlap_with_common_positions, x, y, 0)
+
+
+def test_bench_suffix_filter_probe(benchmark, long_records):
+    x, y = long_records
+    benchmark(suffix_hamming_lower_bound, x, y, 50, 1, 4)
+
+
+def test_bench_required_overlap(benchmark):
+    sim = Jaccard()
+    benchmark(sim.required_overlap, 0.8123, 250, 300)
+
+
+def test_bench_probing_bound(benchmark):
+    sim = Cosine()
+    benchmark(sim.probing_upper_bound, 300, 17)
+
+
+def test_bench_index_insert_and_truncate(benchmark):
+    def build_and_truncate():
+        index = BoundedInvertedIndex()
+        for rid in range(2000):
+            index.add(rid % 50, rid, 1, 1.0 - rid * 1e-4)
+        for token in range(50):
+            index.truncate(token, 10)
+        return index.entry_count
+
+    benchmark(build_and_truncate)

@@ -1,0 +1,24 @@
+"""Table I — dataset statistics (record count, avg size, universe size).
+
+Paper values (for the real corpora) vs this reproduction's scaled-down
+synthetic stand-ins; the *relationships* must match: DBLP has short
+records, TREC long ones, the 3-gram sets very long ones, and every token
+universe is large relative to the record count's scale.
+"""
+
+from repro.bench import format_table, table1_rows, write_report
+
+
+def test_table1_dataset_statistics(once):
+    rows = once(table1_rows)
+    table = format_table(["dataset", "N", "avg size", "|U|"], rows)
+    write_report("table1_dataset_stats", "Table I — dataset statistics", table)
+
+    stats = {row[0]: row for row in rows}
+    # Shape claims from the paper's Table I.
+    assert stats["dblp"][2] < 30, "DBLP-like records must be short"
+    assert stats["trec"][2] > 60, "TREC-like records must be long"
+    assert stats["trec-3gram"][2] > stats["trec"][2], (
+        "3-gram records are the longest"
+    )
+    assert all(row[1] > 100 for row in rows), "non-trivial record counts"

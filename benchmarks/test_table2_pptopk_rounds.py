@@ -1,0 +1,26 @@
+"""Table II — pptopk's join-result sizes per threshold round (TREC).
+
+The paper's table (thresholds 0.95 → 0.60): 34, 84, 187, 404, 725, 1162,
+1819, 3361 results — roughly doubling as the threshold drops by 0.05.
+The reproduction must show the same monotone, super-linear growth.
+"""
+
+from repro.bench import format_table, table2_rows, write_report
+
+
+def test_table2_pptopk_round_sizes(once):
+    rows = once(table2_rows)
+    table = format_table(["threshold", "join results"], rows)
+    write_report(
+        "table2_pptopk_rounds",
+        "Table II — ppjoin+ result sizes per threshold round (TREC-like)",
+        table,
+    )
+
+    counts = [count for __, count in rows]
+    thresholds = [t for t, __ in rows]
+    assert thresholds == sorted(thresholds, reverse=True)
+    # Result sets grow as the threshold drops (supersets).
+    assert counts == sorted(counts)
+    # Super-linear growth: the last round dwarfs the first.
+    assert counts[-1] > 5 * max(counts[0], 1)

@@ -1,0 +1,68 @@
+"""Interactive near-duplicate detection — the paper's motivating scenario.
+
+Section I: "it supports interactive near duplicate detection applications,
+where users are presented with top-k most similar record pairs
+progressively ... the execution can be stopped at any time".
+
+This example builds a DBLP-like bibliography with injected near-duplicate
+entries, then streams the most similar pairs out of ``topk_join_iter``,
+reporting for each result the upper bound that *proves* nothing better
+remains unseen.
+
+Run:  python examples/near_duplicate_detection.py
+"""
+
+import time
+
+from repro import TopkOptions, TopkStats, topk_join_iter
+from repro.data import dblp_like
+
+
+def main() -> None:
+    print("Generating a DBLP-like bibliography (2000 records)...")
+    collection = dblp_like(2000, seed=42)
+    print(
+        "  %d records, avg size %.1f tokens, %d distinct tokens\n"
+        % (len(collection), collection.average_size, collection.universe_size)
+    )
+
+    k = 25
+    stats = TopkStats()
+    start = time.perf_counter()
+
+    print("Streaming the top-%d near-duplicate pairs:\n" % k)
+    print("  rank  similarity  records        elapsed   remaining-bound")
+    results = topk_join_iter(
+        collection, k, options=TopkOptions(), stats=stats
+    )
+    for rank, result in enumerate(results, start=1):
+        emit = stats.emits[rank - 1]
+        print(
+            "  %4d      %6.3f  (%4d, %4d)  %7.3fs   %.3f"
+            % (
+                rank,
+                result.similarity,
+                result.x,
+                result.y,
+                emit.elapsed,
+                emit.upper_bound,
+            )
+        )
+        # An interactive user could break here: every printed pair is
+        # final — no unseen pair can beat it.
+
+    elapsed = time.perf_counter() - start
+    print("\nDone in %.2fs" % elapsed)
+    print("  prefix events processed : %d" % stats.events)
+    print("  candidates generated    : %d" % stats.candidates)
+    print("  pairs verified          : %d" % stats.verifications)
+    print(
+        "  verifications per record: %.2f (k = %d)"
+        % (stats.verifications_per_record(len(collection)), k)
+    )
+    print("  index entries inserted  : %d (deleted: %d)"
+          % (stats.index_inserted, stats.index_deleted))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Finding similar protein sequences via 3-gram top-k joins.
+
+Mirrors the paper's UNIREF-3GRAM experiment: protein sequences (amino
+acids as uppercase letters) are tokenized into overlapping 3-grams and
+joined with Jaccard similarity.  Small alphabets mean long inverted lists
+— the regime where the accessing-bound optimisation (Algorithms 9-10)
+pays off, which this example reports.
+
+Run:  python examples/protein_sequences.py
+"""
+
+from repro import Jaccard, TopkOptions, TopkStats, topk_join
+from repro.data import RecordCollection, qgram_strings
+
+AMINO_ALPHABET = "ACDEFGHIKLMNPQRSTVWY"
+
+
+def main() -> None:
+    print("Synthesising 400 protein-like sequences (20-letter alphabet)...")
+    sequences = qgram_strings(
+        400, avg_length=180, alphabet=AMINO_ALPHABET, seed=13,
+        duplicate_fraction=0.4, mutation_rate=0.04,
+    )
+    collection = RecordCollection.from_qgrams(sequences, q=3)
+    print(
+        "  %d sequences -> avg %.0f 3-grams each, %d distinct grams\n"
+        % (len(collection), collection.average_size, collection.universe_size)
+    )
+
+    k = 15
+    # 3-gram data uses a deeper suffix filter (MAXDEPTH = 4, Section VII-A).
+    options = TopkOptions(maxdepth=4)
+    stats = TopkStats()
+    results = topk_join(
+        collection, k, similarity=Jaccard(), options=options, stats=stats
+    )
+
+    print("Top-%d most similar sequence pairs (Jaccard on 3-grams):" % k)
+    for result in results:
+        x = collection[result.x]
+        y = collection[result.y]
+        a = sequences[x.source_id]
+        b = sequences[y.source_id]
+        print(
+            "  %.3f  len %4d vs %4d   %s... vs %s..."
+            % (result.similarity, len(a), len(b), a[:24], b[:24])
+        )
+
+    print("\nAccessing-bound optimisation effect on the inverted index:")
+    print("  postings inserted : %d" % stats.index_inserted)
+    print("  postings truncated: %d (%.0f%% of the index deleted in flight)"
+          % (
+              stats.index_deleted,
+              100.0 * stats.index_deleted / max(stats.index_inserted, 1),
+          ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Quickstart: top-k set similarity join in a dozen lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RecordCollection, topk_join, topk_join_iter
+
+TITLES = [
+    "efficient similarity joins for near duplicate detection",
+    "efficient similarity join for near duplicate detection",
+    "top-k set similarity joins",
+    "top-k set similarity join processing",
+    "scaling up all pairs similarity search",
+    "scaling up all pairs similarity searches",
+    "a primitive operator for similarity joins in data cleaning",
+    "primitive operators for similarity join in data cleaning",
+    "query processing over graph structured data",
+    "keyword search in relational databases",
+]
+
+
+def main() -> None:
+    # 1. Tokenize + canonicalize: white-space tokens, ordered by rarity.
+    collection = RecordCollection.from_texts(TITLES)
+
+    # 2. The k most similar pairs — no similarity threshold to guess.
+    print("Top-5 most similar title pairs (Jaccard):\n")
+    for result in topk_join(collection, k=5):
+        x = collection[result.x]
+        y = collection[result.y]
+        print("  %.3f" % result.similarity)
+        print("    - %s" % TITLES[x.source_id])
+        print("    - %s" % TITLES[y.source_id])
+
+    # 3. Progressive variant: results stream out best-first; stop any time.
+    print("\nProgressive output (stop after the first 2):")
+    iterator = topk_join_iter(collection, k=5)
+    for __, result in zip(range(2), iterator):
+        print("  %.3f  (guaranteed no unseen pair is more similar)"
+              % result.similarity)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""A small dedup + search pipeline on a noisy bibliography.
+
+Combines three layers of the library:
+
+1. build a noisy corpus (typos injected at the string level);
+2. suppress near-duplicates with the clustering layer (``repro.dedup``);
+3. serve interactive similarity queries over the cleaned corpus with the
+   search layer (``repro.search``) — plus an edit-distance cross-check on
+   the raw strings (``repro.strings``).
+
+Run:  python examples/search_and_dedup.py
+"""
+
+import random
+
+from repro import RecordCollection
+from repro.dedup import cluster_by_threshold
+from repro.search import SearchIndex
+from repro.strings import edit_distance_topk
+
+BASE_TITLES = [
+    "efficient similarity joins for near duplicate detection",
+    "top-k set similarity joins",
+    "scaling up all pairs similarity search",
+    "a primitive operator for similarity joins in data cleaning",
+    "efficient exact set-similarity joins",
+    "optimal aggregation algorithms for middleware",
+    "combining fuzzy information from multiple systems",
+    "indexing methods for approximate string matching",
+    "fast algorithms for sorting and searching strings",
+    "the anatomy of a large-scale hypertextual web search engine",
+]
+
+
+def noisy_corpus(seed: int, copies: int = 3):
+    """Each base title plus a few typo'd copies."""
+    rng = random.Random(seed)
+    corpus = []
+    for title in BASE_TITLES:
+        corpus.append(title)
+        for __ in range(rng.randint(1, copies)):
+            chars = list(title)
+            for __e in range(rng.randint(1, 3)):
+                position = rng.randrange(len(chars))
+                operation = rng.random()
+                if operation < 0.4:
+                    chars[position] = rng.choice("abcdefghijklmnopqrstuvwxyz")
+                elif operation < 0.7 and len(chars) > 5:
+                    del chars[position]
+                else:
+                    chars.insert(position, rng.choice("aeiou"))
+            corpus.append("".join(chars))
+    rng.shuffle(corpus)
+    return corpus
+
+
+def main() -> None:
+    corpus = noisy_corpus(seed=33)
+    print("Noisy corpus: %d titles (%d originals + typo'd copies)\n"
+          % (len(corpus), len(BASE_TITLES)))
+
+    # --- 1. cluster & deduplicate on word tokens -----------------------
+    collection = RecordCollection.from_texts(corpus, dedupe=False)
+    clustering = cluster_by_threshold(collection, 0.55)
+    print("Found %d duplicate groups; examples:" %
+          len(clustering.duplicate_groups))
+    for group in clustering.duplicate_groups[:3]:
+        for rid in group[:3]:
+            print("   - %s" % corpus[collection[rid].source_id])
+        print()
+
+    survivors = clustering.representatives(collection)
+    print("Corpus reduced from %d to %d titles.\n"
+          % (len(corpus), len(survivors)))
+
+    # --- 2. interactive search over the cleaned corpus -----------------
+    cleaned = [corpus[collection[rid].source_id] for rid in survivors]
+    search_collection = RecordCollection.from_texts(cleaned, dedupe=False)
+    index = SearchIndex(search_collection)
+
+    user_query = "similarity join algorithms for duplicate detection"
+    ranks, size = index.prepare_query(user_query.split())
+    print("Query: %r" % user_query)
+    for hit in index.topk_search(ranks, 3, query_size=size):
+        title = cleaned[search_collection[hit.rid].source_id]
+        print("   %.3f  %s" % (hit.similarity, title))
+
+    # --- 3. edit-distance cross-check on the raw strings ---------------
+    print("\nClosest raw-string pairs by edit distance:")
+    for pair in edit_distance_topk(corpus, 3):
+        print("   d=%d  %r" % (pair.distance, corpus[pair.x][:50]))
+        print("         %r" % corpus[pair.y][:50])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Weighted top-k joins: why token weights change the answer.
+
+Unweighted Jaccard treats "the" and a rare drug name alike; weighting
+tokens by informativeness — here explicit weights, in practice idf — makes
+rare shared tokens dominate, the convention in record linkage.  This
+example runs both pipelines on the same records and shows the rankings
+*flip*.
+
+Run:  python examples/weighted_join.py
+"""
+
+from repro import RecordCollection, topk_join
+from repro.data.tokenize import tokenize_words
+from repro.weighted import WeightedCollection, weighted_topk_join
+
+RECORDS = [
+    "the state of the art in the field",      # stopword-heavy pair ...
+    "the end of the day in the park",         # ... sharing 5 cheap tokens
+    "zolpidem tartrate insomnia trial",       # rare-term pair sharing
+    "zolpidem tartrate cohort analysis",      # ... 2 expensive tokens
+    "melatonin dosage for jetlag",
+    "field notes from the survey",
+]
+
+STOPWORDS = {"the", "of", "in", "a", "for", "from", "and", "results"}
+
+
+def main() -> None:
+    token_lists = [tokenize_words(text) for text in RECORDS]
+
+    unweighted = RecordCollection.from_texts(RECORDS)
+    print("Unweighted Jaccard top-2 (stopword overlap wins):")
+    for pair in topk_join(unweighted, 2):
+        x, y = unweighted[pair.x], unweighted[pair.y]
+        print("  %.3f  %r <-> %r"
+              % (pair.similarity, RECORDS[x.source_id], RECORDS[y.source_id]))
+
+    # Integer-encode tokens and weight them: stopwords (and their repeat
+    # occurrences like "the#1") are nearly free, content words expensive.
+    vocabulary = {}
+    integer_sets = []
+    for tokens in token_lists:
+        integer_sets.append(
+            [vocabulary.setdefault(t, len(vocabulary)) for t in tokens]
+        )
+    weights = {
+        index: (0.1 if token.split("#")[0] in STOPWORDS else 2.0)
+        for token, index in vocabulary.items()
+    }
+    weighted = WeightedCollection.from_integer_sets(integer_sets, weights)
+
+    print("\nWeighted Jaccard top-2 (rare shared terms win):")
+    for pair in weighted_topk_join(weighted, 2):
+        x, y = weighted[pair.x], weighted[pair.y]
+        print("  %.3f  %r <-> %r"
+              % (pair.similarity, RECORDS[x.source_id], RECORDS[y.source_id]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables legacy
+installs (``python setup.py develop`` / ``pip install -e .`` with old
+tooling).
+"""
+
+from setuptools import setup
+
+setup()

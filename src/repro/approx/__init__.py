@@ -1,0 +1,13 @@
+"""Approximate similarity joins (MinHash + LSH) — the related-work
+alternative the exact top-k join is contrasted with."""
+
+from .lsh import LSHIndex, approximate_topk, collision_probability
+from .minhash import MinHasher, estimate_jaccard
+
+__all__ = [
+    "MinHasher",
+    "estimate_jaccard",
+    "LSHIndex",
+    "approximate_topk",
+    "collision_probability",
+]

@@ -1,0 +1,96 @@
+"""Locality-sensitive hashing over MinHash signatures, and an approximate
+top-k join built on it.
+
+Signatures are cut into ``bands`` bands of ``rows`` rows; records agreeing
+on all rows of any band land in the same bucket and become candidates.
+The probability a pair with Jaccard *s* becomes a candidate is
+``1 - (1 - s^rows)^bands`` — an S-curve whose threshold sits near
+``(1/bands)^(1/rows)``.
+
+:func:`approximate_topk` ranks LSH candidates by their *exact* similarity
+(the standard sketch-then-verify recipe), so its errors are misses only:
+every returned pair carries its true similarity, but pairs that never
+collide in any band are lost.  The recall benchmark in
+``benchmarks/test_extension_minhash.py`` quantifies that trade-off against
+the exact ``topk-join``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..data.records import RecordCollection
+from ..result import JoinResult, ordered_pair, sort_results
+from ..similarity.functions import Jaccard, SimilarityFunction
+from .minhash import MinHasher
+
+__all__ = ["LSHIndex", "approximate_topk", "collision_probability"]
+
+
+def collision_probability(similarity: float, bands: int, rows: int) -> float:
+    """Probability that a pair of this similarity becomes a candidate."""
+    return 1.0 - (1.0 - similarity**rows) ** bands
+
+
+class LSHIndex:
+    """Banded MinHash index producing candidate pairs."""
+
+    def __init__(self, bands: int = 16, rows: int = 8, seed: int = 1):
+        if bands < 1 or rows < 1:
+            raise ValueError("bands and rows must be >= 1")
+        self.bands = bands
+        self.rows = rows
+        self.hasher = MinHasher(num_hashes=bands * rows, seed=seed)
+        self._buckets: List[Dict[Tuple[int, ...], List[int]]] = [
+            defaultdict(list) for __ in range(bands)
+        ]
+
+    def add(self, rid: int, tokens: Tuple[int, ...]) -> None:
+        """Insert a record into every band's bucket table."""
+        signature = self.hasher.signature(tokens)
+        for band in range(self.bands):
+            key = signature[band * self.rows : (band + 1) * self.rows]
+            self._buckets[band][key].append(rid)
+
+    def candidate_pairs(self) -> Iterator[Tuple[int, int]]:
+        """All distinct pairs sharing a bucket in some band."""
+        seen: Set[Tuple[int, int]] = set()
+        for band_buckets in self._buckets:
+            for bucket in band_buckets.values():
+                if len(bucket) < 2:
+                    continue
+                for i in range(len(bucket)):
+                    for j in range(i + 1, len(bucket)):
+                        pair = ordered_pair(bucket[i], bucket[j])
+                        if pair not in seen:
+                            seen.add(pair)
+                            yield pair
+
+
+def approximate_topk(
+    collection: RecordCollection,
+    k: int,
+    bands: int = 16,
+    rows: int = 8,
+    seed: int = 1,
+    similarity: Optional[SimilarityFunction] = None,
+) -> List[JoinResult]:
+    """Approximate top-k join: LSH candidates, exact-ranked.
+
+    Returned pairs carry exact similarities, but recall is bounded by the
+    LSH collision probability — high-similarity pairs are found with
+    probability ``1 - (1 - s^rows)^bands``.
+    """
+    sim = similarity or Jaccard()
+    index = LSHIndex(bands=bands, rows=rows, seed=seed)
+    for record in collection:
+        index.add(record.rid, record.tokens)
+
+    results: List[JoinResult] = []
+    for rid_a, rid_b in index.candidate_pairs():
+        value = sim.similarity(
+            collection[rid_a].tokens, collection[rid_b].tokens
+        )
+        results.append(JoinResult(rid_a, rid_b, value))
+    return sort_results(results)[:k]

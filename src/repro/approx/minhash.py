@@ -1,0 +1,59 @@
+"""MinHash signatures for Jaccard similarity estimation.
+
+The paper's related work (Section VIII) contrasts exact prefix-filtering
+joins with *approximate* techniques — shingle sketches (Broder et al.) and
+locality-sensitive hashing (Gionis et al.).  This subpackage implements
+that alternative so the exact top-k join can be compared against the
+approximate state of the art on the same substrate.
+
+A MinHash signature applies ``num_hashes`` independent universal hash
+functions ``h(x) = (a·x + b) mod p`` to every token of a record and keeps
+each function's minimum.  For two sets, ``P[min-hash collides] = J(x, y)``,
+so the fraction of agreeing signature positions is an unbiased estimator
+of their Jaccard similarity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+__all__ = ["MinHasher", "estimate_jaccard"]
+
+#: A Mersenne prime comfortably above any token rank.
+_PRIME = (1 << 61) - 1
+
+
+class MinHasher:
+    """A family of ``num_hashes`` universal hash functions."""
+
+    def __init__(self, num_hashes: int = 128, seed: int = 1):
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1, got %d" % num_hashes)
+        self.num_hashes = num_hashes
+        rng = random.Random(seed)
+        self._coefficients: List[Tuple[int, int]] = [
+            (rng.randrange(1, _PRIME), rng.randrange(_PRIME))
+            for __ in range(num_hashes)
+        ]
+
+    def signature(self, tokens: Sequence[int]) -> Tuple[int, ...]:
+        """The MinHash signature of a non-empty token set."""
+        if not tokens:
+            raise ValueError("cannot sign an empty record")
+        out = []
+        for a, b in self._coefficients:
+            out.append(min((a * token + b) % _PRIME for token in tokens))
+        return tuple(out)
+
+
+def estimate_jaccard(
+    signature_x: Sequence[int], signature_y: Sequence[int]
+) -> float:
+    """Estimate ``J(x, y)`` as the fraction of agreeing positions."""
+    if len(signature_x) != len(signature_y):
+        raise ValueError("signatures must have equal length")
+    if not signature_x:
+        return 0.0
+    matches = sum(1 for a, b in zip(signature_x, signature_y) if a == b)
+    return matches / len(signature_x)

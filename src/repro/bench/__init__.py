@@ -1,0 +1,34 @@
+"""Benchmark harness: workloads, experiment drivers, reporting."""
+
+from .experiments import (
+    figure2_series,
+    figure3a_rows,
+    figure3bc_rows,
+    figure4_rows,
+    figure5a_rows,
+    figure5bc_rows,
+    table1_rows,
+    table2_rows,
+)
+from .plotting import ascii_chart
+from .reporting import format_table, results_dir, write_report
+from .workloads import WORKLOADS, BenchWorkload, collection, workload
+
+__all__ = [
+    "WORKLOADS",
+    "BenchWorkload",
+    "collection",
+    "workload",
+    "table1_rows",
+    "figure2_series",
+    "figure3a_rows",
+    "figure3bc_rows",
+    "figure4_rows",
+    "table2_rows",
+    "figure5a_rows",
+    "figure5bc_rows",
+    "format_table",
+    "write_report",
+    "results_dir",
+    "ascii_chart",
+]

@@ -1,0 +1,231 @@
+"""Experiment drivers — one function per paper table/figure.
+
+Each driver runs the workload(s) of one evaluation artifact and returns the
+rows of the series the paper plots, plus wall-clock timings taken inside
+the driver (so a single pytest-benchmark invocation yields every panel of
+the figure).  The thin wrappers in ``benchmarks/`` call these and persist
+the rendered tables under ``benchmarks/results/``.
+
+Mapping (see DESIGN.md §3 and EXPERIMENTS.md):
+
+========  ====================================================
+Table I   :func:`table1_rows`
+Fig. 2    :func:`figure2_series`
+Fig. 3a   :func:`figure3a_rows`   (verification-opt ablation)
+Fig. 3bc  :func:`figure3bc_rows`  (indexing-opt ablation)
+Fig. 4    :func:`figure4_rows`    (topk-join vs pptopk)
+Table II  :func:`table2_rows`     (pptopk per-round result sizes)
+Fig. 5a   :func:`figure5a_rows`   (verifications per record)
+Fig. 5bc  :func:`figure5bc_rows`  (progressive emission trace)
+========  ====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.metrics import PptopkStats, TopkStats
+from ..core.pptopk import pptopk_join
+from ..core.topk_join import TopkOptions, topk_join
+from ..data.stats import (
+    dataset_statistics,
+    log_binned,
+    record_size_histogram,
+    token_frequency_histogram,
+)
+from ..joins.ppjoin import ppjoin_plus
+from .workloads import WORKLOADS, collection, workload
+
+__all__ = [
+    "table1_rows",
+    "figure2_series",
+    "figure3a_rows",
+    "figure3bc_rows",
+    "figure4_rows",
+    "table2_rows",
+    "figure5a_rows",
+    "figure5bc_rows",
+]
+
+
+def _timed_topk(name: str, k: int, options: TopkOptions) -> Tuple[TopkStats, float]:
+    bench = workload(name)
+    stats = TopkStats()
+    start = time.perf_counter()
+    topk_join(
+        collection(name), k, similarity=bench.similarity,
+        options=options, stats=stats,
+    )
+    return stats, time.perf_counter() - start
+
+
+def _timed_pptopk(name: str, k: int) -> Tuple[PptopkStats, float]:
+    bench = workload(name)
+    stats = PptopkStats()
+    start = time.perf_counter()
+    pptopk_join(
+        collection(name), k, similarity=bench.similarity,
+        maxdepth=bench.maxdepth, stats=stats,
+    )
+    return stats, time.perf_counter() - start
+
+
+def table1_rows() -> List[Tuple[str, int, float, int]]:
+    """Table I: N, average record size, universe size per dataset."""
+    rows = []
+    for name in WORKLOADS:
+        stats = dataset_statistics(name, collection(name))
+        rows.append(stats.row())
+    return rows
+
+
+def figure2_series(name: str):
+    """Figure 2: log-binned token-frequency and record-size distributions."""
+    coll = collection(name)
+    token_series = log_binned(token_frequency_histogram(coll))
+    size_series = log_binned(record_size_histogram(coll))
+    return token_series, size_series
+
+
+def figure3a_rows(
+    k_values: Optional[Sequence[int]] = None,
+) -> List[Tuple[int, int, int]]:
+    """Figure 3(a): hash-table entries, topk-join vs record-all (TREC, Jaccard).
+
+    Rows: ``(k, hash_entries_optimized, hash_entries_record_all)``.
+    """
+    ks = list(k_values or workload("trec").k_values)
+    maxdepth = workload("trec").maxdepth
+    rows = []
+    for k in ks:
+        optimized, __ = _timed_topk(
+            "trec", k,
+            TopkOptions(verification_mode="optimized", maxdepth=maxdepth),
+        )
+        record_all, __ = _timed_topk(
+            "trec", k,
+            TopkOptions(verification_mode="all", maxdepth=maxdepth),
+        )
+        rows.append((k, optimized.hash_entries_peak, record_all.hash_entries_peak))
+    return rows
+
+
+def figure3bc_rows(
+    k_values: Optional[Sequence[int]] = None,
+) -> List[Tuple[int, int, int, float, float]]:
+    """Figure 3(b, c): index entries and running time, with vs without the
+    indexing optimisation (TREC, Jaccard).
+
+    The paper measures the number of index entries "immediately after the
+    insertion of index has stopped but before the index deletion is
+    performed" — i.e. cumulative insertions, with the accessing-bound
+    deletions excluded.  Rows: ``(k, inserted_opt, inserted_without,
+    seconds_opt, seconds_without)``.
+    """
+    ks = list(k_values or workload("trec").k_values)
+    maxdepth = workload("trec").maxdepth
+    rows = []
+    for k in ks:
+        with_opt, seconds_opt = _timed_topk(
+            "trec", k,
+            TopkOptions(index_optimization=True, maxdepth=maxdepth),
+        )
+        without_opt, seconds_without = _timed_topk(
+            "trec", k,
+            TopkOptions(index_optimization=False, maxdepth=maxdepth),
+        )
+        rows.append(
+            (
+                k,
+                with_opt.index_inserted,
+                without_opt.index_inserted,
+                seconds_opt,
+                seconds_without,
+            )
+        )
+    return rows
+
+
+def figure4_rows(
+    name: str, k_values: Optional[Sequence[int]] = None
+) -> List[Tuple[int, int, int, float, float]]:
+    """Figure 4: candidate size and running time, topk-join vs pptopk.
+
+    Panels (a, d) use the DBLP workload with Jaccard, (b, e) TREC with
+    Jaccard, (c, f) TREC-3GRAM with cosine — select via *name*.  Rows:
+    ``(k, verified_topk, verified_pptopk, seconds_topk, seconds_pptopk)``.
+    The paper's "candidate size" counts the pairs actually verified by the
+    similarity function.
+    """
+    bench = workload(name)
+    ks = list(k_values or bench.k_values)
+    rows = []
+    for k in ks:
+        topk_stats, topk_seconds = _timed_topk(
+            name, k, TopkOptions(maxdepth=bench.maxdepth)
+        )
+        pp_stats, pp_seconds = _timed_pptopk(name, k)
+        rows.append(
+            (
+                k,
+                topk_stats.verifications,
+                pp_stats.verifications,
+                topk_seconds,
+                pp_seconds,
+            )
+        )
+    return rows
+
+
+def table2_rows(
+    thresholds: Optional[Sequence[float]] = None,
+) -> List[Tuple[float, int]]:
+    """Table II: ppjoin+ result-set size per threshold round (TREC).
+
+    The paper lists thresholds 0.95 down to 0.60 in steps of 0.05.
+    """
+    coll = collection("trec")
+    bench = workload("trec")
+    values = list(thresholds or [0.95 - 0.05 * i for i in range(8)])
+    rows = []
+    for threshold in values:
+        results = ppjoin_plus(
+            coll, threshold, similarity=bench.similarity,
+            maxdepth=bench.maxdepth,
+        )
+        rows.append((threshold, len(results)))
+    return rows
+
+
+def figure5a_rows(
+    k_values: Optional[Sequence[int]] = None,
+) -> List[Tuple[int, float]]:
+    """Figure 5(a): average verifications per record vs k (TREC, Jaccard).
+
+    The paper's headline observation: far fewer than *k* verifications per
+    record — better than a hypothetical Oracle-assisted scorer.
+    """
+    ks = list(k_values or workload("trec").k_values)
+    coll = collection("trec")
+    rows = []
+    for k in ks:
+        stats, __ = _timed_topk("trec", k, TopkOptions())
+        rows.append((k, stats.verifications_per_record(len(coll))))
+    return rows
+
+
+def figure5bc_rows(
+    name: str, k: int = 200
+) -> List[Tuple[int, float, float, float, float]]:
+    """Figure 5(b, c): per-result emission trace (3-gram datasets, k=200).
+
+    Rows: ``(i, similarity_i, probing_upper_bound, s_k, elapsed_seconds)``
+    recorded when the i-th final result was emitted.
+    """
+    bench = workload(name)
+    stats, __ = _timed_topk(name, k, TopkOptions(maxdepth=bench.maxdepth))
+    return [
+        (e.index, e.similarity, e.upper_bound, e.s_k, e.elapsed)
+        for e in stats.emits
+    ]

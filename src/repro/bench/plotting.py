@@ -1,0 +1,114 @@
+"""ASCII scatter charts for benchmark reports.
+
+The paper's evaluation is communicated through figures; the benchmark
+harness regenerates each figure's *series* and these helpers render them
+as monospace charts appended to the ``benchmarks/results/*.txt``
+artifacts, so the shape (who wins, where curves cross) is visible without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_chart", "MARKERS"]
+
+#: Markers assigned to series in insertion order.
+MARKERS = "*+ox#@%&"
+
+Point = Tuple[float, float]
+
+
+def _transform(value: float, log: bool) -> float:
+    if not log:
+        return value
+    return math.log10(max(value, 1e-12))
+
+
+def _axis_range(values: Sequence[float]) -> Tuple[float, float]:
+    low, high = min(values), max(values)
+    if low == high:
+        pad = 1.0 if low == 0 else abs(low) * 0.5
+        return low - pad, high + pad
+    return low, high
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Point]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named point series as a monospace scatter chart.
+
+    Each series gets the next marker from :data:`MARKERS`; overlapping
+    points keep the earliest series' marker.  Axis end labels show the
+    raw (untransformed) data range; ``log_x`` / ``log_y`` switch the
+    corresponding axis to a log10 scale.
+    """
+    if not series or all(not points for points in series.values()):
+        return "(no data)"
+    if width < 8 or height < 4:
+        raise ValueError("chart must be at least 8x4 characters")
+
+    xs: List[float] = []
+    ys: List[float] = []
+    for points in series.values():
+        for x, y in points:
+            xs.append(_transform(x, log_x))
+            ys.append(_transform(y, log_y))
+    x_low, x_high = _axis_range(xs)
+    y_low, y_high = _axis_range(ys)
+
+    grid = [[" "] * width for __ in range(height)]
+    for marker, (name, points) in zip(MARKERS, series.items()):
+        for x, y in points:
+            tx = (_transform(x, log_x) - x_low) / (x_high - x_low)
+            ty = (_transform(y, log_y) - y_low) / (y_high - y_low)
+            column = min(width - 1, int(round(tx * (width - 1))))
+            row = height - 1 - min(height - 1, int(round(ty * (height - 1))))
+            if grid[row][column] == " ":
+                grid[row][column] = marker
+
+    raw_xs = [x for points in series.values() for x, __ in points]
+    raw_ys = [y for points in series.values() for __, y in points]
+
+    lines = []
+    top_label = "%g" % max(raw_ys)
+    bottom_label = "%g" % min(raw_ys)
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = "%g" % min(raw_xs)
+    x_end = "%g" % max(raw_xs)
+    padding = width - len(x_axis) - len(x_end)
+    lines.append(
+        " " * (gutter + 1) + x_axis + " " * max(1, padding) + x_end
+    )
+
+    legend = "   ".join(
+        "%s %s" % (marker, name)
+        for marker, name in zip(MARKERS, series.keys())
+    )
+    scale = []
+    if log_x:
+        scale.append("log x")
+    if log_y:
+        scale.append("log y")
+    footer = "legend: %s" % legend
+    if scale:
+        footer += "   (%s)" % ", ".join(scale)
+    lines.append(footer)
+    lines.append("axes: x=%s, y=%s" % (x_label, y_label))
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Plain-text rendering of benchmark series (the paper's tables/figures).
+
+Every experiment driver returns rows of numbers; these helpers format them
+as aligned text tables and persist them under ``benchmarks/results/`` so a
+full ``pytest benchmarks/ --benchmark-only`` run leaves one artifact per
+paper table/figure, ready to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["format_table", "write_report", "results_dir"]
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return "%.0f" % cell
+        if abs(cell) >= 1:
+            return "%.3f" % cell
+        return "%.4f" % cell
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """Render an aligned text table with a header rule."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([_render(cell) for cell in row])
+    widths = [
+        max(len(line[column]) for line in rendered)
+        for column in range(len(headers))
+    ]
+    lines = []
+    for index, line in enumerate(rendered):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def results_dir() -> str:
+    """The directory benchmark artifacts are written to."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    path = os.path.join(root, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_report(name: str, title: str, body: str) -> str:
+    """Persist one experiment's rendered output; returns the file path."""
+    path = os.path.join(results_dir(), name + ".txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(title.rstrip() + "\n\n")
+        handle.write(body.rstrip() + "\n")
+    return path

@@ -1,0 +1,107 @@
+"""Benchmark workloads — the scaled-down stand-ins for the paper's datasets.
+
+The paper's datasets (Table I) hold 0.35M–0.9M records and were processed
+by C++ on a 2007 Xeon; this reproduction runs pure Python, so each workload
+is scaled down by roughly two orders of magnitude while preserving the
+statistics the algorithms care about (token Zipf law, record-size
+distribution, near-duplicate population — see DESIGN.md §4).  Collections
+are built once per process and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, List
+
+from ..data.records import RecordCollection
+from ..data.synthetic import dblp_like, trec3_like, trec_like, uniref3_like
+from ..similarity.functions import (
+    Cosine,
+    Jaccard,
+    SimilarityFunction,
+)
+
+__all__ = ["BenchWorkload", "WORKLOADS", "collection", "workload"]
+
+
+@dataclass(frozen=True)
+class BenchWorkload:
+    """A named dataset + similarity + k-sweep, mirroring one figure panel."""
+
+    name: str
+    description: str
+    factory: Callable[[], RecordCollection]
+    similarity: SimilarityFunction
+    k_values: List[int] = field(default_factory=list)
+    #: Suffix-filter depth (2 for word tokens, 4 for q-grams — Section VII-A).
+    maxdepth: int = 2
+
+
+def _dblp() -> RecordCollection:
+    return dblp_like(2000, seed=42)
+
+
+def _trec() -> RecordCollection:
+    return trec_like(700, seed=7)
+
+
+def _trec3() -> RecordCollection:
+    return trec3_like(350, seed=11)
+
+
+def _uniref3() -> RecordCollection:
+    return uniref3_like(300, seed=13)
+
+
+WORKLOADS: Dict[str, BenchWorkload] = {
+    "dblp": BenchWorkload(
+        name="dblp",
+        description="DBLP-like: short word-token records (paper Fig. 4a/4d)",
+        factory=_dblp,
+        similarity=Jaccard(),
+        k_values=[100, 200, 300, 400, 500],
+        maxdepth=2,
+    ),
+    "trec": BenchWorkload(
+        name="trec",
+        description="TREC-like: long word-token records (paper Fig. 3, 4b/4e, 5a)",
+        factory=_trec,
+        similarity=Jaccard(),
+        k_values=[500, 1000, 1500, 2000, 2500],
+        maxdepth=2,
+    ),
+    "trec-3gram": BenchWorkload(
+        name="trec-3gram",
+        description="TREC-3GRAM-like: text 3-gram sets (paper Fig. 4c/4f, 5b/5c)",
+        factory=_trec3,
+        similarity=Cosine(),
+        k_values=[50, 100, 150, 200, 250],
+        maxdepth=4,
+    ),
+    "uniref-3gram": BenchWorkload(
+        name="uniref-3gram",
+        description="UNIREF-3GRAM-like: protein 3-gram sets (paper Fig. 5b/5c)",
+        factory=_uniref3,
+        similarity=Jaccard(),
+        k_values=[50, 100, 150, 200],
+        maxdepth=4,
+    ),
+}
+
+
+@lru_cache(maxsize=None)
+def collection(name: str) -> RecordCollection:
+    """The (cached) record collection of a named workload."""
+    return WORKLOADS[name].factory()
+
+
+def workload(name: str) -> BenchWorkload:
+    """Look up a workload by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown workload %r (choose from %s)"
+            % (name, ", ".join(sorted(WORKLOADS)))
+        ) from None

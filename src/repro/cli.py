@@ -1,0 +1,289 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro topk      --input data.txt --k 100 [--similarity jaccard]
+    python -m repro threshold --input data.txt --threshold 0.8 [--algorithm ppjoin+]
+    python -m repro generate  --dataset dblp --n 2000 --output data.txt
+    python -m repro stats     --input data.txt
+
+Input files hold one record per line, tokens separated by spaces (use
+``--qgram Q`` to treat each line as raw text tokenized into q-grams).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .core.metrics import TopkStats
+from .core.topk_join import TopkOptions, topk_join
+from .data.io import load_token_file, save_token_file
+from .data.records import RecordCollection
+from .data.stats import dataset_statistics
+from .data.synthetic import dblp_like, trec3_like, trec_like, uniref3_like
+from .data.tokenize import tokenize_qgrams
+from .joins import threshold_join
+from .similarity.functions import similarity_by_name
+
+__all__ = ["main"]
+
+_GENERATORS = {
+    "dblp": dblp_like,
+    "trec": trec_like,
+    "trec-3gram": trec3_like,
+    "uniref-3gram": uniref3_like,
+}
+
+
+def _load(path: str, qgram: Optional[int]) -> RecordCollection:
+    token_lists = load_token_file(path)
+    if qgram:
+        token_lists = [
+            tokenize_qgrams(" ".join(tokens), q=qgram)
+            for tokens in token_lists
+        ]
+    return RecordCollection.from_token_lists(token_lists)
+
+
+def _print_results(collection: RecordCollection, results, limit: int) -> None:
+    for result in results[:limit]:
+        x = collection[result.x]
+        y = collection[result.y]
+        print(
+            "%.6f\t%d\t%d\t%s\t%s"
+            % (
+                result.similarity,
+                x.source_id,
+                y.source_id,
+                collection.strings(x),
+                collection.strings(y),
+            )
+        )
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    collection = _load(args.input, args.qgram)
+    sim = similarity_by_name(args.similarity)
+    stats = TopkStats()
+    options = TopkOptions(maxdepth=args.maxdepth)
+    start = time.perf_counter()
+    results = topk_join(
+        collection, args.k, similarity=sim, options=options, stats=stats
+    )
+    elapsed = time.perf_counter() - start
+    _print_results(collection, results, args.k)
+    print(
+        "# %d results in %.3fs (%d events, %d candidates, %d verifications)"
+        % (len(results), elapsed, stats.events, stats.candidates,
+           stats.verifications),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_threshold(args: argparse.Namespace) -> int:
+    collection = _load(args.input, args.qgram)
+    sim = similarity_by_name(args.similarity)
+    start = time.perf_counter()
+    results = threshold_join(
+        collection, args.threshold, similarity=sim, algorithm=args.algorithm
+    )
+    elapsed = time.perf_counter() - start
+    _print_results(collection, results, len(results))
+    print(
+        "# %d results in %.3fs (%s, t=%.3f)"
+        % (len(results), elapsed, args.algorithm, args.threshold),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = _GENERATORS[args.dataset]
+    collection = generator(args.n, seed=args.seed)
+    token_lists = [
+        [str(token) for token in record.tokens] for record in collection
+    ]
+    save_token_file(args.output, token_lists)
+    print(
+        "# wrote %d records (avg size %.1f, |U|=%d) to %s"
+        % (
+            len(collection),
+            collection.average_size,
+            collection.universe_size,
+            args.output,
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    collection = _load(args.input, args.qgram)
+    stats = dataset_statistics(args.input, collection)
+    print("records       : %d" % stats.record_count)
+    print("average size  : %.2f" % stats.average_size)
+    print("universe size : %d" % stats.universe_size)
+    return 0
+
+
+#: Experiment id -> (description, runner).  Runners print to stdout.
+def _experiment_registry():
+    from .bench import (
+        figure3a_rows,
+        figure3bc_rows,
+        figure4_rows,
+        figure5a_rows,
+        format_table,
+        table1_rows,
+        table2_rows,
+    )
+
+    def table1():
+        print(format_table(["dataset", "N", "avg size", "|U|"], table1_rows()))
+
+    def table2():
+        print(format_table(["threshold", "results"], table2_rows()))
+
+    def figure3a():
+        print(
+            format_table(
+                ["k", "optimized", "record-all"], figure3a_rows()
+            )
+        )
+
+    def figure3bc():
+        print(
+            format_table(
+                ["k", "entries (opt)", "entries (w/o)",
+                 "s (opt)", "s (w/o)"],
+                figure3bc_rows(),
+            )
+        )
+
+    def figure4(name):
+        def run():
+            print(
+                format_table(
+                    ["k", "verified (topk)", "verified (pptopk)",
+                     "s (topk)", "s (pptopk)"],
+                    figure4_rows(name),
+                )
+            )
+        return run
+
+    def figure5a():
+        print(format_table(["k", "verifications/record"], figure5a_rows()))
+
+    return {
+        "table1": ("Table I — dataset statistics", table1),
+        "table2": ("Table II — pptopk round sizes", table2),
+        "figure3a": ("Fig. 3a — verification opt", figure3a),
+        "figure3bc": ("Fig. 3b/c — indexing opt", figure3bc),
+        "figure4-dblp": ("Fig. 4a/d — DBLP panel", figure4("dblp")),
+        "figure4-trec": ("Fig. 4b/e — TREC panel", figure4("trec")),
+        "figure4-trec3": (
+            "Fig. 4c/f — TREC-3GRAM panel", figure4("trec-3gram")
+        ),
+        "figure5a": ("Fig. 5a — verifications per record", figure5a),
+    }
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    if args.list:
+        for name, (description, __) in sorted(registry.items()):
+            print("%-15s %s" % (name, description))
+        return 0
+    if args.experiment is None:
+        print("choose --experiment or --list", file=sys.stderr)
+        return 2
+    try:
+        description, runner = registry[args.experiment]
+    except KeyError:
+        print(
+            "unknown experiment %r (see --list)" % args.experiment,
+            file=sys.stderr,
+        )
+        return 2
+    start = time.perf_counter()
+    print("# %s" % description)
+    runner()
+    print(
+        "# completed in %.1fs" % (time.perf_counter() - start),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Top-k set similarity joins (ICDE 2009 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_io(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--input", required=True, help="token file path")
+        sub.add_argument(
+            "--qgram", type=int, default=None, metavar="Q",
+            help="re-tokenize each line into character q-grams",
+        )
+        sub.add_argument(
+            "--similarity", default="jaccard",
+            choices=["jaccard", "cosine", "dice", "overlap"],
+        )
+
+    topk = commands.add_parser("topk", help="top-k similarity join")
+    add_io(topk)
+    topk.add_argument("--k", type=int, required=True)
+    topk.add_argument("--maxdepth", type=int, default=2,
+                      help="suffix-filter depth (2 words, 4 q-grams)")
+    topk.set_defaults(handler=_cmd_topk)
+
+    threshold = commands.add_parser("threshold", help="threshold join")
+    add_io(threshold)
+    threshold.add_argument("--threshold", type=float, required=True)
+    threshold.add_argument(
+        "--algorithm", default="ppjoin+",
+        choices=["naive", "all-pairs", "ppjoin", "ppjoin+"],
+    )
+    threshold.set_defaults(handler=_cmd_threshold)
+
+    generate = commands.add_parser(
+        "generate", help="emit a synthetic benchmark dataset"
+    )
+    generate.add_argument(
+        "--dataset", required=True, choices=sorted(_GENERATORS)
+    )
+    generate.add_argument("--n", type=int, default=1000)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--output", required=True)
+    generate.set_defaults(handler=_cmd_generate)
+
+    stats = commands.add_parser("stats", help="dataset statistics (Table I)")
+    add_io(stats)
+    stats.set_defaults(handler=_cmd_stats)
+
+    bench = commands.add_parser(
+        "bench", help="run one of the paper's experiments"
+    )
+    bench.add_argument("--experiment", default=None,
+                       help="experiment id (see --list)")
+    bench.add_argument("--list", action="store_true",
+                       help="list available experiments")
+    bench.set_defaults(handler=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

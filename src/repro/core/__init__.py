@@ -1,0 +1,34 @@
+"""The paper's contribution: topk-join, the pptopk baseline, and metrics."""
+
+from .events import EventQueue
+from .metrics import EmitEvent, JoinStats, PptopkStats, TopkStats
+from .naive_topk import naive_topk
+from .pptopk import default_threshold_schedule, pptopk_join
+from .results import TopKBuffer
+from .rs_join import TaggedCollection, naive_topk_rs, topk_join_rs
+from .seeding import choose_seed_token, seed_temporary_results
+from .session import TopkSession
+from .topk_join import TopkOptions, topk_join, topk_join_iter
+from .verification import VerificationRegistry
+
+__all__ = [
+    "TopkOptions",
+    "topk_join",
+    "topk_join_iter",
+    "topk_join_rs",
+    "naive_topk_rs",
+    "TaggedCollection",
+    "TopkSession",
+    "pptopk_join",
+    "default_threshold_schedule",
+    "naive_topk",
+    "TopKBuffer",
+    "EventQueue",
+    "VerificationRegistry",
+    "choose_seed_token",
+    "seed_temporary_results",
+    "JoinStats",
+    "TopkStats",
+    "PptopkStats",
+    "EmitEvent",
+]

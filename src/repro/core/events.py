@@ -1,0 +1,104 @@
+"""Prefix events and the event priority queue (Section III-B, V-C).
+
+A *prefix event* ``<x, p, s_p>`` says: record *x* is about to expose its
+p-th prefix token; ``s_p`` is the probing similarity upper bound — the
+largest similarity *x* can reach with a record it shares no earlier prefix
+token with.  Events are consumed in decreasing ``s_p`` order from a
+max-heap, which is what makes the bound of the heap's top a valid upper
+bound for **all** unseen pairs.
+
+Because ``s_p`` depends only on ``(|x|, p)``, events for equal-size records
+can be *compressed* into one entry per ``(size, p)`` (Section V-C).  The
+queue hides this behind a common interface: :meth:`pop` returns the bound,
+the prefix position and the batch of record ids to process.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+from ..data.records import RecordCollection
+from ..similarity.functions import SimilarityFunction
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Max-heap of prefix events, optionally compressed by record size."""
+
+    def __init__(
+        self,
+        collection: RecordCollection,
+        similarity: SimilarityFunction,
+        compressed: bool = True,
+    ):
+        self._collection = collection
+        self._similarity = similarity
+        self.compressed = compressed
+        self._heap: List[Tuple[float, int, int, Tuple[int, ...]]] = []
+        self.events_pushed = 0
+        self._initialize()
+
+    def _initialize(self) -> None:
+        """Seed one event per record (or per size block) at prefix 1.
+
+        The initial probing bound is the function's maximum — 1.0 for the
+        normalized functions, ``|x|`` for overlap similarity.
+        """
+        sim = self._similarity
+        if self.compressed:
+            for size, start, stop in self._collection.size_blocks():
+                bound = sim.probing_upper_bound(size, 1)
+                self._push(bound, size, 1, tuple(range(start, stop)))
+        else:
+            for record in self._collection:
+                bound = sim.probing_upper_bound(len(record), 1)
+                self._push(bound, len(record), 1, (record.rid,))
+
+    def _push(
+        self, bound: float, size: int, prefix: int, rids: Tuple[int, ...]
+    ) -> None:
+        heapq.heappush(self._heap, (-bound, size, prefix, rids))
+        self.events_pushed += 1
+
+    # ------------------------------------------------------------------
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def peek_bound(self) -> Optional[float]:
+        """Upper bound of the best unprocessed event (None when empty)."""
+        if not self._heap:
+            return None
+        return -self._heap[0][0]
+
+    def pop(self) -> Tuple[float, int, Tuple[int, ...]]:
+        """Pop the best event: ``(bound, prefix_position, record_ids)``."""
+        negated, __, prefix, rids = heapq.heappop(self._heap)
+        return -negated, prefix, rids
+
+    def push_next(
+        self,
+        size: int,
+        prefix: int,
+        rids: Sequence[int],
+        cutoff: float,
+    ) -> None:
+        """Schedule the follow-up event ``prefix + 1`` for *rids*.
+
+        Skipped when the prefix is exhausted or when the next bound cannot
+        beat *cutoff* (the current ``s_k`` — pairs found at or below it can
+        at best tie the k-th result, which cannot change the answer
+        multiset).
+        """
+        next_prefix = prefix + 1
+        if next_prefix > size:
+            return
+        bound = self._similarity.probing_upper_bound(size, next_prefix)
+        if bound <= cutoff:
+            return
+        self._push(bound, size, next_prefix, tuple(rids))

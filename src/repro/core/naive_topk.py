@@ -1,0 +1,41 @@
+"""Naive top-k join: score every pair, keep the best *k*.
+
+The "n(n-1)/2 similarity computations" strawman of Section I and the
+correctness oracle every optimized algorithm is tested against.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from ..data.records import RecordCollection
+from ..result import JoinResult
+from ..similarity.functions import Jaccard, SimilarityFunction
+
+__all__ = ["naive_topk"]
+
+
+def naive_topk(
+    collection: RecordCollection,
+    k: int,
+    similarity: Optional[SimilarityFunction] = None,
+) -> List[JoinResult]:
+    """The exact top-k pairs by exhaustive scoring (quadratic — tests only)."""
+    sim = similarity or Jaccard()
+    records = collection.records
+    heap: List[JoinResult] = []
+    counter = 0
+    for a in range(len(records)):
+        x = records[a]
+        for b in range(a + 1, len(records)):
+            y = records[b]
+            value = sim.similarity(x.tokens, y.tokens)
+            counter += 1
+            item = (value, counter, JoinResult(x.rid, y.rid, value))
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif value > heap[0][0]:
+                heapq.heappushpop(heap, item)
+    ordered = sorted(heap, key=lambda item: (-item[0], item[2].x, item[2].y))
+    return [item[2] for item in ordered]

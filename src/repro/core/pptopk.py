@@ -1,0 +1,116 @@
+"""``pptopk`` — the baseline algorithm of Section VII-A.
+
+Runs a state-of-the-art threshold similarity join (ppjoin+) repeatedly with
+a decreasing threshold schedule until at least *k* pairs are found, then
+keeps the best *k*.  The paper's schedule decreases at an equal rate:
+``0.95 - 0.05·i`` for Jaccard and ``0.975 - 0.025·i`` for cosine (round
+*i* starting at 0).
+
+Each round re-runs the join from scratch — exactly the redundant work the
+incremental ``topk-join`` is designed to avoid.  Per-round result sizes are
+recorded in :class:`repro.core.metrics.PptopkStats` (they are Table II of
+the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..data.records import RecordCollection
+from ..joins.filters import DEFAULT_MAXDEPTH
+from ..joins.ppjoin import ppjoin_plus
+from ..result import JoinResult, sort_results
+from ..similarity.functions import Cosine, Jaccard, SimilarityFunction
+from .metrics import JoinStats, PptopkStats
+
+__all__ = [
+    "pptopk_join",
+    "default_threshold_schedule",
+    "geometric_threshold_schedule",
+]
+
+#: Thresholds never drop below this floor; prefix filtering is undefined at
+#: t <= 0 and the last resort is an explicit full join at the floor.
+_MIN_THRESHOLD = 0.05
+
+
+def default_threshold_schedule(
+    similarity: SimilarityFunction,
+) -> Iterator[float]:
+    """The paper's equal-rate schedules (Section VII-A).
+
+    Jaccard: 0.95, 0.90, 0.85, …; cosine: 0.975, 0.950, 0.925, ….  Other
+    functions reuse the Jaccard schedule.
+    """
+    if isinstance(similarity, Cosine):
+        start, step = 0.975, 0.025
+    else:
+        start, step = 0.95, 0.05
+    i = 0
+    while True:
+        threshold = start - step * i
+        if threshold < _MIN_THRESHOLD:
+            yield _MIN_THRESHOLD
+            return
+        yield threshold
+        i += 1
+
+
+def geometric_threshold_schedule(
+    start: float = 0.95, ratio: float = 0.8
+) -> Iterator[float]:
+    """A geometric guessing schedule: ``start, start·ratio, start·ratio², …``.
+
+    Section VII-D observes that `pptopk`'s cost is hostage to how the
+    guessed thresholds straddle the unknown final ``s_k``: a conservative
+    guess (small *ratio*) overshoots and "may produce too many candidate
+    pairs and join results", an aggressive one (*ratio* near 1) pays for
+    extra rounds.  This schedule exposes that trade-off for the schedule
+    ablation benchmark.
+    """
+    if not 0.0 < ratio < 1.0:
+        raise ValueError("ratio must be in (0, 1), got %r" % ratio)
+    threshold = start
+    while threshold > _MIN_THRESHOLD:
+        yield threshold
+        threshold *= ratio
+    yield _MIN_THRESHOLD
+
+
+def pptopk_join(
+    collection: RecordCollection,
+    k: int,
+    similarity: Optional[SimilarityFunction] = None,
+    thresholds: Optional[List[float]] = None,
+    maxdepth: int = DEFAULT_MAXDEPTH,
+    stats: Optional[PptopkStats] = None,
+) -> List[JoinResult]:
+    """Top-k join by repeated thresholded ppjoin+ (the paper's baseline).
+
+    *thresholds* overrides the built-in schedule (values must decrease).
+    Returns the best *k* pairs found; if even the schedule's floor yields
+    fewer than *k* pairs, fewer results are returned (unlike
+    :func:`repro.core.topk_join.topk_join`, no zero padding — the baseline
+    has no way to enumerate token-disjoint pairs).
+    """
+    sim = similarity or Jaccard()
+    schedule = iter(thresholds) if thresholds is not None else (
+        default_threshold_schedule(sim)
+    )
+
+    results: List[JoinResult] = []
+    for threshold in schedule:
+        round_stats = JoinStats()
+        results = ppjoin_plus(
+            collection, threshold, similarity=sim, maxdepth=maxdepth,
+            stats=round_stats,
+        )
+        if stats is not None:
+            stats.rounds += 1
+            stats.thresholds.append(threshold)
+            stats.round_results.append(len(results))
+            stats.candidates += round_stats.candidates
+            stats.verifications += round_stats.verifications
+        if len(results) >= k:
+            break
+    return sort_results(results)[:k]

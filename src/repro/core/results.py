@@ -1,0 +1,123 @@
+"""The temporary-result buffer ``T`` of Algorithm 3.
+
+A fixed-capacity min-heap of the best *k* pairs seen so far.  ``T[k].sim``
+— exposed as :attr:`TopKBuffer.s_k` — is the similarity of the k-th best
+temporary result and grows monotonically; every filter in the top-k join
+uses it as its (rising) threshold.
+
+The buffer also powers progressive emission (Section VII-F): a mirrored
+max-heap hands out, in decreasing similarity order, every pair whose
+similarity is at least the current upper bound of all unseen pairs.  Such a
+pair is *final*: no unseen pair can beat it, and it can never be evicted
+(eviction would need a strictly better new pair, which the bound forbids).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["TopKBuffer"]
+
+Pair = Tuple[int, int]
+
+
+class TopKBuffer:
+    """Best-k pair buffer with monotone ``s_k`` and progressive emission."""
+
+    def __init__(self, k: int, floor: float = 0.0):
+        if k < 1:
+            raise ValueError("k must be >= 1, got %d" % k)
+        self.k = k
+        self.floor = floor
+        self._heap: List[Tuple[float, int, Pair]] = []
+        self._desc: List[Tuple[float, int, Pair]] = []
+        self._members: Dict[Pair, float] = {}
+        self._emitted: set = set()
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.k
+
+    @property
+    def s_k(self) -> float:
+        """Similarity of the k-th temporary result (the floor while not full).
+
+        Monotonically non-decreasing over the buffer's lifetime.
+        """
+        if len(self._heap) >= self.k:
+            return self._heap[0][0]
+        return self.floor
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._members
+
+    def similarity_of(self, pair: Pair) -> float:
+        return self._members[pair]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add(self, pair: Pair, similarity: float) -> bool:
+        """Offer a pair; keep it only if it improves the top-k.
+
+        Duplicate pairs are ignored (a pair may be verified again when the
+        verification-dedup optimisation is disabled).  Returns whether the
+        pair was retained.
+        """
+        if pair in self._members:
+            return False
+        self._sequence += 1
+        entry = (similarity, self._sequence, pair)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+            self._members[pair] = similarity
+            heapq.heappush(self._desc, (-similarity, self._sequence, pair))
+            return True
+        if similarity <= self._heap[0][0]:
+            return False
+        evicted = heapq.heappushpop(self._heap, entry)
+        del self._members[evicted[2]]
+        self._members[pair] = similarity
+        heapq.heappush(self._desc, (-similarity, self._sequence, pair))
+        return True
+
+    # ------------------------------------------------------------------
+    # Progressive emission
+    # ------------------------------------------------------------------
+
+    def pop_emittable(self, remaining_bound: float) -> List[Tuple[Pair, float]]:
+        """Pairs whose similarity >= *remaining_bound*, best first.
+
+        Each pair is emitted at most once.  Evicted pairs linger in the
+        descending heap and are discarded lazily by checking membership.
+        """
+        out: List[Tuple[Pair, float]] = []
+        while self._desc and -self._desc[0][0] >= remaining_bound:
+            negated, __, pair = heapq.heappop(self._desc)
+            similarity = -negated
+            if self._members.get(pair) != similarity or pair in self._emitted:
+                continue
+            self._emitted.add(pair)
+            out.append((pair, similarity))
+        return out
+
+    def drain(self) -> Iterator[Tuple[Pair, float]]:
+        """Emit everything not yet emitted, best first (end of the join)."""
+        for pair, similarity in self.pop_emittable(float("-inf")):
+            yield pair, similarity
+
+    def items(self) -> List[Tuple[Pair, float]]:
+        """Current contents, best first (does not mark anything emitted)."""
+        return sorted(
+            self._members.items(), key=lambda item: (-item[1], item[0])
+        )

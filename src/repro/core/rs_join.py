@@ -1,0 +1,196 @@
+"""Top-k join between two collections (R-S join).
+
+The paper states its algorithms "focus on the self-join case for the ease
+of exposition" (Section II-A); the general form joins two sets of records
+R and S and ranks cross pairs only.  This module provides that extension:
+
+* both sides are canonicalized against a *joint* token universe (prefix
+  filtering requires one global ordering), and
+* the event-driven join runs unchanged, except that a candidate pair is
+  admitted only when its records come from different sides.
+
+Every bound of the self-join remains valid — none of them depends on which
+side a record belongs to — so the implementation simply runs the core
+machinery over the tagged union of R and S.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+from ..data.ordering import document_frequencies, idf_ordering
+from ..data.records import Record, RecordCollection
+from ..result import JoinResult
+from ..similarity.functions import Jaccard, SimilarityFunction
+from .metrics import TopkStats
+from .topk_join import TopkOptions, topk_join_iter
+
+__all__ = ["TaggedCollection", "topk_join_rs", "naive_topk_rs"]
+
+
+class TaggedCollection:
+    """Union of two record sets over one token universe, with side tags.
+
+    ``side(rid)`` is 0 for records from R and 1 for records from S.
+    ``original_index(rid)`` recovers the position in the input sequence
+    the record came from (R and S indexed independently).
+    """
+
+    def __init__(
+        self, collection: RecordCollection, sides: Sequence[int]
+    ):
+        self.collection = collection
+        self._sides = bytes(sides)
+
+    @classmethod
+    def from_token_lists(
+        cls,
+        r_lists: Sequence[Sequence[str]],
+        s_lists: Sequence[Sequence[str]],
+    ) -> "TaggedCollection":
+        """Canonicalize R and S jointly (shared df ordering, no dedupe).
+
+        Deduplication is disabled: identical records on opposite sides are
+        a legitimate (similarity 1) join result.
+        """
+        combined = list(r_lists) + list(s_lists)
+        df = document_frequencies(combined)
+        rank_of = idf_ordering(df)
+
+        canonical: List[Tuple[Tuple[int, ...], int, int]] = []
+        for position, tokens in enumerate(combined):
+            ranked = tuple(sorted({rank_of[t] for t in tokens}))
+            if not ranked:
+                continue
+            side = 0 if position < len(r_lists) else 1
+            source = position if side == 0 else position - len(r_lists)
+            canonical.append((ranked, side, source))
+
+        canonical.sort(key=lambda item: (len(item[0]), item[0]))
+        records = [
+            Record(rid, tokens, source)
+            for rid, (tokens, __, source) in enumerate(canonical)
+        ]
+        collection = RecordCollection(records, universe_size=len(rank_of))
+        sides = [side for __, side, __unused in canonical]
+        return cls(collection, sides)
+
+    @classmethod
+    def from_integer_sets(
+        cls,
+        r_sets: Sequence[Sequence[int]],
+        s_sets: Sequence[Sequence[int]],
+    ) -> "TaggedCollection":
+        """Joint collection from pre-ranked integer token sets."""
+        canonical: List[Tuple[Tuple[int, ...], int, int]] = []
+        universe = 0
+        for side, sets in ((0, r_sets), (1, s_sets)):
+            for source, tokens in enumerate(sets):
+                ranked = tuple(sorted(set(tokens)))
+                if not ranked:
+                    continue
+                universe = max(universe, ranked[-1] + 1)
+                canonical.append((ranked, side, source))
+        canonical.sort(key=lambda item: (len(item[0]), item[0]))
+        records = [
+            Record(rid, tokens, source)
+            for rid, (tokens, __, source) in enumerate(canonical)
+        ]
+        collection = RecordCollection(records, universe_size=universe)
+        sides = [side for __, side, __unused in canonical]
+        return cls(collection, sides)
+
+    def side(self, rid: int) -> int:
+        return self._sides[rid]
+
+    def __len__(self) -> int:
+        return len(self.collection)
+
+
+def topk_join_rs(
+    tagged: TaggedCollection,
+    k: int,
+    similarity: Optional[SimilarityFunction] = None,
+    options: Optional[TopkOptions] = None,
+    stats: Optional[TopkStats] = None,
+) -> List[JoinResult]:
+    """The k most similar **cross** pairs (one record from R, one from S).
+
+    Implementation note: the self-join enumerates pairs in decreasing
+    similarity order, so filtering its progressive stream down to
+    cross-side pairs and keeping the first k is exact.  Because the
+    underlying buffer also holds only k pairs, same-side pairs can crowd
+    out cross pairs; the stream is therefore drawn from a self-join with an
+    enlarged k and re-run with a larger budget in the (rare) case the
+    filtered stream ran dry before k cross pairs appeared.
+    """
+    sim = similarity or Jaccard()
+    sides = tagged
+    n = len(tagged)
+    total_pairs = n * (n - 1) // 2
+
+    budget = min(max(4 * k, k + 16), total_pairs) if total_pairs else 0
+    while True:
+        cross: List[JoinResult] = []
+        yielded = 0
+        for result in topk_join_iter(
+            tagged.collection, budget or 1,
+            similarity=sim, options=options, stats=stats,
+        ):
+            yielded += 1
+            if sides.side(result.x) != sides.side(result.y):
+                cross.append(result)
+                if len(cross) >= k:
+                    return cross
+        if yielded < budget or budget >= total_pairs:
+            # The stream enumerated every pair sharing a token; the
+            # remaining cross pairs all have similarity 0.
+            cross.extend(_zero_fill_cross(tagged, k - len(cross), cross))
+            return cross[:k]
+        budget = min(budget * 4, total_pairs)
+
+
+def _zero_fill_cross(
+    tagged: TaggedCollection, missing: int, found: List[JoinResult]
+) -> List[JoinResult]:
+    """Pad with similarity-0 cross pairs when R x S has fewer sharing pairs."""
+    present = {(r.x, r.y) for r in found}
+    padding: List[JoinResult] = []
+    n = len(tagged)
+    for a in range(n):
+        if missing <= 0:
+            break
+        for b in range(a + 1, n):
+            if missing <= 0:
+                break
+            if tagged.side(a) == tagged.side(b) or (a, b) in present:
+                continue
+            padding.append(JoinResult(a, b, 0.0))
+            missing -= 1
+    return padding
+
+
+def naive_topk_rs(
+    tagged: TaggedCollection,
+    k: int,
+    similarity: Optional[SimilarityFunction] = None,
+) -> List[JoinResult]:
+    """Exhaustive R-S oracle (quadratic; tests only)."""
+    sim = similarity or Jaccard()
+    records = tagged.collection.records
+    heap: List[Tuple[float, int, JoinResult]] = []
+    counter = 0
+    for a in range(len(records)):
+        for b in range(a + 1, len(records)):
+            if tagged.side(a) == tagged.side(b):
+                continue
+            value = sim.similarity(records[a].tokens, records[b].tokens)
+            counter += 1
+            item = (value, counter, JoinResult(a, b, value))
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif value > heap[0][0]:
+                heapq.heappushpop(heap, item)
+    ordered = sorted(heap, key=lambda item: (-item[0], item[2].x, item[2].y))
+    return [item[2] for item in ordered]

@@ -1,0 +1,91 @@
+"""Interactive top-k session — lazy, resumable result retrieval.
+
+The paper's interactive scenario (Sections I and VII-F): "a user may input
+an initial k = 100 but terminate the execution of algorithm when she is
+already satisfied with the first k' results" — or keep asking for more.
+
+:class:`TopkSession` wraps the progressive iterator with a result cache so
+a caller can ask for any prefix of the top-``max_k`` ranking, repeatedly
+and in any order, paying only for the deepest prefix ever requested:
+
+    session = TopkSession(collection, max_k=1000)
+    first = session.top(10)       # runs until 10 results are final
+    more = session.top(50)        # resumes, 40 more results
+    again = session.top(25)       # served from cache, no work
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..data.records import RecordCollection
+from ..result import JoinResult
+from ..similarity.functions import SimilarityFunction
+from .metrics import TopkStats
+from .topk_join import TopkOptions, topk_join_iter
+
+__all__ = ["TopkSession"]
+
+
+class TopkSession:
+    """A pausable top-k join over one collection.
+
+    *max_k* bounds how deep the ranking can ever be explored; it sizes the
+    internal top-k buffer, so pick it generously (cost is O(max_k) memory,
+    not time — the event loop only runs as far as the results actually
+    requested force it to).
+    """
+
+    def __init__(
+        self,
+        collection: RecordCollection,
+        max_k: int = 1000,
+        similarity: Optional[SimilarityFunction] = None,
+        options: Optional[TopkOptions] = None,
+    ):
+        if max_k < 1:
+            raise ValueError("max_k must be >= 1, got %d" % max_k)
+        self.collection = collection
+        self.max_k = max_k
+        self.stats = TopkStats()
+        self._iterator: Iterator[JoinResult] = topk_join_iter(
+            collection, max_k, similarity=similarity, options=options,
+            stats=self.stats,
+        )
+        self._cache: List[JoinResult] = []
+        self._exhausted = False
+
+    def top(self, k: int) -> List[JoinResult]:
+        """The best *k* pairs (k <= max_k), resuming the join if needed."""
+        if k > self.max_k:
+            raise ValueError(
+                "k=%d exceeds the session's max_k=%d" % (k, self.max_k)
+            )
+        self._advance_to(k)
+        return self._cache[:k]
+
+    def __iter__(self) -> Iterator[JoinResult]:
+        """Stream results best-first up to max_k (cache-aware)."""
+        index = 0
+        while True:
+            if index < len(self._cache):
+                yield self._cache[index]
+                index += 1
+                continue
+            if self._exhausted:
+                return
+            self._advance_to(index + 1)
+            if index >= len(self._cache):
+                return
+
+    @property
+    def results_so_far(self) -> List[JoinResult]:
+        """Everything confirmed final so far (no additional work)."""
+        return list(self._cache)
+
+    def _advance_to(self, k: int) -> None:
+        while len(self._cache) < k and not self._exhausted:
+            try:
+                self._cache.append(next(self._iterator))
+            except StopIteration:
+                self._exhausted = True

@@ -1,0 +1,363 @@
+"""``topk-join`` — the paper's core contribution (Algorithms 3–10).
+
+An event-driven, incremental prefix-filtering join that returns the *k*
+most similar record pairs without a similarity threshold:
+
+1. every record starts with a 1-token prefix and a probing upper bound of
+   ``sim.max``; prefix events live in a max-heap (:mod:`.events`);
+2. popping an event ``<x, p, s_p>`` probes the inverted list of token
+   ``x[p]``, pairing *x* with earlier-probed records; survivors of size /
+   positional / suffix filtering are verified exactly once
+   (:mod:`.verification`) and offered to the top-k buffer (:mod:`.results`);
+3. *x* is indexed at position *p* unless Lemma 4's indexing bound shows no
+   future probe of that posting can beat ``s_k`` (Algorithms 7–8), in which
+   case indexing stops for *x* forever;
+4. while scanning a posting list, Algorithm 9/10's accessing bound
+   truncates the list permanently as soon as it drops to ``s_k``;
+5. the loop stops when the best remaining event bound cannot beat ``s_k``.
+
+Results are emitted progressively: a temporary result whose similarity is
+at least the best remaining event bound is final (Section VII-F) and is
+yielded immediately.
+
+Every optimisation can be toggled through :class:`TopkOptions` — the
+paper's ablations ``record-all`` (Fig. 3a) and ``w/o-index-opt``
+(Fig. 3b–c) are ``verification_mode="all"`` and
+``index_optimization=False`` respectively.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..data.records import RecordCollection
+from ..index.inverted import BoundedInvertedIndex
+from ..joins.filters import DEFAULT_MAXDEPTH, suffix_admits
+from ..result import JoinResult
+from ..similarity.functions import Jaccard, SimilarityFunction
+from ..similarity.overlap import overlap_with_common_positions
+from .events import EventQueue
+from .metrics import EmitEvent, TopkStats
+from .results import TopKBuffer
+from .seeding import seed_temporary_results
+from .verification import VerificationRegistry
+
+__all__ = ["TopkOptions", "topk_join", "topk_join_iter"]
+
+
+@dataclass
+class TopkOptions:
+    """Feature switches for :func:`topk_join`.
+
+    The defaults correspond to the fully optimized ``topk-join`` of the
+    paper's experiments.
+    """
+
+    #: Group prefix events by ``(record size, prefix length)`` (Section V-C).
+    compress_events: bool = True
+    #: ``"optimized"`` (Algorithm 6), ``"all"`` (record-all), or ``"off"``.
+    verification_mode: str = "optimized"
+    #: Apply Lemma 4's indexing bound and the stop-indexing flag (Alg. 7–8).
+    index_optimization: bool = True
+    #: Truncate posting lists via the accessing bound (Alg. 9–10).
+    access_optimization: bool = True
+    #: Positional filtering (Section V-A).
+    positional_filter: bool = True
+    #: Suffix filtering (Section V-A).
+    suffix_filter: bool = True
+    #: Suffix-filter recursion depth (2 for word tokens, 4 for q-grams).
+    maxdepth: int = DEFAULT_MAXDEPTH
+    #: Seed ``T`` from a medium-frequency token (Section V-B).
+    seed_results: bool = True
+
+
+def topk_join(
+    collection: RecordCollection,
+    k: int,
+    similarity: Optional[SimilarityFunction] = None,
+    options: Optional[TopkOptions] = None,
+    stats: Optional[TopkStats] = None,
+) -> List[JoinResult]:
+    """The k most similar pairs of *collection*, best first.
+
+    When the collection holds fewer than *k* pairs sharing any token, the
+    remainder is padded with (similarity-0) pairs so exactly
+    ``min(k, n·(n-1)/2)`` results are returned — matching what an oracle
+    scoring all pairs would report.
+    """
+    results = list(
+        topk_join_iter(
+            collection, k, similarity=similarity, options=options, stats=stats
+        )
+    )
+    if len(results) < k:
+        results.extend(_zero_fill(collection, k - len(results), results))
+    return results
+
+
+def topk_join_iter(
+    collection: RecordCollection,
+    k: int,
+    similarity: Optional[SimilarityFunction] = None,
+    options: Optional[TopkOptions] = None,
+    stats: Optional[TopkStats] = None,
+) -> Iterator[JoinResult]:
+    """Progressive top-k join: yields each result as soon as it is *final*.
+
+    A yielded pair is guaranteed to have similarity no smaller than every
+    pair yielded later and every pair not yielded at all — the progressive
+    guarantee of Section VII-F.  Only pairs actually sharing a token are
+    yielded (no zero-similarity padding; see :func:`topk_join`).
+    """
+    sim = similarity or Jaccard()
+    opts = options or TopkOptions()
+    run_stats = stats if stats is not None else TopkStats()
+    start = time.perf_counter()
+
+    buffer = TopKBuffer(k)
+    registry = VerificationRegistry(sim, mode=opts.verification_mode)
+    index = BoundedInvertedIndex()
+    queue = EventQueue(collection, sim, compressed=opts.compress_events)
+    stop_indexing = bytearray(len(collection))
+
+    if opts.seed_results:
+        run_stats.verifications += seed_temporary_results(
+            collection, sim, buffer, registry
+        )
+
+    emitted = 0
+
+    while queue:
+        bound, prefix, rids = queue.pop()
+        run_stats.events += 1
+        if buffer.full and bound <= buffer.s_k:
+            break
+        size = len(collection[rids[0]])
+        for rid in rids:
+            _process_event(
+                collection,
+                rid,
+                prefix,
+                bound,
+                sim,
+                opts,
+                buffer,
+                registry,
+                index,
+                stop_indexing,
+                run_stats,
+            )
+        queue.push_next(size, prefix, rids, cutoff=buffer.s_k)
+
+        remaining = queue.peek_bound()
+        if remaining is None:
+            break
+        for pair, value in buffer.pop_emittable(remaining):
+            emitted += 1
+            run_stats.emits.append(
+                EmitEvent(
+                    index=emitted,
+                    similarity=value,
+                    upper_bound=remaining,
+                    s_k=buffer.s_k,
+                    elapsed=time.perf_counter() - start,
+                )
+            )
+            yield JoinResult(pair[0], pair[1], value)
+
+    final_bound = queue.peek_bound() or 0.0
+    for pair, value in buffer.drain():
+        emitted += 1
+        run_stats.emits.append(
+            EmitEvent(
+                index=emitted,
+                similarity=value,
+                upper_bound=final_bound,
+                s_k=buffer.s_k,
+                elapsed=time.perf_counter() - start,
+            )
+        )
+        yield JoinResult(pair[0], pair[1], value)
+
+    run_stats.hash_entries_peak = registry.peak_entries
+    run_stats.index_inserted = index.inserted
+    run_stats.index_deleted = index.deleted
+    run_stats.index_entries_peak = index.peak_entries
+
+
+def _process_event(
+    collection: RecordCollection,
+    rid: int,
+    prefix: int,
+    bound: float,
+    sim: SimilarityFunction,
+    opts: TopkOptions,
+    buffer: TopKBuffer,
+    registry: VerificationRegistry,
+    index: BoundedInvertedIndex,
+    stop_indexing: bytearray,
+    stats: TopkStats,
+) -> None:
+    """Probe one record at one prefix position, then maybe index it.
+
+    This is the innermost loop of the whole algorithm (one iteration per
+    posting scanned), so invariants are hoisted aggressively: ``s_k``,
+    fullness, the accessing-bound cutoff and the per-partner-size required
+    overlap α are all locals refreshed only when the buffer changes.  Note
+    the size filter *is* ``α <= min(|x|, |y|)`` (a partner too small/large
+    to reach ``s_k`` has an impossible α), so one cached α serves the size,
+    positional and suffix filters and the verification abort threshold.
+    """
+    x = collection[rid]
+    size_x = len(x)
+    tokens_x = x.tokens
+    token = tokens_x[prefix - 1]
+
+    postings = index.postings(token)
+    if postings:
+        records = collection.records
+        seen_pairs = registry.fast_set()
+        positional_on = opts.positional_filter
+        suffix_on = opts.suffix_filter
+        maxdepth = opts.maxdepth
+        access_on = opts.access_optimization
+        rest_x = size_x - prefix
+
+        full = buffer.full
+        s_k = buffer.s_k
+        alpha_by_size: dict = {}
+        prefix_by_size: dict = {}
+        access_cutoff = (
+            sim.accessing_cutoff(bound, s_k) if (access_on and full) else -1.0
+        )
+
+        candidates = duplicates = size_pruned = 0
+        positional_pruned = suffix_pruned = verifications = 0
+
+        for position in range(len(postings)):
+            rid_y, j, bound_y = postings[position]
+
+            # Accessing-bound truncation (Algorithms 9-10): entries from
+            # here on were inserted with even smaller bounds, and future
+            # probes come with even smaller ``bound`` — the tail is dead
+            # forever.  The cutoff is a conservative closed-form inverse;
+            # the exact bound confirms before anything is deleted.
+            if bound_y <= access_cutoff:
+                if sim.accessing_upper_bound(bound, bound_y) <= s_k:
+                    index.truncate(token, position)
+                    break
+
+            candidates += 1
+            pair = (rid, rid_y) if rid < rid_y else (rid_y, rid)
+            if seen_pairs is not None and pair in seen_pairs:
+                duplicates += 1
+                continue
+
+            size_y = len(records[rid_y].tokens)
+            alpha = alpha_by_size.get(size_y)
+            if alpha is None:
+                alpha = (
+                    sim.required_overlap(s_k, size_x, size_y) if full else 0
+                )
+                alpha_by_size[size_y] = alpha
+
+            # Size filter: no partner of this size can reach s_k.
+            if alpha > (size_x if size_x < size_y else size_y):
+                size_pruned += 1
+                continue
+            if positional_on:
+                rest_y = size_y - j
+                best = 1 + (rest_x if rest_x < rest_y else rest_y)
+                if best < alpha:
+                    positional_pruned += 1
+                    continue
+            tokens_y = records[rid_y].tokens
+            if suffix_on and alpha > 1:
+                if not suffix_admits(
+                    sim, s_k, tokens_x, tokens_y, prefix, j,
+                    seen_overlap=1, maxdepth=maxdepth, alpha=alpha,
+                ):
+                    suffix_pruned += 1
+                    continue
+
+            # Let the merge cover the maximum prefixes before aborting so
+            # the verification registry can decide re-generability exactly
+            # (see OverlapProbe.scanned_x / scanned_y).
+            scan_x = prefix_by_size.get(size_x)
+            if scan_x is None:
+                scan_x = sim.probing_prefix_length(size_x, s_k)
+                prefix_by_size[size_x] = scan_x
+            scan_y = prefix_by_size.get(size_y)
+            if scan_y is None:
+                scan_y = sim.probing_prefix_length(size_y, s_k)
+                prefix_by_size[size_y] = scan_y
+
+            probe = overlap_with_common_positions(
+                tokens_x, tokens_y, alpha, scan_x, scan_y
+            )
+            verifications += 1
+            if not probe.aborted:
+                value = sim.from_overlap(probe.overlap, size_x, size_y)
+                if buffer.add(pair, value):
+                    new_s_k = buffer.s_k
+                    if new_s_k != s_k or not full:
+                        s_k = new_s_k
+                        full = buffer.full
+                        alpha_by_size = {}
+                        prefix_by_size = {}
+                        access_cutoff = (
+                            sim.accessing_cutoff(bound, s_k)
+                            if (access_on and full)
+                            else -1.0
+                        )
+            registry.record(pair, probe, size_x, size_y, s_k)
+
+        stats.candidates += candidates
+        stats.duplicates_skipped += duplicates
+        stats.size_pruned += size_pruned
+        stats.positional_pruned += positional_pruned
+        stats.suffix_pruned += suffix_pruned
+        stats.verifications += verifications
+
+    # Index insertion (Algorithms 7-8).
+    if opts.index_optimization:
+        if not stop_indexing[rid]:
+            indexing_bound = sim.indexing_upper_bound(size_x, prefix)
+            if indexing_bound > buffer.s_k:
+                index.add(token, rid, prefix, bound)
+            else:
+                stop_indexing[rid] = 1
+                stats.index_insertions_skipped += 1
+        else:
+            stats.index_insertions_skipped += 1
+    else:
+        index.add(token, rid, prefix, bound)
+
+
+def _zero_fill(
+    collection: RecordCollection,
+    missing: int,
+    found: List[JoinResult],
+) -> List[JoinResult]:
+    """Pad with similarity-0 pairs (records sharing no token).
+
+    Only reachable when fewer than *k* pairs share any token, in which case
+    the event loop has provably enumerated every pair with positive
+    similarity — the remaining pairs all score exactly 0.
+    """
+    present: Set[Tuple[int, int]] = {(r.x, r.y) for r in found}
+    padding: List[JoinResult] = []
+    n = len(collection)
+    for a in range(n):
+        if missing <= 0:
+            break
+        for b in range(a + 1, n):
+            if missing <= 0:
+                break
+            if (a, b) in present:
+                continue
+            padding.append(JoinResult(a, b, 0.0))
+            missing -= 1
+    return padding

@@ -1,0 +1,62 @@
+"""Data substrate: records, tokenizers, orderings, synthetic datasets, I/O."""
+
+from .io import load_collection, load_token_file, save_token_file
+from .ordering import (
+    document_frequencies,
+    frequency_ordering,
+    idf_ordering,
+    lexicographic_ordering,
+)
+from .records import Record, RecordCollection
+from .stats import (
+    DatasetStatistics,
+    dataset_statistics,
+    log_binned,
+    record_size_histogram,
+    token_frequency_histogram,
+)
+from .synthetic import (
+    ZipfSampler,
+    dblp_like,
+    qgram_strings,
+    random_integer_collection,
+    synthetic_collection,
+    trec3_like,
+    trec_like,
+    uniref3_like,
+)
+from .tokenize import (
+    clean_text,
+    number_occurrences,
+    tokenize_qgrams,
+    tokenize_words,
+)
+
+__all__ = [
+    "Record",
+    "RecordCollection",
+    "ZipfSampler",
+    "DatasetStatistics",
+    "clean_text",
+    "number_occurrences",
+    "tokenize_qgrams",
+    "tokenize_words",
+    "document_frequencies",
+    "idf_ordering",
+    "frequency_ordering",
+    "lexicographic_ordering",
+    "dataset_statistics",
+    "token_frequency_histogram",
+    "record_size_histogram",
+    "log_binned",
+    "load_collection",
+    "load_token_file",
+    "save_token_file",
+    "synthetic_collection",
+    "dblp_like",
+    "trec_like",
+    "trec3_like",
+    "uniref3_like",
+    "qgram_strings",
+    "random_integer_collection",
+]

@@ -1,0 +1,42 @@
+"""Plain-text dataset I/O.
+
+Datasets are stored one record per line, tokens separated by single spaces —
+the de-facto interchange format of the similarity-join literature (and of
+the published ppjoin tooling).  Loading runs the full canonicalization
+pipeline of :class:`repro.data.records.RecordCollection`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from .records import RecordCollection
+
+__all__ = ["load_token_file", "save_token_file", "load_collection"]
+
+
+def load_token_file(path: str) -> List[List[str]]:
+    """Read a one-record-per-line token file; blank lines are skipped."""
+    token_lists: List[List[str]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            tokens = line.split()
+            if tokens:
+                token_lists.append(tokens)
+    return token_lists
+
+
+def save_token_file(path: str, token_lists: List[List[str]]) -> None:
+    """Write token lists one record per line (atomically via a temp file)."""
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        for tokens in token_lists:
+            handle.write(" ".join(tokens))
+            handle.write("\n")
+    os.replace(tmp_path, path)
+
+
+def load_collection(path: str, dedupe: bool = True) -> RecordCollection:
+    """Load a token file and canonicalize it into a collection."""
+    return RecordCollection.from_token_lists(load_token_file(path), dedupe=dedupe)

@@ -1,0 +1,218 @@
+"""Record model and canonicalized record collections.
+
+A :class:`Record` is a set of tokens drawn from a finite universe, stored as
+a tuple of integer token *ranks* sorted ascending by the collection's global
+ordering (Section II-A of the paper).  A :class:`RecordCollection` owns the
+token dictionary, canonicalizes every record, and keeps records sorted by
+increasing size — the invariant both the All-Pairs index-reduction (Lemma 2)
+and the event-compression optimisation (Section V-C) rely on.
+
+``Record.rid`` identifiers refer to positions in the size-sorted collection,
+so ``coll[r.rid] is r``.  The original input position is preserved in
+``Record.source_id`` for callers that need to map results back.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .ordering import document_frequencies, idf_ordering
+from .tokenize import tokenize_qgrams, tokenize_words
+
+__all__ = ["Record", "RecordCollection"]
+
+
+class Record:
+    """A canonicalized record: a sorted tuple of integer token ranks."""
+
+    __slots__ = ("rid", "tokens", "source_id")
+
+    def __init__(self, rid: int, tokens: Tuple[int, ...], source_id: int):
+        self.rid = rid
+        self.tokens = tokens
+        self.source_id = source_id
+
+    @property
+    def size(self) -> int:
+        """Number of tokens, written ``|x|`` in the paper."""
+        return len(self.tokens)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.tokens)
+
+    def __getitem__(self, index: int) -> int:
+        return self.tokens[index]
+
+    def __repr__(self) -> str:
+        return "Record(rid=%d, size=%d)" % (self.rid, len(self.tokens))
+
+
+class RecordCollection:
+    """A size-sorted collection of canonicalized records.
+
+    Build one with :meth:`from_token_lists`, :meth:`from_texts` or
+    :meth:`from_qgrams`; all three run the full canonicalization pipeline:
+
+    1. compute document frequencies over the raw token lists;
+    2. build the global idf ordering (rarest token = rank 0) — or any
+       ordering supplied via *ordering_factory*;
+    3. map each record to a sorted tuple of ranks;
+    4. sort records by increasing size (ties: lexicographic on tokens, so
+       collections are deterministic).
+
+    Exact duplicate records are dropped when *dedupe* is true, matching the
+    dataset cleaning in Section VII-A.
+    """
+
+    def __init__(
+        self,
+        records: List[Record],
+        universe_size: int,
+        token_of_rank: Optional[List[str]] = None,
+    ):
+        self.records = records
+        self.universe_size = universe_size
+        self.token_of_rank = token_of_rank
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_token_lists(
+        cls,
+        token_lists: Sequence[Sequence[str]],
+        dedupe: bool = True,
+        ordering_factory: Callable[[Dict[str, int]], Dict[str, int]] = idf_ordering,
+    ) -> "RecordCollection":
+        """Canonicalize raw string-token lists into a collection."""
+        df = document_frequencies(token_lists)
+        rank_of = ordering_factory(df)
+        token_of_rank = [""] * len(rank_of)
+        for token, rank in rank_of.items():
+            token_of_rank[rank] = token
+
+        canonical: List[Tuple[Tuple[int, ...], int]] = []
+        seen = set()
+        for source_id, tokens in enumerate(token_lists):
+            ranked = tuple(sorted({rank_of[t] for t in tokens}))
+            if not ranked:
+                continue
+            if dedupe:
+                if ranked in seen:
+                    continue
+                seen.add(ranked)
+            canonical.append((ranked, source_id))
+
+        canonical.sort(key=lambda item: (len(item[0]), item[0]))
+        records = [
+            Record(rid, tokens, source_id)
+            for rid, (tokens, source_id) in enumerate(canonical)
+        ]
+        return cls(records, universe_size=len(rank_of), token_of_rank=token_of_rank)
+
+    @classmethod
+    def from_texts(
+        cls, texts: Sequence[str], dedupe: bool = True
+    ) -> "RecordCollection":
+        """Tokenize *texts* into word tokens and canonicalize."""
+        return cls.from_token_lists(
+            [tokenize_words(t) for t in texts], dedupe=dedupe
+        )
+
+    @classmethod
+    def from_qgrams(
+        cls, texts: Sequence[str], q: int = 3, dedupe: bool = True
+    ) -> "RecordCollection":
+        """Tokenize *texts* into character q-grams and canonicalize."""
+        return cls.from_token_lists(
+            [tokenize_qgrams(t, q=q) for t in texts], dedupe=dedupe
+        )
+
+    @classmethod
+    def from_integer_sets(
+        cls, integer_sets: Sequence[Iterable[int]], dedupe: bool = True
+    ) -> "RecordCollection":
+        """Build a collection from pre-ranked integer token sets.
+
+        Intended for tests and synthetic workloads where tokens are already
+        integers; the integers are used as ranks verbatim (no reordering),
+        so callers control the global ordering directly.
+        """
+        canonical: List[Tuple[Tuple[int, ...], int]] = []
+        seen = set()
+        universe = 0
+        for source_id, tokens in enumerate(integer_sets):
+            ranked = tuple(sorted(set(tokens)))
+            if not ranked:
+                continue
+            universe = max(universe, ranked[-1] + 1)
+            if dedupe:
+                if ranked in seen:
+                    continue
+                seen.add(ranked)
+            canonical.append((ranked, source_id))
+        canonical.sort(key=lambda item: (len(item[0]), item[0]))
+        records = [
+            Record(rid, tokens, source_id)
+            for rid, (tokens, source_id) in enumerate(canonical)
+        ]
+        return cls(records, universe_size=universe)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def __getitem__(self, rid: int) -> Record:
+        return self.records[rid]
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def average_size(self) -> float:
+        """Mean record size (the ``avg. size`` column of Table I)."""
+        if not self.records:
+            return 0.0
+        return sum(len(r) for r in self.records) / len(self.records)
+
+    def token_frequencies(self) -> Dict[int, int]:
+        """Document frequency of every token rank present in the collection."""
+        df: Dict[int, int] = {}
+        for record in self.records:
+            for token in record.tokens:
+                df[token] = df.get(token, 0) + 1
+        return df
+
+    def size_blocks(self) -> List[Tuple[int, int, int]]:
+        """Contiguous runs of equal-size records as ``(size, start, stop)``.
+
+        Supports the prefix-event compression of Section V-C, which groups
+        events by ``(record size, prefix length)``.
+        """
+        blocks: List[Tuple[int, int, int]] = []
+        start = 0
+        while start < len(self.records):
+            size = len(self.records[start])
+            stop = start
+            while stop < len(self.records) and len(self.records[stop]) == size:
+                stop += 1
+            blocks.append((size, start, stop))
+            start = stop
+        return blocks
+
+    def strings(self, record: Record, separator: str = " ") -> str:
+        """Render *record* back to its token strings (debugging aid)."""
+        if self.token_of_rank is None:
+            return separator.join(str(t) for t in record.tokens)
+        return separator.join(self.token_of_rank[t] for t in record.tokens)

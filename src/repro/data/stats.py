@@ -1,0 +1,88 @@
+"""Dataset statistics: Table I numbers and Figure 2 distributions.
+
+The paper reports per-dataset statistics (Table I: record count, average
+size, universe size) and plots token-frequency / record-size distributions
+on log-log axes (Figure 2).  This module computes both; the benchmark
+harness renders them as text tables.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .records import RecordCollection
+
+__all__ = [
+    "DatasetStatistics",
+    "dataset_statistics",
+    "token_frequency_histogram",
+    "record_size_histogram",
+    "log_binned",
+]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """One row of Table I."""
+
+    name: str
+    record_count: int
+    average_size: float
+    universe_size: int
+
+    def row(self) -> Tuple[str, int, float, int]:
+        return (self.name, self.record_count, self.average_size, self.universe_size)
+
+
+def dataset_statistics(name: str, collection: RecordCollection) -> DatasetStatistics:
+    """Compute the Table I statistics for *collection*."""
+    return DatasetStatistics(
+        name=name,
+        record_count=len(collection),
+        average_size=collection.average_size,
+        universe_size=collection.universe_size,
+    )
+
+
+def token_frequency_histogram(collection: RecordCollection) -> Dict[int, int]:
+    """Map ``document frequency -> number of tokens with that frequency``.
+
+    This is the distribution of Figure 2(a); real corpora follow a Zipf law
+    (a straight line on log-log axes) and the synthetic generators are
+    expected to as well.
+    """
+    df = collection.token_frequencies()
+    histogram: Counter = Counter(df.values())
+    return dict(histogram)
+
+
+def record_size_histogram(collection: RecordCollection) -> Dict[int, int]:
+    """Map ``record size -> number of records of that size`` (Figure 2(b,c))."""
+    histogram: Counter = Counter(len(record) for record in collection)
+    return dict(histogram)
+
+
+def log_binned(
+    histogram: Dict[int, int], bins_per_decade: int = 4
+) -> List[Tuple[float, int]]:
+    """Aggregate an integer histogram into logarithmic bins.
+
+    Returns ``(bin_geometric_center, total_count)`` pairs sorted by center —
+    the series one would plot on the log-log axes of Figure 2.
+    """
+    if not histogram:
+        return []
+    binned: Counter = Counter()
+    for value, count in histogram.items():
+        if value < 1:
+            continue
+        bin_index = int(math.floor(math.log10(value) * bins_per_decade))
+        binned[bin_index] += count
+    series = []
+    for bin_index in sorted(binned):
+        center = 10.0 ** ((bin_index + 0.5) / bins_per_decade)
+        series.append((center, binned[bin_index]))
+    return series

@@ -1,0 +1,279 @@
+"""Synthetic dataset generators standing in for the paper's corpora.
+
+The paper evaluates on DBLP, TREC (MEDLINE), TREC-3GRAM and UNIREF-3GRAM.
+Those corpora are not redistributable here, so we synthesise collections
+that reproduce the statistics the algorithms are sensitive to (see Fig. 2
+of the paper and DESIGN.md §4):
+
+* a Zipf token-frequency distribution;
+* the per-dataset record-size distribution (short ~14-token DBLP records vs
+  long TREC references vs very long q-gram sets);
+* a population of *near-duplicate* pairs, produced by mutating previously
+  emitted records, so that top-k joins have non-trivial answers and
+  ``pptopk`` needs several threshold rounds.
+
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Optional, Sequence
+
+from .records import RecordCollection
+
+__all__ = [
+    "ZipfSampler",
+    "synthetic_collection",
+    "dblp_like",
+    "trec_like",
+    "qgram_strings",
+    "trec3_like",
+    "uniref3_like",
+]
+
+
+class ZipfSampler:
+    """Draw tokens ``0..universe-1`` with probability proportional to
+    ``1 / (rank + 1) ** exponent``.
+
+    Uses inverse-CDF sampling over a precomputed cumulative table, so a draw
+    is one ``random()`` plus one binary search.
+    """
+
+    def __init__(self, universe: int, exponent: float = 1.0):
+        if universe < 1:
+            raise ValueError("universe must be >= 1, got %d" % universe)
+        self.universe = universe
+        self.exponent = exponent
+        weights = [1.0 / (rank + 1) ** exponent for rank in range(universe)]
+        self._cumulative: List[float] = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one token id."""
+        point = rng.random() * self._total
+        return bisect.bisect_left(self._cumulative, point)
+
+    def sample_distinct(self, rng: random.Random, count: int) -> List[int]:
+        """Draw *count* distinct token ids (rejection sampling).
+
+        Raises ``ValueError`` if *count* exceeds the universe size.
+        """
+        if count > self.universe:
+            raise ValueError(
+                "cannot draw %d distinct tokens from a universe of %d"
+                % (count, self.universe)
+            )
+        drawn: set = set()
+        # Rejection sampling stalls when count approaches the universe, so
+        # fall back to an explicit shuffle in that regime.
+        if count > self.universe // 2:
+            population = list(range(self.universe))
+            rng.shuffle(population)
+            return population[:count]
+        while len(drawn) < count:
+            drawn.add(self.sample(rng))
+        return list(drawn)
+
+
+def _mutate(
+    tokens: Sequence[int],
+    rng: random.Random,
+    sampler: ZipfSampler,
+    max_edits: int,
+) -> List[int]:
+    """Produce a near-duplicate of *tokens* with 1..max_edits random edits.
+
+    Each edit either substitutes or deletes an existing token, or inserts a
+    fresh one — the same token-level noise model used in set-similarity
+    benchmarking literature.
+    """
+    out = list(tokens)
+    edits = rng.randint(1, max(1, max_edits))
+    for __ in range(edits):
+        op = rng.random()
+        if op < 0.4 and out:
+            out[rng.randrange(len(out))] = sampler.sample(rng)
+        elif op < 0.7 and len(out) > 2:
+            del out[rng.randrange(len(out))]
+        else:
+            out.insert(rng.randrange(len(out) + 1), sampler.sample(rng))
+    return out
+
+
+def synthetic_collection(
+    n: int,
+    avg_size: int,
+    universe: int,
+    seed: int = 42,
+    zipf_exponent: float = 1.0,
+    duplicate_fraction: float = 0.3,
+    max_edit_fraction: float = 0.25,
+    size_spread: float = 0.4,
+) -> RecordCollection:
+    """Generate a canonicalized collection of Zipf-token records.
+
+    *duplicate_fraction* of the records are near-duplicates of earlier
+    records (mutated copies with up to ``max_edit_fraction * size`` edits);
+    the rest are fresh draws with sizes spread around *avg_size* by a
+    lognormal-ish factor controlled by *size_spread*.
+    """
+    rng = random.Random(seed)
+    sampler = ZipfSampler(universe, exponent=zipf_exponent)
+    token_lists: List[List[int]] = []
+    for __ in range(n):
+        if token_lists and rng.random() < duplicate_fraction:
+            base = token_lists[rng.randrange(len(token_lists))]
+            max_edits = max(1, int(len(base) * max_edit_fraction))
+            token_lists.append(_mutate(base, rng, sampler, max_edits))
+        else:
+            size = max(2, int(rng.lognormvariate(0.0, size_spread) * avg_size))
+            token_lists.append(sampler.sample_distinct(rng, min(size, universe)))
+    return RecordCollection.from_integer_sets(token_lists, dedupe=True)
+
+
+def dblp_like(n: int = 8000, seed: int = 42) -> RecordCollection:
+    """A DBLP-like workload: short records (avg ~14 tokens), Zipf tokens.
+
+    Mirrors the paper's DBLP snapshot (author names + publication titles),
+    scaled down for pure-Python execution (see DESIGN.md §4).
+    """
+    return synthetic_collection(
+        n=n,
+        avg_size=14,
+        universe=max(1000, n * 2),
+        seed=seed,
+        zipf_exponent=1.0,
+        duplicate_fraction=0.25,
+        max_edit_fraction=0.3,
+        size_spread=0.35,
+    )
+
+
+def trec_like(n: int = 3000, seed: int = 7) -> RecordCollection:
+    """A TREC-like workload: long records (avg ~120 tokens).
+
+    Mirrors the MEDLINE references of the TREC-9 Filtering Track (author +
+    title + abstract concatenations).
+    """
+    return synthetic_collection(
+        n=n,
+        avg_size=120,
+        universe=max(20000, n * 115),
+        seed=seed,
+        zipf_exponent=0.7,
+        duplicate_fraction=0.55,
+        max_edit_fraction=0.08,
+        size_spread=0.3,
+    )
+
+
+def qgram_strings(
+    n: int,
+    avg_length: int,
+    alphabet: str,
+    seed: int,
+    duplicate_fraction: float = 0.35,
+    mutation_rate: float = 0.05,
+    letter_weights: Optional[Sequence[float]] = None,
+) -> List[str]:
+    """Generate raw strings over a small alphabet with near-duplicates.
+
+    Character-level mutation of earlier strings produces the long shared
+    q-gram runs that make 3-gram datasets (TREC-3GRAM, UNIREF-3GRAM) behave
+    so differently from word-token datasets: a small alphabet means very
+    long inverted lists and heavy prefix collisions.
+
+    *letter_weights* skews the per-character distribution (natural letter /
+    amino-acid frequencies); skewed letters are what give real q-gram
+    corpora their Zipf-like token-frequency distribution (Fig. 2 of the
+    paper notes all datasets follow approximately a Zipf law).
+    """
+    rng = random.Random(seed)
+    letters = list(alphabet)
+    weights = list(letter_weights) if letter_weights is not None else None
+    if weights is not None and len(weights) != len(letters):
+        raise ValueError("letter_weights must match the alphabet length")
+
+    def draw(count: int) -> List[str]:
+        if weights is None:
+            return [rng.choice(letters) for __ in range(count)]
+        return rng.choices(letters, weights=weights, k=count)
+
+    strings: List[str] = []
+    for __ in range(n):
+        if strings and rng.random() < duplicate_fraction:
+            base = list(strings[rng.randrange(len(strings))])
+            for position in range(len(base)):
+                if rng.random() < mutation_rate:
+                    base[position] = draw(1)[0]
+            strings.append("".join(base))
+        else:
+            length = max(10, int(rng.lognormvariate(0.0, 0.3) * avg_length))
+            strings.append("".join(draw(length)))
+    return strings
+
+
+#: Approximate English letter frequencies (plus space/underscore mass),
+#: used to give text 3-grams a realistic, Zipf-like distribution.
+_ENGLISH_WEIGHTS = [
+    8.2, 1.5, 2.8, 4.3, 12.7, 2.2, 2.0, 6.1, 7.0, 0.15, 0.77, 4.0, 2.4,
+    6.7, 7.5, 1.9, 0.095, 6.0, 6.3, 9.1, 2.8, 0.98, 2.4, 0.15, 2.0, 0.074,
+    18.0, 3.0,
+]
+
+#: Natural amino-acid abundances (UniProt order ACDEFGHIKLMNPQRSTVWY).
+_AMINO_WEIGHTS = [
+    8.3, 1.4, 5.5, 6.7, 3.9, 7.1, 2.3, 5.9, 5.8, 9.7, 2.4, 4.1, 4.7,
+    3.9, 5.5, 6.6, 5.3, 6.9, 1.1, 2.9,
+]
+
+
+def trec3_like(n: int = 1500, seed: int = 11, q: int = 3) -> RecordCollection:
+    """A TREC-3GRAM-like workload: text-alphabet strings tokenized to 3-grams."""
+    alphabet = "abcdefghijklmnopqrstuvwxyz_ "
+    strings = qgram_strings(
+        n, avg_length=220, alphabet=alphabet, seed=seed,
+        letter_weights=_ENGLISH_WEIGHTS,
+    )
+    return RecordCollection.from_qgrams(strings, q=q)
+
+
+def uniref3_like(n: int = 1200, seed: int = 13, q: int = 3) -> RecordCollection:
+    """A UNIREF-3GRAM-like workload: 20-letter protein alphabet, 3-grams.
+
+    Stands in for the UniRef90 protein sequences of the paper (amino acids
+    coded as uppercase letters, records = sets of 3-grams).
+    """
+    alphabet = "ACDEFGHIKLMNPQRSTVWY"
+    strings = qgram_strings(
+        n, avg_length=200, alphabet=alphabet, seed=seed, mutation_rate=0.04,
+        letter_weights=_AMINO_WEIGHTS,
+    )
+    return RecordCollection.from_qgrams(strings, q=q)
+
+
+def random_integer_collection(
+    n: int,
+    universe: int,
+    max_size: int,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> RecordCollection:
+    """Small uniform-random collections for tests.
+
+    Sizes are uniform in ``[1, max_size]``; tokens uniform over the
+    universe.  Low skew makes collisions (and therefore edge cases such as
+    tied similarities) frequent, which is exactly what correctness tests
+    want.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    token_lists = []
+    for __ in range(n):
+        size = rng.randint(1, max_size)
+        token_lists.append([rng.randrange(universe) for __ in range(size)])
+    return RecordCollection.from_integer_sets(token_lists, dedupe=False)

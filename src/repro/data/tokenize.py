@@ -1,0 +1,86 @@
+"""Tokenizers turning raw text into token lists.
+
+The paper (Section II-A and VII-A) tokenizes records in two ways:
+
+* *word tokens*: split on white space, after lowercasing;
+* *q-grams*: overlapping character q-grams, after lowercasing and after
+  converting white space and punctuation to underscores.
+
+Records are **sets**, so a repeated token must be distinguishable from its
+first occurrence.  Following Chaudhuri et al. [5] (and Example in Section
+II-A of the paper, where the second ``the`` becomes a fresh token ``D``),
+each subsequent occurrence of the same token is turned into a new token by
+appending an occurrence ordinal.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Iterable, List
+
+__all__ = [
+    "clean_text",
+    "number_occurrences",
+    "tokenize_words",
+    "tokenize_qgrams",
+]
+
+#: Characters replaced by underscores before q-gram extraction.
+_PUNCTUATION = set(string.punctuation) | set(string.whitespace)
+
+_QGRAM_CLEAN = str.maketrans(
+    {c: "_" for c in string.punctuation + string.whitespace}
+)
+
+
+def clean_text(text: str) -> str:
+    """Lowercase *text* and replace white space / punctuation by underscores.
+
+    This mirrors the dataset cleaning step in Section VII-A of the paper
+    ("White spaces and punctuations are converted into underscores before
+    extracting q-grams").
+    """
+    return text.lower().translate(_QGRAM_CLEAN)
+
+
+def number_occurrences(tokens: Iterable[str]) -> List[str]:
+    """Make duplicate tokens unique by appending an occurrence ordinal.
+
+    The first occurrence of a token is kept verbatim; the i-th repetition
+    becomes ``token#i``.  This turns a token *bag* into a token *set* while
+    preserving multiplicity information, exactly as required to treat
+    records as sets (Section II-A).
+
+    >>> number_occurrences(["the", "lord", "of", "the", "rings"])
+    ['the', 'lord', 'of', 'the#1', 'rings']
+    """
+    seen: dict = {}
+    out: List[str] = []
+    for token in tokens:
+        count = seen.get(token, 0)
+        out.append(token if count == 0 else "%s#%d" % (token, count))
+        seen[token] = count + 1
+    return out
+
+
+def tokenize_words(text: str) -> List[str]:
+    """Tokenize *text* into occurrence-numbered lowercase word tokens."""
+    return number_occurrences(text.lower().split())
+
+
+def tokenize_qgrams(text: str, q: int = 3) -> List[str]:
+    """Tokenize *text* into occurrence-numbered character q-grams.
+
+    The text is cleaned with :func:`clean_text` first.  Strings shorter than
+    *q* yield a single (padded) gram so no record comes out empty.
+
+    >>> tokenize_qgrams("ab-cd", q=3)
+    ['ab_', 'b_c', '_cd']
+    """
+    if q < 1:
+        raise ValueError("q must be >= 1, got %d" % q)
+    cleaned = clean_text(text)
+    if len(cleaned) < q:
+        cleaned = cleaned.ljust(q, "_")
+    grams = [cleaned[i : i + q] for i in range(len(cleaned) - q + 1)]
+    return number_occurrences(grams)

@@ -1,0 +1,12 @@
+"""Near-duplicate clustering and deduplication (the paper's applications)."""
+
+from .clusters import Clustering, cluster_by_threshold, cluster_topk, deduplicate
+from .union_find import UnionFind
+
+__all__ = [
+    "UnionFind",
+    "Clustering",
+    "cluster_by_threshold",
+    "cluster_topk",
+    "deduplicate",
+]

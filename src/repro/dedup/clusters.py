@@ -1,0 +1,115 @@
+"""Near-duplicate clustering and deduplication on top of the joins.
+
+The paper's motivating applications — near-duplicate Web page detection,
+data integration, record linkage (Section I) — don't stop at pairs: the
+joined pairs are stitched into *clusters* of mutually similar records and
+each cluster is collapsed to one representative.  This module provides
+that application layer over both join flavours:
+
+* :func:`cluster_by_threshold` — connected components of the
+  ``sim >= t`` graph (single-linkage clustering via a threshold join);
+* :func:`cluster_topk` — components of the top-k pair graph, for the
+  threshold-free workflow the paper advocates;
+* :func:`deduplicate` — pick one representative per cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.topk_join import TopkOptions, topk_join
+from ..data.records import RecordCollection
+from ..joins import threshold_join
+from ..result import JoinResult
+from ..similarity.functions import SimilarityFunction
+from .union_find import UnionFind
+
+__all__ = ["Clustering", "cluster_by_threshold", "cluster_topk", "deduplicate"]
+
+
+@dataclass(frozen=True)
+class Clustering:
+    """A partition of a collection's record ids."""
+
+    #: Clusters sorted by decreasing size; singletons included.
+    clusters: List[List[int]]
+    #: Map record id -> index into :attr:`clusters`.
+    cluster_of: Dict[int, int]
+
+    @property
+    def duplicate_groups(self) -> List[List[int]]:
+        """Only the clusters with two or more members."""
+        return [cluster for cluster in self.clusters if len(cluster) > 1]
+
+    def representatives(self, collection: RecordCollection) -> List[int]:
+        """One record id per cluster — the largest record wins ties.
+
+        "Largest" keeps the most informative variant of a duplicate group,
+        the common convention in near-duplicate suppression.
+        """
+        chosen = []
+        for cluster in self.clusters:
+            chosen.append(
+                max(cluster, key=lambda rid: (len(collection[rid]), -rid))
+            )
+        return sorted(chosen)
+
+
+def _components(
+    record_count: int, pairs: Sequence[JoinResult]
+) -> Clustering:
+    union = UnionFind(record_count)
+    for pair in pairs:
+        union.union(pair.x, pair.y)
+    clusters = [list(group) for group in union.groups()]
+    cluster_of = {
+        rid: index for index, cluster in enumerate(clusters) for rid in cluster
+    }
+    return Clustering(clusters=clusters, cluster_of=cluster_of)
+
+
+def cluster_by_threshold(
+    collection: RecordCollection,
+    threshold: float,
+    similarity: Optional[SimilarityFunction] = None,
+    algorithm: str = "ppjoin+",
+) -> Clustering:
+    """Single-linkage clusters of the ``sim >= threshold`` graph."""
+    pairs = threshold_join(
+        collection, threshold, similarity=similarity, algorithm=algorithm
+    )
+    return _components(len(collection), pairs)
+
+
+def cluster_topk(
+    collection: RecordCollection,
+    k: int,
+    similarity: Optional[SimilarityFunction] = None,
+    options: Optional[TopkOptions] = None,
+    min_similarity: float = 0.0,
+) -> Clustering:
+    """Clusters induced by the top-k most similar pairs.
+
+    *min_similarity* drops the tail of the top-k list before clustering —
+    useful because the k-th pair may already be junk on clean data.
+    """
+    pairs = [
+        pair
+        for pair in topk_join(collection, k, similarity=similarity,
+                              options=options)
+        if pair.similarity > min_similarity
+    ]
+    return _components(len(collection), pairs)
+
+
+def deduplicate(
+    collection: RecordCollection,
+    threshold: float,
+    similarity: Optional[SimilarityFunction] = None,
+) -> List[int]:
+    """Record ids surviving near-duplicate suppression at *threshold*."""
+    clustering = cluster_by_threshold(
+        collection, threshold, similarity=similarity
+    )
+    return clustering.representatives(collection)

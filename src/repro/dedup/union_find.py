@@ -1,0 +1,60 @@
+"""Disjoint-set (union-find) with path compression and union by size."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Disjoint sets over the integers ``0 .. n-1``."""
+
+    def __init__(self, size: int):
+        if size < 0:
+            raise ValueError("size must be >= 0, got %d" % size)
+        self._parent = list(range(size))
+        self._size = [1] * size
+        self.components = size
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, element: int) -> int:
+        """Representative of *element*'s set (with path compression)."""
+        parent = self._parent
+        root = element
+        while parent[root] != root:
+            root = parent[root]
+        while parent[element] != root:
+            parent[element], element = root, parent[element]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of *a* and *b*; returns False if already joined."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        self.components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def set_size(self, element: int) -> int:
+        """Size of the set containing *element*."""
+        return self._size[self.find(element)]
+
+    def groups(self) -> Iterator[List[int]]:
+        """All sets with two or more members, then singletons, each sorted."""
+        by_root: Dict[int, List[int]] = {}
+        for element in range(len(self._parent)):
+            by_root.setdefault(self.find(element), []).append(element)
+        ordered = sorted(
+            by_root.values(), key=lambda group: (-len(group), group[0])
+        )
+        return iter(ordered)

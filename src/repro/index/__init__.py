@@ -1,0 +1,5 @@
+"""Inverted index structures shared by the join algorithms."""
+
+from .inverted import BoundedInvertedIndex, InvertedIndex, Posting
+
+__all__ = ["InvertedIndex", "BoundedInvertedIndex", "Posting"]

@@ -1,0 +1,114 @@
+"""Inverted indexes over record prefixes.
+
+Two flavours are provided:
+
+* :class:`InvertedIndex` — the classic token -> postings map used by the
+  threshold joins (All-Pairs, ppjoin).  A posting is ``(rid, position)``
+  with 1-based *position* of the token inside the record, which positional
+  filtering needs.
+
+* :class:`BoundedInvertedIndex` — the top-k join variant.  Each posting also
+  carries the *probing similarity upper bound* the source record had when
+  the posting was inserted.  Because the event loop processes prefix events
+  in decreasing bound order, every list is sorted by non-increasing bound,
+  which is what lets Algorithm 9/10 truncate a list permanently once the
+  accessing bound drops below ``s_k``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["InvertedIndex", "BoundedInvertedIndex", "Posting"]
+
+#: ``(rid, position)`` — position is 1-based within the canonicalized record.
+Posting = Tuple[int, int]
+
+
+class InvertedIndex:
+    """Token -> list of ``(rid, position)`` postings."""
+
+    __slots__ = ("_lists",)
+
+    def __init__(self) -> None:
+        self._lists: Dict[int, List[Posting]] = {}
+
+    def add(self, token: int, rid: int, position: int) -> None:
+        """Append a posting for *token* (insertion order is preserved)."""
+        self._lists.setdefault(token, []).append((rid, position))
+
+    def postings(self, token: int) -> List[Posting]:
+        """The posting list for *token* (empty when unseen)."""
+        return self._lists.get(token, [])
+
+    def __contains__(self, token: int) -> bool:
+        return token in self._lists
+
+    def __len__(self) -> int:
+        """Number of distinct indexed tokens."""
+        return len(self._lists)
+
+    @property
+    def entry_count(self) -> int:
+        """Total number of postings across all lists."""
+        return sum(len(postings) for postings in self._lists.values())
+
+    def tokens(self) -> Iterator[int]:
+        return iter(self._lists)
+
+
+class BoundedInvertedIndex:
+    """Top-k join index whose postings carry insertion-time probing bounds.
+
+    Tracks the bookkeeping the paper's Figure 3(b) reports: total insertions,
+    deletions (from list truncation) and the peak number of live entries.
+    """
+
+    __slots__ = ("_lists", "inserted", "deleted", "peak_entries", "_live")
+
+    def __init__(self) -> None:
+        self._lists: Dict[int, List[Tuple[int, int, float]]] = {}
+        self.inserted = 0
+        self.deleted = 0
+        self.peak_entries = 0
+        self._live = 0
+
+    def add(self, token: int, rid: int, position: int, bound: float) -> None:
+        """Append ``(rid, position, probing-bound-at-insertion)``."""
+        self._lists.setdefault(token, []).append((rid, position, bound))
+        self.inserted += 1
+        self._live += 1
+        if self._live > self.peak_entries:
+            self.peak_entries = self._live
+
+    def postings(self, token: int) -> List[Tuple[int, int, float]]:
+        """Live postings for *token*, sorted by non-increasing bound."""
+        return self._lists.get(token, [])
+
+    def truncate(self, token: int, start: int) -> int:
+        """Drop postings ``[start:]`` of *token*'s list; return the count.
+
+        Used by the accessing-bound optimisation (Algorithm 9): once an
+        entry fails the accessing bound against the current event, all later
+        entries (which have even smaller insertion bounds) fail it too — for
+        this and every future probing — so the tail is deleted outright.
+        """
+        postings = self._lists.get(token)
+        if postings is None or start >= len(postings):
+            return 0
+        removed = len(postings) - start
+        del postings[start:]
+        self.deleted += removed
+        self._live -= removed
+        return removed
+
+    @property
+    def entry_count(self) -> int:
+        """Current number of live postings."""
+        return self._live
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def __contains__(self, token: int) -> bool:
+        return token in self._lists

@@ -1,0 +1,63 @@
+"""Threshold similarity joins: naive, All-Pairs, ppjoin, ppjoin+."""
+
+from typing import List, Optional
+
+from ..core.metrics import JoinStats
+from ..data.records import RecordCollection
+from ..result import JoinResult
+from ..similarity.functions import SimilarityFunction
+from .all_pairs import all_pairs_join
+from .filters import (
+    DEFAULT_MAXDEPTH,
+    positional_admits,
+    positional_max_overlap,
+    suffix_admits,
+    suffix_hamming_lower_bound,
+)
+from .naive import naive_threshold_join
+from .ppjoin import ppjoin, ppjoin_plus
+from .rs import threshold_join_rs, threshold_join_tagged
+
+__all__ = [
+    "threshold_join",
+    "threshold_join_rs",
+    "threshold_join_tagged",
+    "naive_threshold_join",
+    "all_pairs_join",
+    "ppjoin",
+    "ppjoin_plus",
+    "positional_admits",
+    "positional_max_overlap",
+    "suffix_admits",
+    "suffix_hamming_lower_bound",
+    "DEFAULT_MAXDEPTH",
+]
+
+_ALGORITHMS = {
+    "naive": naive_threshold_join,
+    "all-pairs": all_pairs_join,
+    "ppjoin": ppjoin,
+    "ppjoin+": ppjoin_plus,
+}
+
+
+def threshold_join(
+    collection: RecordCollection,
+    threshold: float,
+    similarity: Optional[SimilarityFunction] = None,
+    algorithm: str = "ppjoin+",
+    stats: Optional[JoinStats] = None,
+) -> List[JoinResult]:
+    """Dispatch a threshold self-join to one of the implemented algorithms.
+
+    *algorithm* is one of ``naive``, ``all-pairs``, ``ppjoin``, ``ppjoin+``.
+    All return identical result sets; they differ only in speed.
+    """
+    try:
+        join = _ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            "unknown algorithm %r (choose from %s)"
+            % (algorithm, ", ".join(sorted(_ALGORITHMS)))
+        ) from None
+    return join(collection, threshold, similarity=similarity, stats=stats)

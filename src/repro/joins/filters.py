@@ -1,0 +1,183 @@
+"""Candidate filters: size, positional, and suffix filtering.
+
+These are the pruning techniques of ppjoin / ppjoin+ (Xiao et al., WWW'08)
+that Section V-A of the top-k paper integrates, with the growing k-th
+temporary similarity ``s_k`` standing in for the fixed threshold.
+
+* **Size filtering** — records whose sizes cannot reach the threshold are
+  skipped (Line 12 of Algorithm 3).  Implemented exactly via
+  ``SimilarityFunction.size_compatible``.
+
+* **Positional filtering** — knowing the 1-based positions ``(i, j)`` of a
+  common token, the overlap can be at most ``1 + min(|x|-i, |y|-j)``
+  (everything strictly after the common token, plus the token itself);
+  compare against the required overlap α.
+
+* **Suffix filtering** — the threshold is converted into a Hamming-distance
+  budget on the record suffixes, and a recursive divide-and-conquer probe
+  computes a lower bound of the true Hamming distance; pairs whose bound
+  exceeds the budget are pruned before verification.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Optional, Sequence
+
+from ..similarity.functions import SimilarityFunction
+
+__all__ = [
+    "positional_max_overlap",
+    "positional_admits",
+    "suffix_hamming_lower_bound",
+    "suffix_admits",
+    "DEFAULT_MAXDEPTH",
+]
+
+#: Recursion depth limit for suffix filtering.  The paper uses MAXDEPTH = 2
+#: for word-token datasets (DBLP, TREC) and 4 for 3-gram datasets.
+DEFAULT_MAXDEPTH = 2
+
+
+def positional_max_overlap(
+    size_x: int, size_y: int, pos_x: int, pos_y: int
+) -> int:
+    """Upper bound on ``|x ∩ y|`` given a common token at 1-based positions.
+
+    Valid whenever no common token precedes ``(pos_x, pos_y)`` — true for
+    the first common token found through prefix probing.
+    """
+    return 1 + min(size_x - pos_x, size_y - pos_y)
+
+
+def positional_admits(
+    similarity: SimilarityFunction,
+    threshold: float,
+    size_x: int,
+    size_y: int,
+    pos_x: int,
+    pos_y: int,
+    seen_overlap: int = 1,
+) -> bool:
+    """Positional filter: can the pair still reach *threshold*?
+
+    *seen_overlap* counts common tokens already confirmed up to (and
+    including) the current one; ppjoin's candidate accumulation passes its
+    running count, the top-k join passes 1.
+    """
+    alpha = similarity.required_overlap(threshold, size_x, size_y)
+    best = seen_overlap - 1 + positional_max_overlap(size_x, size_y, pos_x, pos_y)
+    return best >= alpha
+
+
+def _windowed_hamming_bound(
+    x: Sequence[int],
+    x_lo: int,
+    x_hi: int,
+    y: Sequence[int],
+    y_lo: int,
+    y_hi: int,
+    budget: int,
+    depth: int,
+    maxdepth: int,
+) -> int:
+    """Recursive core of the suffix filter over index windows.
+
+    Operating on ``x[x_lo:x_hi]`` / ``y[y_lo:y_hi]`` without materialising
+    the slices — this runs once per surviving candidate, so allocations
+    matter.  See :func:`suffix_hamming_lower_bound` for the algorithm.
+    """
+    size_x = x_hi - x_lo
+    size_y = y_hi - y_lo
+    if size_x > size_y:
+        x, x_lo, x_hi, y, y_lo, y_hi = y, y_lo, y_hi, x, x_lo, x_hi
+        size_x, size_y = size_y, size_x
+    if size_x == 0:
+        return size_y
+    if depth > maxdepth:
+        return size_y - size_x
+
+    mid = y_lo + (size_y - 1) // 2
+    pivot = y[mid]
+
+    position = bisect_left(x, pivot, x_lo, x_hi)
+    if position < x_hi and x[position] == pivot:
+        x_split, unmatched = position + 1, 0
+    else:
+        x_split, unmatched = position, 1
+
+    left_skew = abs((position - x_lo) - (mid - y_lo))
+    right_skew = abs((x_hi - x_split) - (y_hi - mid - 1))
+    bound = left_skew + right_skew + unmatched
+    if bound > budget:
+        return bound
+
+    left_bound = _windowed_hamming_bound(
+        x, x_lo, position, y, y_lo, mid,
+        budget - right_skew - unmatched, depth + 1, maxdepth,
+    )
+    bound = left_bound + right_skew + unmatched
+    if bound > budget:
+        return bound
+    right_bound = _windowed_hamming_bound(
+        x, x_split, x_hi, y, mid + 1, y_hi,
+        budget - left_bound - unmatched, depth + 1, maxdepth,
+    )
+    return left_bound + right_bound + unmatched
+
+
+def suffix_hamming_lower_bound(
+    x: Sequence[int],
+    y: Sequence[int],
+    budget: int,
+    depth: int = 1,
+    maxdepth: int = DEFAULT_MAXDEPTH,
+) -> int:
+    """Lower bound on the Hamming distance ``|x| + |y| - 2 |x ∩ y|``.
+
+    Recursive partition probe from the ppjoin+ suffix filter: pick the
+    middle token ``w`` of the longer array, split both arrays around ``w``
+    (binary search in the shorter one — both are sorted), and recurse on the
+    halves.  Tokens on opposite sides of the split can never match, so the
+    per-half size differences already lower-bound the distance.  Recursion
+    stops at *maxdepth* or as soon as the bound exceeds *budget* (the caller
+    only needs to know whether the budget is blown).
+    """
+    return _windowed_hamming_bound(
+        x, 0, len(x), y, 0, len(y), budget, depth, maxdepth
+    )
+
+
+def suffix_admits(
+    similarity: SimilarityFunction,
+    threshold: float,
+    x: Sequence[int],
+    y: Sequence[int],
+    pos_x: int,
+    pos_y: int,
+    seen_overlap: int = 1,
+    maxdepth: int = DEFAULT_MAXDEPTH,
+    alpha: Optional[int] = None,
+) -> bool:
+    """Suffix filter: admit the pair only if its suffixes can still reach α.
+
+    ``(pos_x, pos_y)`` are the 1-based positions of the common token that
+    generated the candidate; the suffixes strictly after it must contribute
+    at least ``α - seen_overlap`` more common tokens, which translates into
+    the Hamming budget ``|xs| + |ys| - 2 (α - seen_overlap)``.  Callers that
+    already computed the required overlap pass it as *alpha*.
+    """
+    if alpha is None:
+        alpha = similarity.required_overlap(threshold, len(x), len(y))
+    needed = alpha - seen_overlap
+    if needed <= 0:
+        return True
+    suffix_x = len(x) - pos_x
+    suffix_y = len(y) - pos_y
+    budget = suffix_x + suffix_y - 2 * needed
+    if budget < 0:
+        return False
+    bound = _windowed_hamming_bound(
+        x, pos_x, len(x), y, pos_y, len(y), budget, 1, maxdepth
+    )
+    return bound <= budget

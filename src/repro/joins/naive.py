@@ -1,0 +1,44 @@
+"""Naive O(n²) joins — the correctness oracle and the paper's strawman.
+
+``naive_threshold_join`` scores every pair; it is what Section I calls the
+"naïve algorithm" and what every optimized algorithm must agree with.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.metrics import JoinStats
+from ..data.records import RecordCollection
+from ..result import JoinResult, sort_results
+from ..similarity.functions import Jaccard, SimilarityFunction
+
+__all__ = ["naive_threshold_join"]
+
+
+def naive_threshold_join(
+    collection: RecordCollection,
+    threshold: float,
+    similarity: Optional[SimilarityFunction] = None,
+    stats: Optional[JoinStats] = None,
+) -> List[JoinResult]:
+    """Self-join by scoring all pairs; returns pairs with ``sim >= threshold``.
+
+    Quadratic — intended for tests and small baselines only.
+    """
+    sim = similarity or Jaccard()
+    results: List[JoinResult] = []
+    records = collection.records
+    for a in range(len(records)):
+        x = records[a]
+        for b in range(a + 1, len(records)):
+            y = records[b]
+            if stats is not None:
+                stats.candidates += 1
+                stats.verifications += 1
+            value = sim.similarity(x.tokens, y.tokens)
+            if value >= threshold:
+                results.append(JoinResult.make(x.rid, y.rid, value))
+    if stats is not None:
+        stats.results = len(results)
+    return sort_results(results)

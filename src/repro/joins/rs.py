@@ -1,0 +1,121 @@
+"""Threshold similarity joins between two collections (R ⋈ S).
+
+The R-S counterpart of the self-joins in this package: return all cross
+pairs ``(r, s)`` with ``sim(r, s) >= t``.  The standard prefix-filtering
+recipe applies with one asymmetry: index one side (S) under its *probing*
+prefix — the index-reduction of Lemma 2 needs a size order between probe
+and posting, which cross joins do not guarantee — then stream the other
+side (R), probing with its probing prefix, size/positional filtering, and
+verifying survivors.
+
+Both sides must share a token universe; build them together with
+:class:`repro.core.rs_join.TaggedCollection` or pass two collections whose
+integer ranks are already aligned (e.g. both built from
+``from_integer_sets`` over the same vocabulary).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.metrics import JoinStats
+from ..core.rs_join import TaggedCollection
+from ..data.records import RecordCollection
+from ..index.inverted import InvertedIndex
+from ..result import JoinResult
+from ..similarity.functions import Jaccard, SimilarityFunction
+from .filters import positional_max_overlap
+
+__all__ = ["threshold_join_rs", "threshold_join_tagged"]
+
+
+def threshold_join_rs(
+    left: RecordCollection,
+    right: RecordCollection,
+    threshold: float,
+    similarity: Optional[SimilarityFunction] = None,
+    stats: Optional[JoinStats] = None,
+) -> List[JoinResult]:
+    """All cross pairs with ``sim >= threshold``.
+
+    Results carry ``(x, y) = (rid in left, rid in right)`` — note that
+    unlike self-join results the two ids index *different* collections.
+    Token ranks must be aligned across the two collections.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    sim = similarity or Jaccard()
+
+    # Index the smaller side in full probing prefixes.
+    index_side, probe_side, swapped = right, left, False
+    if len(left) < len(right):
+        index_side, probe_side, swapped = left, right, True
+
+    index = InvertedIndex()
+    for record in index_side:
+        prefix = sim.probing_prefix_length(len(record), threshold)
+        for position in range(prefix):
+            index.add(record.tokens[position], record.rid, position + 1)
+        if stats is not None:
+            stats.index_entries += prefix
+
+    results: List[JoinResult] = []
+    for record in probe_side:
+        size_x = len(record)
+        tokens_x = record.tokens
+        prefix = sim.probing_prefix_length(size_x, threshold)
+        seen: Dict[int, bool] = {}
+        for i in range(1, prefix + 1):
+            for rid, j in index.postings(tokens_x[i - 1]):
+                if rid in seen:
+                    continue
+                other = index_side[rid]
+                size_y = len(other)
+                alpha = sim.required_overlap(threshold, size_x, size_y)
+                if alpha > (size_x if size_x < size_y else size_y):
+                    seen[rid] = False
+                    if stats is not None:
+                        stats.size_pruned += 1
+                    continue
+                if positional_max_overlap(size_x, size_y, i, j) < alpha:
+                    seen[rid] = False
+                    if stats is not None:
+                        stats.positional_pruned += 1
+                    continue
+                seen[rid] = True
+                if stats is not None:
+                    stats.candidates += 1
+                    stats.verifications += 1
+                value = sim.verify(tokens_x, other.tokens, threshold)
+                if value >= threshold:
+                    if swapped:
+                        results.append(JoinResult(rid, record.rid, value))
+                    else:
+                        results.append(JoinResult(record.rid, rid, value))
+
+    results.sort(key=lambda pair: (-pair.similarity, pair.x, pair.y))
+    if stats is not None:
+        stats.results = len(results)
+    return results
+
+
+def threshold_join_tagged(
+    tagged: TaggedCollection,
+    threshold: float,
+    similarity: Optional[SimilarityFunction] = None,
+    stats: Optional[JoinStats] = None,
+) -> List[JoinResult]:
+    """Threshold join over a :class:`TaggedCollection` (cross pairs only).
+
+    Runs a self-join over the union and filters to cross-side pairs —
+    convenient when the sides were canonicalized jointly; results use the
+    tagged collection's record ids.
+    """
+    from .ppjoin import ppjoin_plus
+
+    pairs = ppjoin_plus(
+        tagged.collection, threshold, similarity=similarity, stats=stats
+    )
+    return [
+        pair for pair in pairs if tagged.side(pair.x) != tagged.side(pair.y)
+    ]

@@ -1,0 +1,45 @@
+"""The result type shared by every join algorithm."""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Sequence, Tuple
+
+__all__ = ["JoinResult", "ordered_pair", "sort_results", "similarity_multiset"]
+
+
+class JoinResult(NamedTuple):
+    """One joined pair: record ids (``x < y``) and their similarity."""
+
+    x: int
+    y: int
+    similarity: float
+
+    @classmethod
+    def make(cls, rid_a: int, rid_b: int, similarity: float) -> "JoinResult":
+        """Build a result with the record ids in canonical order."""
+        if rid_a > rid_b:
+            rid_a, rid_b = rid_b, rid_a
+        return cls(rid_a, rid_b, similarity)
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        """Descending-similarity sort key with deterministic tie-breaking."""
+        return (-self.similarity, self.x, self.y)
+
+
+def ordered_pair(rid_a: int, rid_b: int) -> Tuple[int, int]:
+    """Canonical (smaller, larger) pair key."""
+    return (rid_a, rid_b) if rid_a < rid_b else (rid_b, rid_a)
+
+
+def sort_results(results: Sequence[JoinResult]) -> List[JoinResult]:
+    """Sort results by decreasing similarity, ties by record ids."""
+    return sorted(results, key=JoinResult.sort_key)
+
+
+def similarity_multiset(results: Sequence[JoinResult]) -> List[float]:
+    """The descending multiset of similarity values.
+
+    Top-k answers are unique only up to permutations of tied pairs, so
+    correctness tests compare this multiset rather than the pair lists.
+    """
+    return sorted((r.similarity for r in results), reverse=True)

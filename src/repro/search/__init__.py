@@ -1,0 +1,5 @@
+"""Similarity search (single query vs collection) — see Section VIII."""
+
+from .indexed import SearchHit, SearchIndex
+
+__all__ = ["SearchIndex", "SearchHit"]

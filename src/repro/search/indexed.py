@@ -1,0 +1,248 @@
+"""Similarity search: queries against an indexed collection.
+
+The paper's related work (Section VIII, [24]-[27]) treats *similarity
+search* — find the records similar to one query — as the sibling problem
+of the join.  This module provides both forms over one reusable index:
+
+* :meth:`SearchIndex.threshold_search` — all records with
+  ``sim(q, y) >= t`` (prefix filtering on the query side, with the
+  candidate's own prefix length checked per posting);
+* :meth:`SearchIndex.topk_search` — the k most similar records, found by
+  walking the query's tokens in canonical (rarest-first) order and
+  stopping when the probing upper bound of the *unseen* suffix cannot
+  beat the k-th result so far — the single-record analogue of the
+  event-driven top-k join.
+
+Unlike the join index, the search index stores **every** token of every
+record (queries arrive with arbitrary thresholds, so no prefix can be
+fixed at build time).  Query tokens outside the collection's universe
+still count toward the query's size — they simply have no postings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..data.records import RecordCollection
+from ..similarity.functions import Jaccard, SimilarityFunction
+from ..similarity.overlap import overlap_with_early_abort
+
+__all__ = ["SearchIndex", "SearchHit"]
+
+
+class SearchHit(NamedTuple):
+    """One search answer: a record id and its similarity to the query."""
+
+    rid: int
+    similarity: float
+
+
+class SearchIndex:
+    """A full inverted index over one collection, reusable across queries."""
+
+    def __init__(
+        self,
+        collection: RecordCollection,
+        similarity: Optional[SimilarityFunction] = None,
+    ):
+        self.collection = collection
+        self.similarity = similarity or Jaccard()
+        self._postings: Dict[int, List[Tuple[int, int]]] = {}
+        for record in collection:
+            for position, token in enumerate(record.tokens, start=1):
+                self._postings.setdefault(token, []).append(
+                    (record.rid, position)
+                )
+        self._rank_of: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Query preparation
+    # ------------------------------------------------------------------
+
+    def prepare_query(self, tokens: Sequence[str]) -> Tuple[Tuple[int, ...], int]:
+        """Map string tokens onto the collection's ranks.
+
+        Returns ``(sorted known ranks, total query size)``; tokens the
+        collection has never seen have no postings but still count toward
+        the query's size (they can only lower every similarity).
+        Requires the collection to have been built from string tokens.
+        """
+        if self.collection.token_of_rank is None:
+            raise ValueError(
+                "collection was built from integer sets; pass ranks directly"
+            )
+        if self._rank_of is None:
+            self._rank_of = {
+                token: rank
+                for rank, token in enumerate(self.collection.token_of_rank)
+            }
+        distinct = set(tokens)
+        known = sorted(
+            self._rank_of[token] for token in distinct if token in self._rank_of
+        )
+        return tuple(known), len(distinct)
+
+    # ------------------------------------------------------------------
+    # Threshold search
+    # ------------------------------------------------------------------
+
+    def threshold_search(
+        self,
+        query: Sequence[int],
+        threshold: float,
+        query_size: Optional[int] = None,
+    ) -> List[SearchHit]:
+        """All records with ``sim(query, record) >= threshold``.
+
+        *query* holds sorted token ranks; *query_size* overrides ``len``
+        when the query contained unknown tokens (see
+        :meth:`prepare_query`).  The query record itself, if present in
+        the collection, is reported like any other record.
+        """
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        sim = self.similarity
+        size_q = query_size if query_size is not None else len(query)
+        prefix_length = sim.probing_prefix_length(size_q, threshold)
+        # Unknown tokens carry no postings; only known ranks are probed,
+        # but the prefix is measured on the full query.
+        candidates: set = set()
+        records = self.collection.records
+        prefix_by_size: Dict[int, int] = {}
+        alpha_by_size: Dict[int, int] = {}
+        for query_position, token in enumerate(
+            query[:prefix_length], start=1
+        ):
+            for rid, position in self._postings.get(token, ()):
+                if rid in candidates:
+                    continue
+                size_y = len(records[rid].tokens)
+                # The shared token must sit inside the record's own
+                # threshold prefix (Lemma 1 needs both prefixes).
+                record_prefix = prefix_by_size.get(size_y)
+                if record_prefix is None:
+                    record_prefix = sim.probing_prefix_length(
+                        size_y, threshold
+                    )
+                    prefix_by_size[size_y] = record_prefix
+                if position > record_prefix:
+                    continue
+                alpha = alpha_by_size.get(size_y)
+                if alpha is None:
+                    alpha = sim.required_overlap(threshold, size_q, size_y)
+                    alpha_by_size[size_y] = alpha
+                # Size filter: no record of this size can qualify.
+                if alpha > (size_q if size_q < size_y else size_y):
+                    continue
+                # Positional filter on the first common token.
+                best = 1 + min(size_q - query_position, size_y - position)
+                if best < alpha:
+                    continue
+                candidates.add(rid)
+
+        results: List[SearchHit] = []
+        for rid in candidates:
+            record = self.collection[rid]
+            size_y = len(record.tokens)
+            value = sim.from_overlap(
+                overlap_with_early_abort(
+                    query, record.tokens, alpha_by_size[size_y]
+                ),
+                size_q,
+                size_y,
+            )
+            if value >= threshold:
+                results.append(SearchHit(rid, value))
+        results.sort(key=lambda hit: (-hit.similarity, hit.rid))
+        return results
+
+    # ------------------------------------------------------------------
+    # Top-k search
+    # ------------------------------------------------------------------
+
+    def topk_search(
+        self,
+        query: Sequence[int],
+        k: int,
+        query_size: Optional[int] = None,
+    ) -> List[SearchHit]:
+        """The k most similar records to *query*, best first.
+
+        Walks the query's tokens rarest-first; after consuming position
+        ``p``, any record sharing no earlier query token has similarity at
+        most the probing bound of ``(size_q, p+1)``, so the walk stops as
+        soon as that bound cannot beat the k-th candidate found so far.
+        When fewer than *k* records share any token with the query, the
+        answer is padded with (similarity-0) records, matching what an
+        exhaustive scorer would return.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1, got %d" % k)
+        sim = self.similarity
+        size_q = query_size if query_size is not None else len(query)
+        heap: List[Tuple[float, int]] = []  # (similarity, rid) min-heap
+        seen: set = set()
+        records = self.collection.records
+        # Required overlap per partner size, invalidated when s_k moves.
+        alpha_by_size: Dict[int, int] = {}
+        s_k = 0.0
+        full = False
+
+        for query_position, token in enumerate(query, start=1):
+            if full and sim.probing_upper_bound(
+                size_q, query_position
+            ) <= s_k:
+                break
+            for rid, position in self._postings.get(token, ()):
+                if rid in seen:
+                    continue
+                size_y = len(records[rid].tokens)
+                if full:
+                    alpha = alpha_by_size.get(size_y)
+                    if alpha is None:
+                        alpha = sim.required_overlap(s_k, size_q, size_y)
+                        alpha_by_size[size_y] = alpha
+                    # Size filter.
+                    if alpha > (size_q if size_q < size_y else size_y):
+                        continue
+                    # Positional filter on the first common token: records
+                    # are first met at their earliest shared token, and
+                    # failing here proves sim < s_k forever (s_k only
+                    # grows), so later re-tests cannot lose answers.
+                    best = 1 + min(
+                        size_q - query_position, size_y - position
+                    )
+                    if best < alpha:
+                        continue
+                seen.add(rid)
+                tokens_y = records[rid].tokens
+                required = alpha if full else 0
+                value = sim.from_overlap(
+                    overlap_with_early_abort(query, tokens_y, required),
+                    size_q,
+                    size_y,
+                )
+                if not full:
+                    heapq.heappush(heap, (value, rid))
+                    if len(heap) >= k:
+                        full = True
+                        s_k = heap[0][0]
+                        alpha_by_size = {}
+                elif value > s_k:
+                    heapq.heappushpop(heap, (value, rid))
+                    s_k = heap[0][0]
+                    alpha_by_size = {}
+
+        # If the walk ended with fewer than k hits, every unseen record
+        # shares no token with the query (the walk only stops early when
+        # the heap is full), so the remainder scores exactly 0.
+        if len(heap) < k:
+            for record in records:
+                if len(heap) >= k:
+                    break
+                if record.rid not in seen:
+                    heapq.heappush(heap, (0.0, record.rid))
+
+        ordered = sorted(heap, key=lambda item: (-item[0], item[1]))
+        return [SearchHit(rid, value) for value, rid in ordered]

@@ -1,0 +1,29 @@
+"""Similarity functions (Jaccard, cosine, dice, overlap) and bound math."""
+
+from .functions import (
+    Cosine,
+    Dice,
+    Jaccard,
+    Overlap,
+    SimilarityFunction,
+    similarity_by_name,
+)
+from .overlap import (
+    OverlapProbe,
+    overlap_size,
+    overlap_with_common_positions,
+    overlap_with_early_abort,
+)
+
+__all__ = [
+    "SimilarityFunction",
+    "Jaccard",
+    "Cosine",
+    "Dice",
+    "Overlap",
+    "similarity_by_name",
+    "overlap_size",
+    "overlap_with_early_abort",
+    "overlap_with_common_positions",
+    "OverlapProbe",
+]

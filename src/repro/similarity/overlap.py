@@ -1,0 +1,167 @@
+"""Merge-based overlap computations on sorted token arrays.
+
+All records are sorted integer tuples (the canonical form produced by
+:mod:`repro.data.records`), so set intersection is a linear merge.  Three
+variants are provided:
+
+* :func:`overlap_size` — plain ``|x ∩ y|``;
+* :func:`overlap_with_early_abort` — stops as soon as the required overlap
+  can no longer be reached (the standard verification optimisation in
+  prefix-filtering joins);
+* :func:`overlap_with_common_positions` — also reports the 1-based
+  positions of the first two common tokens in each record, which the
+  verification-deduplication optimisation of the paper (Algorithm 6) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+__all__ = [
+    "overlap_size",
+    "overlap_with_early_abort",
+    "OverlapProbe",
+    "overlap_with_common_positions",
+]
+
+
+def overlap_size(x: Sequence[int], y: Sequence[int]) -> int:
+    """Return ``|x ∩ y|`` for two sorted token arrays."""
+    i = j = count = 0
+    len_x, len_y = len(x), len(y)
+    while i < len_x and j < len_y:
+        xi, yj = x[i], y[j]
+        if xi == yj:
+            count += 1
+            i += 1
+            j += 1
+        elif xi < yj:
+            i += 1
+        else:
+            j += 1
+    return count
+
+
+def overlap_with_early_abort(
+    x: Sequence[int], y: Sequence[int], required: int
+) -> int:
+    """Return ``|x ∩ y|``, or a value < *required* once it is unreachable.
+
+    When the remaining tokens of either array cannot lift the overlap to
+    *required*, the merge stops and the partial count is returned.  The
+    returned value is exact whenever it is >= *required*; otherwise it is
+    only a witness of failure.
+    """
+    i = j = count = 0
+    len_x, len_y = len(x), len(y)
+    # Feasibility deadlines: the merge can still reach *required* iff
+    # i <= len_x - required + count and j <= len_y - required + count.
+    # Both advance with every match, so the per-step test is two integer
+    # comparisons instead of a min().
+    max_i = len_x - required
+    max_j = len_y - required
+    while i < len_x and j < len_y:
+        if i > max_i or j > max_j:
+            return count
+        xi, yj = x[i], y[j]
+        if xi == yj:
+            count += 1
+            max_i += 1
+            max_j += 1
+            i += 1
+            j += 1
+        elif xi < yj:
+            i += 1
+        else:
+            j += 1
+    return count
+
+
+@dataclass(frozen=True)
+class OverlapProbe:
+    """Result of :func:`overlap_with_common_positions`.
+
+    ``first_x``/``first_y`` and ``second_x``/``second_y`` are 1-based
+    positions of the first and second common tokens (``None`` when fewer
+    than one / two were found).  ``aborted`` is true when the merge stopped
+    early, in which case ``overlap`` undercounts.  ``scanned_x`` /
+    ``scanned_y`` report how far the merge provably looked: every common
+    token with position ``px <= scanned_x`` in *x* — and likewise every
+    one with ``py <= scanned_y`` in *y* — has been found (a sorted merge
+    cannot pass a common token in either array without detecting it).
+    The verification-dedup optimisation uses this to decide whether a
+    second common token exists inside the maximum prefixes.
+    """
+
+    overlap: int
+    first_x: Optional[int]
+    first_y: Optional[int]
+    second_x: Optional[int]
+    second_y: Optional[int]
+    aborted: bool
+    scanned_x: int = 0
+    scanned_y: int = 0
+
+
+def overlap_with_common_positions(
+    x: Sequence[int],
+    y: Sequence[int],
+    required: int = 0,
+    scan_x: int = 0,
+    scan_y: int = 0,
+) -> OverlapProbe:
+    """Merge *x* and *y* recording the first two common-token positions.
+
+    *required* enables the same early abort as
+    :func:`overlap_with_early_abort` (pass 0 to disable).  ``scan_x`` /
+    ``scan_y`` delay the abort until one cursor has passed its 1-based
+    position (or a second common token has been found) — the
+    verification-dedup optimisation (Algorithm 6) needs certainty about
+    the second common token within the maximum prefixes, and the merge is
+    the cheapest place to obtain it.
+    """
+    i = j = count = 0
+    len_x, len_y = len(x), len(y)
+    first: Optional[Tuple[int, int]] = None
+    second: Optional[Tuple[int, int]] = None
+    aborted = False
+    # Same incremental feasibility deadlines as overlap_with_early_abort;
+    # with required == 0 they are never crossed.
+    if required:
+        max_i = len_x - required
+        max_j = len_y - required
+    else:
+        max_i = len_x
+        max_j = len_y
+    while i < len_x and j < len_y:
+        if (i > max_i or j > max_j) and (
+            second is not None or i >= scan_x or j >= scan_y
+        ):
+            aborted = True
+            break
+        xi, yj = x[i], y[j]
+        if xi == yj:
+            count += 1
+            max_i += 1
+            max_j += 1
+            if first is None:
+                first = (i + 1, j + 1)
+            elif second is None:
+                second = (i + 1, j + 1)
+            i += 1
+            j += 1
+        elif xi < yj:
+            i += 1
+        else:
+            j += 1
+    return OverlapProbe(
+        overlap=count,
+        first_x=first[0] if first else None,
+        first_y=first[1] if first else None,
+        second_x=second[0] if second else None,
+        second_y=second[1] if second else None,
+        aborted=aborted,
+        scanned_x=i,
+        scanned_y=j,
+    )

@@ -1,0 +1,12 @@
+"""String similarity substrate: edit distance and q-gram joins."""
+
+from .edit_distance import edit_distance, edit_distance_within
+from .qgram_join import StringPair, edit_distance_join, edit_distance_topk
+
+__all__ = [
+    "edit_distance",
+    "edit_distance_within",
+    "StringPair",
+    "edit_distance_join",
+    "edit_distance_topk",
+]

@@ -1,0 +1,77 @@
+"""Edit distance (Levenshtein) primitives.
+
+The paper's related work uses edit distance as the canonical string
+similarity (Ukkonen [28]); q-gram joins ([25], Gravano et al.) reduce an
+edit-distance predicate to a set-overlap predicate, which is where this
+package's machinery takes over.  Two evaluators are provided: the plain
+O(n·m) dynamic program and Ukkonen's banded variant that answers the
+decision problem ``ed(a, b) <= d`` in O(d·min(n, m)).
+"""
+
+from __future__ import annotations
+
+__all__ = ["edit_distance", "edit_distance_within"]
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Levenshtein distance (unit-cost insert / delete / substitute)."""
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,        # delete from a
+                    current[j - 1] + 1,     # insert into a
+                    previous[j - 1] + cost,  # substitute / match
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def edit_distance_within(a: str, b: str, d: int) -> int:
+    """``ed(a, b)`` if it is <= *d*, else any value > *d* (Ukkonen's band).
+
+    Only cells within *d* of the diagonal can lie on a path of cost <= d,
+    so each DP row is a band of width ``2d + 1``.
+    """
+    if d < 0:
+        return max(len(a), len(b)) if a != b else 0
+    if abs(len(a) - len(b)) > d:
+        return d + 1
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+
+    infinity = d + 1
+    previous = {j: j for j in range(min(d, len(b)) + 1)}
+    for i in range(1, len(a) + 1):
+        low = max(1, i - d)
+        high = min(len(b), i + d)
+        current = {}
+        if i - d <= 0:
+            current[low - 1] = i
+        char_a = a[i - 1]
+        row_best = infinity
+        for j in range(low, high + 1):
+            cost = 0 if char_a == b[j - 1] else 1
+            value = min(
+                previous.get(j, infinity) + 1,
+                current.get(j - 1, infinity) + 1,
+                previous.get(j - 1, infinity) + cost,
+            )
+            value = min(value, infinity)
+            current[j] = value
+            if value < row_best:
+                row_best = value
+        if row_best >= infinity:
+            return infinity
+        previous = current
+    return min(previous.get(len(b), infinity), infinity)

@@ -1,0 +1,23 @@
+"""Weighted set-similarity joins — the idf-weighted extension."""
+
+from .functions import WeightedCosine, WeightedJaccard, WeightedSimilarity
+from .join import (
+    naive_weighted_threshold_join,
+    naive_weighted_topk,
+    weighted_threshold_join,
+    weighted_topk_join,
+)
+from .records import WeightedCollection, WeightedRecord, idf_weights
+
+__all__ = [
+    "WeightedRecord",
+    "WeightedCollection",
+    "idf_weights",
+    "WeightedSimilarity",
+    "WeightedJaccard",
+    "WeightedCosine",
+    "weighted_threshold_join",
+    "weighted_topk_join",
+    "naive_weighted_threshold_join",
+    "naive_weighted_topk",
+]

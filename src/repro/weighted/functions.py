@@ -1,0 +1,217 @@
+"""Weighted similarity functions and their bounds.
+
+The unweighted bound algebra (see ``repro.similarity.functions``) never
+used the integrality of overlaps — only monotonicity — so it transfers to
+weights verbatim with "number of shared tokens" replaced by "total weight
+of shared tokens":
+
+* weighted Jaccard ``J_w = W(x∩y) / W(x∪y)``
+  — required shared weight for ``J_w >= t``: ``t/(1+t)·(W_x + W_y)``;
+* weighted cosine over weight vectors
+  ``C_w = Σ_{t∈x∩y} w_t² / (‖x‖·‖y‖)`` with ``‖x‖² = Σ_{t∈x} w_t²``
+  — required shared squared weight: ``t·‖x‖·‖y‖``.
+
+Probing bounds follow the same best-partner constructions: a record whose
+processed prefix carries weight ``P`` out of total ``W`` can still reach
+at most ``(W-P)/W`` (Jaccard; the partner being exactly the unprocessed
+suffix), and an equal-weight partner sharing only the suffix gives the
+indexing bound ``(W-P)/(W+P)``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from .records import WeightedRecord
+
+__all__ = ["WeightedSimilarity", "WeightedJaccard", "WeightedCosine"]
+
+
+class WeightedSimilarity(ABC):
+    """Base class for weighted set-similarity functions."""
+
+    name: str = "abstract-weighted"
+
+    @abstractmethod
+    def record_weight(self, record: WeightedRecord) -> float:
+        """The record's magnitude under this function (W or ‖·‖²)."""
+
+    @abstractmethod
+    def shared_weight(
+        self, x: WeightedRecord, y: WeightedRecord
+    ) -> float:
+        """Total contribution of the shared tokens."""
+
+    @abstractmethod
+    def from_weights(
+        self, shared: float, weight_x: float, weight_y: float
+    ) -> float:
+        """Similarity given the shared contribution and both magnitudes."""
+
+    @abstractmethod
+    def required_shared(
+        self, threshold: float, weight_x: float, weight_y: float
+    ) -> float:
+        """Minimal shared contribution for ``sim >= threshold``."""
+
+    @abstractmethod
+    def accessing_upper_bound(self, bound_x: float, bound_y: float) -> float:
+        """Max similarity given both sides' probing bounds."""
+
+    # ------------------------------------------------------------------
+
+    def similarity(self, x: WeightedRecord, y: WeightedRecord) -> float:
+        return self.from_weights(
+            self.shared_weight(x, y),
+            self.record_weight(x),
+            self.record_weight(y),
+        )
+
+    def probing_upper_bound(self, record: WeightedRecord, prefix: int) -> float:
+        """Max similarity when no token before *prefix* (1-based) is shared."""
+        remaining = self._remaining(record, prefix)
+        if remaining <= 0:
+            return 0.0
+        return self.from_weights(remaining, self.record_weight(record), remaining)
+
+    def indexing_upper_bound(self, record: WeightedRecord, prefix: int) -> float:
+        """Lemma 4's bound, weighted: equal-magnitude partner, shared suffix."""
+        remaining = self._remaining(record, prefix)
+        if remaining <= 0:
+            return 0.0
+        weight = self.record_weight(record)
+        return self.from_weights(remaining, weight, weight)
+
+    def probing_prefix_length(
+        self, record: WeightedRecord, threshold: float
+    ) -> int:
+        """Shortest prefix whose removal leaves < the required shared weight.
+
+        If no token of the prefix is shared, the shared contribution is at
+        most the suffix weight; the prefix ends at the first position
+        where that ceases to reach *threshold* against any partner.
+        """
+        for position in range(1, len(record.tokens) + 2):
+            if self.probing_upper_bound(record, position) < threshold:
+                return position - 1
+        return len(record.tokens)
+
+    def weight_compatible(
+        self, threshold: float, weight_x: float, weight_y: float
+    ) -> bool:
+        """Weighted size filter: can these magnitudes reach *threshold*?"""
+        best = self.from_weights(
+            min(weight_x, weight_y), weight_x, weight_y
+        )
+        return best >= threshold
+
+    @abstractmethod
+    def _remaining(self, record: WeightedRecord, prefix: int) -> float:
+        """Magnitude of the suffix starting at 1-based *prefix*."""
+
+
+class WeightedJaccard(WeightedSimilarity):
+    """``J_w(x, y) = W(x ∩ y) / W(x ∪ y)``."""
+
+    name = "weighted-jaccard"
+
+    def record_weight(self, record: WeightedRecord) -> float:
+        return record.total_weight
+
+    def shared_weight(self, x: WeightedRecord, y: WeightedRecord) -> float:
+        i = j = 0
+        shared = 0.0
+        tokens_x, tokens_y = x.tokens, y.tokens
+        len_x, len_y = len(tokens_x), len(tokens_y)
+        while i < len_x and j < len_y:
+            ti, tj = tokens_x[i], tokens_y[j]
+            if ti == tj:
+                shared += x.weights[i]
+                i += 1
+                j += 1
+            elif ti < tj:
+                i += 1
+            else:
+                j += 1
+        return shared
+
+    def from_weights(
+        self, shared: float, weight_x: float, weight_y: float
+    ) -> float:
+        union = weight_x + weight_y - shared
+        if union <= 0:
+            return 0.0
+        return shared / union
+
+    def required_shared(
+        self, threshold: float, weight_x: float, weight_y: float
+    ) -> float:
+        if threshold <= 0:
+            return 0.0
+        return threshold / (1.0 + threshold) * (weight_x + weight_y)
+
+    def accessing_upper_bound(self, bound_x: float, bound_y: float) -> float:
+        denominator = bound_x + bound_y - bound_x * bound_y
+        if denominator <= 0:
+            return 0.0
+        return bound_x * bound_y / denominator
+
+    def _remaining(self, record: WeightedRecord, prefix: int) -> float:
+        if prefix - 1 >= len(record.suffix_weights):
+            return 0.0
+        return record.suffix_weights[prefix - 1]
+
+
+class WeightedCosine(WeightedSimilarity):
+    """Cosine over weight vectors: ``Σ_{t∈∩} w_t² / (‖x‖ ‖y‖)``.
+
+    Magnitudes are squared norms ``Σ w_t²``; the shared contribution is the
+    dot product, which for identical per-token global weights is the sum of
+    squared weights over the intersection.
+    """
+
+    name = "weighted-cosine"
+
+    def record_weight(self, record: WeightedRecord) -> float:
+        return record.squared_norm
+
+    def shared_weight(self, x: WeightedRecord, y: WeightedRecord) -> float:
+        i = j = 0
+        shared = 0.0
+        tokens_x, tokens_y = x.tokens, y.tokens
+        len_x, len_y = len(tokens_x), len(tokens_y)
+        while i < len_x and j < len_y:
+            ti, tj = tokens_x[i], tokens_y[j]
+            if ti == tj:
+                weight = x.weights[i]
+                shared += weight * weight
+                i += 1
+                j += 1
+            elif ti < tj:
+                i += 1
+            else:
+                j += 1
+        return shared
+
+    def from_weights(
+        self, shared: float, weight_x: float, weight_y: float
+    ) -> float:
+        if weight_x <= 0 or weight_y <= 0:
+            return 0.0
+        return shared / math.sqrt(weight_x * weight_y)
+
+    def required_shared(
+        self, threshold: float, weight_x: float, weight_y: float
+    ) -> float:
+        if threshold <= 0:
+            return 0.0
+        return threshold * math.sqrt(weight_x * weight_y)
+
+    def accessing_upper_bound(self, bound_x: float, bound_y: float) -> float:
+        return bound_x * bound_y
+
+    def _remaining(self, record: WeightedRecord, prefix: int) -> float:
+        if prefix - 1 >= len(record.suffix_squares):
+            return 0.0
+        return record.suffix_squares[prefix - 1]

@@ -1,0 +1,149 @@
+"""Weighted records: token sets with per-token global weights.
+
+Record-linkage practice weights tokens by rarity (idf): sharing
+``grebe#7`` says far more than sharing ``the``.  All-Pairs [4] already
+handles weighted cosine; this subpackage extends the reproduction's
+threshold *and* top-k machinery to weighted Jaccard and cosine.
+
+A :class:`WeightedCollection` assigns every token a positive weight
+(default: ``ln(1 + N/df)`` idf weights computed from the collection
+itself), canonicalizes records heaviest-token-first — the weighted
+analogue of the rarest-first ordering — and precomputes, per record, the
+suffix-weight array the probing bounds need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["WeightedRecord", "WeightedCollection", "idf_weights"]
+
+
+def idf_weights(
+    token_lists: Sequence[Sequence[int]],
+) -> Dict[int, float]:
+    """``ln(1 + N/df)`` weights from the collection's own frequencies."""
+    df: Dict[int, int] = {}
+    for tokens in token_lists:
+        for token in set(tokens):
+            df[token] = df.get(token, 0) + 1
+    n = len(token_lists)
+    return {
+        token: math.log(1.0 + n / count) for token, count in df.items()
+    }
+
+
+class WeightedRecord:
+    """A canonicalized weighted record.
+
+    ``tokens`` are sorted by the collection's canonical order (heaviest
+    first, i.e. ascending rank = descending weight); ``weights`` aligns
+    with ``tokens``; ``suffix_weights[i]`` is the total weight of
+    ``tokens[i:]`` (so ``suffix_weights[0]`` is the record's weight).
+    """
+
+    __slots__ = (
+        "rid", "tokens", "weights", "suffix_weights", "suffix_squares",
+        "source_id",
+    )
+
+    def __init__(
+        self,
+        rid: int,
+        tokens: Tuple[int, ...],
+        weights: Tuple[float, ...],
+        source_id: int,
+    ):
+        self.rid = rid
+        self.tokens = tokens
+        self.weights = weights
+        suffix = [0.0] * (len(weights) + 1)
+        squares = [0.0] * (len(weights) + 1)
+        for index in range(len(weights) - 1, -1, -1):
+            suffix[index] = suffix[index + 1] + weights[index]
+            squares[index] = squares[index + 1] + weights[index] ** 2
+        self.suffix_weights = tuple(suffix)
+        self.suffix_squares = tuple(squares)
+        self.source_id = source_id
+
+    @property
+    def total_weight(self) -> float:
+        return self.suffix_weights[0]
+
+    @property
+    def squared_norm(self) -> float:
+        """``Σ w_t²`` — the weighted-cosine norm squared."""
+        return self.suffix_squares[0]
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __repr__(self) -> str:
+        return "WeightedRecord(rid=%d, size=%d, weight=%.3f)" % (
+            self.rid, len(self.tokens), self.total_weight,
+        )
+
+
+class WeightedCollection:
+    """Weight-sorted weighted records over one token universe."""
+
+    def __init__(self, records: List[WeightedRecord], universe_size: int):
+        self.records = records
+        self.universe_size = universe_size
+
+    @classmethod
+    def from_integer_sets(
+        cls,
+        integer_sets: Sequence[Sequence[int]],
+        weights: Optional[Dict[int, float]] = None,
+    ) -> "WeightedCollection":
+        """Canonicalize integer token sets with *weights* (default: idf).
+
+        Tokens are re-ranked by decreasing weight (ties: token id) so the
+        canonical order puts the heaviest tokens in record prefixes, then
+        records are sorted by increasing total weight — the weighted
+        analogue of size-sorting.
+        """
+        deduplicated = [tuple(sorted(set(tokens))) for tokens in integer_sets]
+        if weights is None:
+            weights = idf_weights(deduplicated)
+        for token, weight in weights.items():
+            if weight <= 0:
+                raise ValueError(
+                    "weights must be positive; token %r has %r"
+                    % (token, weight)
+                )
+
+        order = sorted(weights, key=lambda token: (-weights[token], token))
+        rank_of = {token: rank for rank, token in enumerate(order)}
+        weight_of_rank = [weights[token] for token in order]
+
+        staged: List[Tuple[float, Tuple[int, ...], int]] = []
+        for source_id, tokens in enumerate(deduplicated):
+            if not tokens:
+                continue
+            ranked = tuple(sorted(rank_of[t] for t in tokens))
+            total = sum(weight_of_rank[r] for r in ranked)
+            staged.append((total, ranked, source_id))
+        staged.sort(key=lambda item: (item[0], item[1]))
+
+        records = [
+            WeightedRecord(
+                rid,
+                ranked,
+                tuple(weight_of_rank[r] for r in ranked),
+                source_id,
+            )
+            for rid, (__, ranked, source_id) in enumerate(staged)
+        ]
+        return cls(records, universe_size=len(order))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[WeightedRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, rid: int) -> WeightedRecord:
+        return self.records[rid]

@@ -1,0 +1,43 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+import pytest
+
+from repro import JoinResult, RecordCollection
+from repro.data import random_integer_collection
+
+
+def make_collection(*token_sets: Sequence[int]) -> RecordCollection:
+    """Build a collection directly from integer token sets (no dedupe)."""
+    return RecordCollection.from_integer_sets(list(token_sets), dedupe=False)
+
+
+def rounded_multiset(results: Sequence[JoinResult], digits: int = 9) -> List[float]:
+    """Descending similarity multiset rounded for float-safe comparison."""
+    return sorted((round(r.similarity, digits) for r in results), reverse=True)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20090401)
+
+
+@pytest.fixture
+def small_random_collections(rng):
+    """A batch of small random collections exercising heavy tie/collision cases."""
+    collections = []
+    for __ in range(20):
+        n = rng.randint(2, 35)
+        collections.append(
+            random_integer_collection(
+                n,
+                universe=rng.randint(4, 50),
+                max_size=rng.randint(1, 10),
+                rng=rng,
+            )
+        )
+    return collections

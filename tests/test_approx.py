@@ -1,0 +1,146 @@
+"""Tests for the MinHash/LSH approximate-join extension."""
+
+import random
+
+import pytest
+
+from repro import naive_topk
+from repro.approx import (
+    LSHIndex,
+    MinHasher,
+    approximate_topk,
+    collision_probability,
+    estimate_jaccard,
+)
+from repro.data import RecordCollection, synthetic_collection
+from repro.similarity import Jaccard
+
+
+class TestMinHasher:
+    def test_signature_length(self):
+        hasher = MinHasher(num_hashes=32, seed=1)
+        assert len(hasher.signature((1, 2, 3))) == 32
+
+    def test_deterministic(self):
+        a = MinHasher(num_hashes=16, seed=5).signature((1, 2, 3))
+        b = MinHasher(num_hashes=16, seed=5).signature((1, 2, 3))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = MinHasher(num_hashes=16, seed=5).signature((1, 2, 3))
+        b = MinHasher(num_hashes=16, seed=6).signature((1, 2, 3))
+        assert a != b
+
+    def test_identical_sets_identical_signatures(self):
+        hasher = MinHasher(num_hashes=16, seed=2)
+        assert hasher.signature((4, 7, 9)) == hasher.signature((9, 4, 7))
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(ValueError):
+            MinHasher(8).signature(())
+
+    def test_invalid_num_hashes(self):
+        with pytest.raises(ValueError):
+            MinHasher(0)
+
+
+class TestEstimator:
+    def test_identical_estimates_one(self):
+        hasher = MinHasher(64, seed=3)
+        sig = hasher.signature((1, 2, 3, 4))
+        assert estimate_jaccard(sig, sig) == pytest.approx(1.0)
+
+    def test_disjoint_estimates_near_zero(self):
+        hasher = MinHasher(128, seed=3)
+        a = hasher.signature(tuple(range(0, 50)))
+        b = hasher.signature(tuple(range(1000, 1050)))
+        assert estimate_jaccard(a, b) < 0.1
+
+    def test_estimator_tracks_true_jaccard(self):
+        # Average over many hash functions: estimate within 0.12 of truth.
+        rng = random.Random(8)
+        hasher = MinHasher(256, seed=9)
+        sim = Jaccard()
+        for __ in range(10):
+            x = tuple(sorted(rng.sample(range(200), 40)))
+            y_list = list(x[:20]) + rng.sample(range(300, 500), 20)
+            y = tuple(sorted(set(y_list)))
+            truth = sim.similarity(x, y)
+            estimate = estimate_jaccard(hasher.signature(x), hasher.signature(y))
+            assert abs(estimate - truth) < 0.12
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_jaccard((1, 2), (1,))
+
+
+class TestCollisionProbability:
+    def test_monotone_in_similarity(self):
+        values = [collision_probability(s, 16, 8) for s in (0.2, 0.5, 0.8, 0.95)]
+        assert values == sorted(values)
+
+    def test_extremes(self):
+        assert collision_probability(0.0, 16, 8) == pytest.approx(0.0)
+        assert collision_probability(1.0, 16, 8) == pytest.approx(1.0)
+
+    def test_more_bands_more_collisions(self):
+        assert collision_probability(0.6, 32, 8) > collision_probability(
+            0.6, 8, 8
+        )
+
+
+class TestLSHIndex:
+    def test_identical_records_always_collide(self):
+        index = LSHIndex(bands=4, rows=4, seed=1)
+        index.add(0, (1, 2, 3))
+        index.add(1, (1, 2, 3))
+        assert (0, 1) in set(index.candidate_pairs())
+
+    def test_disjoint_records_rarely_collide(self):
+        index = LSHIndex(bands=4, rows=8, seed=1)
+        index.add(0, tuple(range(0, 30)))
+        index.add(1, tuple(range(100, 130)))
+        assert (0, 1) not in set(index.candidate_pairs())
+
+    def test_pairs_are_distinct(self):
+        index = LSHIndex(bands=8, rows=2, seed=1)
+        for rid in range(6):
+            index.add(rid, (1, 2, 3, 4))
+        pairs = list(index.candidate_pairs())
+        assert len(pairs) == len(set(pairs)) == 15
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LSHIndex(bands=0, rows=4)
+
+
+class TestApproximateTopk:
+    def test_high_recall_on_near_duplicates(self):
+        coll = synthetic_collection(
+            200, avg_size=30, universe=5000, seed=4, duplicate_fraction=0.4,
+            max_edit_fraction=0.1,
+        )
+        exact = naive_topk(coll, 20)
+        approx = approximate_topk(coll, 20, bands=32, rows=4, seed=2)
+        exact_pairs = {(r.x, r.y) for r in exact}
+        approx_pairs = {(r.x, r.y) for r in approx}
+        recall = len(exact_pairs & approx_pairs) / len(exact_pairs)
+        assert recall >= 0.7
+
+    def test_similarities_are_exact(self):
+        coll = RecordCollection.from_integer_sets(
+            [[1, 2, 3], [1, 2, 3, 4], [9, 10]]
+        )
+        sim = Jaccard()
+        for result in approximate_topk(coll, 3, bands=16, rows=2):
+            truth = sim.similarity(
+                coll[result.x].tokens, coll[result.y].tokens
+            )
+            assert result.similarity == pytest.approx(truth)
+
+    def test_descending_order(self):
+        coll = synthetic_collection(
+            80, avg_size=10, universe=1000, seed=6, duplicate_fraction=0.4
+        )
+        values = [r.similarity for r in approximate_topk(coll, 15)]
+        assert values == sorted(values, reverse=True)

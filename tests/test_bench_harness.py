@@ -1,0 +1,71 @@
+"""Unit tests for the benchmark harness plumbing (repro.bench)."""
+
+import os
+
+import pytest
+
+from repro.bench import WORKLOADS, format_table, workload
+from repro.bench.reporting import results_dir, write_report
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["k", "value"], [(1, 2.5), (100, 0.25)])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1, "all lines equally wide"
+
+    def test_float_rendering(self):
+        table = format_table(["v"], [(0.12345,), (12.3456,), (12345.6,)])
+        assert "0.1234" in table or "0.1235" in table
+        assert "12.346" in table or "12.345" in table
+        assert "12346" in table
+
+    def test_zero_and_string_cells(self):
+        table = format_table(["a", "b"], [("name", 0.0)])
+        assert "name" in table and "0" in table
+
+    def test_empty_rows(self):
+        table = format_table(["x"], [])
+        assert "x" in table
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "repro.bench.reporting.results_dir", lambda: str(tmp_path)
+        )
+        path = write_report("unit_test", "Title", "body")
+        assert os.path.exists(path)
+        content = open(path).read()
+        assert content.startswith("Title")
+        assert "body" in content
+
+    def test_results_dir_is_creatable(self):
+        path = results_dir()
+        assert os.path.isdir(path)
+        assert path.endswith(os.path.join("benchmarks", "results"))
+
+
+class TestWorkloads:
+    def test_registry_names(self):
+        assert set(WORKLOADS) == {
+            "dblp", "trec", "trec-3gram", "uniref-3gram",
+        }
+
+    def test_every_workload_well_formed(self):
+        for name, bench in WORKLOADS.items():
+            assert bench.name == name
+            assert bench.k_values
+            assert bench.k_values == sorted(bench.k_values)
+            assert bench.maxdepth in (2, 4)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            workload("mnist")
+
+    def test_qgram_workloads_use_deeper_suffix_filter(self):
+        assert workload("trec-3gram").maxdepth == 4
+        assert workload("uniref-3gram").maxdepth == 4
+        assert workload("dblp").maxdepth == 2

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import save_token_file
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    path = str(tmp_path / "data.txt")
+    save_token_file(
+        path,
+        [
+            ["a", "b", "c", "d"],
+            ["a", "b", "c", "e"],
+            ["a", "b", "c", "d", "e"],
+            ["x", "y", "z"],
+            ["x", "y", "w"],
+        ],
+    )
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_topk_args(self):
+        args = build_parser().parse_args(
+            ["topk", "--input", "f", "--k", "5", "--similarity", "cosine"]
+        )
+        assert args.k == 5
+        assert args.similarity == "cosine"
+
+    def test_invalid_similarity_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["topk", "--input", "f", "--k", "5", "--similarity", "l2"]
+            )
+
+
+class TestTopkCommand:
+    def test_outputs_k_lines(self, data_file, capsys):
+        assert main(["topk", "--input", data_file, "--k", "3"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 3
+        first = float(out[0].split("\t")[0])
+        assert 0.0 <= first <= 1.0
+
+    def test_descending_similarity(self, data_file, capsys):
+        main(["topk", "--input", data_file, "--k", "4"])
+        out = capsys.readouterr().out.strip().splitlines()
+        values = [float(line.split("\t")[0]) for line in out]
+        assert values == sorted(values, reverse=True)
+
+    def test_qgram_mode(self, data_file, capsys):
+        assert main(
+            ["topk", "--input", data_file, "--k", "2", "--qgram", "2"]
+        ) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 2
+
+
+class TestThresholdCommand:
+    def test_threshold_join(self, data_file, capsys):
+        assert main(
+            ["threshold", "--input", data_file, "--threshold", "0.6"]
+        ) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert all(float(line.split("\t")[0]) >= 0.6 for line in out)
+
+    def test_algorithms_agree(self, data_file, capsys):
+        outputs = []
+        for algorithm in ("naive", "all-pairs", "ppjoin", "ppjoin+"):
+            main(
+                [
+                    "threshold", "--input", data_file,
+                    "--threshold", "0.5", "--algorithm", algorithm,
+                ]
+            )
+            lines = capsys.readouterr().out.strip().splitlines()
+            outputs.append(sorted(lines))
+        assert all(out == outputs[0] for out in outputs)
+
+
+class TestGenerateAndStats:
+    def test_generate_then_stats(self, tmp_path, capsys):
+        output = str(tmp_path / "gen.txt")
+        assert main(
+            ["generate", "--dataset", "dblp", "--n", "100",
+             "--seed", "1", "--output", output]
+        ) == 0
+        capsys.readouterr()
+        assert main(["stats", "--input", output]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out and "universe size" in out
+
+    def test_generate_deterministic(self, tmp_path):
+        a = str(tmp_path / "a.txt")
+        b = str(tmp_path / "b.txt")
+        main(["generate", "--dataset", "trec", "--n", "40",
+              "--seed", "9", "--output", a])
+        main(["generate", "--dataset", "trec", "--n", "40",
+              "--seed", "9", "--output", b])
+        assert open(a).read() == open(b).read()

@@ -1,0 +1,29 @@
+"""Tests for the `repro bench` CLI subcommand."""
+
+from repro.cli import main
+
+
+class TestBenchCommand:
+    def test_list_experiments(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for experiment in ("table1", "table2", "figure3a", "figure4-dblp",
+                           "figure5a"):
+            assert experiment in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["bench", "--experiment", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_no_arguments_is_an_error(self, capsys):
+        assert main(["bench"]) == 2
+
+    def test_table1_runs(self, capsys):
+        assert main(["bench", "--experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "dblp" in out and "trec" in out
+
+    def test_table2_runs(self, capsys):
+        assert main(["bench", "--experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "0.95" in out

@@ -1,0 +1,146 @@
+"""Adversarial tests for core internals (buffer, events, verification cache)."""
+
+import random
+
+import pytest
+
+from repro import TopkOptions, TopkStats, naive_topk, topk_join
+from repro.core.events import EventQueue
+from repro.core.results import TopKBuffer
+from repro.core.verification import VerificationRegistry
+from repro.data import RecordCollection, random_integer_collection
+from repro.similarity import Jaccard
+from repro.similarity.overlap import overlap_with_common_positions
+
+from conftest import rounded_multiset
+
+
+class TestBufferEvictionEmissionInterplay:
+    def test_evicted_pair_can_rejoin_with_higher_value(self):
+        # A pair evicted from T is gone; a *different* pair with the same
+        # similarity may enter later.  Emission must never duplicate.
+        buffer = TopKBuffer(2)
+        buffer.add((0, 1), 0.4)
+        buffer.add((0, 2), 0.5)
+        buffer.add((0, 3), 0.6)  # evicts (0, 1)
+        buffer.add((0, 4), 0.7)  # evicts (0, 2)
+        emitted = buffer.pop_emittable(0.0)
+        assert [pair for pair, __ in emitted] == [(0, 4), (0, 3)]
+        assert list(buffer.drain()) == []
+
+    def test_emission_interleaved_with_adds(self):
+        buffer = TopKBuffer(10)
+        buffer.add((0, 1), 0.95)
+        first = buffer.pop_emittable(0.9)
+        assert [pair for pair, __ in first] == [(0, 1)]
+        buffer.add((0, 2), 0.92)
+        # (0,2) arrived after the earlier emission but before the bound
+        # dropped below it: emitted on the next call, order preserved.
+        second = buffer.pop_emittable(0.9)
+        assert [pair for pair, __ in second] == [(0, 2)]
+
+    def test_stale_desc_entries_skipped(self):
+        buffer = TopKBuffer(1)
+        for i in range(50):
+            buffer.add((0, i + 1), i / 100)
+        emitted = buffer.pop_emittable(0.0)
+        assert len(emitted) == 1
+        assert emitted[0][1] == pytest.approx(0.49)
+
+
+class TestEventQueueEquivalence:
+    def test_compressed_and_plain_cover_same_events(self):
+        coll = RecordCollection.from_integer_sets(
+            [[1, 2], [3, 4], [5, 6, 7], [8, 9, 10], [11, 12, 13]]
+        )
+        sim = Jaccard()
+
+        def drain(compressed):
+            queue = EventQueue(coll, sim, compressed=compressed)
+            out = []
+            while queue:
+                bound, prefix, rids = queue.pop()
+                for rid in rids:
+                    out.append((round(bound, 12), prefix, rid))
+                queue.push_next(
+                    len(coll[rids[0]]), prefix, rids, cutoff=0.0
+                )
+            return sorted(out)
+
+        assert drain(True) == drain(False)
+
+    def test_events_pushed_counter(self):
+        coll = RecordCollection.from_integer_sets([[1, 2], [3, 4]])
+        queue = EventQueue(coll, Jaccard(), compressed=True)
+        assert queue.events_pushed == 1  # one size block
+
+
+class TestVerificationPrefixCache:
+    def test_cache_invalidation_on_s_k_change(self):
+        registry = VerificationRegistry(Jaccard())
+        probe = overlap_with_common_positions((1, 2, 9), (1, 2, 8))
+        registry.record((0, 1), probe, 3, 3, 0.0)
+        assert registry.already_verified((0, 1))
+        # Higher s_k shrinks max prefixes: position-2 second token no
+        # longer qualifies at s_k=0.9 (prefix length 1).
+        registry_strict = VerificationRegistry(Jaccard())
+        registry_strict.record((0, 1), probe, 3, 3, 0.9)
+        assert not registry_strict.already_verified((0, 1))
+
+    def test_interleaved_s_k_values(self):
+        registry = VerificationRegistry(Jaccard())
+        probe = overlap_with_common_positions((1, 2, 9), (1, 2, 8))
+        registry.record((0, 1), probe, 3, 3, 0.0)
+        registry.record((0, 2), probe, 3, 3, 0.9)
+        registry.record((0, 3), probe, 3, 3, 0.0)
+        assert registry.already_verified((0, 1))
+        assert not registry.already_verified((0, 2))
+        assert registry.already_verified((0, 3))
+
+
+class TestAdversarialWorkloads:
+    def test_all_records_identical(self):
+        coll = RecordCollection.from_integer_sets(
+            [[1, 2, 3]] * 10, dedupe=False
+        )
+        results = topk_join(coll, 45)
+        assert len(results) == 45
+        assert all(r.similarity == pytest.approx(1.0) for r in results)
+
+    def test_chain_of_decreasing_similarity(self):
+        # Record i shares i tokens with record i+1.
+        sets = [list(range(i, i + 10)) for i in range(0, 50, 3)]
+        coll = RecordCollection.from_integer_sets(sets)
+        got = rounded_multiset(topk_join(coll, 10))
+        want = rounded_multiset(naive_topk(coll, 10))
+        assert got == want
+
+    def test_one_giant_record(self, rng):
+        sets = [[rng.randrange(40) for __ in range(4)] for __ in range(20)]
+        sets.append(list(range(200)))
+        coll = RecordCollection.from_integer_sets(sets, dedupe=False)
+        got = rounded_multiset(topk_join(coll, 8))
+        want = rounded_multiset(naive_topk(coll, 8))
+        assert got == want
+
+    def test_every_record_singleton(self):
+        coll = RecordCollection.from_integer_sets(
+            [[i] for i in range(12)] + [[0]], dedupe=False
+        )
+        results = topk_join(coll, 3)
+        assert results[0].similarity == pytest.approx(1.0)
+        assert results[1].similarity == 0.0
+
+    def test_stats_sum_to_candidates(self, rng):
+        coll = random_integer_collection(60, 20, 8, rng=rng)
+        stats = TopkStats()
+        topk_join(coll, 20, options=TopkOptions(seed_results=False),
+                  stats=stats)
+        accounted = (
+            stats.verifications
+            + stats.duplicates_skipped
+            + stats.size_pruned
+            + stats.positional_pruned
+            + stats.suffix_pruned
+        )
+        assert accounted == stats.candidates

@@ -1,0 +1,146 @@
+"""Tests for the dedup/clustering layer (repro.dedup)."""
+
+import random
+
+import pytest
+
+from repro.data import RecordCollection
+from repro.dedup import (
+    UnionFind,
+    cluster_by_threshold,
+    cluster_topk,
+    deduplicate,
+)
+
+
+class TestUnionFind:
+    def test_initial_components(self):
+        assert UnionFind(5).components == 5
+
+    def test_union_reduces_components(self):
+        union = UnionFind(4)
+        assert union.union(0, 1)
+        assert union.components == 3
+        assert not union.union(1, 0), "repeat union is a no-op"
+        assert union.components == 3
+
+    def test_connected_transitively(self):
+        union = UnionFind(5)
+        union.union(0, 1)
+        union.union(1, 2)
+        assert union.connected(0, 2)
+        assert not union.connected(0, 3)
+
+    def test_set_size(self):
+        union = UnionFind(6)
+        union.union(0, 1)
+        union.union(2, 3)
+        union.union(0, 3)
+        assert union.set_size(2) == 4
+        assert union.set_size(5) == 1
+
+    def test_groups_partition(self):
+        union = UnionFind(6)
+        union.union(0, 1)
+        union.union(3, 4)
+        groups = list(union.groups())
+        flattened = sorted(rid for group in groups for rid in group)
+        assert flattened == list(range(6))
+        assert groups[0] in ([0, 1], [3, 4])
+
+    def test_random_against_reference(self):
+        rng = random.Random(3)
+        n = 40
+        union = UnionFind(n)
+        reference = {i: {i} for i in range(n)}
+        for __ in range(60):
+            a, b = rng.randrange(n), rng.randrange(n)
+            union.union(a, b)
+            set_a = next(s for s in reference.values() if a in s)
+            set_b = next(s for s in reference.values() if b in s)
+            if set_a is not set_b:
+                set_a |= set_b
+                for member in set_b:
+                    reference[member] = set_a
+        for i in range(n):
+            for j in range(n):
+                assert union.connected(i, j) == (j in reference[i])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+
+@pytest.fixture
+def collection():
+    # Two clear duplicate groups plus two singletons.
+    return RecordCollection.from_integer_sets(
+        [
+            [1, 2, 3, 4],
+            [1, 2, 3, 5],
+            [1, 2, 3, 4, 5],
+            [10, 11, 12],
+            [10, 11, 13],
+            [20, 21],
+            [30, 31],
+        ],
+        dedupe=False,
+    )
+
+
+class TestClusterByThreshold:
+    def test_groups_found(self, collection):
+        clustering = cluster_by_threshold(collection, 0.5)
+        groups = clustering.duplicate_groups
+        assert len(groups) == 2
+        sizes = sorted(len(group) for group in groups)
+        assert sizes == [2, 3]
+
+    def test_partition_complete(self, collection):
+        clustering = cluster_by_threshold(collection, 0.5)
+        members = sorted(
+            rid for cluster in clustering.clusters for rid in cluster
+        )
+        assert members == list(range(len(collection)))
+        for rid, index in clustering.cluster_of.items():
+            assert rid in clustering.clusters[index]
+
+    def test_high_threshold_all_singletons(self, collection):
+        clustering = cluster_by_threshold(collection, 0.99)
+        assert clustering.duplicate_groups == []
+
+    def test_representatives_prefer_largest(self, collection):
+        clustering = cluster_by_threshold(collection, 0.5)
+        representatives = clustering.representatives(collection)
+        # One per cluster, and the 5-token record represents its group.
+        assert len(representatives) == len(clustering.clusters)
+        big_rid = max(
+            range(len(collection)), key=lambda rid: len(collection[rid])
+        )
+        assert big_rid in representatives
+
+
+class TestClusterTopk:
+    def test_matches_threshold_clustering_on_clean_data(self, collection):
+        by_threshold = cluster_by_threshold(collection, 0.5)
+        by_topk = cluster_topk(collection, 4, min_similarity=0.49)
+        assert sorted(map(tuple, by_threshold.duplicate_groups)) == sorted(
+            map(tuple, by_topk.duplicate_groups)
+        )
+
+    def test_min_similarity_drops_tail(self, collection):
+        permissive = cluster_topk(collection, 20, min_similarity=0.0)
+        strict = cluster_topk(collection, 20, min_similarity=0.9)
+        assert len(strict.duplicate_groups) <= len(
+            permissive.duplicate_groups
+        )
+
+
+class TestDeduplicate:
+    def test_suppresses_duplicates(self, collection):
+        survivors = deduplicate(collection, 0.5)
+        assert len(survivors) == 4  # 2 groups + 2 singletons
+
+    def test_everything_survives_at_high_threshold(self, collection):
+        survivors = deduplicate(collection, 0.999)
+        assert len(survivors) == len(collection)

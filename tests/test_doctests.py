@@ -1,0 +1,22 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.data.ordering
+import repro.data.tokenize
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.data.tokenize, repro.data.ordering],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module)
+    assert results.failed == 0, "%d doctest failures" % results.failed
+    # The tokenize module genuinely carries examples; make sure the
+    # parametrization isn't silently testing nothing.
+    if module is repro.data.tokenize:
+        assert results.attempted >= 2

@@ -1,0 +1,100 @@
+"""Unit tests for repro.core.events.EventQueue."""
+
+import pytest
+
+from repro.core.events import EventQueue
+from repro.data import RecordCollection
+from repro.similarity import Jaccard, Overlap
+
+
+def collection_of_sizes(*sizes):
+    token = 0
+    sets = []
+    for size in sizes:
+        sets.append(list(range(token, token + size)))
+        token += size
+    return RecordCollection.from_integer_sets(sets)
+
+
+class TestInitialization:
+    def test_uncompressed_one_event_per_record(self):
+        coll = collection_of_sizes(2, 3, 3, 4)
+        queue = EventQueue(coll, Jaccard(), compressed=False)
+        assert len(queue) == 4
+
+    def test_compressed_one_event_per_size_block(self):
+        coll = collection_of_sizes(2, 3, 3, 4)
+        queue = EventQueue(coll, Jaccard(), compressed=True)
+        assert len(queue) == 3  # sizes 2, 3, 4
+
+    def test_initial_bound_is_one_for_jaccard(self):
+        coll = collection_of_sizes(2, 5)
+        queue = EventQueue(coll, Jaccard(), compressed=False)
+        assert queue.peek_bound() == pytest.approx(1.0)
+
+    def test_initial_bound_for_overlap_is_size(self):
+        coll = collection_of_sizes(2, 5)
+        queue = EventQueue(coll, Overlap(), compressed=False)
+        # Largest initial bound comes from the biggest record.
+        assert queue.peek_bound() == pytest.approx(5.0)
+
+
+class TestOrdering:
+    def test_pops_in_decreasing_bound_order(self):
+        coll = collection_of_sizes(2, 4, 6, 8)
+        queue = EventQueue(coll, Jaccard(), compressed=False)
+        bounds = []
+        while queue:
+            bound, prefix, rids = queue.pop()
+            bounds.append(bound)
+            size = len(coll[rids[0]])
+            queue.push_next(size, prefix, rids, cutoff=0.0)
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_batch_records_share_size(self):
+        coll = collection_of_sizes(3, 3, 3, 5)
+        queue = EventQueue(coll, Jaccard(), compressed=True)
+        __, __, rids = queue.pop()
+        sizes = {len(coll[rid]) for rid in rids}
+        assert len(sizes) == 1
+
+    def test_exhausts_all_prefix_positions(self):
+        coll = collection_of_sizes(3)
+        queue = EventQueue(coll, Jaccard(), compressed=False)
+        prefixes = []
+        while queue:
+            bound, prefix, rids = queue.pop()
+            prefixes.append(prefix)
+            queue.push_next(3, prefix, rids, cutoff=0.0)
+        assert prefixes == [1, 2, 3]
+
+
+class TestPushNext:
+    def test_stops_at_record_size(self):
+        coll = collection_of_sizes(2)
+        queue = EventQueue(coll, Jaccard(), compressed=False)
+        __, prefix, rids = queue.pop()
+        queue.push_next(2, 2, rids, cutoff=0.0)  # prefix 3 > size 2
+        assert len(queue) == 0
+
+    def test_cutoff_prunes_hopeless_events(self):
+        coll = collection_of_sizes(4)
+        queue = EventQueue(coll, Jaccard(), compressed=False)
+        __, prefix, rids = queue.pop()
+        # Next bound would be 1 - 1/4 = 0.75 <= cutoff: skipped.
+        queue.push_next(4, prefix, rids, cutoff=0.75)
+        assert len(queue) == 0
+
+    def test_cutoff_zero_keeps_events(self):
+        coll = collection_of_sizes(4)
+        queue = EventQueue(coll, Jaccard(), compressed=False)
+        __, prefix, rids = queue.pop()
+        queue.push_next(4, prefix, rids, cutoff=0.0)
+        assert len(queue) == 1
+
+    def test_peek_on_empty_is_none(self):
+        coll = collection_of_sizes(1)
+        queue = EventQueue(coll, Jaccard(), compressed=False)
+        queue.pop()
+        assert queue.peek_bound() is None
+        assert not queue

@@ -1,0 +1,168 @@
+"""Unit tests for repro.joins.filters (positional + suffix filtering)."""
+
+import random
+
+import pytest
+
+from repro.joins.filters import (
+    positional_admits,
+    positional_max_overlap,
+    suffix_admits,
+    suffix_hamming_lower_bound,
+)
+from repro.similarity import Jaccard
+from repro.similarity.overlap import overlap_size
+
+
+def hamming(x, y):
+    return len(x) + len(y) - 2 * overlap_size(x, y)
+
+
+def random_sorted(rng, max_size=14, universe=25):
+    size = rng.randint(0, max_size)
+    return tuple(sorted(rng.sample(range(universe), size)))
+
+
+class TestPositionalMaxOverlap:
+    def test_formula(self):
+        # 1 + min(|x|-i, |y|-j)
+        assert positional_max_overlap(10, 8, 3, 2) == 1 + min(7, 6)
+
+    def test_last_positions(self):
+        assert positional_max_overlap(5, 5, 5, 5) == 1
+
+    def test_is_sound_upper_bound(self):
+        rng = random.Random(11)
+        for __ in range(300):
+            x = random_sorted(rng)
+            y = random_sorted(rng)
+            common = sorted(set(x) & set(y))
+            if not common:
+                continue
+            first = common[0]
+            i, j = x.index(first) + 1, y.index(first) + 1
+            assert overlap_size(x, y) <= positional_max_overlap(
+                len(x), len(y), i, j
+            )
+
+
+class TestPositionalAdmits:
+    def test_admits_reachable_pair(self):
+        x, y = (1, 2, 3, 4), (1, 2, 3, 4)
+        assert positional_admits(Jaccard(), 0.9, 4, 4, 1, 1)
+
+    def test_prunes_hopeless_pair(self):
+        # Common token at the very end: overlap can be at most 1.
+        assert not positional_admits(Jaccard(), 0.9, 5, 5, 5, 5)
+
+    def test_threshold_zero_admits_everything(self):
+        assert positional_admits(Jaccard(), 0.0, 9, 2, 9, 2)
+
+    def test_never_prunes_qualifying_pair(self):
+        sim = Jaccard()
+        rng = random.Random(13)
+        for __ in range(400):
+            x = random_sorted(rng)
+            y = random_sorted(rng)
+            common = sorted(set(x) & set(y))
+            if not common:
+                continue
+            value = sim.similarity(x, y)
+            first = common[0]
+            i, j = x.index(first) + 1, y.index(first) + 1
+            for t in (0.2, 0.5, value):
+                if value >= t:
+                    assert positional_admits(sim, t, len(x), len(y), i, j)
+
+    def test_seen_overlap_loosens_filter(self):
+        sim = Jaccard()
+        # With a tail position but prior matches counted, it may survive.
+        strict = positional_admits(sim, 0.7, 6, 6, 5, 5, seen_overlap=1)
+        loose = positional_admits(sim, 0.7, 6, 6, 5, 5, seen_overlap=4)
+        assert not strict and loose
+
+
+class TestSuffixHammingLowerBound:
+    def test_identical(self):
+        x = (1, 2, 3)
+        assert suffix_hamming_lower_bound(x, x, budget=10) == 0
+
+    def test_disjoint_hits_exact_value(self):
+        assert suffix_hamming_lower_bound((1, 2), (3, 4), budget=10) <= 4
+
+    def test_empty_versus_nonempty(self):
+        assert suffix_hamming_lower_bound((), (1, 2, 3), budget=10) == 3
+
+    def test_both_empty(self):
+        assert suffix_hamming_lower_bound((), (), budget=5) == 0
+
+    @pytest.mark.parametrize("maxdepth", [1, 2, 3, 5])
+    def test_never_exceeds_true_hamming(self, maxdepth):
+        rng = random.Random(17)
+        for __ in range(500):
+            x = random_sorted(rng)
+            y = random_sorted(rng)
+            true = hamming(x, y)
+            bound = suffix_hamming_lower_bound(
+                x, y, budget=10**9, maxdepth=maxdepth
+            )
+            assert bound <= true
+
+    def test_at_least_size_difference(self):
+        rng = random.Random(19)
+        for __ in range(200):
+            x = random_sorted(rng)
+            y = random_sorted(rng)
+            bound = suffix_hamming_lower_bound(x, y, budget=10**9)
+            assert bound >= abs(len(x) - len(y))
+
+    def test_deeper_recursion_tightens(self):
+        rng = random.Random(23)
+        for __ in range(200):
+            x = random_sorted(rng)
+            y = random_sorted(rng)
+            shallow = suffix_hamming_lower_bound(x, y, 10**9, maxdepth=1)
+            deep = suffix_hamming_lower_bound(x, y, 10**9, maxdepth=6)
+            assert deep >= shallow
+
+
+class TestSuffixAdmits:
+    def test_never_prunes_qualifying_pair(self):
+        sim = Jaccard()
+        rng = random.Random(29)
+        checked = 0
+        for __ in range(600):
+            x = random_sorted(rng)
+            y = random_sorted(rng)
+            common = sorted(set(x) & set(y))
+            if not common:
+                continue
+            value = sim.similarity(x, y)
+            first = common[0]
+            i, j = x.index(first) + 1, y.index(first) + 1
+            for t in (0.2, 0.4, value):
+                if value >= t:
+                    checked += 1
+                    for depth in (1, 2, 4):
+                        assert suffix_admits(
+                            sim, t, x, y, i, j, maxdepth=depth
+                        )
+        assert checked > 100
+
+    def test_prunes_clear_mismatch(self):
+        sim = Jaccard()
+        x = (1, 10, 20, 30, 40, 50)
+        y = (1, 11, 21, 31, 41, 51)
+        # Only the first token matches; J = 1/11, so t=0.9 must prune.
+        assert not suffix_admits(sim, 0.9, x, y, 1, 1)
+
+    def test_threshold_zero_admits(self):
+        assert suffix_admits(Jaccard(), 0.0, (1, 2), (1, 3), 1, 1)
+
+    def test_explicit_alpha_consistent(self):
+        sim = Jaccard()
+        x, y = (1, 2, 3, 7, 9), (1, 2, 4, 7, 10)
+        alpha = sim.required_overlap(0.6, len(x), len(y))
+        assert suffix_admits(sim, 0.6, x, y, 1, 1) == suffix_admits(
+            sim, 0.6, x, y, 1, 1, alpha=alpha
+        )

@@ -1,0 +1,121 @@
+"""Focused tests for floating-point edge behaviour in the bound math.
+
+The join's filters compare float bounds against float thresholds; a single
+ulp in the wrong direction could silently drop a qualifying pair.  The
+design counters this with (a) exact integer fix-ups for every overlap
+threshold and (b) conservative margins on the closed-form accessing
+cutoff.  These tests hammer exactly those boundaries.
+"""
+
+import math
+from fractions import Fraction
+
+from repro.similarity import Cosine, Dice, Jaccard, Overlap
+
+ALL = [Jaccard(), Cosine(), Dice(), Overlap()]
+
+
+class TestRequiredOverlapAtExactThresholds:
+    def test_threshold_equal_to_achievable_similarity(self):
+        # Use thresholds that ARE achievable similarities (ratios), where
+        # ceil() of a float product is most likely to be off by one.
+        sim = Jaccard()
+        for size_x in range(1, 30):
+            for size_y in range(1, 30):
+                limit = min(size_x, size_y)
+                for overlap in range(0, limit + 1):
+                    threshold = sim.from_overlap(overlap, size_x, size_y)
+                    alpha = sim.required_overlap(threshold, size_x, size_y)
+                    # alpha must be the least integer achieving >= t.
+                    assert sim.from_overlap(alpha, size_x, size_y) >= threshold
+                    if alpha > 0:
+                        assert (
+                            sim.from_overlap(alpha - 1, size_x, size_y)
+                            < threshold
+                        )
+
+    def test_prefix_length_at_exact_thresholds(self):
+        for sim in ALL:
+            for size in range(1, 25):
+                for p in range(1, size + 1):
+                    threshold = sim.probing_upper_bound(size, p)
+                    if threshold <= 0:
+                        continue
+                    length = sim.probing_prefix_length(size, threshold)
+                    # Position p achieves exactly `threshold`, so the
+                    # prefix must reach at least p.
+                    assert length >= p
+
+
+class TestRationalCrossCheck:
+    def test_jaccard_required_overlap_vs_fractions(self):
+        # Exact rational arithmetic as the referee.
+        sim = Jaccard()
+        for size_x in range(1, 20):
+            for size_y in range(1, 20):
+                for num in range(0, 10):
+                    threshold = num / 10
+                    alpha = sim.required_overlap(threshold, size_x, size_y)
+                    limit = min(size_x, size_y)
+                    exact = next(
+                        (
+                            o
+                            for o in range(limit + 1)
+                            if Fraction(o, size_x + size_y - o or 1)
+                            >= Fraction(num, 10)
+                        ),
+                        limit + 1,
+                    )
+                    # Float thresholds n/10 are not exactly representable;
+                    # alpha may differ from the rational answer only when
+                    # the float and the fraction straddle a boundary value.
+                    if alpha != exact:
+                        boundary = sim.from_overlap(
+                            min(alpha, exact), size_x, size_y
+                        )
+                        assert math.isclose(
+                            boundary, threshold, rel_tol=1e-12, abs_tol=1e-12
+                        )
+
+
+class TestAccessingCutoffMargins:
+    def test_cutoff_never_causes_wrong_prune(self):
+        # For every bound below the cutoff, the exact accessing bound must
+        # confirm prunability or the caller re-checks — verify the
+        # invariant the fast path relies on: bounds ABOVE the cutoff
+        # always pass the exact test.
+        for sim in ALL:
+            for bx_int in range(1, 21):
+                bx = bx_int / 20
+                for sk_int in range(0, 20):
+                    s_k = sk_int / 20
+                    cutoff = sim.accessing_cutoff(bx, s_k)
+                    for by_int in range(1, 21):
+                        by = by_int / 20
+                        if by > cutoff:
+                            assert sim.accessing_upper_bound(bx, by) > s_k
+
+    def test_generic_fallback_cutoff(self):
+        # The base-class binary-search fallback must satisfy the same
+        # invariant as the closed forms.
+        sim = Jaccard()
+        generic = super(Jaccard, sim).accessing_cutoff
+        for bx in (0.15, 0.5, 0.95):
+            for s_k in (0.1, 0.45, 0.9):
+                cutoff = generic(bx, s_k)
+                for step in range(1, 40):
+                    by = step / 40
+                    if by > cutoff:
+                        assert sim.accessing_upper_bound(bx, by) > s_k
+
+
+class TestOverlapSimilarityIntegerThresholds:
+    def test_thresholds_beyond_any_record(self):
+        sim = Overlap()
+        assert sim.required_overlap(50, 10, 10) == 11  # impossible marker
+        assert sim.probing_prefix_length(10, 50) == 0
+
+    def test_fractional_overlap_thresholds(self):
+        sim = Overlap()
+        # t = 2.5 requires an overlap of 3.
+        assert sim.required_overlap(2.5, 10, 10) == 3

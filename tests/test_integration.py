@@ -1,0 +1,137 @@
+"""End-to-end integration tests on paper-like workloads.
+
+These run the full pipeline — synthetic corpus, canonicalization, all join
+algorithms — at small scale, cross-checking every algorithm against every
+other and against the exhaustive oracle.
+"""
+
+import pytest
+
+from repro import (
+    Cosine,
+    Jaccard,
+    PptopkStats,
+    TopkStats,
+    naive_threshold_join,
+    naive_topk,
+    ppjoin_plus,
+    pptopk_join,
+    threshold_join,
+    topk_join,
+)
+from repro.data import RecordCollection, dblp_like, trec3_like, trec_like
+
+from conftest import rounded_multiset
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return dblp_like(250, seed=5)
+
+
+@pytest.fixture(scope="module")
+def trec():
+    return trec_like(80, seed=5)
+
+
+@pytest.fixture(scope="module")
+def trec3():
+    return trec3_like(50, seed=5)
+
+
+class TestDblpWorkload:
+    def test_topk_matches_oracle(self, dblp):
+        got = rounded_multiset(topk_join(dblp, 40))
+        want = rounded_multiset(naive_topk(dblp, 40))
+        assert got == want
+
+    def test_pptopk_agrees(self, dblp):
+        got = pptopk_join(dblp, 20)
+        want = naive_topk(dblp, 20)
+        assert rounded_multiset(got) == rounded_multiset(want)[: len(got)]
+
+    def test_threshold_joins_agree(self, dblp):
+        expected = set(naive_threshold_join(dblp, 0.7))
+        for algorithm in ("all-pairs", "ppjoin", "ppjoin+"):
+            assert set(threshold_join(dblp, 0.7, algorithm=algorithm)) == expected
+
+    def test_near_duplicates_found(self, dblp):
+        best = topk_join(dblp, 1)[0]
+        assert best.similarity > 0.5
+
+
+class TestTrecWorkload:
+    def test_topk_matches_oracle(self, trec):
+        got = rounded_multiset(topk_join(trec, 25))
+        want = rounded_multiset(naive_topk(trec, 25))
+        assert got == want
+
+    def test_long_records_suffix_depths(self, trec):
+        want = rounded_multiset(naive_topk(trec, 15))
+        for depth in (1, 2, 4):
+            from repro import TopkOptions
+
+            got = rounded_multiset(
+                topk_join(trec, 15, options=TopkOptions(maxdepth=depth))
+            )
+            assert got == want
+
+
+class TestQgramWorkload:
+    def test_cosine_topk_matches_oracle(self, trec3):
+        got = rounded_multiset(topk_join(trec3, 10, similarity=Cosine()))
+        want = rounded_multiset(naive_topk(trec3, 10, similarity=Cosine()))
+        assert got == want
+
+    def test_ppjoin_plus_on_qgrams(self, trec3):
+        threshold = 0.7
+        got = set(ppjoin_plus(trec3, threshold, maxdepth=4))
+        want = set(naive_threshold_join(trec3, threshold))
+        assert got == want
+
+
+class TestInstrumentationConsistency:
+    def test_topk_counters_consistent(self, dblp):
+        stats = TopkStats()
+        results = topk_join(dblp, 30, stats=stats)
+        assert len(results) == 30
+        # Every verification came from a candidate or a seed.
+        assert stats.verifications <= stats.candidates + 20000
+        # Pruning + duplicates + verifications account for all candidates.
+        accounted = (
+            stats.duplicates_skipped
+            + stats.size_pruned
+            + stats.positional_pruned
+            + stats.suffix_pruned
+        )
+        assert accounted <= stats.candidates
+        assert stats.index_deleted <= stats.index_inserted
+
+    def test_pptopk_candidates_accumulate(self, dblp):
+        stats = PptopkStats()
+        pptopk_join(dblp, 20, stats=stats)
+        assert stats.candidates >= stats.round_results[-1]
+
+
+class TestTextPipeline:
+    def test_real_text_end_to_end(self):
+        texts = [
+            "the quick brown fox jumps over the lazy dog",
+            "the quick brown fox jumped over the lazy dog",
+            "a quick brown fox jumps over a lazy dog",
+            "lorem ipsum dolor sit amet",
+            "lorem ipsum dolor sit amet consectetur",
+            "completely unrelated sentence here",
+        ]
+        collection = RecordCollection.from_texts(texts)
+        results = topk_join(collection, 3, similarity=Jaccard())
+        assert results[0].similarity > 0.6
+        got = rounded_multiset(results)
+        want = rounded_multiset(naive_topk(collection, 3))
+        assert got == want
+
+    def test_qgram_text_pipeline(self):
+        texts = ["abcdefghij", "abcdefghix", "zzzzzzzzzz", "abcdefghij!"]
+        collection = RecordCollection.from_qgrams(texts, q=3)
+        best = topk_join(collection, 1)[0]
+        assert best.similarity > 0.5

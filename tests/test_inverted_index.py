@@ -1,0 +1,85 @@
+"""Unit tests for repro.index.inverted."""
+
+from repro.index import BoundedInvertedIndex, InvertedIndex
+
+
+class TestInvertedIndex:
+    def test_add_and_postings(self):
+        index = InvertedIndex()
+        index.add(5, rid=1, position=2)
+        index.add(5, rid=3, position=1)
+        assert index.postings(5) == [(1, 2), (3, 1)]
+
+    def test_missing_token_empty(self):
+        assert InvertedIndex().postings(99) == []
+
+    def test_contains(self):
+        index = InvertedIndex()
+        index.add(1, 0, 1)
+        assert 1 in index and 2 not in index
+
+    def test_len_counts_tokens(self):
+        index = InvertedIndex()
+        index.add(1, 0, 1)
+        index.add(1, 1, 1)
+        index.add(2, 0, 2)
+        assert len(index) == 2
+
+    def test_entry_count(self):
+        index = InvertedIndex()
+        index.add(1, 0, 1)
+        index.add(1, 1, 1)
+        index.add(2, 0, 2)
+        assert index.entry_count == 3
+
+    def test_tokens_iterator(self):
+        index = InvertedIndex()
+        index.add(7, 0, 1)
+        index.add(9, 0, 2)
+        assert sorted(index.tokens()) == [7, 9]
+
+
+class TestBoundedInvertedIndex:
+    def test_postings_carry_bounds(self):
+        index = BoundedInvertedIndex()
+        index.add(4, rid=0, position=1, bound=0.9)
+        assert index.postings(4) == [(0, 1, 0.9)]
+
+    def test_counters(self):
+        index = BoundedInvertedIndex()
+        for rid in range(5):
+            index.add(1, rid, 1, 1.0 - rid / 10)
+        assert index.inserted == 5
+        assert index.entry_count == 5
+        assert index.peak_entries == 5
+
+    def test_truncate_removes_tail(self):
+        index = BoundedInvertedIndex()
+        for rid in range(5):
+            index.add(1, rid, 1, 1.0 - rid / 10)
+        removed = index.truncate(1, 2)
+        assert removed == 3
+        assert [p[0] for p in index.postings(1)] == [0, 1]
+        assert index.deleted == 3
+        assert index.entry_count == 2
+
+    def test_truncate_beyond_end_noop(self):
+        index = BoundedInvertedIndex()
+        index.add(1, 0, 1, 1.0)
+        assert index.truncate(1, 5) == 0
+        assert index.truncate(99, 0) == 0
+
+    def test_peak_survives_truncation(self):
+        index = BoundedInvertedIndex()
+        for rid in range(4):
+            index.add(1, rid, 1, 0.5)
+        index.truncate(1, 1)
+        index.add(2, 9, 1, 0.4)
+        assert index.peak_entries == 4
+        assert index.entry_count == 2
+
+    def test_contains_and_len(self):
+        index = BoundedInvertedIndex()
+        index.add(3, 0, 1, 1.0)
+        assert 3 in index and 4 not in index
+        assert len(index) == 1

@@ -1,0 +1,56 @@
+"""Semantics of the progressive iterator under partial consumption."""
+
+import pytest
+
+from repro import TopkStats, naive_topk, topk_join_iter
+from repro.data import random_integer_collection
+
+from conftest import rounded_multiset
+
+
+class TestPartialConsumption:
+    def test_prefix_correct_at_every_cut(self, rng):
+        coll = random_integer_collection(40, 15, 8, rng=rng)
+        want = rounded_multiset(naive_topk(coll, 12))
+        for cut in (1, 3, 7, 12):
+            iterator = topk_join_iter(coll, 12)
+            taken = []
+            for result in iterator:
+                taken.append(result)
+                if len(taken) >= cut:
+                    break
+            got = rounded_multiset(taken)
+            assert got == want[: len(got)]
+
+    def test_closing_early_is_clean(self, rng):
+        coll = random_integer_collection(40, 15, 8, rng=rng)
+        iterator = topk_join_iter(coll, 10)
+        next(iterator)
+        iterator.close()  # must not raise
+
+    def test_stats_finalized_only_on_exhaustion(self, rng):
+        coll = random_integer_collection(40, 15, 8, rng=rng)
+        stats = TopkStats()
+        iterator = topk_join_iter(coll, 10, stats=stats)
+        for __ in iterator:
+            pass
+        assert stats.index_inserted > 0, "finalized after exhaustion"
+
+    def test_emits_track_partial_consumption(self, rng):
+        coll = random_integer_collection(40, 15, 8, rng=rng)
+        stats = TopkStats()
+        iterator = topk_join_iter(coll, 10, stats=stats)
+        first = next(iterator)
+        assert stats.emits, "emit recorded before the yield returns"
+        assert stats.emits[0].similarity == pytest.approx(first.similarity)
+
+    def test_two_iterators_are_independent(self, rng):
+        coll = random_integer_collection(40, 15, 8, rng=rng)
+        a = topk_join_iter(coll, 5)
+        b = topk_join_iter(coll, 5)
+        first_a = next(a)
+        first_b = next(b)
+        assert first_a.similarity == pytest.approx(first_b.similarity)
+        rest_a = rounded_multiset([first_a] + list(a))
+        rest_b = rounded_multiset([first_b] + list(b))
+        assert rest_a == rest_b

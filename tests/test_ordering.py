@@ -1,0 +1,64 @@
+"""Unit tests for repro.data.ordering."""
+
+from repro.data.ordering import (
+    document_frequencies,
+    frequency_ordering,
+    idf_ordering,
+    lexicographic_ordering,
+)
+
+
+class TestDocumentFrequencies:
+    def test_counts_records_not_occurrences(self):
+        df = document_frequencies([["a", "a", "b"], ["a"]])
+        assert df["a"] == 2
+        assert df["b"] == 1
+
+    def test_empty(self):
+        assert document_frequencies([]) == {}
+
+    def test_disjoint_records(self):
+        df = document_frequencies([["a"], ["b"], ["c"]])
+        assert all(count == 1 for count in df.values())
+
+
+class TestIdfOrdering:
+    def test_rare_tokens_first(self):
+        df = {"common": 10, "rare": 1, "medium": 5}
+        ranks = idf_ordering(df)
+        assert ranks["rare"] < ranks["medium"] < ranks["common"]
+
+    def test_ties_broken_lexicographically(self):
+        ranks = idf_ordering({"b": 3, "a": 3})
+        assert ranks["a"] < ranks["b"]
+
+    def test_dense_ranks(self):
+        ranks = idf_ordering({"a": 1, "b": 2, "c": 3})
+        assert sorted(ranks.values()) == [0, 1, 2]
+
+    def test_deterministic(self):
+        df = {"x": 2, "y": 2, "z": 1}
+        assert idf_ordering(df) == idf_ordering(dict(reversed(list(df.items()))))
+
+
+class TestFrequencyOrdering:
+    def test_frequent_tokens_first(self):
+        ranks = frequency_ordering({"common": 10, "rare": 1})
+        assert ranks["common"] < ranks["rare"]
+
+    def test_is_reverse_of_idf_for_distinct_frequencies(self):
+        df = {"a": 1, "b": 2, "c": 3}
+        idf = idf_ordering(df)
+        freq = frequency_ordering(df)
+        assert [idf[t] for t in "abc"] == [freq[t] for t in "cba"]
+
+
+class TestLexicographicOrdering:
+    def test_alphabetical(self):
+        ranks = lexicographic_ordering({"banana": 5, "apple": 1})
+        assert ranks["apple"] < ranks["banana"]
+
+    def test_ignores_frequencies(self):
+        a = lexicographic_ordering({"x": 1, "y": 100})
+        b = lexicographic_ordering({"x": 100, "y": 1})
+        assert a == b

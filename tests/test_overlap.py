@@ -1,0 +1,77 @@
+"""Unit tests for repro.similarity.overlap."""
+
+from repro.similarity.overlap import (
+    overlap_size,
+    overlap_with_common_positions,
+    overlap_with_early_abort,
+)
+
+
+class TestOverlapSize:
+    def test_disjoint(self):
+        assert overlap_size((1, 2), (3, 4)) == 0
+
+    def test_identical(self):
+        assert overlap_size((1, 2, 3), (1, 2, 3)) == 3
+
+    def test_partial(self):
+        assert overlap_size((1, 3, 5, 7), (2, 3, 4, 7)) == 2
+
+    def test_subset(self):
+        assert overlap_size((2, 4), (1, 2, 3, 4, 5)) == 2
+
+    def test_empty(self):
+        assert overlap_size((), (1, 2)) == 0
+        assert overlap_size((), ()) == 0
+
+
+class TestEarlyAbort:
+    def test_exact_when_reachable(self):
+        assert overlap_with_early_abort((1, 2, 3), (1, 2, 3), required=2) == 3
+
+    def test_small_when_unreachable(self):
+        result = overlap_with_early_abort((1, 2), (3, 4), required=1)
+        assert result < 1
+
+    def test_required_zero_never_aborts(self):
+        x, y = (1, 3, 5), (1, 2, 3)
+        assert overlap_with_early_abort(x, y, required=0) == overlap_size(x, y)
+
+    def test_abort_value_below_required(self):
+        # 1 common token but 3 required: the merge must bail with < 3.
+        assert overlap_with_early_abort((1, 9, 10), (1, 2, 3), required=3) < 3
+
+    def test_boundary_required_equals_overlap(self):
+        assert overlap_with_early_abort((1, 2, 4), (1, 2, 9), required=2) == 2
+
+
+class TestCommonPositions:
+    def test_positions_are_one_based(self):
+        probe = overlap_with_common_positions((5, 7, 9), (1, 7, 9))
+        assert (probe.first_x, probe.first_y) == (2, 2)
+        assert (probe.second_x, probe.second_y) == (3, 3)
+
+    def test_single_common_token(self):
+        probe = overlap_with_common_positions((1, 2), (2, 3))
+        assert probe.overlap == 1
+        assert (probe.first_x, probe.first_y) == (2, 1)
+        assert probe.second_x is None and probe.second_y is None
+
+    def test_no_common_token(self):
+        probe = overlap_with_common_positions((1,), (2,))
+        assert probe.overlap == 0
+        assert probe.first_x is None
+
+    def test_aborted_flag(self):
+        probe = overlap_with_common_positions((1, 9, 10), (2, 3, 4), required=3)
+        assert probe.aborted
+
+    def test_not_aborted_when_reachable(self):
+        probe = overlap_with_common_positions((1, 2, 3), (1, 2, 3), required=3)
+        assert not probe.aborted
+        assert probe.overlap == 3
+
+    def test_overlap_matches_plain_merge(self):
+        x, y = (1, 4, 6, 8, 11), (2, 4, 8, 9, 11)
+        probe = overlap_with_common_positions(x, y)
+        assert probe.overlap == overlap_size(x, y) == 3

@@ -1,0 +1,66 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.plotting import MARKERS, ascii_chart
+
+
+def plot_area(chart: str) -> str:
+    """The chart body only (drops legend/axis footer lines)."""
+    return "\n".join(line for line in chart.splitlines() if "|" in line)
+
+
+class TestAsciiChart:
+    def test_single_series_renders_markers(self):
+        chart = ascii_chart({"a": [(0, 0), (1, 1), (2, 4)]})
+        assert plot_area(chart).count("*") == 3
+        assert "legend: * a" in chart
+
+    def test_two_series_distinct_markers(self):
+        chart = ascii_chart(
+            {"fast": [(1, 1), (2, 2)], "slow": [(1, 3), (2, 6)]}
+        )
+        assert "*" in chart and "+" in chart
+        assert "legend: * fast   + slow" in chart
+
+    def test_axis_labels_show_data_range(self):
+        chart = ascii_chart({"s": [(10, 5), (100, 50)]})
+        assert "100" in chart
+        assert "50" in chart
+        assert "5" in chart
+
+    def test_log_scale_annotated(self):
+        chart = ascii_chart({"s": [(1, 1), (10, 100)]}, log_x=True, log_y=True)
+        assert "log x" in chart and "log y" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart({"flat": [(1, 7), (2, 7), (3, 7)]})
+        assert plot_area(chart).count("*") >= 1
+
+    def test_single_point(self):
+        chart = ascii_chart({"dot": [(5, 5)]})
+        assert plot_area(chart).count("*") == 1
+
+    def test_empty_series(self):
+        assert ascii_chart({}) == "(no data)"
+        assert ascii_chart({"a": []}) == "(no data)"
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [(1, 1)]}, width=4, height=2)
+
+    def test_dimensions_respected(self):
+        chart = ascii_chart({"a": [(0, 0), (9, 9)]}, width=20, height=8)
+        plot_lines = [line for line in chart.splitlines() if "|" in line]
+        assert len(plot_lines) == 8
+        body_widths = {len(line.split("|", 1)[1]) for line in plot_lines}
+        assert body_widths == {20}
+
+    def test_markers_cycle_available(self):
+        assert len(MARKERS) >= 4
+
+    def test_points_in_correct_corners(self):
+        chart = ascii_chart({"a": [(0, 0), (10, 10)]}, width=10, height=5)
+        rows = [line.split("|", 1)[1] for line in chart.splitlines() if "|" in line]
+        assert rows[0].rstrip().endswith("*"), "max point at top right"
+        assert rows[-1].startswith("*"), "min point at bottom left"

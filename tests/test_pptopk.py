@@ -1,0 +1,94 @@
+"""Tests for the pptopk baseline (Section VII-A, Table II)."""
+
+import pytest
+
+from repro import (
+    Cosine,
+    Jaccard,
+    PptopkStats,
+    naive_topk,
+    pptopk_join,
+)
+from repro.core.pptopk import default_threshold_schedule
+from repro.data import random_integer_collection
+
+from conftest import make_collection, rounded_multiset
+
+
+class TestSchedule:
+    def test_jaccard_schedule_start_and_step(self):
+        schedule = default_threshold_schedule(Jaccard())
+        first = [next(schedule) for __ in range(3)]
+        assert first == pytest.approx([0.95, 0.90, 0.85])
+
+    def test_cosine_schedule_start_and_step(self):
+        schedule = default_threshold_schedule(Cosine())
+        first = [next(schedule) for __ in range(3)]
+        assert first == pytest.approx([0.975, 0.95, 0.925])
+
+    def test_schedule_bottoms_out_positive(self):
+        values = list(default_threshold_schedule(Jaccard()))
+        assert values[-1] > 0
+        assert values == sorted(values, reverse=True)
+
+
+class TestCorrectness:
+    def test_matches_oracle_when_enough_results(self, rng):
+        for __ in range(10):
+            coll = random_integer_collection(30, 12, 8, rng=rng)
+            k = 5
+            got = pptopk_join(coll, k)
+            want = naive_topk(coll, k)
+            # pptopk only guarantees the top-k that clear its lowest
+            # threshold; compare on the prefix it did return.
+            assert rounded_multiset(got) == rounded_multiset(want)[: len(got)]
+
+    def test_exact_match_on_similar_data(self):
+        coll = make_collection(
+            [1, 2, 3, 4], [1, 2, 3, 5], [1, 2, 3, 4, 5], [7, 8, 9], [7, 8, 10]
+        )
+        got = pptopk_join(coll, 3)
+        want = naive_topk(coll, 3)
+        assert rounded_multiset(got) == rounded_multiset(want)
+
+    def test_results_sorted(self, rng):
+        coll = random_integer_collection(40, 10, 8, rng=rng)
+        values = [r.similarity for r in pptopk_join(coll, 10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_custom_threshold_schedule(self, rng):
+        coll = random_integer_collection(30, 10, 6, rng=rng)
+        got = pptopk_join(coll, 5, thresholds=[0.9, 0.5, 0.1])
+        want = naive_topk(coll, 5)
+        assert rounded_multiset(got) == rounded_multiset(want)[: len(got)]
+
+
+class TestStats:
+    def test_round_results_recorded(self, rng):
+        coll = random_integer_collection(50, 15, 8, rng=rng)
+        stats = PptopkStats()
+        pptopk_join(coll, 20, stats=stats)
+        assert stats.rounds == len(stats.thresholds) == len(stats.round_results)
+        assert stats.rounds >= 1
+
+    def test_thresholds_decreasing(self, rng):
+        coll = random_integer_collection(50, 15, 8, rng=rng)
+        stats = PptopkStats()
+        pptopk_join(coll, 20, stats=stats)
+        assert stats.thresholds == sorted(stats.thresholds, reverse=True)
+
+    def test_round_results_nondecreasing(self, rng):
+        # Lower threshold => superset of results (Table II's growth).
+        coll = random_integer_collection(60, 15, 8, rng=rng)
+        stats = PptopkStats()
+        pptopk_join(coll, 30, stats=stats)
+        assert stats.round_results == sorted(stats.round_results)
+
+    def test_last_round_reaches_k_or_schedule_floor(self, rng):
+        coll = random_integer_collection(60, 15, 8, rng=rng)
+        stats = PptopkStats()
+        results = pptopk_join(coll, 10, stats=stats)
+        assert len(results) <= 10
+        if stats.round_results[-1] < 10:
+            # Schedule exhausted without reaching k.
+            assert stats.thresholds[-1] == pytest.approx(0.05)

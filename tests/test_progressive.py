@@ -1,0 +1,78 @@
+"""Tests for progressive emission (Section VII-F / Figure 5(b-c))."""
+
+from repro import TopkOptions, TopkStats, topk_join
+from repro.data import random_integer_collection, synthetic_collection
+
+
+def run_with_trace(collection, k, **option_overrides):
+    stats = TopkStats()
+    options = TopkOptions(**option_overrides)
+    results = topk_join(collection, k, options=options, stats=stats)
+    return results, stats
+
+
+class TestEmissionTrace:
+    def test_trace_recorded_per_result(self, rng):
+        coll = random_integer_collection(60, 20, 8, rng=rng)
+        results, stats = run_with_trace(coll, 20)
+        positive = [r for r in results if r.similarity > 0]
+        assert len(stats.emits) == len(positive)
+        assert [e.index for e in stats.emits] == list(
+            range(1, len(positive) + 1)
+        )
+
+    def test_similarities_non_increasing(self, rng):
+        coll = random_integer_collection(60, 20, 8, rng=rng)
+        __, stats = run_with_trace(coll, 20)
+        values = [e.similarity for e in stats.emits]
+        assert values == sorted(values, reverse=True)
+
+    def test_upper_bound_non_increasing(self, rng):
+        coll = random_integer_collection(60, 20, 8, rng=rng)
+        __, stats = run_with_trace(coll, 20)
+        bounds = [e.upper_bound for e in stats.emits]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_s_k_non_decreasing(self, rng):
+        coll = random_integer_collection(60, 20, 8, rng=rng)
+        __, stats = run_with_trace(coll, 20)
+        s_k_values = [e.s_k for e in stats.emits]
+        assert s_k_values == sorted(s_k_values)
+
+    def test_elapsed_non_decreasing(self, rng):
+        coll = random_integer_collection(60, 20, 8, rng=rng)
+        __, stats = run_with_trace(coll, 20)
+        elapsed = [e.elapsed for e in stats.emits]
+        assert elapsed == sorted(elapsed)
+
+    def test_emission_dominates_remaining_bound(self, rng):
+        # The defining guarantee: at emission time, the result's similarity
+        # is at least the upper bound of everything unseen.
+        coll = random_integer_collection(60, 20, 8, rng=rng)
+        __, stats = run_with_trace(coll, 20)
+        for event in stats.emits:
+            assert event.similarity >= event.upper_bound - 1e-12
+
+
+class TestInteractiveScenario:
+    def test_early_results_before_exhaustion(self):
+        # On data with clear near-duplicates, the first result must be
+        # emitted while plenty of events remain (the paper's interactive
+        # use case: stop any time).
+        coll = synthetic_collection(
+            150, avg_size=12, universe=2000, seed=10, duplicate_fraction=0.4
+        )
+        __, stats = run_with_trace(coll, 50)
+        assert stats.emits, "no progressive emissions recorded"
+        first = stats.emits[0]
+        last = stats.emits[-1]
+        assert first.elapsed <= last.elapsed
+        # The first emission happens while the remaining bound is still
+        # meaningfully high (events left to process).
+        assert first.upper_bound > 0.0
+
+    def test_trace_consistent_without_compression(self, rng):
+        coll = random_integer_collection(60, 20, 8, rng=rng)
+        __, stats = run_with_trace(coll, 20, compress_events=False)
+        values = [e.similarity for e in stats.emits]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode the paper's lemmas directly:
+
+* Lemma 1 (prefix filtering principle);
+* Lemma 2 (index reduction principle);
+* soundness of the probing / indexing / accessing upper bounds;
+* top-k equivalence with the exhaustive oracle;
+* threshold-join equivalence with the naive join.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Cosine,
+    Dice,
+    Jaccard,
+    Overlap,
+    naive_threshold_join,
+    naive_topk,
+    ppjoin_plus,
+    topk_join,
+)
+from repro.data import RecordCollection
+from repro.similarity.overlap import overlap_size
+
+from conftest import rounded_multiset
+
+token_sets = st.lists(
+    st.sets(st.integers(min_value=0, max_value=20), min_size=1, max_size=8),
+    min_size=2,
+    max_size=15,
+)
+sorted_records = st.sets(
+    st.integers(min_value=0, max_value=30), min_size=1, max_size=12
+).map(lambda s: tuple(sorted(s)))
+thresholds = st.sampled_from([0.2, 0.4, 0.6, 0.8, 0.95])
+similarities = st.sampled_from([Jaccard(), Cosine(), Dice()])
+
+
+@given(x=sorted_records, y=sorted_records, sim=similarities, t=thresholds)
+@settings(max_examples=300, deadline=None)
+def test_prefix_filtering_principle(x, y, sim, t):
+    """Lemma 1: if sim(x,y) >= t, the t-prefixes share a token."""
+    if sim.similarity(x, y) < t:
+        return
+    prefix_x = x[: sim.probing_prefix_length(len(x), t)]
+    prefix_y = y[: sim.probing_prefix_length(len(y), t)]
+    assert set(prefix_x) & set(prefix_y)
+
+
+@given(x=sorted_records, y=sorted_records, sim=similarities, t=thresholds)
+@settings(max_examples=300, deadline=None)
+def test_index_reduction_principle(x, y, sim, t):
+    """Lemma 2: for |y| >= |x|, the probing prefix of y must intersect the
+    *indexing* prefix of x whenever sim(x,y) >= t."""
+    if len(y) < len(x):
+        x, y = y, x
+    if sim.similarity(x, y) < t:
+        return
+    indexing_x = x[: sim.indexing_prefix_length(len(x), t)]
+    probing_y = y[: sim.probing_prefix_length(len(y), t)]
+    assert set(indexing_x) & set(probing_y)
+
+
+@given(x=sorted_records, y=sorted_records, sim=similarities)
+@settings(max_examples=300, deadline=None)
+def test_probing_upper_bound_sound(x, y, sim):
+    """sim(x,y) <= probing bound at the first common position in x."""
+    common = sorted(set(x) & set(y))
+    if not common:
+        return
+    position = x.index(common[0]) + 1
+    assert sim.similarity(x, y) <= sim.probing_upper_bound(
+        len(x), position
+    ) + 1e-12
+
+
+@given(x=sorted_records, y=sorted_records, sim=similarities)
+@settings(max_examples=300, deadline=None)
+def test_indexing_upper_bound_sound_for_equal_or_larger_partner(x, y, sim):
+    """Lemma 4's bound holds whenever the partner is no smaller."""
+    if len(y) < len(x):
+        x, y = y, x
+    common = sorted(set(x) & set(y))
+    if not common:
+        return
+    position = x.index(common[0]) + 1
+    assert sim.similarity(x, y) <= sim.indexing_upper_bound(
+        len(x), position
+    ) + 1e-12
+
+
+@given(x=sorted_records, y=sorted_records, sim=similarities)
+@settings(max_examples=300, deadline=None)
+def test_accessing_upper_bound_sound(x, y, sim):
+    """sim(x,y) <= accessing bound of the two probing bounds."""
+    common = sorted(set(x) & set(y))
+    if not common:
+        return
+    pos_x = x.index(common[0]) + 1
+    pos_y = y.index(common[0]) + 1
+    bound = sim.accessing_upper_bound(
+        sim.probing_upper_bound(len(x), pos_x),
+        sim.probing_upper_bound(len(y), pos_y),
+    )
+    assert sim.similarity(x, y) <= bound + 1e-9
+
+
+@given(x=sorted_records, y=sorted_records, sim=similarities, t=thresholds)
+@settings(max_examples=300, deadline=None)
+def test_required_overlap_exact(x, y, sim, t):
+    alpha = sim.required_overlap(t, len(x), len(y))
+    overlap = overlap_size(x, y)
+    if sim.similarity(x, y) >= t:
+        assert overlap >= alpha
+    else:
+        assert overlap < alpha
+
+
+@given(sets=token_sets, k=st.integers(min_value=1, max_value=20))
+@settings(max_examples=60, deadline=None)
+def test_topk_matches_oracle(sets, k):
+    coll = RecordCollection.from_integer_sets(list(sets), dedupe=False)
+    got = rounded_multiset(topk_join(coll, k))
+    want = rounded_multiset(naive_topk(coll, k))
+    assert got == want
+
+
+@given(sets=token_sets, k=st.integers(min_value=1, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_topk_cosine_matches_oracle(sets, k):
+    coll = RecordCollection.from_integer_sets(list(sets), dedupe=False)
+    got = rounded_multiset(topk_join(coll, k, similarity=Cosine()))
+    want = rounded_multiset(naive_topk(coll, k, similarity=Cosine()))
+    assert got == want
+
+
+@given(sets=token_sets, t=thresholds)
+@settings(max_examples=60, deadline=None)
+def test_ppjoin_plus_matches_naive(sets, t):
+    coll = RecordCollection.from_integer_sets(list(sets), dedupe=False)
+    assert set(ppjoin_plus(coll, t)) == set(naive_threshold_join(coll, t))
+
+
+@given(sets=token_sets, k=st.integers(min_value=1, max_value=10))
+@settings(max_examples=40, deadline=None)
+def test_overlap_similarity_topk(sets, k):
+    coll = RecordCollection.from_integer_sets(list(sets), dedupe=False)
+    got = rounded_multiset(topk_join(coll, k, similarity=Overlap()))
+    want = rounded_multiset(naive_topk(coll, k, similarity=Overlap()))
+    assert got == want
+
+
+@given(
+    size=st.integers(min_value=1, max_value=40),
+    t=st.floats(min_value=0.05, max_value=1.0),
+    sim=similarities,
+)
+@settings(max_examples=300, deadline=None)
+def test_prefix_length_inverts_probing_bound(size, t, sim):
+    """The probing prefix is exactly the positions with bound >= t."""
+    length = sim.probing_prefix_length(size, t)
+    if length < size:
+        assert sim.probing_upper_bound(size, length + 1) < t
+    if length >= 1:
+        assert sim.probing_upper_bound(size, length) >= t
+    assert 0 <= length <= size
+    assert not math.isnan(length)

@@ -1,0 +1,91 @@
+"""Property-based tests for the extensions (R-S join, session, approx)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    TaggedCollection,
+    TopkSession,
+    naive_topk,
+    naive_topk_rs,
+    topk_join_rs,
+)
+from repro.approx import MinHasher, estimate_jaccard
+from repro.data import RecordCollection
+from repro.similarity import Jaccard
+
+from conftest import rounded_multiset
+
+token_sets = st.lists(
+    st.sets(st.integers(min_value=0, max_value=15), min_size=1, max_size=6),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(r=token_sets, s=token_sets, k=st.integers(min_value=1, max_value=12))
+@settings(max_examples=50, deadline=None)
+def test_rs_join_matches_oracle(r, s, k):
+    tagged = TaggedCollection.from_integer_sets(list(r), list(s))
+    got = rounded_multiset(topk_join_rs(tagged, k))
+    want = rounded_multiset(naive_topk_rs(tagged, k))
+    assert got[: len(want)] == want
+    assert all(value == 0.0 for value in got[len(want):])
+
+
+@given(r=token_sets, s=token_sets, k=st.integers(min_value=1, max_value=12))
+@settings(max_examples=50, deadline=None)
+def test_rs_join_returns_only_cross_pairs(r, s, k):
+    tagged = TaggedCollection.from_integer_sets(list(r), list(s))
+    for result in topk_join_rs(tagged, k):
+        assert tagged.side(result.x) != tagged.side(result.y)
+
+
+@given(
+    sets=st.lists(
+        st.sets(st.integers(min_value=0, max_value=20), min_size=1, max_size=8),
+        min_size=2,
+        max_size=12,
+    ),
+    depths=st.lists(
+        st.integers(min_value=1, max_value=15), min_size=1, max_size=4
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_session_consistent_at_any_depth_order(sets, depths):
+    coll = RecordCollection.from_integer_sets(list(sets), dedupe=False)
+    max_k = max(depths)
+    session = TopkSession(coll, max_k=max_k)
+    for k in depths:
+        got = rounded_multiset(session.top(k))
+        want = rounded_multiset(naive_topk(coll, k))
+        # The session only omits zero-similarity padding.
+        assert got == want[: len(got)]
+        assert all(value == 0.0 for value in want[len(got):])
+
+
+@given(
+    x=st.sets(st.integers(min_value=0, max_value=100), min_size=1, max_size=30),
+    y=st.sets(st.integers(min_value=0, max_value=100), min_size=1, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_minhash_estimate_within_bounds(x, y):
+    hasher = MinHasher(num_hashes=64, seed=11)
+    estimate = estimate_jaccard(
+        hasher.signature(tuple(x)), hasher.signature(tuple(y))
+    )
+    assert 0.0 <= estimate <= 1.0
+    truth = Jaccard().similarity(tuple(sorted(x)), tuple(sorted(y)))
+    if truth == 1.0:
+        assert estimate == 1.0
+
+
+@given(
+    x=st.sets(st.integers(min_value=0, max_value=50), min_size=1, max_size=20)
+)
+@settings(max_examples=40, deadline=None)
+def test_minhash_permutation_invariant(x):
+    hasher = MinHasher(num_hashes=32, seed=13)
+    ordered = tuple(sorted(x))
+    reversed_order = tuple(reversed(ordered))
+    assert hasher.signature(ordered) == hasher.signature(reversed_order)

@@ -1,0 +1,103 @@
+"""Property-based tests for the search and dedup layers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import RecordCollection
+from repro.dedup import cluster_by_threshold
+from repro.search import SearchIndex
+from repro.similarity import Jaccard
+
+token_sets = st.lists(
+    st.sets(st.integers(min_value=0, max_value=18), min_size=1, max_size=7),
+    min_size=2,
+    max_size=14,
+)
+queries = st.sets(
+    st.integers(min_value=0, max_value=18), min_size=1, max_size=7
+).map(lambda s: tuple(sorted(s)))
+thresholds = st.sampled_from([0.25, 0.5, 0.75, 1.0])
+
+
+@given(sets=token_sets, query=queries, t=thresholds)
+@settings(max_examples=80, deadline=None)
+def test_threshold_search_exact(sets, query, t):
+    coll = RecordCollection.from_integer_sets(list(sets), dedupe=False)
+    index = SearchIndex(coll)
+    sim = Jaccard()
+    got = {(hit.rid, round(hit.similarity, 9))
+           for hit in index.threshold_search(query, t)}
+    want = set()
+    for record in coll:
+        value = sim.similarity(query, record.tokens)
+        if value >= t:
+            want.add((record.rid, round(value, 9)))
+    assert got == want
+
+
+@given(sets=token_sets, query=queries, k=st.integers(min_value=1, max_value=8))
+@settings(max_examples=80, deadline=None)
+def test_topk_search_exact_multiset(sets, query, k):
+    coll = RecordCollection.from_integer_sets(list(sets), dedupe=False)
+    index = SearchIndex(coll)
+    sim = Jaccard()
+    got = sorted(
+        (round(hit.similarity, 9) for hit in index.topk_search(query, k)),
+        reverse=True,
+    )
+    want = sorted(
+        (
+            round(sim.similarity(query, record.tokens), 9)
+            for record in coll
+        ),
+        reverse=True,
+    )[:k]
+    assert got == want
+
+
+@given(sets=token_sets, t=thresholds)
+@settings(max_examples=60, deadline=None)
+def test_clustering_is_transitive_closure(sets, t):
+    coll = RecordCollection.from_integer_sets(list(sets), dedupe=False)
+    clustering = cluster_by_threshold(coll, t)
+    sim = Jaccard()
+
+    # Reference: BFS over the naive >= t graph.
+    n = len(coll)
+    adjacency = {i: [] for i in range(n)}
+    for a in range(n):
+        for b in range(a + 1, n):
+            if sim.similarity(coll[a].tokens, coll[b].tokens) >= t:
+                adjacency[a].append(b)
+                adjacency[b].append(a)
+    component = {}
+    for start in range(n):
+        if start in component:
+            continue
+        queue = [start]
+        component[start] = start
+        while queue:
+            node = queue.pop()
+            for neighbour in adjacency[node]:
+                if neighbour not in component:
+                    component[neighbour] = start
+                    queue.append(neighbour)
+
+    for a in range(n):
+        for b in range(n):
+            same_reference = component[a] == component[b]
+            same_clustering = (
+                clustering.cluster_of[a] == clustering.cluster_of[b]
+            )
+            assert same_reference == same_clustering
+
+
+@given(sets=token_sets, t=thresholds)
+@settings(max_examples=40, deadline=None)
+def test_representatives_one_per_cluster(sets, t):
+    coll = RecordCollection.from_integer_sets(list(sets), dedupe=False)
+    clustering = cluster_by_threshold(coll, t)
+    representatives = clustering.representatives(coll)
+    assert len(representatives) == len(clustering.clusters)
+    owning = {clustering.cluster_of[rid] for rid in representatives}
+    assert len(owning) == len(representatives)

@@ -1,0 +1,99 @@
+"""Tests for the R-S (two-collection) top-k join extension."""
+
+import random
+
+import pytest
+
+from repro import TaggedCollection, naive_topk_rs, topk_join_rs
+
+from conftest import rounded_multiset
+
+
+def random_side(rng, count, universe, max_size):
+    return [
+        [rng.randrange(universe) for __ in range(rng.randint(1, max_size))]
+        for __ in range(count)
+    ]
+
+
+class TestTaggedCollection:
+    def test_sides_assigned(self):
+        tagged = TaggedCollection.from_integer_sets([[1, 2]], [[2, 3]])
+        sides = sorted(tagged.side(rid) for rid in range(len(tagged)))
+        assert sides == [0, 1]
+
+    def test_joint_universe_from_token_lists(self):
+        tagged = TaggedCollection.from_token_lists(
+            [["a", "b"]], [["b", "c"]]
+        )
+        assert tagged.collection.universe_size == 3
+
+    def test_identical_cross_records_kept(self):
+        # No dedupe across sides: identical records are a sim-1.0 result.
+        tagged = TaggedCollection.from_token_lists(
+            [["x", "y"]], [["x", "y"]]
+        )
+        assert len(tagged) == 2
+        best = topk_join_rs(tagged, 1)[0]
+        assert best.similarity == pytest.approx(1.0)
+
+    def test_empty_records_dropped(self):
+        tagged = TaggedCollection.from_integer_sets([[], [1]], [[2]])
+        assert len(tagged) == 2
+
+    def test_source_ids_per_side(self):
+        tagged = TaggedCollection.from_integer_sets(
+            [[1], [1, 2, 3]], [[9, 10]]
+        )
+        for rid in range(len(tagged)):
+            record = tagged.collection[rid]
+            side_size = 2 if tagged.side(rid) == 0 else 1
+            assert 0 <= record.source_id < side_size
+
+
+class TestCorrectness:
+    def test_only_cross_pairs_returned(self, rng):
+        r = random_side(rng, 15, 20, 6)
+        s = random_side(rng, 15, 20, 6)
+        tagged = TaggedCollection.from_integer_sets(r, s)
+        for result in topk_join_rs(tagged, 20):
+            assert tagged.side(result.x) != tagged.side(result.y)
+
+    def test_matches_oracle_randomized(self, rng):
+        for __ in range(25):
+            r = random_side(rng, rng.randint(1, 18), rng.randint(4, 25), 7)
+            s = random_side(rng, rng.randint(1, 18), rng.randint(4, 25), 7)
+            tagged = TaggedCollection.from_integer_sets(r, s)
+            k = rng.randint(1, 12)
+            got = rounded_multiset(topk_join_rs(tagged, k))
+            want = rounded_multiset(naive_topk_rs(tagged, k))
+            # topk_join_rs zero-pads beyond the oracle's cross pairs.
+            assert got[: len(want)] == want
+            assert all(value == 0.0 for value in got[len(want):])
+
+    def test_descending_order(self, rng):
+        r = random_side(rng, 20, 15, 6)
+        s = random_side(rng, 20, 15, 6)
+        tagged = TaggedCollection.from_integer_sets(r, s)
+        values = [x.similarity for x in topk_join_rs(tagged, 15)]
+        assert values == sorted(values, reverse=True)
+
+    def test_disjoint_sides_zero_filled(self):
+        tagged = TaggedCollection.from_integer_sets(
+            [[1], [2]], [[10], [11]]
+        )
+        results = topk_join_rs(tagged, 3)
+        assert len(results) == 3
+        assert all(x.similarity == 0.0 for x in results)
+
+    def test_budget_escalation_path(self, rng):
+        # Many high-similarity same-side pairs force the enlarged-budget
+        # retry: R records are near-identical to each other, while cross
+        # similarities are low but nonzero.
+        r = [[1, 2, 3, 4, i + 100] for i in range(12)]
+        s = [[4, 200 + i, 300 + i] for i in range(4)]
+        tagged = TaggedCollection.from_integer_sets(r, s)
+        k = 10
+        got = rounded_multiset(topk_join_rs(tagged, k))
+        want = rounded_multiset(naive_topk_rs(tagged, k))
+        assert got[: len(want)] == want

@@ -1,0 +1,106 @@
+"""Tests for threshold R-S joins (repro.joins.rs)."""
+
+import pytest
+
+from repro import Cosine, Jaccard, JoinStats, TaggedCollection
+from repro.data import RecordCollection
+from repro.joins.rs import threshold_join_rs, threshold_join_tagged
+from repro.similarity import SimilarityFunction
+
+
+def naive_rs(left, right, threshold, sim: SimilarityFunction):
+    results = []
+    for r in left:
+        for s in right:
+            value = sim.similarity(r.tokens, s.tokens)
+            if value >= threshold:
+                results.append((r.rid, s.rid, round(value, 9)))
+    return sorted(results)
+
+
+def build(rng, count, universe, max_size):
+    sets = [
+        [rng.randrange(universe) for __ in range(rng.randint(1, max_size))]
+        for __ in range(count)
+    ]
+    return RecordCollection.from_integer_sets(sets, dedupe=False)
+
+
+class TestThresholdJoinRS:
+    @pytest.mark.parametrize("sim", [Jaccard(), Cosine()],
+                             ids=lambda s: s.name)
+    @pytest.mark.parametrize("threshold", [0.3, 0.5, 0.8])
+    def test_matches_naive(self, sim, threshold, rng):
+        for __ in range(10):
+            left = build(rng, rng.randint(1, 25), 20, 8)
+            right = build(rng, rng.randint(1, 25), 20, 8)
+            got = sorted(
+                (pair.x, pair.y, round(pair.similarity, 9))
+                for pair in threshold_join_rs(
+                    left, right, threshold, similarity=sim
+                )
+            )
+            assert got == naive_rs(left, right, threshold, sim)
+
+    def test_result_sides(self, rng):
+        left = build(rng, 10, 15, 6)
+        right = build(rng, 12, 15, 6)
+        for pair in threshold_join_rs(left, right, 0.3):
+            assert 0 <= pair.x < len(left)
+            assert 0 <= pair.y < len(right)
+
+    def test_swapped_sizes_consistent(self, rng):
+        # The implementation indexes the smaller side; answers must not
+        # depend on which side is bigger.
+        small = build(rng, 5, 12, 5)
+        big = build(rng, 30, 12, 5)
+        a = {(p.x, p.y) for p in threshold_join_rs(small, big, 0.4)}
+        b = {(p.y, p.x) for p in threshold_join_rs(big, small, 0.4)}
+        assert a == b
+
+    def test_invalid_threshold(self, rng):
+        left = build(rng, 2, 5, 3)
+        with pytest.raises(ValueError):
+            threshold_join_rs(left, left, 0.0)
+
+    def test_empty_side(self):
+        empty = RecordCollection([], universe_size=0)
+        other = RecordCollection.from_integer_sets([[1, 2]])
+        assert threshold_join_rs(empty, other, 0.5) == []
+        assert threshold_join_rs(other, empty, 0.5) == []
+
+    def test_stats_populated(self, rng):
+        left = build(rng, 20, 10, 6)
+        right = build(rng, 20, 10, 6)
+        stats = JoinStats()
+        results = threshold_join_rs(left, right, 0.4, stats=stats)
+        assert stats.results == len(results)
+        assert stats.index_entries > 0
+
+
+class TestThresholdJoinTagged:
+    def test_cross_pairs_only(self, rng):
+        r = [[rng.randrange(15) for __ in range(4)] for __ in range(15)]
+        s = [[rng.randrange(15) for __ in range(4)] for __ in range(15)]
+        tagged = TaggedCollection.from_integer_sets(r, s)
+        for pair in threshold_join_tagged(tagged, 0.4):
+            assert tagged.side(pair.x) != tagged.side(pair.y)
+
+    def test_agrees_with_direct_rs_join(self, rng):
+        # Same universe on both sides so ranks align across constructions.
+        r = [[rng.randrange(12) for __ in range(rng.randint(1, 5))]
+             for __ in range(12)]
+        s = [[rng.randrange(12) for __ in range(rng.randint(1, 5))]
+             for __ in range(12)]
+        tagged = TaggedCollection.from_integer_sets(r, s)
+        got = sorted(
+            round(pair.similarity, 9)
+            for pair in threshold_join_tagged(tagged, 0.5)
+        )
+        left = RecordCollection.from_integer_sets(r, dedupe=False)
+        right = RecordCollection.from_integer_sets(s, dedupe=False)
+        want = sorted(
+            round(pair.similarity, 9)
+            for pair in threshold_join_rs(left, right, 0.5)
+        )
+        assert got == want

@@ -1,0 +1,61 @@
+"""Tests for pptopk threshold schedules."""
+
+import pytest
+
+from repro import Jaccard, naive_topk, pptopk_join
+from repro.core.pptopk import geometric_threshold_schedule
+from repro.data import random_integer_collection
+
+from conftest import rounded_multiset
+
+
+class TestGeometricSchedule:
+    def test_decreasing(self):
+        values = list(geometric_threshold_schedule(0.9, 0.7))
+        assert values == sorted(values, reverse=True)
+
+    def test_starts_at_start(self):
+        assert next(geometric_threshold_schedule(0.85, 0.5)) == pytest.approx(0.85)
+
+    def test_terminates_at_floor(self):
+        values = list(geometric_threshold_schedule(0.9, 0.5))
+        assert values[-1] == pytest.approx(0.05)
+
+    def test_ratio_validation(self):
+        for ratio in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                list(geometric_threshold_schedule(0.9, ratio))
+
+    def test_aggressive_ratio_means_more_rounds(self):
+        lazy = list(geometric_threshold_schedule(0.9, 0.5))
+        eager = list(geometric_threshold_schedule(0.9, 0.9))
+        assert len(eager) > len(lazy)
+
+
+class TestPptopkWithCustomSchedules:
+    def test_geometric_schedule_correct(self, rng):
+        coll = random_integer_collection(40, 15, 8, rng=rng)
+        thresholds = list(geometric_threshold_schedule(0.9, 0.6))
+        got = pptopk_join(coll, 8, thresholds=thresholds)
+        want = naive_topk(coll, 8, similarity=Jaccard())
+        assert rounded_multiset(got) == rounded_multiset(want)[: len(got)]
+
+    def test_schedule_granularity_tradeoff(self, rng):
+        # Finer schedules never return worse answers, only cost more
+        # rounds.  Both must produce the same top-k multiset.
+        from repro import PptopkStats
+
+        coll = random_integer_collection(60, 15, 8, rng=rng)
+        fine_stats, coarse_stats = PptopkStats(), PptopkStats()
+        fine = pptopk_join(
+            coll, 10,
+            thresholds=list(geometric_threshold_schedule(0.95, 0.9)),
+            stats=fine_stats,
+        )
+        coarse = pptopk_join(
+            coll, 10,
+            thresholds=list(geometric_threshold_schedule(0.95, 0.4)),
+            stats=coarse_stats,
+        )
+        assert rounded_multiset(fine)[:10] == rounded_multiset(coarse)[:10]
+        assert fine_stats.rounds >= coarse_stats.rounds

@@ -1,0 +1,121 @@
+"""Tests for the similarity-search module (repro.search)."""
+
+import random
+
+import pytest
+
+from repro.data import RecordCollection, random_integer_collection
+from repro.search import SearchHit, SearchIndex
+from repro.similarity import Cosine, Jaccard
+
+
+def naive_search(collection, query, sim, query_size=None):
+    size_q = query_size if query_size is not None else len(query)
+    hits = []
+    for record in collection:
+        overlap = len(set(query) & set(record.tokens))
+        hits.append(
+            SearchHit(record.rid, sim.from_overlap(overlap, size_q, len(record)))
+        )
+    hits.sort(key=lambda hit: (-hit.similarity, hit.rid))
+    return hits
+
+
+@pytest.fixture
+def collection(rng):
+    return random_integer_collection(60, universe=30, max_size=8, rng=rng)
+
+
+@pytest.fixture
+def index(collection):
+    return SearchIndex(collection)
+
+
+class TestThresholdSearch:
+    def test_matches_naive(self, collection, index, rng):
+        sim = Jaccard()
+        for __ in range(30):
+            query = tuple(sorted(rng.sample(range(30), rng.randint(1, 8))))
+            for threshold in (0.3, 0.6, 0.9):
+                got = index.threshold_search(query, threshold)
+                want = [
+                    hit
+                    for hit in naive_search(collection, query, sim)
+                    if hit.similarity >= threshold
+                ]
+                assert got == want
+
+    def test_sorted_descending(self, index, rng):
+        query = tuple(sorted(rng.sample(range(30), 6)))
+        hits = index.threshold_search(query, 0.2)
+        values = [hit.similarity for hit in hits]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_threshold(self, index):
+        with pytest.raises(ValueError):
+            index.threshold_search((1, 2), 0.0)
+
+    def test_exact_duplicate_found(self):
+        coll = RecordCollection.from_integer_sets([[1, 2, 3], [4, 5]])
+        hits = SearchIndex(coll).threshold_search((1, 2, 3), 1.0)
+        assert len(hits) == 1
+        assert hits[0].similarity == pytest.approx(1.0)
+
+
+class TestTopkSearch:
+    def test_matches_naive(self, collection, index, rng):
+        sim = Jaccard()
+        for __ in range(30):
+            query = tuple(sorted(rng.sample(range(30), rng.randint(1, 8))))
+            k = rng.randint(1, 10)
+            got = [round(h.similarity, 9) for h in index.topk_search(query, k)]
+            want = [
+                round(h.similarity, 9)
+                for h in naive_search(collection, query, sim)[:k]
+            ]
+            assert got == want
+
+    def test_cosine_variant(self, collection, rng):
+        index = SearchIndex(collection, similarity=Cosine())
+        sim = Cosine()
+        query = tuple(sorted(rng.sample(range(30), 5)))
+        got = [round(h.similarity, 9) for h in index.topk_search(query, 5)]
+        want = [
+            round(h.similarity, 9)
+            for h in naive_search(collection, query, sim)[:5]
+        ]
+        assert got == want
+
+    def test_k_larger_than_collection(self, collection, index):
+        hits = index.topk_search((1, 2, 3), k=10**6)
+        assert len(hits) <= len(collection)
+
+    def test_invalid_k(self, index):
+        with pytest.raises(ValueError):
+            index.topk_search((1,), 0)
+
+
+class TestStringQueries:
+    def test_prepare_query_known_and_unknown(self):
+        coll = RecordCollection.from_texts(["alpha beta", "beta gamma"])
+        index = SearchIndex(coll)
+        ranks, size = index.prepare_query(["beta", "nonexistent"])
+        assert size == 2
+        assert len(ranks) == 1
+
+    def test_unknown_tokens_lower_similarity(self):
+        coll = RecordCollection.from_texts(["alpha beta"])
+        index = SearchIndex(coll)
+        exact_ranks, exact_size = index.prepare_query(["alpha", "beta"])
+        noisy_ranks, noisy_size = index.prepare_query(
+            ["alpha", "beta", "zzz"]
+        )
+        exact = index.topk_search(exact_ranks, 1, query_size=exact_size)
+        noisy = index.topk_search(noisy_ranks, 1, query_size=noisy_size)
+        assert exact[0].similarity == pytest.approx(1.0)
+        assert noisy[0].similarity == pytest.approx(2 / 3)
+
+    def test_integer_collection_rejects_string_queries(self):
+        coll = RecordCollection.from_integer_sets([[1, 2]])
+        with pytest.raises(ValueError):
+            SearchIndex(coll).prepare_query(["a"])

@@ -1,0 +1,66 @@
+"""Tests for temporary-result initialization (Section V-B)."""
+
+from repro.core.results import TopKBuffer
+from repro.core.seeding import choose_seed_token, seed_temporary_results
+from repro.core.verification import VerificationRegistry
+from repro.data import RecordCollection
+from repro.similarity import Jaccard
+
+
+def collection_with_shared_token(holders: int, total: int):
+    sets = []
+    for i in range(holders):
+        sets.append([0, 100 + i, 200 + i])
+    for i in range(holders, total):
+        sets.append([300 + i, 400 + i, 500 + i])
+    return RecordCollection.from_integer_sets(sets)
+
+
+class TestChooseSeedToken:
+    def test_prefers_band_token(self):
+        # Token 1 has df 12 (inside [10, 100]); token 2 has df 3.
+        frequencies = {1: 12, 2: 3, 3: 500}
+        assert choose_seed_token(frequencies, k=5) == 1
+
+    def test_requires_enough_pairs(self):
+        # df 4 yields 6 pairs < k=10; df 20 yields 190 >= 10.
+        frequencies = {1: 4, 2: 20}
+        assert choose_seed_token(frequencies, k=10) == 2
+
+    def test_smallest_qualifying_df_wins(self):
+        frequencies = {7: 50, 8: 12, 9: 30}
+        assert choose_seed_token(frequencies, k=5) == 8
+
+    def test_fallback_outside_band(self):
+        frequencies = {1: 200, 2: 300}
+        assert choose_seed_token(frequencies, k=5) == 1
+
+    def test_none_when_no_token_supplies_k(self):
+        assert choose_seed_token({1: 2, 2: 3}, k=100) is None
+
+    def test_empty_frequencies(self):
+        assert choose_seed_token({}, k=1) is None
+
+
+class TestSeedTemporaryResults:
+    def test_buffer_filled_from_shared_token(self):
+        coll = collection_with_shared_token(holders=12, total=20)
+        buffer = TopKBuffer(5)
+        registry = VerificationRegistry(Jaccard())
+        verified = seed_temporary_results(coll, Jaccard(), buffer, registry)
+        assert verified > 0
+        assert len(buffer) == 5
+        assert buffer.s_k > 0.0
+
+    def test_no_seed_token_is_noop(self):
+        coll = collection_with_shared_token(holders=2, total=4)
+        buffer = TopKBuffer(50)
+        registry = VerificationRegistry(Jaccard())
+        assert seed_temporary_results(coll, Jaccard(), buffer, registry) in (0, 1)
+
+    def test_seeded_pairs_marked_verified(self):
+        coll = collection_with_shared_token(holders=12, total=15)
+        buffer = TopKBuffer(5)
+        registry = VerificationRegistry(Jaccard(), mode="all")
+        seed_temporary_results(coll, Jaccard(), buffer, registry)
+        assert len(registry) > 0

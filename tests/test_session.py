@@ -1,0 +1,80 @@
+"""Tests for the interactive TopkSession extension."""
+
+import pytest
+
+from repro import TopkSession, naive_topk
+from repro.data import random_integer_collection
+
+from conftest import rounded_multiset
+
+
+@pytest.fixture
+def collection(rng):
+    return random_integer_collection(50, universe=25, max_size=8, rng=rng)
+
+
+class TestTop:
+    def test_matches_oracle_at_each_depth(self, collection):
+        session = TopkSession(collection, max_k=30)
+        for k in (1, 5, 17, 30):
+            got = rounded_multiset(session.top(k))
+            want = rounded_multiset(naive_topk(collection, k))
+            assert got == want
+
+    def test_deepening_is_monotone(self, collection):
+        session = TopkSession(collection, max_k=25)
+        ten = session.top(10)
+        twenty = session.top(20)
+        assert twenty[:10] == ten
+
+    def test_shrinking_served_from_cache(self, collection):
+        session = TopkSession(collection, max_k=25)
+        twenty = session.top(20)
+        events_after = session.stats.events
+        five = session.top(5)
+        assert five == twenty[:5]
+        assert session.stats.events == events_after, "no extra work done"
+
+    def test_lazy_start(self, collection):
+        session = TopkSession(collection, max_k=25)
+        assert session.results_so_far == []
+
+    def test_exceeding_max_k_raises(self, collection):
+        session = TopkSession(collection, max_k=10)
+        with pytest.raises(ValueError, match="max_k"):
+            session.top(11)
+
+    def test_invalid_max_k(self, collection):
+        with pytest.raises(ValueError):
+            TopkSession(collection, max_k=0)
+
+
+class TestIteration:
+    def test_iterates_descending(self, collection):
+        session = TopkSession(collection, max_k=20)
+        values = [r.similarity for r in session]
+        assert values == sorted(values, reverse=True)
+
+    def test_iteration_after_partial_top(self, collection):
+        session = TopkSession(collection, max_k=15)
+        session.top(5)
+        streamed = list(session)
+        assert rounded_multiset(streamed) == rounded_multiset(
+            naive_topk(collection, 15)
+        )
+
+    def test_exhaustion_on_tiny_collection(self):
+        tiny = random_integer_collection(3, universe=5, max_size=3, seed=1)
+        session = TopkSession(tiny, max_k=50)
+        streamed = list(session)
+        assert len(streamed) <= 3  # at most 3 pairs exist
+
+
+class TestLaziness:
+    def test_shallow_request_does_less_work(self, rng):
+        coll = random_integer_collection(120, universe=60, max_size=10, rng=rng)
+        shallow = TopkSession(coll, max_k=100)
+        shallow.top(1)
+        deep = TopkSession(coll, max_k=100)
+        deep.top(100)
+        assert shallow.stats.events <= deep.stats.events

@@ -1,0 +1,80 @@
+"""Unit tests for repro.data.stats and repro.data.io."""
+
+import pytest
+
+from repro.data import (
+    RecordCollection,
+    dataset_statistics,
+    load_collection,
+    load_token_file,
+    log_binned,
+    record_size_histogram,
+    save_token_file,
+    token_frequency_histogram,
+)
+
+
+@pytest.fixture
+def collection():
+    return RecordCollection.from_integer_sets([[1, 2], [2, 3], [2, 3, 4]])
+
+
+class TestDatasetStatistics:
+    def test_table1_row(self, collection):
+        stats = dataset_statistics("toy", collection)
+        assert stats.record_count == 3
+        assert stats.average_size == pytest.approx(7 / 3)
+        assert stats.universe_size == 5
+        assert stats.row()[0] == "toy"
+
+
+class TestHistograms:
+    def test_token_frequency_histogram(self, collection):
+        histogram = token_frequency_histogram(collection)
+        # token 2 appears in 3 records; token 3 in 2; tokens 1 and 4 in 1.
+        assert histogram == {3: 1, 2: 1, 1: 2}
+
+    def test_record_size_histogram(self, collection):
+        assert record_size_histogram(collection) == {2: 2, 3: 1}
+
+    def test_log_binned_totals_preserved(self):
+        histogram = {1: 5, 2: 3, 10: 2, 100: 1}
+        series = log_binned(histogram)
+        assert sum(count for __, count in series) == 11
+
+    def test_log_binned_sorted_and_positive(self):
+        series = log_binned({1: 1, 5: 1, 50: 1, 500: 1})
+        centers = [center for center, __ in series]
+        assert centers == sorted(centers)
+        assert all(center > 0 for center in centers)
+
+    def test_log_binned_empty(self):
+        assert log_binned({}) == []
+
+    def test_log_binned_skips_nonpositive_values(self):
+        assert log_binned({0: 7}) == []
+
+
+class TestTokenFileIO:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "data.txt")
+        token_lists = [["a", "b"], ["c"]]
+        save_token_file(path, token_lists)
+        assert load_token_file(path) == token_lists
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("a b\n\n\nc\n")
+        assert load_token_file(str(path)) == [["a", "b"], ["c"]]
+
+    def test_load_collection(self, tmp_path):
+        path = str(tmp_path / "data.txt")
+        save_token_file(path, [["x", "y"], ["x"]])
+        coll = load_collection(path)
+        assert len(coll) == 2
+        assert coll.universe_size == 2
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = str(tmp_path / "data.txt")
+        save_token_file(path, [["a"]])
+        assert list(tmp_path.iterdir()) == [tmp_path / "data.txt"]

@@ -1,0 +1,156 @@
+"""Tests for the edit-distance substrate (repro.strings)."""
+
+import random
+
+import pytest
+
+from repro.strings import (
+    StringPair,
+    edit_distance,
+    edit_distance_join,
+    edit_distance_topk,
+    edit_distance_within,
+)
+
+
+def naive_join(strings, max_distance):
+    results = []
+    for a in range(len(strings)):
+        for b in range(a + 1, len(strings)):
+            distance = edit_distance(strings[a], strings[b])
+            if distance <= max_distance:
+                results.append(StringPair(a, b, distance))
+    results.sort(key=lambda pair: (pair.distance, pair.x, pair.y))
+    return results
+
+
+def random_strings(rng, count, alphabet="abcd", max_length=12):
+    out = []
+    for __ in range(count):
+        length = rng.randint(0, max_length)
+        out.append("".join(rng.choice(alphabet) for __ in range(length)))
+    return out
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "xyz", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("abc", "abd", 1),
+            ("abc", "acb", 2),
+            ("a", "abcdef", 5),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert edit_distance(a, b) == expected
+
+    def test_symmetry_and_triangle(self):
+        rng = random.Random(1)
+        for __ in range(50):
+            a, b, c = random_strings(rng, 3)
+            assert edit_distance(a, b) == edit_distance(b, a)
+            assert edit_distance(a, c) <= (
+                edit_distance(a, b) + edit_distance(b, c)
+            )
+
+    def test_lower_bounded_by_length_difference(self):
+        rng = random.Random(2)
+        for __ in range(50):
+            a, b = random_strings(rng, 2)
+            assert edit_distance(a, b) >= abs(len(a) - len(b))
+
+
+class TestBandedVariant:
+    def test_agrees_when_within_band(self):
+        rng = random.Random(3)
+        for __ in range(200):
+            a, b = random_strings(rng, 2)
+            true = edit_distance(a, b)
+            for d in (0, 1, 2, 4, 8):
+                banded = edit_distance_within(a, b, d)
+                if true <= d:
+                    assert banded == true
+                else:
+                    assert banded > d
+
+    def test_negative_band(self):
+        assert edit_distance_within("a", "a", -1) == 0
+        assert edit_distance_within("a", "b", -1) > 0
+
+    def test_length_gap_short_circuit(self):
+        assert edit_distance_within("a", "abcdefgh", 2) > 2
+
+
+class TestEditDistanceJoin:
+    def test_matches_naive_randomized(self):
+        rng = random.Random(5)
+        for trial in range(25):
+            strings = random_strings(rng, rng.randint(2, 20))
+            for d in (0, 1, 2, 3):
+                got = edit_distance_join(strings, d, q=2)
+                want = naive_join(strings, d)
+                assert got == want, (trial, d, strings)
+
+    def test_qgram_sizes(self):
+        rng = random.Random(6)
+        strings = random_strings(rng, 15, alphabet="ab", max_length=10)
+        for q in (1, 2, 3, 4):
+            assert edit_distance_join(strings, 2, q=q) == naive_join(strings, 2)
+
+    def test_exact_duplicates_at_distance_zero(self):
+        strings = ["hello", "hello", "world"]
+        results = edit_distance_join(strings, 0)
+        assert results == [StringPair(0, 1, 0)]
+
+    def test_sorted_by_distance(self):
+        strings = ["abcde", "abcdx", "abxyx", "qqqqq"]
+        results = edit_distance_join(strings, 4, q=2)
+        distances = [pair.distance for pair in results]
+        assert distances == sorted(distances)
+
+    def test_short_strings_sharing_no_gram(self):
+        # "ab" and "cd" share no 2-gram but ed = 2: the short-record path
+        # must still find them.
+        results = edit_distance_join(["ab", "cd"], 2, q=2)
+        assert results == [StringPair(0, 1, 2)]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            edit_distance_join(["a"], -1)
+        with pytest.raises(ValueError):
+            edit_distance_join(["a"], 1, q=0)
+
+
+class TestEditDistanceTopk:
+    def test_matches_naive_ranking(self):
+        rng = random.Random(7)
+        for __ in range(10):
+            strings = random_strings(rng, rng.randint(2, 14))
+            k = rng.randint(1, 8)
+            got = [pair.distance for pair in edit_distance_topk(strings, k, q=2)]
+            all_pairs = naive_join(strings, 10**9)
+            want = [pair.distance for pair in all_pairs[:k]]
+            assert got == want
+
+    def test_finds_near_duplicates_first(self):
+        strings = ["similarity join", "similarity joins", "graph mining",
+                   "graph minings"]
+        top = edit_distance_topk(strings, 2)
+        assert {pair.distance for pair in top} == {1}
+
+    def test_k_exceeds_pairs(self):
+        results = edit_distance_topk(["a", "b"], 100, q=1)
+        assert len(results) == 1
+
+    def test_empty_input(self):
+        assert edit_distance_topk([], 5) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            edit_distance_topk(["a"], 0)

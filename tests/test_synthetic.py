@@ -1,0 +1,120 @@
+"""Unit tests for repro.data.synthetic — the paper-workload stand-ins."""
+
+import random
+
+import pytest
+
+from repro.data import (
+    ZipfSampler,
+    dblp_like,
+    qgram_strings,
+    random_integer_collection,
+    synthetic_collection,
+    trec3_like,
+    trec_like,
+    uniref3_like,
+)
+
+
+class TestZipfSampler:
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(100)
+        rng = random.Random(1)
+        for __ in range(500):
+            assert 0 <= sampler.sample(rng) < 100
+
+    def test_skew_head_heavier_than_tail(self):
+        sampler = ZipfSampler(1000, exponent=1.0)
+        rng = random.Random(2)
+        draws = [sampler.sample(rng) for __ in range(5000)]
+        head = sum(1 for d in draws if d < 10)
+        tail = sum(1 for d in draws if d >= 990)
+        assert head > 10 * max(tail, 1)
+
+    def test_sample_distinct_unique(self):
+        sampler = ZipfSampler(50)
+        tokens = sampler.sample_distinct(random.Random(3), 20)
+        assert len(tokens) == len(set(tokens)) == 20
+
+    def test_sample_distinct_full_universe(self):
+        sampler = ZipfSampler(10)
+        tokens = sampler.sample_distinct(random.Random(4), 10)
+        assert sorted(tokens) == list(range(10))
+
+    def test_sample_distinct_too_many_raises(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(5).sample_distinct(random.Random(0), 6)
+
+    def test_empty_universe_raises(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+
+class TestSyntheticCollection:
+    def test_deterministic_by_seed(self):
+        a = synthetic_collection(100, avg_size=10, universe=500, seed=7)
+        b = synthetic_collection(100, avg_size=10, universe=500, seed=7)
+        assert [tuple(r.tokens) for r in a] == [tuple(r.tokens) for r in b]
+
+    def test_different_seeds_differ(self):
+        a = synthetic_collection(100, avg_size=10, universe=500, seed=7)
+        b = synthetic_collection(100, avg_size=10, universe=500, seed=8)
+        assert [tuple(r.tokens) for r in a] != [tuple(r.tokens) for r in b]
+
+    def test_average_size_near_target(self):
+        coll = synthetic_collection(
+            400, avg_size=20, universe=5000, seed=1, duplicate_fraction=0.0
+        )
+        assert 12 <= coll.average_size <= 30
+
+    def test_contains_near_duplicates(self):
+        # With a high duplicate fraction some pair must be very similar.
+        from repro import naive_topk
+
+        coll = synthetic_collection(
+            80, avg_size=10, universe=2000, seed=3, duplicate_fraction=0.5
+        )
+        best = naive_topk(coll, 1)[0]
+        assert best.similarity > 0.5
+
+
+class TestDatasetMimics:
+    def test_dblp_like_short_records(self):
+        coll = dblp_like(200, seed=1)
+        assert 8 <= coll.average_size <= 25
+
+    def test_trec_like_long_records(self):
+        coll = trec_like(60, seed=1)
+        assert coll.average_size > 60
+
+    def test_trec3_like_is_qgram_scale(self):
+        coll = trec3_like(30, seed=1)
+        assert coll.average_size > 100
+
+    def test_uniref3_like_protein_alphabet(self):
+        coll = uniref3_like(30, seed=1)
+        assert coll.average_size > 100
+        # 20-letter alphabet => far fewer distinct 3-grams than text.
+        assert coll.universe_size < 21**3 * 2
+
+    def test_qgram_strings_deterministic(self):
+        a = qgram_strings(20, avg_length=50, alphabet="ab", seed=5)
+        b = qgram_strings(20, avg_length=50, alphabet="ab", seed=5)
+        assert a == b
+
+    def test_qgram_strings_alphabet_respected(self):
+        for text in qgram_strings(10, avg_length=30, alphabet="xyz", seed=6):
+            assert set(text) <= set("xyz")
+
+
+class TestRandomIntegerCollection:
+    def test_seed_reproducible(self):
+        a = random_integer_collection(30, universe=20, max_size=5, seed=9)
+        b = random_integer_collection(30, universe=20, max_size=5, seed=9)
+        assert [tuple(r.tokens) for r in a] == [tuple(r.tokens) for r in b]
+
+    def test_respects_bounds(self):
+        coll = random_integer_collection(50, universe=15, max_size=4, seed=2)
+        for record in coll:
+            assert 1 <= len(record) <= 4
+            assert all(0 <= token < 15 for token in record)

@@ -1,0 +1,152 @@
+"""Equivalence and behaviour tests for the threshold joins.
+
+All-Pairs, ppjoin and ppjoin+ must return exactly the result set of the
+naive quadratic join on every input, for every similarity function.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    Cosine,
+    Dice,
+    Jaccard,
+    JoinStats,
+    Overlap,
+    all_pairs_join,
+    naive_threshold_join,
+    ppjoin,
+    ppjoin_plus,
+    threshold_join,
+)
+from repro.data import RecordCollection, random_integer_collection
+
+ALGORITHMS = [
+    pytest.param(all_pairs_join, id="all-pairs"),
+    pytest.param(ppjoin, id="ppjoin"),
+    pytest.param(ppjoin_plus, id="ppjoin+"),
+]
+SIMS = [
+    pytest.param(Jaccard(), id="jaccard"),
+    pytest.param(Cosine(), id="cosine"),
+    pytest.param(Dice(), id="dice"),
+]
+
+
+class TestEquivalenceWithNaive:
+    @pytest.mark.parametrize("join", ALGORITHMS)
+    @pytest.mark.parametrize("sim", SIMS)
+    @pytest.mark.parametrize("threshold", [0.25, 0.5, 0.75, 0.95])
+    def test_random_collections(self, join, sim, threshold, rng):
+        for __ in range(12):
+            coll = random_integer_collection(
+                rng.randint(2, 35),
+                universe=rng.randint(4, 45),
+                max_size=rng.randint(1, 10),
+                rng=rng,
+            )
+            expected = set(naive_threshold_join(coll, threshold, sim))
+            actual = set(join(coll, threshold, similarity=sim))
+            assert actual == expected
+
+    @pytest.mark.parametrize("join", ALGORITHMS)
+    def test_overlap_similarity_integer_thresholds(self, join, rng):
+        for threshold in (1, 2, 4):
+            coll = random_integer_collection(30, 20, 8, rng=rng)
+            expected = set(naive_threshold_join(coll, threshold, Overlap()))
+            actual = set(join(coll, threshold, similarity=Overlap()))
+            assert actual == expected
+
+    @pytest.mark.parametrize("join", ALGORITHMS)
+    def test_threshold_one_finds_duplicates(self, join):
+        coll = RecordCollection.from_integer_sets(
+            [[1, 2, 3], [1, 2, 3], [4, 5]], dedupe=False
+        )
+        results = join(coll, 1.0, similarity=Jaccard())
+        assert len(results) == 1
+        assert results[0].similarity == pytest.approx(1.0)
+
+
+class TestResultShape:
+    def test_sorted_by_descending_similarity(self, rng):
+        coll = random_integer_collection(30, 15, 6, rng=rng)
+        results = ppjoin_plus(coll, 0.3, similarity=Jaccard())
+        values = [r.similarity for r in results]
+        assert values == sorted(values, reverse=True)
+
+    def test_pairs_canonical(self, rng):
+        coll = random_integer_collection(30, 15, 6, rng=rng)
+        for result in all_pairs_join(coll, 0.3):
+            assert result.x < result.y
+
+    def test_no_self_pairs(self, rng):
+        coll = random_integer_collection(30, 10, 6, rng=rng)
+        for result in ppjoin(coll, 0.1):
+            assert result.x != result.y
+
+
+class TestStatsCounters:
+    def test_all_pairs_counters(self, rng):
+        coll = random_integer_collection(40, 12, 6, rng=rng)
+        stats = JoinStats()
+        results = all_pairs_join(coll, 0.5, stats=stats)
+        assert stats.results == len(results)
+        assert stats.verifications >= len(results)
+        assert stats.candidates == stats.verifications
+        assert stats.index_entries > 0
+
+    def test_ppjoin_prunes_at_least_as_hard_as_all_pairs(self, rng):
+        coll = random_integer_collection(60, 15, 8, rng=rng)
+        ap, pp, ppp = JoinStats(), JoinStats(), JoinStats()
+        all_pairs_join(coll, 0.5, stats=ap)
+        ppjoin(coll, 0.5, stats=pp)
+        ppjoin_plus(coll, 0.5, stats=ppp)
+        assert pp.candidates <= ap.candidates
+        assert ppp.candidates <= pp.candidates
+
+    def test_suffix_pruning_reported_by_plus_only(self, rng):
+        coll = random_integer_collection(80, 12, 10, rng=rng)
+        pp, ppp = JoinStats(), JoinStats()
+        ppjoin(coll, 0.6, stats=pp)
+        ppjoin_plus(coll, 0.6, stats=ppp)
+        assert pp.suffix_pruned == 0
+        assert ppp.suffix_pruned >= 0
+
+
+class TestDispatcher:
+    def test_dispatch_each_algorithm(self, rng):
+        coll = random_integer_collection(20, 10, 5, rng=rng)
+        expected = set(naive_threshold_join(coll, 0.5, Jaccard()))
+        for name in ("naive", "all-pairs", "ppjoin", "ppjoin+"):
+            assert set(threshold_join(coll, 0.5, algorithm=name)) == expected
+
+    def test_unknown_algorithm_raises(self, rng):
+        coll = random_integer_collection(5, 5, 3, rng=rng)
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            threshold_join(coll, 0.5, algorithm="quantum")
+
+
+class TestEdgeCases:
+    def test_empty_collection(self):
+        coll = RecordCollection([], universe_size=0)
+        for join in (all_pairs_join, ppjoin, ppjoin_plus):
+            assert join(coll, 0.5) == []
+
+    def test_single_record(self):
+        coll = RecordCollection.from_integer_sets([[1, 2, 3]])
+        assert ppjoin_plus(coll, 0.5) == []
+
+    def test_singleton_records(self):
+        coll = RecordCollection.from_integer_sets(
+            [[1], [1], [2]], dedupe=False
+        )
+        results = ppjoin_plus(coll, 0.9)
+        assert len(results) == 1
+        assert results[0].similarity == pytest.approx(1.0)
+
+    def test_maxdepth_variations_equivalent(self, rng):
+        coll = random_integer_collection(40, 15, 8, rng=rng)
+        expected = set(naive_threshold_join(coll, 0.4, Jaccard()))
+        for depth in (1, 2, 4, 8):
+            assert set(ppjoin_plus(coll, 0.4, maxdepth=depth)) == expected

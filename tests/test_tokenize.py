@@ -1,0 +1,91 @@
+"""Unit tests for repro.data.tokenize."""
+
+import pytest
+
+from repro.data.tokenize import (
+    clean_text,
+    number_occurrences,
+    tokenize_qgrams,
+    tokenize_words,
+)
+
+
+class TestCleanText:
+    def test_lowercases(self):
+        assert clean_text("ABCdef") == "abcdef"
+
+    def test_replaces_whitespace_with_underscores(self):
+        assert clean_text("a b\tc") == "a_b_c"
+
+    def test_replaces_punctuation(self):
+        assert clean_text("a,b.c!") == "a_b_c_"
+
+    def test_preserves_digits(self):
+        assert clean_text("abc123") == "abc123"
+
+    def test_empty_string(self):
+        assert clean_text("") == ""
+
+
+class TestNumberOccurrences:
+    def test_no_duplicates_unchanged(self):
+        assert number_occurrences(["a", "b", "c"]) == ["a", "b", "c"]
+
+    def test_paper_example(self):
+        # "the lord of the rings": the second "the" becomes a fresh token.
+        tokens = number_occurrences(["the", "lord", "of", "the", "rings"])
+        assert tokens == ["the", "lord", "of", "the#1", "rings"]
+
+    def test_triple_occurrence(self):
+        assert number_occurrences(["x", "x", "x"]) == ["x", "x#1", "x#2"]
+
+    def test_result_is_duplicate_free(self):
+        tokens = number_occurrences(["a", "a", "b", "a", "b"])
+        assert len(tokens) == len(set(tokens))
+
+    def test_empty(self):
+        assert number_occurrences([]) == []
+
+
+class TestTokenizeWords:
+    def test_basic_split(self):
+        assert tokenize_words("the lord") == ["the", "lord"]
+
+    def test_lowercases(self):
+        assert tokenize_words("The LORD") == ["the", "lord"]
+
+    def test_numbers_duplicates(self):
+        assert tokenize_words("the the") == ["the", "the#1"]
+
+    def test_multiple_spaces(self):
+        assert tokenize_words("a   b") == ["a", "b"]
+
+    def test_empty_text(self):
+        assert tokenize_words("") == []
+
+
+class TestTokenizeQgrams:
+    def test_basic_trigrams(self):
+        assert tokenize_qgrams("abcd", q=3) == ["abc", "bcd"]
+
+    def test_cleaning_applied(self):
+        assert tokenize_qgrams("ab-cd", q=3) == ["ab_", "b_c", "_cd"]
+
+    def test_short_string_padded(self):
+        grams = tokenize_qgrams("ab", q=3)
+        assert grams == ["ab_"]
+
+    def test_q1_is_characters(self):
+        assert tokenize_qgrams("abc", q=1) == ["a", "b", "c"]
+
+    def test_duplicate_grams_numbered(self):
+        grams = tokenize_qgrams("aaaa", q=2)
+        assert grams == ["aa", "aa#1", "aa#2"]
+
+    def test_invalid_q_raises(self):
+        with pytest.raises(ValueError):
+            tokenize_qgrams("abc", q=0)
+
+    def test_gram_count(self):
+        text = "abcdefghij"
+        assert len(tokenize_qgrams(text, q=3)) == len(text) - 2

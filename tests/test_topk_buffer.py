@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.results.TopKBuffer."""
+
+import random
+
+import pytest
+
+from repro.core.results import TopKBuffer
+
+
+class TestBasics:
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            TopKBuffer(0)
+
+    def test_s_k_floor_while_not_full(self):
+        buffer = TopKBuffer(3)
+        assert buffer.s_k == 0.0
+        buffer.add((0, 1), 0.9)
+        assert buffer.s_k == 0.0
+        assert not buffer.full
+
+    def test_s_k_when_full(self):
+        buffer = TopKBuffer(2)
+        buffer.add((0, 1), 0.9)
+        buffer.add((0, 2), 0.4)
+        assert buffer.full
+        assert buffer.s_k == pytest.approx(0.4)
+
+    def test_membership(self):
+        buffer = TopKBuffer(2)
+        buffer.add((0, 1), 0.9)
+        assert (0, 1) in buffer
+        assert (0, 2) not in buffer
+        assert buffer.similarity_of((0, 1)) == pytest.approx(0.9)
+
+    def test_len(self):
+        buffer = TopKBuffer(5)
+        buffer.add((0, 1), 0.5)
+        buffer.add((0, 2), 0.6)
+        assert len(buffer) == 2
+
+
+class TestAddSemantics:
+    def test_duplicate_pair_rejected(self):
+        buffer = TopKBuffer(3)
+        assert buffer.add((0, 1), 0.9)
+        assert not buffer.add((0, 1), 0.9)
+        assert len(buffer) == 1
+
+    def test_eviction_of_minimum(self):
+        buffer = TopKBuffer(2)
+        buffer.add((0, 1), 0.3)
+        buffer.add((0, 2), 0.5)
+        assert buffer.add((0, 3), 0.7)
+        assert (0, 1) not in buffer
+        assert buffer.s_k == pytest.approx(0.5)
+
+    def test_tie_with_minimum_rejected(self):
+        buffer = TopKBuffer(1)
+        buffer.add((0, 1), 0.5)
+        assert not buffer.add((0, 2), 0.5)
+        assert (0, 1) in buffer
+
+    def test_below_minimum_rejected(self):
+        buffer = TopKBuffer(1)
+        buffer.add((0, 1), 0.5)
+        assert not buffer.add((0, 2), 0.3)
+
+    def test_s_k_monotone_under_random_adds(self):
+        rng = random.Random(5)
+        buffer = TopKBuffer(10)
+        previous = buffer.s_k
+        for i in range(500):
+            buffer.add((0, i + 1), rng.random())
+            assert buffer.s_k >= previous
+            previous = buffer.s_k
+
+    def test_items_sorted_descending(self):
+        buffer = TopKBuffer(3)
+        buffer.add((0, 1), 0.2)
+        buffer.add((0, 2), 0.9)
+        buffer.add((0, 3), 0.5)
+        values = [value for __, value in buffer.items()]
+        assert values == sorted(values, reverse=True)
+
+
+class TestEmission:
+    def test_pop_emittable_respects_bound(self):
+        buffer = TopKBuffer(3)
+        buffer.add((0, 1), 0.9)
+        buffer.add((0, 2), 0.5)
+        emitted = buffer.pop_emittable(0.7)
+        assert [pair for pair, __ in emitted] == [(0, 1)]
+
+    def test_emitted_once(self):
+        buffer = TopKBuffer(3)
+        buffer.add((0, 1), 0.9)
+        assert buffer.pop_emittable(0.5)
+        assert buffer.pop_emittable(0.0) == []
+        # drain() also skips already-emitted pairs
+        assert list(buffer.drain()) == []
+
+    def test_emission_descending(self):
+        buffer = TopKBuffer(5)
+        values = [0.1, 0.9, 0.5, 0.7, 0.3]
+        for i, value in enumerate(values):
+            buffer.add((0, i + 1), value)
+        emitted = [value for __, value in buffer.pop_emittable(0.0)]
+        assert emitted == sorted(values, reverse=True)
+
+    def test_evicted_pairs_not_emitted(self):
+        buffer = TopKBuffer(1)
+        buffer.add((0, 1), 0.5)
+        buffer.add((0, 2), 0.8)  # evicts (0, 1)
+        emitted = buffer.pop_emittable(0.0)
+        assert [pair for pair, __ in emitted] == [(0, 2)]
+
+    def test_drain_returns_rest(self):
+        buffer = TopKBuffer(3)
+        buffer.add((0, 1), 0.9)
+        buffer.add((0, 2), 0.2)
+        buffer.pop_emittable(0.5)
+        remaining = list(buffer.drain())
+        assert [pair for pair, __ in remaining] == [(0, 2)]

@@ -1,0 +1,217 @@
+"""Correctness tests for the core topk-join algorithm.
+
+The ground truth is the exhaustive ``naive_topk``; answers are compared as
+similarity multisets because top-k with ties is unique only up to permuting
+tied pairs.
+"""
+
+import itertools
+
+import pytest
+
+from repro import (
+    Cosine,
+    Dice,
+    Jaccard,
+    Overlap,
+    TopkOptions,
+    TopkStats,
+    naive_topk,
+    topk_join,
+    topk_join_iter,
+)
+from repro.data import RecordCollection, random_integer_collection
+
+from conftest import make_collection, rounded_multiset
+
+
+def assert_matches_naive(collection, k, sim=None, options=None):
+    got = rounded_multiset(
+        topk_join(collection, k, similarity=sim, options=options)
+    )
+    want = rounded_multiset(naive_topk(collection, k, similarity=sim))
+    assert got == want
+
+
+class TestSmallExamples:
+    def test_obvious_best_pair(self):
+        coll = make_collection([1, 2, 3], [1, 2, 3, 4], [9, 10])
+        best = topk_join(coll, 1)[0]
+        assert best.similarity == pytest.approx(3 / 4)
+
+    def test_paper_style_near_duplicates(self):
+        texts = [
+            "efficient set similarity joins",
+            "efficient set similarity join",
+            "graph pattern matching",
+        ]
+        coll = RecordCollection.from_texts(texts)
+        best = topk_join(coll, 1)[0]
+        assert best.similarity >= 0.5
+
+    def test_k_equals_all_pairs(self):
+        coll = make_collection([1, 2], [2, 3], [3, 4])
+        results = topk_join(coll, 3)
+        assert len(results) == 3
+
+    def test_k_exceeds_all_pairs_zero_fill(self):
+        coll = make_collection([1], [2], [3])
+        results = topk_join(coll, 10)
+        assert len(results) == 3  # only 3 pairs exist
+        assert all(r.similarity == 0.0 for r in results)
+
+    def test_single_record_collection(self):
+        coll = make_collection([1, 2, 3])
+        assert topk_join(coll, 5) == []
+
+    def test_invalid_k(self):
+        coll = make_collection([1], [2])
+        with pytest.raises(ValueError):
+            topk_join(coll, 0)
+
+    def test_results_sorted_descending(self):
+        coll = make_collection([1, 2, 3], [1, 2, 4], [1, 9, 10], [2, 3, 4])
+        values = [r.similarity for r in topk_join(coll, 6)]
+        assert values == sorted(values, reverse=True)
+
+    def test_pairs_are_distinct(self, rng):
+        coll = random_integer_collection(40, 15, 8, rng=rng)
+        results = topk_join(coll, 30)
+        pairs = [(r.x, r.y) for r in results]
+        assert len(pairs) == len(set(pairs))
+
+
+class TestEquivalenceWithOracle:
+    @pytest.mark.parametrize(
+        "sim",
+        [Jaccard(), Cosine(), Dice(), Overlap()],
+        ids=lambda s: s.name,
+    )
+    def test_each_similarity(self, sim, small_random_collections):
+        for coll in small_random_collections[:10]:
+            for k in (1, 5, len(coll)):
+                assert_matches_naive(coll, k, sim=sim)
+
+    def test_heavy_tie_collections(self, rng):
+        # Tiny universes produce many identical similarity values.
+        for __ in range(10):
+            coll = random_integer_collection(20, universe=4, max_size=3, rng=rng)
+            assert_matches_naive(coll, 10)
+
+    def test_duplicate_records(self):
+        coll = RecordCollection.from_integer_sets(
+            [[1, 2, 3]] * 4 + [[4, 5]], dedupe=False
+        )
+        results = topk_join(coll, 6)
+        assert [round(r.similarity, 6) for r in results[:6]].count(1.0) == 6
+
+    def test_large_k_matches(self, rng):
+        coll = random_integer_collection(25, 12, 6, rng=rng)
+        assert_matches_naive(coll, 200)
+
+
+class TestOptionAblations:
+    """Every optimisation combination must return the same answer."""
+
+    GRID = list(
+        itertools.product(
+            [True, False],                      # compress_events
+            ["optimized", "all", "off"],        # verification_mode
+            [True, False],                      # index_optimization
+            [True, False],                      # access_optimization
+        )
+    )
+
+    @pytest.mark.parametrize(
+        "compress,verification,index_opt,access_opt", GRID
+    )
+    def test_grid(self, compress, verification, index_opt, access_opt, rng):
+        coll = random_integer_collection(30, 15, 8, rng=rng)
+        options = TopkOptions(
+            compress_events=compress,
+            verification_mode=verification,
+            index_optimization=index_opt,
+            access_optimization=access_opt,
+        )
+        assert_matches_naive(coll, 12, options=options)
+
+    @pytest.mark.parametrize("positional", [True, False])
+    @pytest.mark.parametrize("suffix", [True, False])
+    @pytest.mark.parametrize("seed", [True, False])
+    def test_filter_and_seed_toggles(self, positional, suffix, seed, rng):
+        coll = random_integer_collection(30, 12, 8, rng=rng)
+        options = TopkOptions(
+            positional_filter=positional,
+            suffix_filter=suffix,
+            seed_results=seed,
+        )
+        assert_matches_naive(coll, 12, options=options)
+
+    def test_everything_off(self, rng):
+        coll = random_integer_collection(30, 15, 8, rng=rng)
+        options = TopkOptions(
+            compress_events=False,
+            verification_mode="off",
+            index_optimization=False,
+            access_optimization=False,
+            positional_filter=False,
+            suffix_filter=False,
+            seed_results=False,
+        )
+        assert_matches_naive(coll, 12, options=options)
+
+
+class TestStats:
+    def test_counters_populated(self, rng):
+        coll = random_integer_collection(50, 20, 8, rng=rng)
+        stats = TopkStats()
+        topk_join(coll, 20, stats=stats)
+        assert stats.events > 0
+        assert stats.verifications > 0
+        assert stats.index_inserted > 0
+        assert stats.index_entries_peak > 0
+
+    def test_indexing_opt_reduces_index_entries(self, rng):
+        coll = random_integer_collection(80, 25, 10, rng=rng)
+        with_opt, without_opt = TopkStats(), TopkStats()
+        a = topk_join(
+            coll, 20, options=TopkOptions(index_optimization=True),
+            stats=with_opt,
+        )
+        b = topk_join(
+            coll, 20, options=TopkOptions(index_optimization=False),
+            stats=without_opt,
+        )
+        assert rounded_multiset(a) == rounded_multiset(b)
+        assert with_opt.index_inserted <= without_opt.index_inserted
+
+    def test_verifications_per_record(self):
+        stats = TopkStats()
+        stats.verifications = 60
+        assert stats.verifications_per_record(30) == pytest.approx(2.0)
+        assert TopkStats().verifications_per_record(0) == 0.0
+
+
+class TestIterator:
+    def test_iterator_matches_list_api(self, rng):
+        coll = random_integer_collection(40, 15, 8, rng=rng)
+        from_iter = list(topk_join_iter(coll, 15))
+        from_list = topk_join(coll, 15)
+        assert rounded_multiset(from_iter) == rounded_multiset(
+            [r for r in from_list if r.similarity > 0]
+        ) or rounded_multiset(from_iter) == rounded_multiset(from_list)
+
+    def test_yields_in_descending_order(self, rng):
+        for __ in range(5):
+            coll = random_integer_collection(40, 12, 8, rng=rng)
+            values = [r.similarity for r in topk_join_iter(coll, 20)]
+            assert values == sorted(values, reverse=True)
+
+    def test_progressive_prefix_is_final(self, rng):
+        # Stopping the iterator early must still give a prefix of the true
+        # top-k similarity multiset (the "stop any time" guarantee).
+        coll = random_integer_collection(50, 15, 8, rng=rng)
+        want = rounded_multiset(naive_topk(coll, 10))
+        iterator = topk_join_iter(coll, 10)
+        first_three = [next(iterator) for __ in range(3)]
+        assert rounded_multiset(first_three) == want[:3]

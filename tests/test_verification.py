@@ -1,0 +1,142 @@
+"""Unit tests for the verification-dedup registry (Algorithm 6, Lemma 3)."""
+
+import importlib
+import random
+
+import pytest
+
+# The package re-exports the topk_join *function* under the same dotted
+# path, so fetch the module itself for monkeypatching.
+topk_module = importlib.import_module("repro.core.topk_join")
+from repro import TopkOptions, topk_join
+from repro.core.verification import VerificationRegistry
+from repro.data import random_integer_collection
+from repro.similarity import Jaccard
+from repro.similarity.overlap import overlap_with_common_positions
+
+
+def probe_of(x, y, required=0):
+    return overlap_with_common_positions(tuple(x), tuple(y), required)
+
+
+class TestRegistryModes:
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError):
+            VerificationRegistry(Jaccard(), mode="bogus")
+
+    def test_off_mode_never_remembers(self):
+        registry = VerificationRegistry(Jaccard(), mode="off")
+        registry.record((0, 1), probe_of((1, 2, 3), (1, 2, 4)), 3, 3, 0.0)
+        assert not registry.already_verified((0, 1))
+        assert len(registry) == 0
+        assert registry.fast_set() is None
+
+    def test_all_mode_remembers_everything(self):
+        registry = VerificationRegistry(Jaccard(), mode="all")
+        registry.record((0, 1), probe_of((1,), (2,)), 1, 1, 0.0)
+        assert registry.already_verified((0, 1))
+
+    def test_optimized_skips_single_common_token_pairs(self):
+        registry = VerificationRegistry(Jaccard(), mode="optimized")
+        # Only one common token: the pair can never be generated again.
+        registry.record((0, 1), probe_of((1, 5), (1, 9)), 2, 2, 0.0)
+        assert not registry.already_verified((0, 1))
+
+    def test_optimized_remembers_double_common_token_pairs(self):
+        registry = VerificationRegistry(Jaccard(), mode="optimized")
+        # Two common tokens within full prefixes (s_k = 0 => max prefixes).
+        registry.record((0, 1), probe_of((1, 2, 9), (1, 2, 8)), 3, 3, 0.0)
+        assert registry.already_verified((0, 1))
+
+    def test_optimized_ignores_second_token_beyond_max_prefix(self):
+        registry = VerificationRegistry(Jaccard(), mode="optimized")
+        # s_k = 0.9 on size-10 records: max prefix = 10 - 9 + 1 = 2, but the
+        # second common token sits at position 3 in x.
+        x = (1, 5, 7, 20, 21, 22, 23, 24, 25, 26)
+        y = (1, 6, 7, 30, 31, 32, 33, 34, 35, 36)
+        registry.record((0, 1), probe_of(x, y), 10, 10, 0.9)
+        assert not registry.already_verified((0, 1))
+
+    def test_aborted_probe_recorded_conservatively(self):
+        registry = VerificationRegistry(Jaccard(), mode="optimized")
+        probe = probe_of((1, 2, 3, 4, 5), (10, 11, 12, 13, 14), required=5)
+        assert probe.aborted
+        registry.record((0, 1), probe, 5, 5, 0.5)
+        assert registry.already_verified((0, 1))
+
+    def test_peak_tracks_maximum(self):
+        registry = VerificationRegistry(Jaccard(), mode="all")
+        for i in range(5):
+            registry.record((0, i + 1), probe_of((1,), (1,)), 1, 1, 0.0)
+        assert registry.peak_entries == 5
+
+
+class TestExactOnceGuarantee:
+    """Lemma 3: with the optimisation on, each pair is verified exactly once."""
+
+    def _verified_pairs(self, monkeypatch, collection, k, mode):
+        calls = []
+        # Take the pristine function from its home module: when a test
+        # calls this helper twice, the topk module still holds the previous
+        # spy at this point.
+        original = overlap_with_common_positions
+
+        def spy(x, y, required=0, scan_x=0, scan_y=0):
+            # Key on object identity: distinct records may have identical
+            # token content (dedupe is off), and each record's canonical
+            # token tuple is a distinct object.
+            calls.append(frozenset([id(x), id(y)]))
+            return original(x, y, required, scan_x, scan_y)
+
+        monkeypatch.setattr(
+            topk_module, "overlap_with_common_positions", spy
+        )
+        options = TopkOptions(verification_mode=mode, seed_results=False)
+        topk_join(collection, k, options=options)
+        return calls
+
+    def test_optimized_never_verifies_twice(self, monkeypatch):
+        rng = random.Random(31)
+        for trial in range(15):
+            coll = random_integer_collection(
+                rng.randint(5, 30), universe=rng.randint(5, 25),
+                max_size=rng.randint(2, 8), rng=rng,
+            )
+            calls = self._verified_pairs(
+                monkeypatch, coll, k=rng.randint(1, 20), mode="optimized"
+            )
+            assert len(calls) == len(set(calls)), "pair verified twice"
+
+    def test_record_all_also_exact_once(self, monkeypatch):
+        rng = random.Random(37)
+        coll = random_integer_collection(25, universe=12, max_size=6, rng=rng)
+        calls = self._verified_pairs(monkeypatch, coll, k=10, mode="all")
+        assert len(calls) == len(set(calls))
+
+    def test_off_mode_may_repeat_but_not_fewer(self, monkeypatch):
+        rng = random.Random(41)
+        coll = random_integer_collection(25, universe=10, max_size=6, rng=rng)
+        optimized = self._verified_pairs(monkeypatch, coll, 10, "optimized")
+        unprotected = self._verified_pairs(monkeypatch, coll, 10, "off")
+        assert len(unprotected) >= len(optimized)
+
+    def test_hash_smaller_with_optimization(self):
+        # The point of Algorithm 6 (Fig. 3a): fewer hash entries than
+        # record-all, same results.
+        from repro import TopkStats, similarity_multiset
+
+        rng = random.Random(43)
+        coll = random_integer_collection(60, universe=25, max_size=8, rng=rng)
+        stats_opt, stats_all = TopkStats(), TopkStats()
+        a = topk_join(
+            coll, 30,
+            options=TopkOptions(verification_mode="optimized"),
+            stats=stats_opt,
+        )
+        b = topk_join(
+            coll, 30,
+            options=TopkOptions(verification_mode="all"),
+            stats=stats_all,
+        )
+        assert similarity_multiset(a) == similarity_multiset(b)
+        assert stats_opt.hash_entries_peak <= stats_all.hash_entries_peak

@@ -1,0 +1,233 @@
+"""Tests for the weighted similarity extension (repro.weighted)."""
+
+import math
+import random
+
+import pytest
+
+from repro import Jaccard, naive_threshold_join, naive_topk
+from repro.data import RecordCollection
+from repro.weighted import (
+    WeightedCollection,
+    WeightedCosine,
+    WeightedJaccard,
+    idf_weights,
+    naive_weighted_threshold_join,
+    naive_weighted_topk,
+    weighted_threshold_join,
+    weighted_topk_join,
+)
+
+from conftest import rounded_multiset
+
+
+def random_sets(rng, count, universe, max_size):
+    return [
+        [rng.randrange(universe) for __ in range(rng.randint(1, max_size))]
+        for __ in range(count)
+    ]
+
+
+def random_weights(rng, universe):
+    return {token: rng.uniform(0.1, 5.0) for token in range(universe)}
+
+
+class TestWeightedCollection:
+    def test_idf_weights_rarer_is_heavier(self):
+        weights = idf_weights([(0, 1), (0, 2), (0, 3)])
+        assert weights[1] > weights[0]
+
+    def test_heaviest_tokens_lead_prefixes(self, rng):
+        sets = random_sets(rng, 10, 15, 6)
+        weights = random_weights(rng, 15)
+        coll = WeightedCollection.from_integer_sets(sets, weights)
+        for record in coll:
+            record_weights = list(record.weights)
+            assert record_weights == sorted(record_weights, reverse=True)
+
+    def test_records_sorted_by_total_weight(self, rng):
+        sets = random_sets(rng, 15, 10, 5)
+        coll = WeightedCollection.from_integer_sets(sets)
+        totals = [record.total_weight for record in coll]
+        assert totals == sorted(totals)
+
+    def test_suffix_weights_consistent(self, rng):
+        sets = random_sets(rng, 5, 10, 6)
+        coll = WeightedCollection.from_integer_sets(sets)
+        for record in coll:
+            assert record.suffix_weights[0] == pytest.approx(
+                sum(record.weights)
+            )
+            assert record.suffix_weights[-1] == 0.0
+            assert record.squared_norm == pytest.approx(
+                sum(w * w for w in record.weights)
+            )
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedCollection.from_integer_sets([[0]], {0: 0.0})
+
+
+class TestWeightedFunctions:
+    def test_jaccard_known_value(self):
+        coll = WeightedCollection.from_integer_sets(
+            [[0, 1], [1, 2]], {0: 1.0, 1: 2.0, 2: 3.0}
+        )
+        sim = WeightedJaccard()
+        # shared = {1} weight 2; union = 1 + 2 + 3 = 6.
+        value = sim.similarity(coll[0], coll[1])
+        assert value == pytest.approx(2.0 / 6.0)
+
+    def test_cosine_known_value(self):
+        coll = WeightedCollection.from_integer_sets(
+            [[0, 1], [1, 2]], {0: 1.0, 1: 2.0, 2: 3.0}
+        )
+        sim = WeightedCosine()
+        # dot = 4; norms: sqrt(1+4)=sqrt5, sqrt(4+9)=sqrt13.
+        value = sim.similarity(coll[0], coll[1])
+        assert value == pytest.approx(4.0 / math.sqrt(5 * 13))
+
+    def test_identity_is_one(self, rng):
+        sets = random_sets(rng, 6, 10, 5)
+        coll = WeightedCollection.from_integer_sets(sets)
+        for sim in (WeightedJaccard(), WeightedCosine()):
+            for record in coll:
+                assert sim.similarity(record, record) == pytest.approx(1.0)
+
+    def test_probing_bound_sound(self, rng):
+        # sim(x, y) <= probing bound at the first shared position in x.
+        sets = random_sets(rng, 20, 12, 6)
+        coll = WeightedCollection.from_integer_sets(
+            sets, random_weights(rng, 12)
+        )
+        for sim in (WeightedJaccard(), WeightedCosine()):
+            for a in range(len(coll)):
+                for b in range(a + 1, len(coll)):
+                    x, y = coll[a], coll[b]
+                    shared = set(x.tokens) & set(y.tokens)
+                    if not shared:
+                        continue
+                    position = x.tokens.index(min(shared)) + 1
+                    assert sim.similarity(x, y) <= (
+                        sim.probing_upper_bound(x, position) + 1e-9
+                    )
+
+    def test_prefix_length_inverts_bound(self, rng):
+        sets = random_sets(rng, 10, 12, 6)
+        coll = WeightedCollection.from_integer_sets(sets)
+        sim = WeightedJaccard()
+        for record in coll:
+            for threshold in (0.2, 0.5, 0.8):
+                length = sim.probing_prefix_length(record, threshold)
+                if length < len(record.tokens):
+                    assert sim.probing_upper_bound(
+                        record, length + 1
+                    ) < threshold
+                if length >= 1:
+                    assert sim.probing_upper_bound(
+                        record, length
+                    ) >= threshold
+
+
+class TestWeightedThresholdJoin:
+    @pytest.mark.parametrize(
+        "sim", [WeightedJaccard(), WeightedCosine()], ids=lambda s: s.name
+    )
+    @pytest.mark.parametrize("threshold", [0.3, 0.6, 0.9])
+    def test_matches_oracle(self, sim, threshold, rng):
+        for __ in range(12):
+            universe = rng.randint(5, 20)
+            sets = random_sets(rng, rng.randint(2, 25), universe, 7)
+            coll = WeightedCollection.from_integer_sets(
+                sets, random_weights(rng, universe)
+            )
+            got = {
+                (pair.x, pair.y, round(pair.similarity, 9))
+                for pair in weighted_threshold_join(coll, threshold, sim)
+            }
+            want = {
+                (pair.x, pair.y, round(pair.similarity, 9))
+                for pair in naive_weighted_threshold_join(
+                    coll, threshold, sim
+                )
+            }
+            assert got == want
+
+    def test_invalid_threshold(self, rng):
+        coll = WeightedCollection.from_integer_sets([[1], [2]])
+        with pytest.raises(ValueError):
+            weighted_threshold_join(coll, 0.0)
+
+
+class TestWeightedTopkJoin:
+    @pytest.mark.parametrize(
+        "sim", [WeightedJaccard(), WeightedCosine()], ids=lambda s: s.name
+    )
+    def test_matches_oracle(self, sim, rng):
+        for __ in range(15):
+            universe = rng.randint(5, 20)
+            sets = random_sets(rng, rng.randint(2, 25), universe, 7)
+            coll = WeightedCollection.from_integer_sets(
+                sets, random_weights(rng, universe)
+            )
+            k = rng.randint(1, 15)
+            got = rounded_multiset(weighted_topk_join(coll, k, sim))
+            want = rounded_multiset(naive_weighted_topk(coll, k, sim))
+            assert got == want
+
+    def test_uniform_weights_reduce_to_unweighted(self, rng):
+        # With all weights equal, weighted Jaccard == Jaccard; the two
+        # top-k pipelines must return the same similarity multiset.
+        for __ in range(8):
+            universe = rng.randint(5, 15)
+            sets = random_sets(rng, rng.randint(3, 20), universe, 6)
+            weighted = WeightedCollection.from_integer_sets(
+                sets, {token: 1.0 for token in range(universe)}
+            )
+            unweighted = RecordCollection.from_integer_sets(
+                sets, dedupe=False
+            )
+            k = rng.randint(1, 10)
+            got = rounded_multiset(weighted_topk_join(weighted, k))
+            want = rounded_multiset(naive_topk(unweighted, k, Jaccard()))
+            assert got == want
+
+    def test_uniform_threshold_reduces_to_unweighted(self, rng):
+        universe = 12
+        sets = random_sets(rng, 20, universe, 6)
+        weighted = WeightedCollection.from_integer_sets(
+            sets, {token: 2.5 for token in range(universe)}
+        )
+        unweighted = RecordCollection.from_integer_sets(sets, dedupe=False)
+        got = sorted(
+            round(p.similarity, 9)
+            for p in weighted_threshold_join(weighted, 0.5)
+        )
+        want = sorted(
+            round(p.similarity, 9)
+            for p in naive_threshold_join(unweighted, 0.5, Jaccard())
+        )
+        assert got == want
+
+    def test_zero_fill_when_disjoint(self):
+        coll = WeightedCollection.from_integer_sets([[0], [1], [2]])
+        results = weighted_topk_join(coll, 3)
+        assert len(results) == 3
+        assert all(r.similarity == 0.0 for r in results)
+
+    def test_heavy_rare_token_dominates(self):
+        # Two pairs share one token each; the pair sharing the heavy token
+        # must rank first under weighted Jaccard.
+        weights = {0: 10.0, 1: 0.1, 2: 1.0, 3: 1.0, 4: 1.0, 5: 1.0}
+        sets = [[0, 2], [0, 3], [1, 4], [1, 5]]
+        coll = WeightedCollection.from_integer_sets(sets, weights)
+        best = weighted_topk_join(coll, 1)[0]
+        shared = set(coll[best.x].tokens) & set(coll[best.y].tokens)
+        heavy_rank = coll[best.x].tokens[0]
+        assert shared == {heavy_rank}
+        assert best.similarity == pytest.approx(10.0 / 12.0)
+
+    def test_invalid_k(self):
+        coll = WeightedCollection.from_integer_sets([[1]])
+        with pytest.raises(ValueError):
+            weighted_topk_join(coll, 0)
