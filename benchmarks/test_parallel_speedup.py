@@ -1,0 +1,78 @@
+"""Parallel backend speedup (Figure 4 flavour: wall-clock vs workers).
+
+Runs the sequential join and the sharded parallel join over a DBLP-like
+collection of 20k records and reports wall-clock times plus the internal
+counters.  Exactness (identical similarity multiset) is asserted
+unconditionally; the >1.5x speedup at 4 workers is asserted only on
+machines that actually have 4+ cores — on smaller CI runners the table is
+still produced and persisted for inspection.
+"""
+
+import os
+import time
+
+from repro import TopkStats, parallel_topk_join, topk_join
+from repro.bench import format_table, write_report
+from repro.data.synthetic import dblp_like
+from repro.result import similarity_multiset
+
+RECORDS = 20_000
+K = 100
+WORKER_COUNTS = (1, 2, 4)
+
+
+def test_parallel_speedup(once):
+    collection = dblp_like(RECORDS, seed=42)
+
+    def run_all():
+        runs = []
+        stats = TopkStats()
+        start = time.perf_counter()
+        baseline = topk_join(collection, K, stats=stats)
+        runs.append(("sequential", time.perf_counter() - start,
+                     stats, baseline))
+        for workers in WORKER_COUNTS:
+            stats = TopkStats()
+            start = time.perf_counter()
+            results = parallel_topk_join(
+                collection, K, workers=workers, stats=stats
+            )
+            runs.append(("parallel w=%d" % workers,
+                         time.perf_counter() - start, stats, results))
+        return runs
+
+    runs = once(run_all)
+
+    base_label, base_elapsed, __, baseline = runs[0]
+    rows = []
+    for label, elapsed, stats, results in runs:
+        rows.append((
+            label,
+            elapsed,
+            base_elapsed / elapsed if elapsed else 0.0,
+            stats.verifications,
+            stats.candidates,
+        ))
+        # Exactness: every configuration returns the same top-k
+        # similarity multiset.
+        assert similarity_multiset(results) == similarity_multiset(baseline)
+
+    table = format_table(
+        ["configuration", "seconds", "speedup", "verifications",
+         "candidates"],
+        rows,
+    )
+    write_report(
+        "parallel_speedup",
+        "Parallel top-k join — %d DBLP-like records, k=%d (%d cores)"
+        % (RECORDS, K, os.cpu_count() or 1),
+        table,
+    )
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        four_worker = next(r for r in rows if r[0] == "parallel w=4")
+        assert four_worker[2] > 1.5, (
+            "expected >1.5x speedup at 4 workers, got %.2fx"
+            % four_worker[2]
+        )

@@ -11,7 +11,7 @@ from __future__ import annotations
 import os
 from typing import Iterable, List, Sequence, Union
 
-__all__ = ["format_table", "write_report", "results_dir"]
+__all__ = ["format_table", "write_report", "results_dir", "repo_root"]
 
 Cell = Union[str, int, float]
 
@@ -47,11 +47,39 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
     return "\n".join(lines)
 
 
+def repo_root(start: Union[str, None] = None) -> Union[str, None]:
+    """Nearest ancestor of *start* that looks like the project root.
+
+    Walks upward looking for a ``pyproject.toml`` or ``.git`` marker;
+    returns ``None`` when no ancestor carries one (e.g. the package was
+    imported from ``site-packages``).
+    """
+    path = os.path.abspath(start if start is not None else os.getcwd())
+    while True:
+        for marker in ("pyproject.toml", ".git"):
+            if os.path.exists(os.path.join(path, marker)):
+                return path
+        parent = os.path.dirname(path)
+        if parent == path:
+            return None
+        path = parent
+
+
 def results_dir() -> str:
-    """The directory benchmark artifacts are written to."""
-    here = os.path.dirname(os.path.abspath(__file__))
-    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
-    path = os.path.join(root, "benchmarks", "results")
+    """The directory benchmark artifacts are written to.
+
+    Resolution order: the ``REPRO_RESULTS_DIR`` environment variable, then
+    ``<repo root>/benchmarks/results`` where the root is found by marker
+    files from the current working directory (not from ``__file__`` —
+    counting ``dirname`` hops breaks once the package is installed into
+    ``site-packages``), then ``./benchmarks/results`` as a last resort.
+    """
+    override = os.environ.get("REPRO_RESULTS_DIR")
+    if override:
+        path = override
+    else:
+        root = repo_root() or os.getcwd()
+        path = os.path.join(root, "benchmarks", "results")
     os.makedirs(path, exist_ok=True)
     return path
 

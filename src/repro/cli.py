@@ -3,6 +3,7 @@
 Subcommands::
 
     python -m repro topk      --input data.txt --k 100 [--similarity jaccard]
+                              [--workers N] [--shards M]
     python -m repro threshold --input data.txt --threshold 0.8 [--algorithm ppjoin+]
     python -m repro generate  --dataset dblp --n 2000 --output data.txt
     python -m repro stats     --input data.txt
@@ -26,6 +27,7 @@ from .data.stats import dataset_statistics
 from .data.synthetic import dblp_like, trec3_like, trec_like, uniref3_like
 from .data.tokenize import tokenize_qgrams
 from .joins import threshold_join
+from .parallel import parallel_topk_join
 from .similarity.functions import similarity_by_name
 
 __all__ = ["main"]
@@ -70,9 +72,15 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     stats = TopkStats()
     options = TopkOptions(maxdepth=args.maxdepth)
     start = time.perf_counter()
-    results = topk_join(
-        collection, args.k, similarity=sim, options=options, stats=stats
-    )
+    if args.workers > 1 or args.shards is not None:
+        results = parallel_topk_join(
+            collection, args.k, similarity=sim, options=options,
+            workers=args.workers, shards=args.shards, stats=stats,
+        )
+    else:
+        results = topk_join(
+            collection, args.k, similarity=sim, options=options, stats=stats
+        )
     elapsed = time.perf_counter() - start
     _print_results(collection, results, args.k)
     print(
@@ -242,6 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--k", type=int, required=True)
     topk.add_argument("--maxdepth", type=int, default=2,
                       help="suffix-filter depth (2 words, 4 q-grams)")
+    topk.add_argument("--workers", type=int, default=1,
+                      help="worker processes for the sharded parallel "
+                           "backend (1 = sequential)")
+    topk.add_argument("--shards", type=int, default=None,
+                      help="shard count for the parallel backend "
+                           "(default: 2x workers)")
     topk.set_defaults(handler=_cmd_topk)
 
     threshold = commands.add_parser("threshold", help="threshold join")

@@ -6,8 +6,10 @@ R and S and ranks cross pairs only.  This module provides that extension:
 
 * both sides are canonicalized against a *joint* token universe (prefix
   filtering requires one global ordering), and
-* the event-driven join runs unchanged, except that a candidate pair is
-  admitted only when its records come from different sides.
+* the event-driven join runs natively bipartite via
+  ``TopkOptions.bipartite_sides``: each side keeps its own inverted
+  index and records probe only the opposite side's index, so exactly
+  the cross pairs are generated.
 
 Every bound of the self-join remains valid — none of them depends on which
 side a record belongs to — so the implementation simply runs the core
@@ -17,6 +19,7 @@ machinery over the tagged union of R and S.
 from __future__ import annotations
 
 import heapq
+from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 from ..data.ordering import document_frequencies, idf_ordering
@@ -24,7 +27,7 @@ from ..data.records import Record, RecordCollection
 from ..result import JoinResult
 from ..similarity.functions import Jaccard, SimilarityFunction
 from .metrics import TopkStats
-from .topk_join import TopkOptions, topk_join_iter
+from .topk_join import TopkOptions, topk_join
 
 __all__ = ["TaggedCollection", "topk_join_rs", "naive_topk_rs"]
 
@@ -104,6 +107,11 @@ class TaggedCollection:
     def side(self, rid: int) -> int:
         return self._sides[rid]
 
+    @property
+    def sides(self) -> bytes:
+        """The per-rid side labels, in ``TopkOptions.bipartite_sides`` form."""
+        return self._sides
+
     def __len__(self) -> int:
         return len(self.collection)
 
@@ -117,58 +125,17 @@ def topk_join_rs(
 ) -> List[JoinResult]:
     """The k most similar **cross** pairs (one record from R, one from S).
 
-    Implementation note: the self-join enumerates pairs in decreasing
-    similarity order, so filtering its progressive stream down to
-    cross-side pairs and keeping the first k is exact.  Because the
-    underlying buffer also holds only k pairs, same-side pairs can crowd
-    out cross pairs; the stream is therefore drawn from a self-join with an
-    enlarged k and re-run with a larger budget in the (rare) case the
-    filtered stream ran dry before k cross pairs appeared.
+    Runs the core join in native bipartite mode (per-side inverted
+    indexes; only cross pairs are generated, buffered or zero-padded), so
+    there is no risk of same-side pairs crowding cross pairs out of the
+    buffer and no enlarged-k re-runs — one pass, exactly like the
+    self-join.
     """
     sim = similarity or Jaccard()
-    sides = tagged
-    n = len(tagged)
-    total_pairs = n * (n - 1) // 2
-
-    budget = min(max(4 * k, k + 16), total_pairs) if total_pairs else 0
-    while True:
-        cross: List[JoinResult] = []
-        yielded = 0
-        for result in topk_join_iter(
-            tagged.collection, budget or 1,
-            similarity=sim, options=options, stats=stats,
-        ):
-            yielded += 1
-            if sides.side(result.x) != sides.side(result.y):
-                cross.append(result)
-                if len(cross) >= k:
-                    return cross
-        if yielded < budget or budget >= total_pairs:
-            # The stream enumerated every pair sharing a token; the
-            # remaining cross pairs all have similarity 0.
-            cross.extend(_zero_fill_cross(tagged, k - len(cross), cross))
-            return cross[:k]
-        budget = min(budget * 4, total_pairs)
-
-
-def _zero_fill_cross(
-    tagged: TaggedCollection, missing: int, found: List[JoinResult]
-) -> List[JoinResult]:
-    """Pad with similarity-0 cross pairs when R x S has fewer sharing pairs."""
-    present = {(r.x, r.y) for r in found}
-    padding: List[JoinResult] = []
-    n = len(tagged)
-    for a in range(n):
-        if missing <= 0:
-            break
-        for b in range(a + 1, n):
-            if missing <= 0:
-                break
-            if tagged.side(a) == tagged.side(b) or (a, b) in present:
-                continue
-            padding.append(JoinResult(a, b, 0.0))
-            missing -= 1
-    return padding
+    opts = replace(options or TopkOptions(), bipartite_sides=tagged.sides)
+    return topk_join(
+        tagged.collection, k, similarity=sim, options=opts, stats=stats
+    )
 
 
 def naive_topk_rs(

@@ -19,7 +19,7 @@ token; :func:`choose_seed_token` still implements that selection rule.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..data.records import RecordCollection
 from ..result import ordered_pair
@@ -72,6 +72,7 @@ def seed_temporary_results(
     similarity: SimilarityFunction,
     buffer: TopKBuffer,
     registry: VerificationRegistry,
+    sides: Optional[Sequence[int]] = None,
 ) -> int:
     """Fill *buffer* with pairs sharing selective tokens.
 
@@ -80,6 +81,10 @@ def seed_temporary_results(
     stops after ``min(4k, 20000)`` verifications.  Every verified seed pair
     is recorded in *registry*: the event loop will re-generate these pairs
     and must not verify them again.  Returns the number of pairs verified.
+
+    With *sides* (bipartite joins) only cross-side pairs are seeded — a
+    same-side pair is outside the pair space and must never reach the
+    buffer.
     """
     budget = min(max(buffer.k * _BUDGET_FACTOR, buffer.k), _MAX_SEED_PAIRS)
     frequencies = collection.token_frequencies()
@@ -119,6 +124,8 @@ def seed_temporary_results(
             for b in range(a + 1, len(rids)):
                 if verified >= budget:
                     return verified
+                if sides is not None and sides[rids[a]] == sides[rids[b]]:
+                    continue
                 pair = ordered_pair(rids[a], rids[b])
                 if pair in seen:
                     continue

@@ -24,13 +24,29 @@ Every optimisation can be toggled through :class:`TopkOptions` — the
 paper's ablations ``record-all`` (Fig. 3a) and ``w/o-index-opt``
 (Fig. 3b–c) are ``verification_mode="all"`` and
 ``index_optimization=False`` respectively.
+
+Two further options generalize the join beyond the paper's single-process
+self-join, and power :mod:`repro.parallel`:
+
+* ``bound_provider`` — a cooperative *external lower bound* on the global
+  ``s_k``.  Any full top-k buffer of any concurrently running sub-join
+  holds *k* real pairs of the global collection, so its local ``s_k``
+  never exceeds the global one; the paper's pruning rules (event
+  termination, indexing bound, accessing bound, candidate filters) stay
+  conservative when driven by ``max(local s_k, external bound)`` because
+  Lemmas 2–5 hold for *any* lower bound on the true ``s_k``.
+* ``bipartite_sides`` — per-record side labels turning the self-join into
+  an exact R×S join: each side keeps its own inverted index, records probe
+  only the opposite side's index, and therefore only cross pairs are ever
+  generated.  No bound depends on which side a record belongs to, so the
+  event machinery runs unchanged.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..data.records import RecordCollection
 from ..index.inverted import BoundedInvertedIndex
@@ -71,6 +87,15 @@ class TopkOptions:
     maxdepth: int = DEFAULT_MAXDEPTH
     #: Seed ``T`` from a medium-frequency token (Section V-B).
     seed_results: bool = True
+    #: Cooperative lower bound on the *global* ``s_k`` for multi-task runs
+    #: (see :mod:`repro.parallel`).  Any object with ``refresh() -> float``
+    #: (sync, then return the latest external bound) and ``offer(value)``
+    #: (publish this run's local ``s_k``); polled once per event.
+    bound_provider: Optional[Any] = None
+    #: Per-record side labels (0/1) turning the join into an exact R×S
+    #: join over cross pairs only.  ``bipartite_sides[rid]`` must be
+    #: indexable for every record id of the joined collection.
+    bipartite_sides: Optional[Sequence[int]] = None
 
 
 def topk_join(
@@ -85,15 +110,24 @@ def topk_join(
     When the collection holds fewer than *k* pairs sharing any token, the
     remainder is padded with (similarity-0) pairs so exactly
     ``min(k, n·(n-1)/2)`` results are returned — matching what an oracle
-    scoring all pairs would report.
+    scoring all pairs would report.  (With ``bipartite_sides`` the pair
+    space, and hence the padding, covers cross pairs only.)
     """
+    opts = options or TopkOptions()
     results = list(
         topk_join_iter(
-            collection, k, similarity=similarity, options=options, stats=stats
+            collection, k, similarity=similarity, options=opts, stats=stats
         )
     )
     if len(results) < k:
-        results.extend(_zero_fill(collection, k - len(results), results))
+        results.extend(
+            _zero_fill(
+                collection,
+                k - len(results),
+                results,
+                sides=opts.bipartite_sides,
+            )
+        )
     return results
 
 
@@ -118,14 +152,26 @@ def topk_join_iter(
 
     buffer = TopKBuffer(k)
     registry = VerificationRegistry(sim, mode=opts.verification_mode)
-    index = BoundedInvertedIndex()
+    sides = opts.bipartite_sides
+    if sides is None:
+        indexes = (BoundedInvertedIndex(),)
+    else:
+        # Bipartite mode: one index per side; records probe the opposite
+        # side's index, so only cross pairs are ever generated.
+        indexes = (BoundedInvertedIndex(), BoundedInvertedIndex())
     queue = EventQueue(collection, sim, compressed=opts.compress_events)
     stop_indexing = bytearray(len(collection))
+    provider = opts.bound_provider
+    external = 0.0
 
     if opts.seed_results:
         run_stats.verifications += seed_temporary_results(
-            collection, sim, buffer, registry
+            collection, sim, buffer, registry, sides=sides
         )
+    if provider is not None:
+        if buffer.full:
+            provider.offer(buffer.s_k)
+        external = provider.refresh()
 
     emitted = 0
 
@@ -134,8 +180,19 @@ def topk_join_iter(
         run_stats.events += 1
         if buffer.full and bound <= buffer.s_k:
             break
+        if external > 0.0 and bound <= external:
+            # No remaining event of this sub-join can beat the global
+            # s_k lower bound: everything still findable is at best an
+            # interchangeable tie of the global k-th result.
+            break
         size = len(collection[rids[0]])
         for rid in rids:
+            if sides is None:
+                probe_index = insert_index = indexes[0]
+            else:
+                side = sides[rid]
+                probe_index = indexes[1 - side]
+                insert_index = indexes[side]
             _process_event(
                 collection,
                 rid,
@@ -145,11 +202,20 @@ def topk_join_iter(
                 opts,
                 buffer,
                 registry,
-                index,
+                probe_index,
+                insert_index,
                 stop_indexing,
+                external,
                 run_stats,
             )
-        queue.push_next(size, prefix, rids, cutoff=buffer.s_k)
+        cutoff = buffer.s_k
+        if external > cutoff:
+            cutoff = external
+        queue.push_next(size, prefix, rids, cutoff=cutoff)
+        if provider is not None:
+            if buffer.full:
+                provider.offer(buffer.s_k)
+            external = provider.refresh()
 
         remaining = queue.peek_bound()
         if remaining is None:
@@ -182,9 +248,9 @@ def topk_join_iter(
         yield JoinResult(pair[0], pair[1], value)
 
     run_stats.hash_entries_peak = registry.peak_entries
-    run_stats.index_inserted = index.inserted
-    run_stats.index_deleted = index.deleted
-    run_stats.index_entries_peak = index.peak_entries
+    run_stats.index_inserted = sum(ix.inserted for ix in indexes)
+    run_stats.index_deleted = sum(ix.deleted for ix in indexes)
+    run_stats.index_entries_peak = sum(ix.peak_entries for ix in indexes)
 
 
 def _process_event(
@@ -196,8 +262,10 @@ def _process_event(
     opts: TopkOptions,
     buffer: TopKBuffer,
     registry: VerificationRegistry,
-    index: BoundedInvertedIndex,
+    probe_index: BoundedInvertedIndex,
+    insert_index: BoundedInvertedIndex,
     stop_indexing: bytearray,
+    external: float,
     stats: TopkStats,
 ) -> None:
     """Probe one record at one prefix position, then maybe index it.
@@ -209,13 +277,20 @@ def _process_event(
     the size filter *is* ``α <= min(|x|, |y|)`` (a partner too small/large
     to reach ``s_k`` has an impossible α), so one cached α serves the size,
     positional and suffix filters and the verification abort threshold.
+
+    *external* is a lower bound on the global ``s_k`` of a cooperating
+    multi-task run (0.0 when standalone); every threshold below uses
+    ``max(buffer.s_k, external)``, which is conservative because each
+    bound holds for any lower bound on the true ``s_k``.  In the
+    standalone self-join *probe_index* and *insert_index* are the same
+    object; in bipartite mode they belong to opposite sides.
     """
     x = collection[rid]
     size_x = len(x)
     tokens_x = x.tokens
     token = tokens_x[prefix - 1]
 
-    postings = index.postings(token)
+    postings = probe_index.postings(token)
     if postings:
         records = collection.records
         seen_pairs = registry.fast_set()
@@ -227,6 +302,10 @@ def _process_event(
 
         full = buffer.full
         s_k = buffer.s_k
+        if external > 0.0:
+            full = True
+            if external > s_k:
+                s_k = external
         alpha_by_size: dict = {}
         prefix_by_size: dict = {}
         access_cutoff = (
@@ -246,7 +325,7 @@ def _process_event(
             # the exact bound confirms before anything is deleted.
             if bound_y <= access_cutoff:
                 if sim.accessing_upper_bound(bound, bound_y) <= s_k:
-                    index.truncate(token, position)
+                    probe_index.truncate(token, position)
                     break
 
             candidates += 1
@@ -302,9 +381,11 @@ def _process_event(
                 value = sim.from_overlap(probe.overlap, size_x, size_y)
                 if buffer.add(pair, value):
                     new_s_k = buffer.s_k
+                    if external > new_s_k:
+                        new_s_k = external
                     if new_s_k != s_k or not full:
                         s_k = new_s_k
-                        full = buffer.full
+                        full = buffer.full or external > 0.0
                         alpha_by_size = {}
                         prefix_by_size = {}
                         access_cutoff = (
@@ -324,28 +405,33 @@ def _process_event(
     # Index insertion (Algorithms 7-8).
     if opts.index_optimization:
         if not stop_indexing[rid]:
+            threshold = buffer.s_k
+            if external > threshold:
+                threshold = external
             indexing_bound = sim.indexing_upper_bound(size_x, prefix)
-            if indexing_bound > buffer.s_k:
-                index.add(token, rid, prefix, bound)
+            if indexing_bound > threshold:
+                insert_index.add(token, rid, prefix, bound)
             else:
                 stop_indexing[rid] = 1
                 stats.index_insertions_skipped += 1
         else:
             stats.index_insertions_skipped += 1
     else:
-        index.add(token, rid, prefix, bound)
+        insert_index.add(token, rid, prefix, bound)
 
 
 def _zero_fill(
     collection: RecordCollection,
     missing: int,
     found: List[JoinResult],
+    sides: Optional[Sequence[int]] = None,
 ) -> List[JoinResult]:
     """Pad with similarity-0 pairs (records sharing no token).
 
     Only reachable when fewer than *k* pairs share any token, in which case
     the event loop has provably enumerated every pair with positive
-    similarity — the remaining pairs all score exactly 0.
+    similarity — the remaining pairs all score exactly 0.  With *sides*
+    only cross pairs are eligible (the bipartite pair space).
     """
     present: Set[Tuple[int, int]] = {(r.x, r.y) for r in found}
     padding: List[JoinResult] = []
@@ -357,6 +443,8 @@ def _zero_fill(
             if missing <= 0:
                 break
             if (a, b) in present:
+                continue
+            if sides is not None and sides[a] == sides[b]:
                 continue
             padding.append(JoinResult(a, b, 0.0))
             missing -= 1

@@ -1,0 +1,30 @@
+"""Sharded multiprocessing backend for the top-k similarity self-join.
+
+The sequential ``topk-join`` maintains one global event heap and one
+inverted index; this package decomposes the same computation into
+``m(m+1)/2`` independent shard sub-joins coordinated only through a
+shared, monotonically rising lower bound on the global ``s_k`` — exact
+results, near-linear scaling on multi-core machines.
+
+Entry point: :func:`parallel_topk_join`.  The building blocks
+(partitioner, shared bound, per-task worker, merger) are exported for
+tests and for composing custom schedulers.
+"""
+
+from .bound import LocalSimilarityBound, SharedSimilarityBound
+from .join import parallel_topk_join
+from .merger import merge_task_results
+from .partitioner import shard_collection, subproblem, task_plan
+from .worker import initialize_worker, run_task
+
+__all__ = [
+    "LocalSimilarityBound",
+    "SharedSimilarityBound",
+    "parallel_topk_join",
+    "merge_task_results",
+    "shard_collection",
+    "subproblem",
+    "task_plan",
+    "initialize_worker",
+    "run_task",
+]

@@ -1,0 +1,89 @@
+"""Shared, monotonically rising lower bound on the global ``s_k``.
+
+The one piece of state the sharded sub-joins exchange (cf. SWOOP,
+arXiv:1711.02476): whenever a task's top-k buffer is full, its local
+``s_k`` is the similarity of *k* real pairs of the global collection and
+therefore a lower bound on the global ``s_k``.  Publishing the maximum of
+those local bounds lets every other task drive its pruning rules — event
+termination, indexing bound, accessing bound, candidate filters — with a
+threshold that keeps rising as *any* worker makes progress, while the
+paper's Lemmas 2-5 stay valid because they hold for any lower bound on
+the true ``s_k``.
+
+Both classes implement the tiny protocol ``TopkOptions.bound_provider``
+expects: ``offer(value)`` publishes a local bound, ``refresh()`` syncs
+with the shared state and returns the latest global bound, ``get()``
+returns the last synced value without touching shared state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Optional
+
+__all__ = ["LocalSimilarityBound", "SharedSimilarityBound"]
+
+
+class LocalSimilarityBound:
+    """In-process bound for serial task execution (and tests).
+
+    Running the shard tasks one after another in a single process still
+    benefits from the bound: pairs found by an early task raise the
+    threshold every later task starts from.
+    """
+
+    def __init__(self, floor: float = 0.0):
+        self._value = floor
+
+    def get(self) -> float:
+        return self._value
+
+    def refresh(self) -> float:
+        return self._value
+
+    def offer(self, candidate: float) -> None:
+        if candidate > self._value:
+            self._value = candidate
+
+
+class SharedSimilarityBound:
+    """Cross-process bound backed by a ``multiprocessing.Value('d')``.
+
+    Each worker process wraps the inherited raw value in its own instance;
+    ``refresh()`` performs one synchronized read (called once per event, so
+    lock traffic stays far off the hot posting-scan path) and ``offer()``
+    takes the lock only when this process actually beat its last published
+    bound.  Both directions are monotone, so a stale read can only make
+    pruning weaker — never incorrect.
+    """
+
+    def __init__(self, value: Optional[object] = None, floor: float = 0.0):
+        if value is None:
+            value = multiprocessing.Value("d", floor)
+        self._value = value
+        self._cached = floor
+        self._published = floor
+
+    @property
+    def raw(self) -> object:
+        """The underlying shared value, for passing to worker initargs."""
+        return self._value
+
+    def get(self) -> float:
+        return self._cached
+
+    def refresh(self) -> float:
+        latest = self._value.value
+        if latest > self._cached:
+            self._cached = latest
+        return self._cached
+
+    def offer(self, candidate: float) -> None:
+        if candidate <= self._published:
+            return
+        self._published = candidate
+        with self._value.get_lock():
+            if candidate > self._value.value:
+                self._value.value = candidate
+        if candidate > self._cached:
+            self._cached = candidate

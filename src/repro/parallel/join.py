@@ -1,0 +1,186 @@
+"""``parallel_topk_join`` — the sharded multiprocessing top-k backend.
+
+The collection is split into *m* contiguous size-sorted shards; the pair
+space then
+decomposes exactly into ``m(m+1)/2`` independent sub-joins (diagonal
+self-joins plus bipartite cross joins) executed by a worker pool.  The
+workers cooperate through one shared, monotonically rising lower bound on
+the global ``s_k``: a shard that finds good pairs early raises the
+early-termination, indexing and accessing bounds in every other worker.
+The merger folds the per-task buffers into the exact global top-k.
+
+Execution strategy:
+
+* ``workers > 1`` — a ``multiprocessing`` pool (``fork`` start method
+  where available, so the collection is shared copy-on-write); the
+  collection and shard table are shipped once per worker via the pool
+  initializer, and tasks are dispatched diagonals-first so the shared
+  bound rises before the large cross tasks start.
+* ``workers == 1`` (or pool creation fails, e.g. in sandboxes without
+  semaphore support) — the same tasks run serially in-process, still
+  sharing the bound from task to task.
+
+The result is exact: same similarity multiset as the sequential
+:func:`repro.core.topk_join.topk_join`, same pairs wherever similarities
+are not tied at the k-th value, and deterministic tie-breaking by record
+ids at the boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import replace
+from typing import List, Optional
+
+from ..core.metrics import TopkStats
+from ..core.results import TopKBuffer
+from ..core.seeding import seed_temporary_results
+from ..core.topk_join import TopkOptions, _zero_fill, topk_join
+from ..core.verification import VerificationRegistry
+from ..data.records import RecordCollection
+from ..result import JoinResult
+from ..similarity.functions import Jaccard, SimilarityFunction
+from .bound import LocalSimilarityBound, SharedSimilarityBound
+from .merger import merge_task_results
+from .partitioner import shard_collection, task_plan
+from .worker import initialize_worker, run_task
+
+__all__ = ["parallel_topk_join"]
+
+#: Upper limit on the shard count; see the clamp in ``parallel_topk_join``.
+MAX_SHARDS = 64
+
+
+def parallel_topk_join(
+    collection: RecordCollection,
+    k: int,
+    similarity: Optional[SimilarityFunction] = None,
+    options: Optional[TopkOptions] = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    stats: Optional[TopkStats] = None,
+) -> List[JoinResult]:
+    """The k most similar pairs of *collection*, computed shard-parallel.
+
+    *workers* defaults to the machine's CPU count; *shards* defaults to
+    ``2 * workers`` so the pool has enough tasks to balance (a task is at
+    most two shards' worth of records).  Per-task counters are aggregated
+    into *stats* via :meth:`TopkStats.merge_from`.  Like the sequential
+    join, the answer is padded with similarity-0 pairs when fewer than
+    *k* pairs share a token.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1, got %d" % k)
+    sim = similarity or Jaccard()
+    opts = options or TopkOptions()
+    worker_count = workers if workers is not None else os.cpu_count() or 1
+    worker_count = max(1, worker_count)
+    shard_count = shards if shards is not None else 2 * worker_count
+    if shard_count < 1:
+        raise ValueError("shards must be >= 1, got %d" % shard_count)
+    # The task count is quadratic in the shard count (m(m+1)/2 sub-joins,
+    # each paying its own seeding scan), so an oversized --shards request
+    # would drown the join in per-task overhead.  64 shards = 2080 tasks
+    # keeps the busiest sensible pool fed with plenty of slack.
+    shard_count = min(shard_count, MAX_SHARDS)
+
+    rid_shards = shard_collection(collection, shard_count)
+    plan = task_plan(len(rid_shards))
+    if len(plan) <= 1:
+        return topk_join(collection, k, similarity=sim, options=opts, stats=stats)
+
+    # Tasks must start from a clean cooperative state; the shared bound
+    # and per-task side labels are installed by the workers themselves.
+    base = replace(opts, bound_provider=None, bipartite_sides=None)
+
+    # Seed the shared bound from the *global* collection before any task
+    # starts: per-task seeding only sees one or two shards, so without
+    # this the first wave of workers would grind with near-zero bounds
+    # until some task's buffer fills.  The seed pairs also join the merge
+    # (they are exactly verified global pairs), which is what makes
+    # pruning at the seeded bound safe for ties.
+    seed_bound, seed_rows, seed_stats = _global_seed(collection, k, sim, base)
+
+    outcome = None
+    if worker_count > 1:
+        outcome = _run_pool(
+            collection, rid_shards, k, sim, base, plan, worker_count, seed_bound
+        )
+    if outcome is None:
+        outcome = _run_serial(collection, rid_shards, k, sim, base, plan, seed_bound)
+
+    task_rows, task_stats = outcome
+    task_rows.append(seed_rows)
+    task_stats.append(seed_stats)
+    if stats is not None:
+        for entry in task_stats:
+            stats.merge_from(entry)
+
+    results = merge_task_results(task_rows, k)
+    if len(results) < k:
+        results.extend(_zero_fill(collection, k - len(results), results))
+    return results
+
+
+def _global_seed(collection, k, sim, options):
+    """Verify selective-token pairs of the whole collection up front.
+
+    Returns ``(bound, rows, stats)``: a valid lower bound on the global
+    ``s_k`` (0.0 when the seed buffer did not fill), the seed pairs as
+    merger rows, and their verification count as a stats entry.
+    """
+    stats = TopkStats()
+    if not options.seed_results:
+        return 0.0, [], stats
+    buffer = TopKBuffer(k)
+    registry = VerificationRegistry(sim, mode="off")
+    stats.verifications = seed_temporary_results(collection, sim, buffer, registry)
+    rows = [(pair[0], pair[1], value) for pair, value in buffer.items()]
+    bound = buffer.s_k if buffer.full else 0.0
+    return bound, rows, stats
+
+
+def _run_pool(collection, rid_shards, k, sim, base, plan, worker_count, seed_bound):
+    """Execute *plan* on a process pool; None when no pool can be made."""
+    try:
+        context = _pool_context()
+        shared = SharedSimilarityBound(context.Value("d", seed_bound))
+        processes = min(worker_count, len(plan))
+        with context.Pool(
+            processes,
+            initializer=initialize_worker,
+            initargs=(collection, rid_shards, k, sim, base, shared.raw),
+        ) as pool:
+            task_rows = []
+            task_stats = []
+            for rows, entry in pool.imap_unordered(run_task, plan):
+                task_rows.append(rows)
+                task_stats.append(entry)
+        return task_rows, task_stats
+    except (ImportError, OSError, PermissionError):
+        # No usable multiprocessing primitives (e.g. sandboxed /dev/shm);
+        # the serial path computes the identical answer.
+        return None
+
+
+def _run_serial(collection, rid_shards, k, sim, base, plan, seed_bound):
+    """Execute *plan* in-process, sharing the bound across tasks."""
+    initialize_worker(
+        collection, rid_shards, k, sim, base, LocalSimilarityBound(seed_bound)
+    )
+    task_rows = []
+    task_stats = []
+    for task in plan:
+        rows, entry = run_task(task)
+        task_rows.append(rows)
+        task_stats.append(entry)
+    return task_rows, task_stats
+
+
+def _pool_context():
+    """Prefer ``fork`` (copy-on-write collection); fall back to default."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()

@@ -1,0 +1,48 @@
+"""Folding per-task top-k buffers into the exact global top-k.
+
+Why the union of per-task top-k results contains a valid global top-k:
+
+* every record pair of the collection belongs to exactly one task
+  (:mod:`repro.parallel.partitioner`), so each global top-k pair *p* is
+  in some task's pair space;
+* within that task at most ``k - 1`` pairs beat *p* (they would beat it
+  globally too), so *p* survives in that task's buffer — unless it was
+  pruned against the shared bound ``B <= global s_k``, which can only
+  happen to pairs with ``sim <= B``, i.e. interchangeable ties of the
+  global k-th result.  In that case the task that *published* ``B`` holds
+  k pairs at or above ``B`` in its own buffer, so the union still
+  contains k pairs at or above the true ``s_k``.
+
+Hence taking the k best rows of the union reproduces the sequential
+answer's similarity multiset exactly, with ties at the k-th value broken
+deterministically by ``JoinResult.sort_key`` (similarity desc, then rid
+pair asc) rather than by event processing order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..result import JoinResult, sort_results
+from .worker import TaskRow
+
+__all__ = ["merge_task_results"]
+
+
+def merge_task_results(task_rows: Iterable[List[TaskRow]], k: int) -> List[JoinResult]:
+    """The k best rows across all tasks, deduplicated and sorted.
+
+    Task pair spaces are disjoint by construction, so deduplication is
+    defensive (it matters only if a caller feeds overlapping shard
+    definitions); when a pair does repeat, its similarity values are
+    identical because every task verifies exactly.
+    """
+    best: Dict[Tuple[int, int], float] = {}
+    for rows in task_rows:
+        for x, y, value in rows:
+            pair = (x, y)
+            previous = best.get(pair)
+            if previous is None or value > previous:
+                best[pair] = value
+    merged = sort_results(JoinResult(x, y, value) for (x, y), value in best.items())
+    return merged[:k]

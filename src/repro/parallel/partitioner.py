@@ -1,0 +1,95 @@
+"""Sharding the record collection and decomposing the pair space.
+
+A collection is split into *m* contiguous, size-sorted shards: shard *i*
+holds records ``floor(i·n/m) .. floor((i+1)·n/m)`` of the size-sorted
+collection.  Contiguity is the load-bearing choice: records of (near-)
+equal size — where all the high-similarity pairs live, since Jaccard
+``>= t`` forces ``|x|/|y| >= t`` — land in the *same* shard, so the cheap
+diagonal self-joins find the top pairs immediately and publish a high
+shared bound, while cross tasks between distant size blocks are killed
+almost instantly by the size filter running against that bound.  (A
+strided partition would do the opposite: split every near-duplicate pair
+across shards and leave all tasks grinding with weak local bounds.)
+
+The pair space then decomposes exactly:
+
+* diagonal task ``(i, i)`` — the self-join of shard ``Ri``;
+* cross task ``(i, j)``, ``i < j`` — the bipartite join ``Ri × Rj``
+  (via ``TopkOptions.bipartite_sides``, which generates cross pairs only).
+
+Every unordered record pair of the collection belongs to exactly one
+task, so the union of per-task top-k buffers provably contains the global
+top-k (see :mod:`repro.parallel.merger`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..data.records import Record, RecordCollection
+
+__all__ = ["shard_collection", "task_plan", "subproblem"]
+
+
+def shard_collection(
+    collection: RecordCollection, shards: int
+) -> List[Tuple[int, ...]]:
+    """Split *collection* into up to *shards* contiguous size-sorted shards.
+
+    Returns a list of ascending rid tuples covering ``0..n-1`` exactly
+    once, each a contiguous run of the size-sorted collection with record
+    counts differing by at most one.  The shard count is clamped to the
+    collection size (never more shards than records, at least one shard).
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1, got %d" % shards)
+    n = len(collection)
+    m = max(1, min(shards, n))
+    bounds = [n * i // m for i in range(m + 1)]
+    return [tuple(range(bounds[i], bounds[i + 1])) for i in range(m)]
+
+
+def task_plan(shard_count: int) -> List[Tuple[int, int]]:
+    """All ``(i, j)`` sub-join tasks, diagonals first.
+
+    Diagonal (self-join) tasks are cheapest and find high-similarity
+    pairs immediately, so scheduling them first raises the shared bound
+    before the larger cross tasks start scanning.
+    """
+    diagonals = [(i, i) for i in range(shard_count)]
+    crosses = [(i, j) for i in range(shard_count) for j in range(i + 1, shard_count)]
+    return diagonals + crosses
+
+
+def subproblem(
+    collection: RecordCollection,
+    rids_a: Sequence[int],
+    rids_b: Optional[Sequence[int]] = None,
+) -> Tuple[RecordCollection, Optional[bytes]]:
+    """Build the sub-collection for one task.
+
+    Records keep their canonical global token ranks (no re-ordering —
+    prefix filtering needs one global ordering) and are re-labelled with
+    dense local rids; each sub-record's ``source_id`` holds its *global*
+    rid so task results can be mapped back.  Returns ``(sub, sides)``
+    where *sides* is ``None`` for a diagonal task and a 0/1 label per
+    local rid for a cross task.
+    """
+    records = collection.records
+    if rids_b is None:
+        chosen: List[int] = list(rids_a)
+        sides = None
+    else:
+        chosen = sorted(list(rids_a) + list(rids_b))
+        side_b = set(rids_b)
+        sides = bytes(1 if rid in side_b else 0 for rid in chosen)
+    subrecords = [
+        Record(local_rid, records[rid].tokens, rid)
+        for local_rid, rid in enumerate(chosen)
+    ]
+    sub = RecordCollection(
+        subrecords,
+        universe_size=collection.universe_size,
+        token_of_rank=collection.token_of_rank,
+    )
+    return sub, sides

@@ -1,0 +1,77 @@
+"""Per-task execution for the sharded parallel top-k join.
+
+The module-level state/function pair exists so :mod:`multiprocessing`
+pools can run tasks: ``initialize_worker`` is the pool initializer (the
+collection, shard table and options are shipped once per worker process,
+not once per task) and ``run_task`` is the mapped function.  The serial
+fallback calls exactly the same pair in-process, so both execution paths
+share one code path — and the in-process path keeps the worker fully
+visible to coverage tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from ..core.metrics import TopkStats
+from ..core.topk_join import TopkOptions, topk_join_iter
+from .bound import SharedSimilarityBound
+from .partitioner import subproblem
+
+__all__ = ["initialize_worker", "run_task"]
+
+#: One joined pair in global-rid terms: ``(x, y, similarity)``.
+TaskRow = Tuple[int, int, float]
+
+_STATE: Dict[str, object] = {}
+
+
+def initialize_worker(collection, shards, k, similarity, options, bound) -> None:
+    """Install the task context shared by every ``run_task`` call.
+
+    *bound* is either a provider object (serial in-process execution) or
+    the raw ``multiprocessing.Value`` inherited from the parent, which
+    each worker process wraps in its own :class:`SharedSimilarityBound`.
+    """
+    if not hasattr(bound, "offer"):
+        bound = SharedSimilarityBound(bound)
+    _STATE["collection"] = collection
+    _STATE["shards"] = shards
+    _STATE["k"] = k
+    _STATE["similarity"] = similarity
+    _STATE["options"] = options
+    _STATE["bound"] = bound
+
+
+def run_task(task: Tuple[int, int]) -> Tuple[List[TaskRow], TopkStats]:
+    """Run one sub-join task ``(i, j)`` against the installed context.
+
+    Diagonal tasks self-join shard *i*; cross tasks run the bipartite
+    join ``Ri × Rj``.  Results come back as global-rid rows plus the
+    task's :class:`TopkStats` for aggregation.
+    """
+    i, j = task
+    collection = _STATE["collection"]
+    shards = _STATE["shards"]
+    if i == j:
+        sub, sides = subproblem(collection, shards[i])
+    else:
+        sub, sides = subproblem(collection, shards[i], shards[j])
+    base: TopkOptions = _STATE["options"]
+    options = replace(base, bound_provider=_STATE["bound"], bipartite_sides=sides)
+    stats = TopkStats()
+    rows: List[TaskRow] = []
+    for result in topk_join_iter(
+        sub,
+        _STATE["k"],
+        similarity=_STATE["similarity"],
+        options=options,
+        stats=stats,
+    ):
+        x = sub[result.x].source_id
+        y = sub[result.y].source_id
+        if x > y:
+            x, y = y, x
+        rows.append((x, y, result.similarity))
+    return rows, stats

@@ -5,7 +5,7 @@ import os
 import pytest
 
 from repro.bench import WORKLOADS, format_table, workload
-from repro.bench.reporting import results_dir, write_report
+from repro.bench.reporting import repo_root, results_dir, write_report
 
 
 class TestFormatTable:
@@ -46,6 +46,52 @@ class TestWriteReport:
         path = results_dir()
         assert os.path.isdir(path)
         assert path.endswith(os.path.join("benchmarks", "results"))
+
+
+class TestResultsDirResolution:
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        target = tmp_path / "artifacts"
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(target))
+        path = results_dir()
+        assert path == str(target)
+        assert os.path.isdir(path)
+
+    def test_repo_root_finds_pyproject_marker(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[project]\n")
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        assert repo_root(str(nested)) == str(tmp_path)
+
+    def test_repo_root_finds_git_marker(self, tmp_path):
+        (tmp_path / ".git").mkdir()
+        nested = tmp_path / "deep"
+        nested.mkdir()
+        assert repo_root(str(nested)) == str(tmp_path)
+
+    def test_repo_root_none_without_markers(self, tmp_path):
+        nested = tmp_path / "plain"
+        nested.mkdir()
+        assert repo_root(str(nested)) is None
+
+    def test_results_dir_walks_to_marker_from_cwd(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        (tmp_path / "pyproject.toml").write_text("[project]\n")
+        nested = tmp_path / "src" / "pkg"
+        nested.mkdir(parents=True)
+        monkeypatch.chdir(nested)
+        path = results_dir()
+        assert path == str(tmp_path / "benchmarks" / "results")
+        assert os.path.isdir(path)
+
+    def test_results_dir_falls_back_to_cwd(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        nested = tmp_path / "nowhere"
+        nested.mkdir()
+        monkeypatch.chdir(nested)
+        path = results_dir()
+        assert path == str(nested / "benchmarks" / "results")
 
 
 class TestWorkloads:

@@ -1,6 +1,5 @@
 """Adversarial tests for core internals (buffer, events, verification cache)."""
 
-import random
 
 import pytest
 

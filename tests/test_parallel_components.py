@@ -1,0 +1,177 @@
+"""Unit tests for the parallel backend's pieces (repro.parallel)."""
+
+import multiprocessing
+
+import pytest
+
+from repro import TopkStats, parallel_topk_join, topk_join
+from repro.cli import main
+from repro.data import random_integer_collection
+from repro.parallel import (
+    LocalSimilarityBound,
+    SharedSimilarityBound,
+    merge_task_results,
+    shard_collection,
+    subproblem,
+    task_plan,
+)
+
+from conftest import make_collection, rounded_multiset
+
+
+class TestShardCollection:
+    def test_covers_every_rid_exactly_once(self, rng):
+        coll = random_integer_collection(37, universe=20, max_size=6, rng=rng)
+        shards = shard_collection(coll, 5)
+        seen = [rid for shard in shards for rid in shard]
+        assert sorted(seen) == list(range(len(coll)))
+        assert len(seen) == len(set(seen))
+
+    def test_shards_are_contiguous_and_balanced(self, rng):
+        coll = random_integer_collection(23, universe=20, max_size=6, rng=rng)
+        shards = shard_collection(coll, 4)
+        for shard in shards:
+            assert list(shard) == list(range(shard[0], shard[-1] + 1))
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_clamped_to_collection_size(self):
+        coll = make_collection((1, 2), (2, 3))
+        assert len(shard_collection(coll, 10)) == 2
+        assert len(shard_collection(coll, 1)) == 1
+
+    def test_rejects_nonpositive_shards(self):
+        coll = make_collection((1, 2), (2, 3))
+        with pytest.raises(ValueError):
+            shard_collection(coll, 0)
+
+
+class TestTaskPlan:
+    def test_counts_and_order(self):
+        plan = task_plan(4)
+        assert len(plan) == 4 * 5 // 2
+        assert plan[:4] == [(0, 0), (1, 1), (2, 2), (3, 3)]
+        assert set(plan[4:]) == {(i, j) for i in range(4) for j in range(i + 1, 4)}
+
+    def test_single_shard(self):
+        assert task_plan(1) == [(0, 0)]
+
+
+class TestSubproblem:
+    def test_diagonal_keeps_global_rids_in_source_id(self):
+        coll = make_collection((1,), (1, 2), (2, 3), (1, 2, 3, 4))
+        sub, sides = subproblem(coll, (1, 3))
+        assert sides is None
+        assert [r.source_id for r in sub.records] == [1, 3]
+        assert [r.tokens for r in sub.records] == [
+            coll.records[1].tokens,
+            coll.records[3].tokens,
+        ]
+
+    def test_cross_labels_sides(self):
+        coll = make_collection((1,), (1, 2), (2, 3), (1, 2, 3, 4))
+        sub, sides = subproblem(coll, (0, 2), (1, 3))
+        assert [r.source_id for r in sub.records] == [0, 1, 2, 3]
+        assert list(sides) == [0, 1, 0, 1]
+
+
+class TestBounds:
+    def test_local_bound_is_monotone(self):
+        bound = LocalSimilarityBound(0.25)
+        assert bound.get() == 0.25
+        bound.offer(0.5)
+        assert bound.refresh() == 0.5
+        bound.offer(0.3)
+        assert bound.get() == 0.5
+
+    def test_shared_bound_is_monotone(self):
+        shared = SharedSimilarityBound(floor=0.1)
+        assert shared.get() == 0.1
+        shared.offer(0.7)
+        assert shared.refresh() == 0.7
+        shared.offer(0.2)
+        assert shared.refresh() == 0.7
+
+    def test_shared_bound_propagates_between_wrappers(self):
+        raw = multiprocessing.Value("d", 0.0)
+        a = SharedSimilarityBound(raw)
+        b = SharedSimilarityBound(raw)
+        a.offer(0.9)
+        assert b.get() == 0.0  # cached until an explicit refresh
+        assert b.refresh() == 0.9
+
+
+class TestMerger:
+    def test_dedup_keeps_best_and_truncates(self):
+        rows = [
+            [(0, 1, 0.5), (0, 2, 0.9)],
+            [(0, 1, 0.5), (1, 2, 0.7)],
+            [(3, 4, 0.2)],
+        ]
+        merged = merge_task_results(rows, 3)
+        assert [(r.x, r.y, r.similarity) for r in merged] == [
+            (0, 2, 0.9),
+            (1, 2, 0.7),
+            (0, 1, 0.5),
+        ]
+
+    def test_deterministic_tie_order(self):
+        rows = [[(2, 3, 0.5)], [(0, 1, 0.5)], [(1, 2, 0.5)]]
+        merged = merge_task_results(rows, 3)
+        assert [(r.x, r.y) for r in merged] == [(0, 1), (1, 2), (2, 3)]
+
+
+class TestParallelJoin:
+    def test_rejects_bad_k(self):
+        coll = make_collection((1, 2), (2, 3))
+        with pytest.raises(ValueError):
+            parallel_topk_join(coll, 0)
+
+    def test_oversized_shard_request_is_clamped(self, rng):
+        # Unclamped, shards=500 on 60 records would mean ~1.8k tiny tasks;
+        # the ceiling keeps the task count sane and the answer exact.
+        coll = random_integer_collection(60, universe=25, max_size=7, rng=rng)
+        results = parallel_topk_join(coll, 8, workers=1, shards=500)
+        assert rounded_multiset(results) == rounded_multiset(topk_join(coll, 8))
+
+    def test_single_shard_delegates_to_sequential(self):
+        coll = make_collection((1, 2), (1, 2, 3), (4, 5))
+        results = parallel_topk_join(coll, 2, workers=1, shards=1)
+        assert rounded_multiset(results) == rounded_multiset(topk_join(coll, 2))
+
+    def test_pads_with_zero_pairs(self):
+        coll = make_collection((1, 2), (1, 3), (4, 5))
+        results = parallel_topk_join(coll, 3, workers=1, shards=2)
+        assert len(results) == 3
+        assert results[-1].similarity == 0.0
+
+    def test_stats_are_aggregated(self, rng):
+        coll = random_integer_collection(40, universe=25, max_size=7, rng=rng)
+        stats = TopkStats()
+        parallel_topk_join(coll, 10, workers=1, shards=3, stats=stats)
+        assert stats.verifications > 0
+
+    def test_pool_smoke(self, rng):
+        coll = random_integer_collection(50, universe=25, max_size=7, rng=rng)
+        results = parallel_topk_join(coll, 12, workers=2, shards=4)
+        assert rounded_multiset(results) == rounded_multiset(topk_join(coll, 12))
+
+
+class TestStatsMerging:
+    def test_combined_sums_counters(self):
+        a = TopkStats(events=3, verifications=5, candidates=7)
+        b = TopkStats(events=2, verifications=1, candidates=4)
+        total = TopkStats.combined([a, b])
+        assert total.events == 5
+        assert total.verifications == 6
+        assert total.candidates == 11
+
+
+class TestCli:
+    def test_topk_workers_flag(self, tmp_path, capsys):
+        data = tmp_path / "data.txt"
+        data.write_text("a b c\na b c d\nb c d\nx y\nx y z\n", encoding="utf-8")
+        code = main(["topk", "--input", str(data), "--k", "3", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 3

@@ -1,0 +1,99 @@
+"""Property tests: the sharded parallel join is exact.
+
+``parallel_topk_join`` must return the same similarity multiset as the
+sequential ``topk_join`` on every input — any k, any shard count, any
+similarity function, and in particular on tie-heavy collections where the
+k-th value is shared by many pairs (the only regime where the shared-bound
+pruning argument has any room to go wrong).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Cosine,
+    Dice,
+    Jaccard,
+    Overlap,
+    parallel_topk_join,
+    topk_join,
+)
+from repro.data import RecordCollection
+
+from conftest import rounded_multiset
+
+token_sets = st.lists(
+    st.sets(st.integers(min_value=0, max_value=20), min_size=1, max_size=8),
+    min_size=2,
+    max_size=18,
+)
+# A tiny universe of tiny sets: nearly every pair collides with some other
+# pair's similarity, so the k-th value is almost always a fat tie.
+tie_heavy_sets = st.lists(
+    st.sets(st.integers(min_value=0, max_value=5), min_size=1, max_size=3),
+    min_size=3,
+    max_size=16,
+)
+similarities = st.sampled_from([Jaccard(), Cosine(), Dice(), Overlap()])
+shard_counts = st.integers(min_value=1, max_value=5)
+
+
+def _assert_equivalent(coll, k, sim, shards):
+    sequential = topk_join(coll, k, similarity=sim)
+    parallel = parallel_topk_join(coll, k, similarity=sim, workers=1, shards=shards)
+    assert rounded_multiset(parallel) == rounded_multiset(sequential)
+    # Pairs strictly above the k-th value are forced; only ties at the
+    # boundary are interchangeable.
+    if sequential:
+        s_k = sequential[-1].similarity
+        forced = {(r.x, r.y) for r in sequential if r.similarity > s_k + 1e-9}
+        got = {(r.x, r.y) for r in parallel if r.similarity > s_k + 1e-9}
+        assert got == forced
+    # Reported similarities are genuine.
+    records = coll.records
+    for r in parallel:
+        expected = sim.similarity(records[r.x].tokens, records[r.y].tokens)
+        assert abs(expected - r.similarity) < 1e-9
+
+
+@given(
+    sets=token_sets,
+    k=st.integers(min_value=1, max_value=20),
+    shards=shard_counts,
+)
+@settings(max_examples=60, deadline=None)
+def test_parallel_matches_sequential_jaccard(sets, k, shards):
+    coll = RecordCollection.from_integer_sets(list(sets), dedupe=False)
+    _assert_equivalent(coll, k, Jaccard(), shards)
+
+
+@given(
+    sets=token_sets,
+    k=st.integers(min_value=1, max_value=15),
+    sim=similarities,
+    shards=shard_counts,
+)
+@settings(max_examples=40, deadline=None)
+def test_parallel_matches_sequential_all_similarities(sets, k, sim, shards):
+    coll = RecordCollection.from_integer_sets(list(sets), dedupe=False)
+    _assert_equivalent(coll, k, sim, shards)
+
+
+@given(
+    sets=tie_heavy_sets,
+    k=st.integers(min_value=1, max_value=12),
+    shards=shard_counts,
+)
+@settings(max_examples=60, deadline=None)
+def test_parallel_matches_sequential_tie_heavy(sets, k, shards):
+    coll = RecordCollection.from_integer_sets(list(sets), dedupe=False)
+    _assert_equivalent(coll, k, Jaccard(), shards)
+
+
+def test_parallel_pool_path_matches_sequential(small_random_collections):
+    """The real multiprocessing path (workers > 1) is exact too."""
+    for coll in small_random_collections[:6]:
+        for k in (1, 5, 25):
+            sequential = topk_join(coll, k)
+            parallel = parallel_topk_join(coll, k, workers=2, shards=3)
+            assert rounded_multiset(parallel) == rounded_multiset(sequential)

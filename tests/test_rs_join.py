@@ -1,6 +1,5 @@
 """Tests for the R-S (two-collection) top-k join extension."""
 
-import random
 
 import pytest
 

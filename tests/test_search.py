@@ -1,6 +1,5 @@
 """Tests for the similarity-search module (repro.search)."""
 
-import random
 
 import pytest
 

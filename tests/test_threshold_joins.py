@@ -4,7 +4,6 @@ All-Pairs, ppjoin and ppjoin+ must return exactly the result set of the
 naive quadratic join on every input, for every similarity function.
 """
 
-import random
 
 import pytest
 

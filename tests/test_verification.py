@@ -5,14 +5,15 @@ import random
 
 import pytest
 
-# The package re-exports the topk_join *function* under the same dotted
-# path, so fetch the module itself for monkeypatching.
-topk_module = importlib.import_module("repro.core.topk_join")
 from repro import TopkOptions, topk_join
 from repro.core.verification import VerificationRegistry
 from repro.data import random_integer_collection
 from repro.similarity import Jaccard
 from repro.similarity.overlap import overlap_with_common_positions
+
+# The package re-exports the topk_join *function* under the same dotted
+# path, so fetch the module itself for monkeypatching.
+topk_module = importlib.import_module("repro.core.topk_join")
 
 
 def probe_of(x, y, required=0):

@@ -1,7 +1,6 @@
 """Tests for the weighted similarity extension (repro.weighted)."""
 
 import math
-import random
 
 import pytest
 
