@@ -3,10 +3,12 @@
 Subcommands::
 
     python -m repro topk      --input data.txt --k 100 [--similarity jaccard]
-                              [--workers N] [--shards M]
+                              [--workers N] [--shards M] [--check]
     python -m repro threshold --input data.txt --threshold 0.8 [--algorithm ppjoin+]
     python -m repro generate  --dataset dblp --n 2000 --output data.txt
     python -m repro stats     --input data.txt
+    python -m repro fuzz      --seed 0 --iters 200 [--budget 60]
+                              [--corpus-dir tests/corpus] [--replay]
 
 Input files hold one record per line, tokens separated by spaces (use
 ``--qgram Q`` to treat each line as raw text tokenized into q-grams).
@@ -70,7 +72,7 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     collection = _load(args.input, args.qgram)
     sim = similarity_by_name(args.similarity)
     stats = TopkStats()
-    options = TopkOptions(maxdepth=args.maxdepth)
+    options = TopkOptions(maxdepth=args.maxdepth, check_invariants=args.check)
     start = time.perf_counter()
     if args.workers > 1 or args.shards is not None:
         results = parallel_topk_join(
@@ -136,6 +138,60 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print("average size  : %.2f" % stats.average_size)
     print("universe size : %d" % stats.universe_size)
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .oracle import fuzz_run, replay_corpus
+    from .oracle.differential import available_backends
+
+    backends = None
+    if args.backends:
+        backends = [name.strip() for name in args.backends.split(",")]
+        unknown = set(backends) - set(available_backends())
+        if unknown:
+            print(
+                "unknown backends: %s (choose from %s)"
+                % (", ".join(sorted(unknown)), ", ".join(available_backends())),
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.replay:
+        failing = replay_corpus(args.corpus_dir, backends=backends)
+        if failing:
+            for path, failures in failing:
+                print("FAIL %s" % path, file=sys.stderr)
+                for message in failures:
+                    print("  %s" % message, file=sys.stderr)
+            return 1
+        print("# corpus %s: all cases pass" % args.corpus_dir, file=sys.stderr)
+        return 0
+
+    report = fuzz_run(
+        seed=args.seed,
+        iterations=args.iters,
+        budget=args.budget,
+        max_records=args.max_records,
+        backends=backends,
+        corpus_dir=args.corpus_dir,
+    )
+    print(
+        "# fuzz seed=%d: %d iterations in %.1fs, %d failure(s)"
+        % (args.seed, report.iterations, report.elapsed,
+           len(report.failures)),
+        file=sys.stderr,
+    )
+    for iteration, generator, case, failures, path in report.failures:
+        print(
+            "FAIL iteration=%d generator=%s k=%d similarity=%s%s"
+            % (iteration, generator, case.k, case.similarity,
+               " -> %s" % path if path else ""),
+            file=sys.stderr,
+        )
+        print("  records=%r" % (case.records,), file=sys.stderr)
+        for message in failures:
+            print("  %s" % message, file=sys.stderr)
+    return 1 if report.failures else 0
 
 
 #: Experiment id -> (description, runner).  Runners print to stdout.
@@ -256,6 +312,9 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--shards", type=int, default=None,
                       help="shard count for the parallel backend "
                            "(default: 2x workers)")
+    topk.add_argument("--check", action="store_true",
+                      help="assert the paper's runtime invariants while "
+                           "joining (slow; also via REPRO_CHECK=1)")
     topk.set_defaults(handler=_cmd_topk)
 
     threshold = commands.add_parser("threshold", help="threshold join")
@@ -281,6 +340,25 @@ def build_parser() -> argparse.ArgumentParser:
     stats = commands.add_parser("stats", help="dataset statistics (Table I)")
     add_io(stats)
     stats.set_defaults(handler=_cmd_stats)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differentially fuzz every join backend against the oracle",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--iters", type=int, default=200,
+                      help="number of generated cases")
+    fuzz.add_argument("--budget", type=float, default=None,
+                      help="wall-clock budget in seconds")
+    fuzz.add_argument("--max-records", type=int, default=28,
+                      help="records per generated collection")
+    fuzz.add_argument("--backends", default=None,
+                      help="comma-separated backend subset (default: all)")
+    fuzz.add_argument("--corpus-dir", default="tests/corpus",
+                      help="where shrunk failures are saved / replayed from")
+    fuzz.add_argument("--replay", action="store_true",
+                      help="re-run the saved corpus instead of fuzzing")
+    fuzz.set_defaults(handler=_cmd_fuzz)
 
     bench = commands.add_parser(
         "bench", help="run one of the paper's experiments"

@@ -1,17 +1,20 @@
 """Naive top-k join: score every pair, keep the best *k*.
 
 The "n(n-1)/2 similarity computations" strawman of Section I and the
-correctness oracle every optimized algorithm is tested against.
+correctness oracle every optimized algorithm is tested against.  The
+implementation lives in :mod:`repro.oracle.reference` together with the
+rest of the correctness harness; this module re-exports it under its
+historical name.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import List, Optional
 
 from ..data.records import RecordCollection
+from ..oracle.reference import naive_topk as _reference_naive_topk
 from ..result import JoinResult
-from ..similarity.functions import Jaccard, SimilarityFunction
+from ..similarity.functions import SimilarityFunction
 
 __all__ = ["naive_topk"]
 
@@ -22,20 +25,4 @@ def naive_topk(
     similarity: Optional[SimilarityFunction] = None,
 ) -> List[JoinResult]:
     """The exact top-k pairs by exhaustive scoring (quadratic — tests only)."""
-    sim = similarity or Jaccard()
-    records = collection.records
-    heap: List[JoinResult] = []
-    counter = 0
-    for a in range(len(records)):
-        x = records[a]
-        for b in range(a + 1, len(records)):
-            y = records[b]
-            value = sim.similarity(x.tokens, y.tokens)
-            counter += 1
-            item = (value, counter, JoinResult(x.rid, y.rid, value))
-            if len(heap) < k:
-                heapq.heappush(heap, item)
-            elif value > heap[0][0]:
-                heapq.heappushpop(heap, item)
-    ordered = sorted(heap, key=lambda item: (-item[0], item[2].x, item[2].y))
-    return [item[2] for item in ordered]
+    return _reference_naive_topk(collection, k, similarity=similarity)

@@ -18,12 +18,12 @@ machinery over the tagged union of R and S.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 from ..data.ordering import document_frequencies, idf_ordering
 from ..data.records import Record, RecordCollection
+from ..oracle.reference import naive_topk
 from ..result import JoinResult
 from ..similarity.functions import Jaccard, SimilarityFunction
 from .metrics import TopkStats
@@ -143,21 +143,10 @@ def naive_topk_rs(
     k: int,
     similarity: Optional[SimilarityFunction] = None,
 ) -> List[JoinResult]:
-    """Exhaustive R-S oracle (quadratic; tests only)."""
-    sim = similarity or Jaccard()
-    records = tagged.collection.records
-    heap: List[Tuple[float, int, JoinResult]] = []
-    counter = 0
-    for a in range(len(records)):
-        for b in range(a + 1, len(records)):
-            if tagged.side(a) == tagged.side(b):
-                continue
-            value = sim.similarity(records[a].tokens, records[b].tokens)
-            counter += 1
-            item = (value, counter, JoinResult(a, b, value))
-            if len(heap) < k:
-                heapq.heappush(heap, item)
-            elif value > heap[0][0]:
-                heapq.heappushpop(heap, item)
-    ordered = sorted(heap, key=lambda item: (-item[0], item[2].x, item[2].y))
-    return [item[2] for item in ordered]
+    """Exhaustive R-S oracle (quadratic; tests only).
+
+    Delegates to the harness oracle, restricted to cross pairs.
+    """
+    return naive_topk(
+        tagged.collection, k, similarity=similarity, sides=tagged.sides
+    )

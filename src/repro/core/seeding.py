@@ -73,6 +73,7 @@ def seed_temporary_results(
     buffer: TopKBuffer,
     registry: VerificationRegistry,
     sides: Optional[Sequence[int]] = None,
+    checks=None,
 ) -> int:
     """Fill *buffer* with pairs sharing selective tokens.
 
@@ -84,7 +85,10 @@ def seed_temporary_results(
 
     With *sides* (bipartite joins) only cross-side pairs are seeded — a
     same-side pair is outside the pair space and must never reach the
-    buffer.
+    buffer.  *checks* is the caller's optional
+    :class:`repro.oracle.invariants.CheckHooks`; seed verifications are
+    reported to it so the emitted-implies-verified and verify-once
+    invariants cover the seeding phase too.
     """
     budget = min(max(buffer.k * _BUDGET_FACTOR, buffer.k), _MAX_SEED_PAIRS)
     frequencies = collection.token_frequencies()
@@ -132,10 +136,12 @@ def seed_temporary_results(
                 seen.add(pair)
                 y = collection[rids[b]]
                 probe = overlap_with_common_positions(x.tokens, y.tokens)
+                if checks is not None:
+                    checks.on_verified(pair)
                 value = similarity.from_overlap(
                     probe.overlap, len(x), len(y)
                 )
                 buffer.add(pair, value)
-                registry.record(pair, probe, len(x), len(y), buffer.s_k)
+                registry.record_seed(pair, probe, len(x), len(y), buffer.s_k)
                 verified += 1
     return verified

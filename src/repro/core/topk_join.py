@@ -51,6 +51,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Set, Tuple
 from ..data.records import RecordCollection
 from ..index.inverted import BoundedInvertedIndex
 from ..joins.filters import DEFAULT_MAXDEPTH, suffix_admits
+from ..oracle.invariants import CheckHooks, invariant_checks_enabled
 from ..result import JoinResult
 from ..similarity.functions import Jaccard, SimilarityFunction
 from ..similarity.overlap import overlap_with_common_positions
@@ -96,6 +97,12 @@ class TopkOptions:
     #: join over cross pairs only.  ``bipartite_sides[rid]`` must be
     #: indexable for every record id of the joined collection.
     bipartite_sides: Optional[Sequence[int]] = None
+    #: Assert the paper's invariants at runtime (event order, ``s_k``
+    #: monotonicity, verify-exactly-once, Lemma 1/4 reference bounds,
+    #: emission guarantees) via :mod:`repro.oracle.invariants`.  Also
+    #: enabled globally by exporting ``REPRO_CHECK=1``.  Zero-cost when
+    #: off: the hot loops pay one ``is not None`` test per hook site.
+    check_invariants: bool = False
 
 
 def topk_join(
@@ -163,10 +170,19 @@ def topk_join_iter(
     stop_indexing = bytearray(len(collection))
     provider = opts.bound_provider
     external = 0.0
+    checks = None
+    if invariant_checks_enabled(opts):
+        checks = CheckHooks(
+            sim,
+            k,
+            collection=collection,
+            sides=sides,
+            dedup_active=opts.verification_mode != "off",
+        )
 
     if opts.seed_results:
         run_stats.verifications += seed_temporary_results(
-            collection, sim, buffer, registry, sides=sides
+            collection, sim, buffer, registry, sides=sides, checks=checks
         )
     if provider is not None:
         if buffer.full:
@@ -178,6 +194,10 @@ def topk_join_iter(
     while queue:
         bound, prefix, rids = queue.pop()
         run_stats.events += 1
+        if checks is not None:
+            checks.on_pop(
+                bound, prefix, len(collection[rids[0]]), buffer.s_k
+            )
         if buffer.full and bound <= buffer.s_k:
             break
         if external > 0.0 and bound <= external:
@@ -207,6 +227,7 @@ def topk_join_iter(
                 stop_indexing,
                 external,
                 run_stats,
+                checks,
             )
         cutoff = buffer.s_k
         if external > cutoff:
@@ -222,6 +243,8 @@ def topk_join_iter(
             break
         for pair, value in buffer.pop_emittable(remaining):
             emitted += 1
+            if checks is not None:
+                checks.on_emit(pair, value, remaining, progressive=True)
             run_stats.emits.append(
                 EmitEvent(
                     index=emitted,
@@ -236,6 +259,8 @@ def topk_join_iter(
     final_bound = queue.peek_bound() or 0.0
     for pair, value in buffer.drain():
         emitted += 1
+        if checks is not None:
+            checks.on_emit(pair, value, final_bound, progressive=False)
         run_stats.emits.append(
             EmitEvent(
                 index=emitted,
@@ -267,6 +292,7 @@ def _process_event(
     stop_indexing: bytearray,
     external: float,
     stats: TopkStats,
+    checks: Optional[CheckHooks] = None,
 ) -> None:
     """Probe one record at one prefix position, then maybe index it.
 
@@ -377,6 +403,8 @@ def _process_event(
                 tokens_x, tokens_y, alpha, scan_x, scan_y
             )
             verifications += 1
+            if checks is not None:
+                checks.on_verified(pair)
             if not probe.aborted:
                 value = sim.from_overlap(probe.overlap, size_x, size_y)
                 if buffer.add(pair, value):
@@ -409,7 +437,12 @@ def _process_event(
             if external > threshold:
                 threshold = external
             indexing_bound = sim.indexing_upper_bound(size_x, prefix)
-            if indexing_bound > threshold:
+            inserted = indexing_bound > threshold
+            if checks is not None:
+                checks.on_index_decision(
+                    rid, size_x, prefix, threshold, inserted
+                )
+            if inserted:
                 insert_index.add(token, rid, prefix, bound)
             else:
                 stop_indexing[rid] = 1

@@ -112,6 +112,45 @@ class VerificationRegistry:
             return
         self._insert(pair)
 
+    def record_seed(
+        self,
+        pair: Pair,
+        probe: OverlapProbe,
+        size_x: int,
+        size_y: int,
+        s_k: float,
+    ) -> None:
+        """Register a pair verified during *seeding* (Section V-B).
+
+        Algorithm 6's second-common-token rule assumes the pair was
+        already generated once by the event loop; a seed pair has not
+        been, so it must be stored whenever the loop can generate it *at
+        all* — i.e. when its **first** common token lies within both
+        records' maximum prefixes.  (Common tokens of two sorted arrays
+        appear at monotonically increasing positions in both, so if the
+        first one is out of reach every later one is too.)  Using the
+        loop rule here double-verified every seed pair whose only common
+        token sits inside the prefixes — caught by the ``verify-once``
+        runtime invariant of :mod:`repro.oracle.invariants`.
+        """
+        if self.mode == "off":
+            return
+        if self.mode == "all":
+            self._insert(pair)
+            return
+        if probe.first_x is None:
+            # No common token: the event loop can never generate the
+            # pair (unless the merge aborted before finding one, which a
+            # full seeding merge never does — handled conservatively).
+            if probe.aborted:
+                self._insert(pair)
+            return
+        if (
+            probe.first_x <= self._max_prefix(size_x, s_k)
+            and probe.first_y <= self._max_prefix(size_y, s_k)
+        ):
+            self._insert(pair)
+
     def _insert(self, pair: Pair) -> None:
         self._seen.add(pair)
         if len(self._seen) > self.peak_entries:

@@ -32,6 +32,7 @@ __all__ = [
     "qgram_strings",
     "trec3_like",
     "uniref3_like",
+    "tie_heavy_collection",
 ]
 
 
@@ -276,4 +277,26 @@ def random_integer_collection(
     for __ in range(n):
         size = rng.randint(1, max_size)
         token_lists.append([rng.randrange(universe) for __ in range(size)])
+    return RecordCollection.from_integer_sets(token_lists, dedupe=False)
+
+
+def tie_heavy_collection(
+    n: int,
+    universe: int = 6,
+    max_size: int = 4,
+    seed: Optional[int] = None,
+) -> RecordCollection:
+    """Collections engineered to maximize tied similarities.
+
+    A token universe this small forces many record pairs onto identical
+    ``(overlap, |x|, |y|)`` triples, so the k-th similarity is almost
+    always shared by several pairs — the adversarial regime for top-k
+    tie-breaking, buffer eviction and the boundary logic of
+    :func:`repro.oracle.reference.assert_topk_equivalent`.
+    """
+    rng = random.Random(seed)
+    token_lists = [
+        [rng.randrange(universe) for __ in range(rng.randint(1, max_size))]
+        for __ in range(n)
+    ]
     return RecordCollection.from_integer_sets(token_lists, dedupe=False)

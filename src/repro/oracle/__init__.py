@@ -1,0 +1,87 @@
+"""Correctness harness: oracles, invariants, metamorphic relations, fuzzing.
+
+The value of ``topk-join`` is that its pruning is *exact* — one off-by-one
+in a bound silently drops pairs.  This package is the safety net every
+backend (sequential, parallel/sharded, R-S bipartite, weighted, pptopk)
+is held against:
+
+* :mod:`.reference` — brute-force oracles (:func:`naive_topk`,
+  :func:`naive_threshold`) and tie-aware comparators that accept any
+  valid tie-break of a top-k answer;
+* :mod:`.invariants` — :class:`CheckHooks`, a runtime invariant layer
+  wired into the core event loop behind ``TopkOptions.check_invariants``
+  (or ``REPRO_CHECK=1``), zero-cost when off;
+* :mod:`.metamorphic` — answer-preserving input transformations (token
+  renaming, record shuffling, duplicate injection) and k-monotonicity;
+* :mod:`.differential` — one case, every backend, compared to the oracle;
+* :mod:`.fuzz` — adversarial generators, a shrinking fuzzer, and the
+  ``tests/corpus/`` regression corpus (``python -m repro fuzz``);
+* :mod:`.faults` — deliberately broken similarity functions used to prove
+  the harness actually catches the bugs it exists for.
+
+The eager imports below are leaf modules only; :mod:`.differential` and
+friends import the join backends, so they are loaded lazily to keep
+``repro.core`` → ``repro.oracle.invariants`` free of import cycles.
+"""
+
+from __future__ import annotations
+
+from .invariants import (
+    CheckHooks,
+    InvariantViolation,
+    invariant_checks_enabled,
+)
+from .reference import (
+    assert_topk_equivalent,
+    assert_valid_topk,
+    naive_threshold,
+    naive_topk,
+    topk_multiset,
+)
+
+__all__ = [
+    "CheckHooks",
+    "InvariantViolation",
+    "invariant_checks_enabled",
+    "naive_topk",
+    "naive_threshold",
+    "topk_multiset",
+    "assert_topk_equivalent",
+    "assert_valid_topk",
+    # lazily loaded (see __getattr__):
+    "DifferentialCase",
+    "run_differential",
+    "available_backends",
+    "FuzzReport",
+    "fuzz_run",
+    "shrink_case",
+    "save_corpus_case",
+    "load_corpus_case",
+    "replay_corpus",
+    "metamorphic_failures",
+]
+
+_LAZY = {
+    "DifferentialCase": "differential",
+    "run_differential": "differential",
+    "available_backends": "differential",
+    "FuzzReport": "fuzz",
+    "fuzz_run": "fuzz",
+    "shrink_case": "fuzz",
+    "save_corpus_case": "fuzz",
+    "load_corpus_case": "fuzz",
+    "replay_corpus": "fuzz",
+    "metamorphic_failures": "metamorphic",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        )
+    import importlib
+
+    module = importlib.import_module("." + module_name, __name__)
+    return getattr(module, name)

@@ -1,0 +1,267 @@
+"""Differential testing: every backend against the brute-force oracle.
+
+One adversarial input, one exhaustive reference answer, every production
+backend checked against it under the appropriate equivalence relation:
+
+================  =====================================================
+backend           relation to :func:`repro.oracle.reference.naive_topk`
+================  =====================================================
+``sequential``    tie-equivalent (default options, invariants on)
+``record-all``    tie-equivalent (``verification_mode="all"``, no event
+                  compression — the paper's Fig. 3 ablation)
+``ablated``       tie-equivalent (every optimisation off, verification
+                  dedup off, no seeding — the plainest event loop)
+``parallel``      tie-equivalent (sharded backend, 5 shards, serial
+                  execution so fuzz iterations stay cheap)
+``rs``            tie-equivalent on the *cross* pair space (records
+                  split alternately into R and S)
+``weighted``      same similarity multiset under uniform weights
+                  (weighted Jaccard/cosine degenerate to the unweighted
+                  functions; record-id spaces differ, so pairs are not
+                  compared)
+``pptopk``        its answer is a prefix of the oracle multiset, and
+                  every oracle pair it misses lies below the threshold
+                  schedule's floor (the baseline cannot enumerate pairs
+                  below its last threshold)
+================  =====================================================
+
+All invariant-capable backends run with ``check_invariants=True``, so a
+differential sweep is simultaneously a runtime-invariant sweep; an
+:class:`~repro.oracle.invariants.InvariantViolation` is reported as a
+failure naming the violated invariant rather than crashing the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.pptopk import _MIN_THRESHOLD, pptopk_join
+from ..core.rs_join import TaggedCollection, topk_join_rs
+from ..core.topk_join import TopkOptions, topk_join
+from ..data.records import RecordCollection
+from ..parallel.join import parallel_topk_join
+from ..result import JoinResult
+from ..similarity.functions import SimilarityFunction, similarity_by_name
+from ..weighted.functions import WeightedCosine, WeightedJaccard
+from ..weighted.join import weighted_topk_join
+from ..weighted.records import WeightedCollection
+from .invariants import InvariantViolation
+from .reference import assert_topk_equivalent, naive_topk, topk_multiset
+
+__all__ = [
+    "DifferentialCase",
+    "available_backends",
+    "run_differential",
+]
+
+#: Shard count for the parallel backend — small enough that tiny fuzz
+#: collections still split, large enough to exercise cross-shard tasks.
+_FUZZ_SHARDS = 5
+
+#: Uniform-weight twins of the unweighted similarity functions.
+_WEIGHTED_TWINS = {"jaccard": WeightedJaccard, "cosine": WeightedCosine}
+
+#: The pptopk baseline only has threshold schedules for these functions.
+_PPTOPK_SIMS = ("jaccard", "cosine")
+
+
+@dataclass(frozen=True)
+class DifferentialCase:
+    """One fuzz input: raw integer token lists plus join parameters."""
+
+    records: Tuple[Tuple[int, ...], ...]
+    k: int
+    similarity: str = "jaccard"
+
+    @classmethod
+    def make(
+        cls,
+        records: Sequence[Sequence[int]],
+        k: int,
+        similarity: str = "jaccard",
+    ) -> "DifferentialCase":
+        return cls(
+            tuple(tuple(tokens) for tokens in records), k, similarity
+        )
+
+    def collection(self) -> RecordCollection:
+        """The canonical collection (duplicates kept — they are the point)."""
+        return RecordCollection.from_integer_sets(self.records, dedupe=False)
+
+
+BackendFn = Callable[
+    [DifferentialCase, RecordCollection, List[JoinResult], SimilarityFunction],
+    Optional[str],
+]
+
+
+def _equivalence_backend(options: TopkOptions) -> BackendFn:
+    def run(case, collection, expected, sim):
+        actual = topk_join(collection, case.k, similarity=sim, options=options)
+        assert_topk_equivalent(actual, expected)
+        return None
+
+    return run
+
+
+def _parallel_backend(case, collection, expected, sim):
+    actual = parallel_topk_join(
+        collection,
+        case.k,
+        similarity=sim,
+        options=TopkOptions(check_invariants=True),
+        workers=1,
+        shards=_FUZZ_SHARDS,
+    )
+    assert_topk_equivalent(actual, expected)
+    return None
+
+
+def _rs_backend(case, collection, expected, sim):
+    r_side = [tokens for i, tokens in enumerate(case.records) if i % 2 == 0]
+    s_side = [tokens for i, tokens in enumerate(case.records) if i % 2 == 1]
+    tagged = TaggedCollection.from_integer_sets(r_side, s_side)
+    cross_expected = naive_topk(
+        tagged.collection, case.k, similarity=sim, sides=tagged.sides
+    )
+    actual = topk_join_rs(
+        tagged, case.k, similarity=sim,
+        options=TopkOptions(check_invariants=True),
+    )
+    assert_topk_equivalent(actual, cross_expected)
+    return None
+
+
+def _weighted_backend(case, collection, expected, sim):
+    twin = _WEIGHTED_TWINS.get(case.similarity)
+    if twin is None:
+        return None  # no uniform-weight twin for this function
+    universe = {t for tokens in case.records for t in tokens}
+    if not universe:
+        if expected:
+            raise AssertionError(
+                "oracle found %d pairs in a token-free collection"
+                % len(expected)
+            )
+        return None
+    weighted = WeightedCollection.from_integer_sets(
+        case.records, weights={token: 1.0 for token in universe}
+    )
+    actual = weighted_topk_join(
+        weighted, case.k, similarity=twin(), check_invariants=True
+    )
+    if topk_multiset(actual) != topk_multiset(expected):
+        raise AssertionError(
+            "uniform-weight %s multiset %r != unweighted oracle %r"
+            % (
+                case.similarity,
+                topk_multiset(actual)[:8],
+                topk_multiset(expected)[:8],
+            )
+        )
+    return None
+
+
+def _pptopk_backend(case, collection, expected, sim):
+    if case.similarity not in _PPTOPK_SIMS:
+        return None
+    actual = pptopk_join(collection, case.k, similarity=sim)
+    actual_multiset = topk_multiset(actual)
+    expected_multiset = topk_multiset(expected)
+    if actual_multiset != expected_multiset[: len(actual_multiset)]:
+        raise AssertionError(
+            "pptopk multiset %r is not a prefix of the oracle's %r"
+            % (actual_multiset[:8], expected_multiset[:8])
+        )
+    missed = [r.similarity for r in expected[len(actual):]]
+    if any(value >= _MIN_THRESHOLD for value in missed):
+        raise AssertionError(
+            "pptopk returned %d results but the oracle has reachable "
+            "pairs above the schedule floor %r: %r"
+            % (len(actual), _MIN_THRESHOLD, missed[:8])
+        )
+    return None
+
+
+def _backend_registry() -> Dict[str, BackendFn]:
+    return {
+        "sequential": _equivalence_backend(
+            TopkOptions(check_invariants=True)
+        ),
+        "record-all": _equivalence_backend(
+            TopkOptions(
+                check_invariants=True,
+                verification_mode="all",
+                compress_events=False,
+            )
+        ),
+        "ablated": _equivalence_backend(
+            TopkOptions(
+                check_invariants=True,
+                compress_events=False,
+                verification_mode="off",
+                index_optimization=False,
+                access_optimization=False,
+                positional_filter=False,
+                suffix_filter=False,
+                seed_results=False,
+            )
+        ),
+        "parallel": _parallel_backend,
+        "rs": _rs_backend,
+        "weighted": _weighted_backend,
+        "pptopk": _pptopk_backend,
+    }
+
+
+_BACKENDS = _backend_registry()
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names accepted by :func:`run_differential`'s *backends* argument."""
+    return tuple(_BACKENDS)
+
+
+def run_differential(
+    case: DifferentialCase,
+    backends: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Run *case* through every backend; return failure descriptions.
+
+    An empty list means all backends agreed with the oracle and no runtime
+    invariant fired.  Unexpected exceptions (crashes on degenerate input)
+    are failures too, not propagated errors — the fuzzer must survive its
+    own findings to shrink them.
+    """
+    names = list(backends) if backends is not None else list(_BACKENDS)
+    unknown = [name for name in names if name not in _BACKENDS]
+    if unknown:
+        raise ValueError(
+            "unknown backends %r (choose from %s)"
+            % (unknown, ", ".join(_BACKENDS))
+        )
+
+    sim = similarity_by_name(case.similarity)
+    collection = case.collection()
+    expected = naive_topk(collection, case.k, similarity=sim)
+
+    failures: List[str] = []
+    for name in names:
+        try:
+            message = _BACKENDS[name](case, collection, expected, sim)
+        except InvariantViolation as violation:
+            failures.append(
+                "%s: runtime invariant %r: %s"
+                % (name, violation.invariant, violation)
+            )
+        except AssertionError as mismatch:
+            failures.append("%s: differential mismatch: %s" % (name, mismatch))
+        except Exception as crash:  # noqa: BLE001 — crashes are findings
+            failures.append(
+                "%s: crashed with %s: %s" % (name, type(crash).__name__, crash)
+            )
+        else:
+            if message:
+                failures.append("%s: %s" % (name, message))
+    return failures

@@ -1,0 +1,47 @@
+"""Deliberately buggy similarity functions for harness self-tests.
+
+A correctness harness that has never caught a bug proves nothing.  These
+classes inject the classic off-by-one into the paper's bound formulas —
+evaluating a bound at prefix position ``p + 1`` instead of ``p``, which
+makes it *too tight* and silently drops true results — so tests can
+demonstrate that each defect is caught twice over:
+
+* at runtime, by :class:`repro.oracle.invariants.CheckHooks` (the hooks
+  recompute Lemma 1/4's bounds independently through ``from_overlap`` and
+  fail on the first disagreement, localizing the bug to one decision);
+* end-to-end, by the differential oracle (the join's answer no longer
+  matches :func:`repro.oracle.reference.naive_topk`).
+
+Never use these outside tests.
+"""
+
+from __future__ import annotations
+
+from ..similarity.functions import Jaccard
+
+__all__ = ["OffByOneIndexingBound", "OffByOneProbingBound"]
+
+
+class OffByOneIndexingBound(Jaccard):
+    """Jaccard with Lemma 4's indexing bound evaluated one position late.
+
+    ``ub_i(p) = (|x|-p)/(|x|+p)`` instead of ``(|x|-p+1)/(|x|+p-1)``: the
+    bound is strictly smaller than the true one, so records stop being
+    indexed one event early and pairs whose first common token is that
+    last prefix position are never generated.
+    """
+
+    def indexing_upper_bound(self, size_x: int, prefix: int) -> float:
+        return super().indexing_upper_bound(size_x, prefix + 1)
+
+
+class OffByOneProbingBound(Jaccard):
+    """Jaccard with Lemma 1's probing bound evaluated one position late.
+
+    ``ub_p(p) = 1 - p/|x|`` instead of ``1 - (p-1)/|x|``: events sort and
+    terminate on an undervalued bound, so the loop can halt while a true
+    top-k pair is still undiscovered.
+    """
+
+    def probing_upper_bound(self, size_x: int, prefix: int) -> float:
+        return super().probing_upper_bound(size_x, prefix + 1)

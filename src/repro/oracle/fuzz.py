@@ -1,0 +1,441 @@
+"""Adversarial fuzzing with failure shrinking and a replayable corpus.
+
+:func:`fuzz_run` generates synthetic collections engineered to stress the
+join's weak spots — tied similarities, skewed token frequencies,
+near-duplicates, token-disjoint blocks, degenerate records — and feeds
+each through :func:`repro.oracle.differential.run_differential` (every
+backend vs the brute-force oracle, runtime invariants on) plus the
+metamorphic relations.  A failing input is *shrunk* by delta debugging to
+a minimal reproducing case and saved as JSON under ``tests/corpus/``;
+the corpus replays in CI forever after, so a fixed bug stays fixed.
+
+Everything is seeded: ``fuzz_run(seed=0, iterations=200)`` explores the
+same 200 cases on every machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.topk_join import TopkOptions, topk_join
+from ..data.records import RecordCollection
+from .differential import DifferentialCase, run_differential
+from .metamorphic import metamorphic_failures
+
+__all__ = [
+    "CASE_SCHEMA",
+    "FuzzReport",
+    "fuzz_run",
+    "load_corpus_case",
+    "replay_corpus",
+    "save_corpus_case",
+    "shrink_case",
+]
+
+#: Version stamp of the corpus JSON layout.
+CASE_SCHEMA = 1
+
+#: Similarity functions cycled through by the fuzzer.
+_SIMILARITIES = ("jaccard", "cosine", "dice", "overlap")
+
+#: Run the (4x-more-joins) metamorphic relations every Nth iteration.
+_METAMORPHIC_EVERY = 5
+
+TokenLists = List[List[int]]
+Generator = Callable[[random.Random, int], TokenLists]
+
+
+# ----------------------------------------------------------------------
+# Adversarial generators
+# ----------------------------------------------------------------------
+
+def _gen_tie_heavy(rng: random.Random, max_records: int) -> TokenLists:
+    """Tiny token universe: almost every similarity value is tied."""
+    universe = rng.randint(4, 8)
+    count = rng.randint(4, max_records)
+    return [
+        [rng.randrange(universe) for __ in range(rng.randint(1, 5))]
+        for __ in range(count)
+    ]
+
+
+def _gen_skewed(rng: random.Random, max_records: int) -> TokenLists:
+    """Zipf-like token frequencies: a few tokens appear everywhere."""
+    universe = rng.randint(20, 60)
+    weights = [1.0 / (rank + 1) for rank in range(universe)]
+    count = rng.randint(4, max_records)
+    return [
+        rng.choices(range(universe), weights=weights,
+                    k=rng.randint(1, 12))
+        for __ in range(count)
+    ]
+
+
+def _gen_near_duplicates(rng: random.Random, max_records: int) -> TokenLists:
+    """Clusters of single-edit variants: the top-k boundary is razor thin."""
+    universe = rng.randint(30, 80)
+    lists: TokenLists = []
+    while len(lists) < max(4, max_records - 2):
+        base = sorted(
+            rng.sample(range(universe), rng.randint(2, min(10, universe)))
+        )
+        lists.append(list(base))
+        for __ in range(rng.randint(1, 3)):
+            variant = list(base)
+            if rng.random() < 0.5 and len(variant) > 1:
+                variant.pop(rng.randrange(len(variant)))
+            else:
+                variant.append(rng.randrange(universe))
+            lists.append(variant)
+    return lists[:max_records]
+
+
+def _gen_blocks(rng: random.Random, max_records: int) -> TokenLists:
+    """Token-disjoint blocks: most pairs share nothing (zero padding)."""
+    blocks = rng.randint(2, 4)
+    per_block = rng.randint(25, 40)
+    count = rng.randint(4, max_records)
+    lists: TokenLists = []
+    for __ in range(count):
+        block = rng.randrange(blocks)
+        offset = block * per_block
+        size = rng.randint(1, 6)
+        lists.append(
+            [offset + rng.randrange(per_block) for __ in range(size)]
+        )
+    return lists
+
+
+def _gen_degenerate(rng: random.Random, max_records: int) -> TokenLists:
+    """Empty records, singletons, exact copies, one giant record."""
+    universe = rng.randint(5, 20)
+    lists: TokenLists = []
+    for __ in range(rng.randint(3, max_records - 1)):
+        kind = rng.randrange(4)
+        if kind == 0:
+            lists.append([])
+        elif kind == 1:
+            lists.append([rng.randrange(universe)])
+        elif kind == 2 and lists:
+            lists.append(list(rng.choice(lists)))
+        else:
+            lists.append(
+                [rng.randrange(universe) for __ in range(rng.randint(1, 4))]
+            )
+    lists.append(list(range(universe)))  # the giant
+    return lists
+
+
+GENERATORS: Dict[str, Generator] = {
+    "tie-heavy": _gen_tie_heavy,
+    "skewed": _gen_skewed,
+    "near-duplicates": _gen_near_duplicates,
+    "blocks": _gen_blocks,
+    "degenerate": _gen_degenerate,
+}
+
+
+# ----------------------------------------------------------------------
+# Failure evaluation and shrinking
+# ----------------------------------------------------------------------
+
+def _sequential_backend(token_lists, k, sim):
+    collection = RecordCollection.from_integer_sets(token_lists, dedupe=False)
+    return topk_join(
+        collection, k, similarity=sim,
+        options=TopkOptions(check_invariants=True),
+    )
+
+
+def _case_failures(
+    case: DifferentialCase,
+    backends: Optional[Sequence[str]],
+    metamorphic: bool,
+    rng_seed: int,
+) -> List[str]:
+    """All failures of *case*: differential sweep plus (optionally)
+    metamorphic relations over the invariant-checked sequential join."""
+    failures = run_differential(case, backends=backends)
+    if metamorphic:
+        try:
+            failures.extend(
+                "metamorphic: %s" % message
+                for message in metamorphic_failures(
+                    _sequential_backend,
+                    [list(tokens) for tokens in case.records],
+                    case.k,
+                    case.similarity,
+                    random.Random(rng_seed),
+                )
+            )
+        except Exception as crash:  # noqa: BLE001 — crashes are findings
+            failures.append(
+                "metamorphic: crashed with %s: %s"
+                % (type(crash).__name__, crash)
+            )
+    return failures
+
+
+def shrink_case(
+    case: DifferentialCase,
+    failing: Callable[[DifferentialCase], List[str]],
+) -> DifferentialCase:
+    """Delta-debug *case* to a locally minimal still-failing input.
+
+    Passes, in order: chunk removal (halves, quarters, …), single-record
+    removal, per-record token dropping, token renumbering (compress the
+    universe to ``0..n``), and k reduction.  Each accepted candidate must
+    still make *failing* return a non-empty list.  The result is 1-minimal
+    with respect to these operations, not globally minimal — good enough
+    to read.
+    """
+
+    def still_fails(candidate: DifferentialCase) -> bool:
+        try:
+            return bool(failing(candidate))
+        except Exception:  # noqa: BLE001 — a shrunk crash still reproduces
+            return True
+
+    current = case
+
+    # Chunk removal: try dropping ever-smaller contiguous runs of records.
+    chunk = max(1, len(current.records) // 2)
+    while chunk >= 1:
+        start = 0
+        progressed = False
+        while start < len(current.records) and len(current.records) > 1:
+            remaining = (
+                current.records[:start] + current.records[start + chunk:]
+            )
+            candidate = DifferentialCase(
+                remaining, current.k, current.similarity
+            )
+            if remaining and still_fails(candidate):
+                current = candidate
+                progressed = True
+            else:
+                start += chunk
+        chunk = chunk // 2 if chunk > 1 and not progressed else chunk - 1
+
+    # Token dropping: shorten individual records.
+    changed = True
+    while changed:
+        changed = False
+        for index, tokens in enumerate(current.records):
+            position = 0
+            while position < len(current.records[index]):
+                tokens = current.records[index]
+                shrunk = tokens[:position] + tokens[position + 1:]
+                records = (
+                    current.records[:index]
+                    + (shrunk,)
+                    + current.records[index + 1:]
+                )
+                candidate = DifferentialCase(
+                    records, current.k, current.similarity
+                )
+                if still_fails(candidate):
+                    current = candidate
+                    changed = True
+                else:
+                    position += 1
+
+    # Token renumbering: compress the universe to consecutive integers.
+    universe = sorted({t for tokens in current.records for t in tokens})
+    mapping = {token: rank for rank, token in enumerate(universe)}
+    renumbered = DifferentialCase(
+        tuple(
+            tuple(mapping[t] for t in tokens) for tokens in current.records
+        ),
+        current.k,
+        current.similarity,
+    )
+    if still_fails(renumbered):
+        current = renumbered
+
+    # k reduction.
+    while current.k > 1:
+        candidate = DifferentialCase(
+            current.records, current.k - 1, current.similarity
+        )
+        if not still_fails(candidate):
+            break
+        current = candidate
+
+    return current
+
+
+# ----------------------------------------------------------------------
+# Corpus persistence
+# ----------------------------------------------------------------------
+
+def _case_digest(case: DifferentialCase) -> str:
+    payload = json.dumps(
+        [list(list(t) for t in case.records), case.k, case.similarity],
+        separators=(",", ":"),
+    )
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:12]
+
+
+def save_corpus_case(
+    corpus_dir: str,
+    case: DifferentialCase,
+    failures: Sequence[str],
+    seed: Optional[int] = None,
+    generator: Optional[str] = None,
+    description: str = "",
+) -> str:
+    """Write *case* as ``case_<digest>.json`` under *corpus_dir*."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, "case_%s.json" % _case_digest(case))
+    document = {
+        "schema": CASE_SCHEMA,
+        "description": description,
+        "seed": seed,
+        "generator": generator,
+        "similarity": case.similarity,
+        "k": case.k,
+        "records": [list(tokens) for tokens in case.records],
+        "failures": list(failures),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_corpus_case(path: str) -> Tuple[DifferentialCase, dict]:
+    """Read one corpus file; returns the case and the raw document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("schema") != CASE_SCHEMA:
+        raise ValueError(
+            "%s: unsupported corpus schema %r" % (path, document.get("schema"))
+        )
+    case = DifferentialCase.make(
+        document["records"], document["k"], document["similarity"]
+    )
+    return case, document
+
+
+def replay_corpus(
+    corpus_dir: str,
+    backends: Optional[Sequence[str]] = None,
+) -> List[Tuple[str, List[str]]]:
+    """Re-run every saved case; return ``(path, failures)`` per failure.
+
+    An empty list means the whole corpus passes — every bug the fuzzer
+    ever shrank stays fixed.
+    """
+    failing: List[Tuple[str, List[str]]] = []
+    if not os.path.isdir(corpus_dir):
+        return failing
+    for name in sorted(os.listdir(corpus_dir)):
+        if not (name.startswith("case_") and name.endswith(".json")):
+            continue
+        path = os.path.join(corpus_dir, name)
+        case, __ = load_corpus_case(path)
+        failures = run_differential(case, backends=backends)
+        if failures:
+            failing.append((path, failures))
+    return failing
+
+
+# ----------------------------------------------------------------------
+# The fuzz loop
+# ----------------------------------------------------------------------
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`fuzz_run`."""
+
+    seed: int
+    iterations: int = 0
+    #: ``(iteration, generator, case, failure messages, corpus path)``.
+    failures: List[
+        Tuple[int, str, DifferentialCase, List[str], Optional[str]]
+    ] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def fuzz_run(
+    seed: int = 0,
+    iterations: int = 200,
+    budget: Optional[float] = None,
+    max_records: int = 28,
+    backends: Optional[Sequence[str]] = None,
+    corpus_dir: Optional[str] = None,
+    max_failures: int = 5,
+    on_progress: Optional[Callable[[int, int], None]] = None,
+) -> FuzzReport:
+    """Differentially fuzz every backend; shrink and save what fails.
+
+    Deterministic in *seed*.  Stops after *iterations* cases, after
+    *budget* seconds (whichever first), or once *max_failures* distinct
+    failures were shrunk (shrinking is the expensive part; a fundamental
+    breakage would otherwise spend the whole budget re-finding itself).
+    Failures are shrunk via :func:`shrink_case` and, when *corpus_dir* is
+    given, saved via :func:`save_corpus_case`.
+    """
+    rng = random.Random(seed)
+    names = sorted(GENERATORS)
+    started = time.monotonic()
+    report = FuzzReport(seed=seed)
+
+    for iteration in range(iterations):
+        if budget is not None and time.monotonic() - started >= budget:
+            break
+        if len(report.failures) >= max_failures:
+            break
+        generator = names[iteration % len(names)]
+        token_lists = GENERATORS[generator](rng, max_records)
+        case = DifferentialCase.make(
+            token_lists,
+            k=rng.randint(1, 10),
+            similarity=_SIMILARITIES[rng.randrange(len(_SIMILARITIES))],
+        )
+        metamorphic = iteration % _METAMORPHIC_EVERY == 0
+        metamorphic_seed = rng.randrange(2 ** 31)
+
+        failures = _case_failures(case, backends, metamorphic, metamorphic_seed)
+        report.iterations += 1
+        if on_progress is not None:
+            on_progress(iteration + 1, len(report.failures))
+        if not failures:
+            continue
+
+        shrunk = shrink_case(
+            case,
+            lambda candidate: _case_failures(
+                candidate, backends, metamorphic, metamorphic_seed
+            ),
+        )
+        final_failures = _case_failures(
+            shrunk, backends, metamorphic, metamorphic_seed
+        ) or failures
+        path = None
+        if corpus_dir is not None:
+            path = save_corpus_case(
+                corpus_dir,
+                shrunk,
+                final_failures,
+                seed=seed,
+                generator=generator,
+                description="fuzz seed=%d iteration=%d" % (seed, iteration),
+            )
+        report.failures.append(
+            (iteration, generator, shrunk, final_failures, path)
+        )
+
+    report.elapsed = time.monotonic() - started
+    return report

@@ -1,0 +1,143 @@
+"""Metamorphic relations for top-k joins.
+
+A metamorphic test needs no oracle: it transforms the input in a way
+whose effect on the *answer* is known and checks that the backend agrees.
+The relations here hold for every similarity function in the package:
+
+* **token renaming** — similarity depends only on set overlap, so any
+  bijective relabelling of the token universe preserves the similarity
+  multiset (record ids may change: renaming changes the canonical
+  ordering);
+* **record shuffling** — input order is irrelevant after
+  canonicalization;
+* **duplicate injection** — adding records can only improve the top-k
+  pointwise, and each injected exact copy contributes a pair at the
+  copied record's self-similarity (1.0 for normalized functions);
+* **k-monotonicity** — the top-k multiset is a prefix of the
+  top-(k+1) multiset (pairs only ever get *added* as k grows).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence, Tuple
+
+from ..result import JoinResult
+from ..similarity.functions import SimilarityFunction, similarity_by_name
+from .reference import topk_multiset
+
+__all__ = [
+    "rename_tokens",
+    "shuffle_records",
+    "inject_duplicates",
+    "metamorphic_failures",
+]
+
+TokenLists = Sequence[Sequence[int]]
+#: A backend under metamorphic test: ``(token_lists, k, similarity) ->
+#: results``.  Token lists are raw integer sets; the backend owns
+#: canonicalization, so the transformations below exercise it too.
+Backend = Callable[[TokenLists, int, SimilarityFunction], List[JoinResult]]
+
+
+def rename_tokens(
+    token_lists: TokenLists, rng: random.Random
+) -> List[List[int]]:
+    """Apply one random bijection of the token universe to every record."""
+    universe = sorted({t for tokens in token_lists for t in tokens})
+    shuffled = list(universe)
+    rng.shuffle(shuffled)
+    mapping = dict(zip(universe, shuffled))
+    return [[mapping[t] for t in tokens] for tokens in token_lists]
+
+
+def shuffle_records(
+    token_lists: TokenLists, rng: random.Random
+) -> List[List[int]]:
+    """Permute the record order (and each record's token order)."""
+    out = [list(tokens) for tokens in token_lists]
+    rng.shuffle(out)
+    for tokens in out:
+        rng.shuffle(tokens)
+    return out
+
+
+def inject_duplicates(
+    token_lists: TokenLists, rng: random.Random, copies: int = 2
+) -> Tuple[List[List[int]], int]:
+    """Append exact copies of random non-empty records.
+
+    Returns ``(new_lists, injected)`` where *injected* counts the copies
+    actually added (0 when every record is empty).
+    """
+    out = [list(tokens) for tokens in token_lists]
+    nonempty = [tokens for tokens in token_lists if tokens]
+    injected = 0
+    for __ in range(copies):
+        if not nonempty:
+            break
+        out.append(list(rng.choice(nonempty)))
+        injected += 1
+    return out, injected
+
+
+def metamorphic_failures(
+    backend: Backend,
+    token_lists: TokenLists,
+    k: int,
+    similarity: "SimilarityFunction | str",
+    rng: random.Random,
+    digits: int = 9,
+) -> List[str]:
+    """Run every metamorphic relation; return failure descriptions.
+
+    An empty list means all relations held.  *backend* is invoked on the
+    raw token lists, so collection construction is inside the tested
+    surface.
+    """
+    sim = (
+        similarity_by_name(similarity)
+        if isinstance(similarity, str)
+        else similarity
+    )
+    failures: List[str] = []
+    base = topk_multiset(backend(token_lists, k, sim), digits)
+
+    renamed = topk_multiset(
+        backend(rename_tokens(token_lists, rng), k, sim), digits
+    )
+    if renamed != base:
+        failures.append(
+            "token renaming changed the top-%d multiset: %r -> %r"
+            % (k, base[:8], renamed[:8])
+        )
+
+    shuffled = topk_multiset(
+        backend(shuffle_records(token_lists, rng), k, sim), digits
+    )
+    if shuffled != base:
+        failures.append(
+            "record shuffling changed the top-%d multiset: %r -> %r"
+            % (k, base[:8], shuffled[:8])
+        )
+
+    duplicated, injected = inject_duplicates(token_lists, rng)
+    if injected:
+        enriched = topk_multiset(backend(duplicated, k, sim), digits)
+        # Adding records can only improve the answer pointwise.
+        for rank, (before, after) in enumerate(zip(base, enriched)):
+            if after < before:
+                failures.append(
+                    "injecting %d duplicates worsened rank %d: %r -> %r"
+                    % (injected, rank + 1, before, after)
+                )
+                break
+
+    bigger = topk_multiset(backend(token_lists, k + 1, sim), digits)
+    if bigger[:k] != base[:k] or len(bigger) < len(base):
+        failures.append(
+            "top-%d is not a prefix of top-%d: %r vs %r"
+            % (k, k + 1, base[:8], bigger[: 8])
+        )
+
+    return failures

@@ -1,0 +1,213 @@
+"""Brute-force reference oracles and tie-aware answer comparators.
+
+The quadratic oracles here score *every* pair of the pair space, so their
+answers are correct by construction — they are the ground truth every
+optimized backend is compared against.  A top-k answer is unique only up
+to permutations of pairs tied at the k-th similarity, so the comparators
+accept any valid tie-break: the similarity multiset must match exactly
+and every pair strictly above the boundary must be present, but which of
+the boundary-tied pairs made the cut is left free.
+
+These functions intentionally depend only on :mod:`repro.data`,
+:mod:`repro.result` and :mod:`repro.similarity` (no join machinery), so
+the core algorithms can import them without cycles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..data.records import RecordCollection
+from ..result import JoinResult, sort_results
+from ..similarity.functions import Jaccard, SimilarityFunction
+
+__all__ = [
+    "naive_topk",
+    "naive_threshold",
+    "topk_multiset",
+    "assert_topk_equivalent",
+    "assert_valid_topk",
+]
+
+#: Rounding applied before comparing similarities: every backend computes
+#: values through ``from_overlap`` on identical integers, so anything
+#: differing past the 9th digit is a float-noise artifact, not a bug.
+DIGITS = 9
+
+
+def _pair_space(
+    n: int, sides: Optional[Sequence[int]]
+) -> "list[Tuple[int, int]]":
+    """All unordered record-id pairs, restricted to cross pairs by *sides*."""
+    if sides is None:
+        return [(a, b) for a in range(n) for b in range(a + 1, n)]
+    return [
+        (a, b)
+        for a in range(n)
+        for b in range(a + 1, n)
+        if sides[a] != sides[b]
+    ]
+
+
+def naive_topk(
+    collection: RecordCollection,
+    k: int,
+    similarity: Optional[SimilarityFunction] = None,
+    sides: Optional[Sequence[int]] = None,
+) -> List[JoinResult]:
+    """The exact top-k pairs by exhaustive scoring (quadratic — tests only).
+
+    With *sides* (0/1 labels per rid) only cross pairs are eligible — the
+    R-S join's pair space.  Returns ``min(k, |pair space|)`` results, best
+    first, ties broken by ascending ``(x, y)`` — mirroring the padding
+    contract of :func:`repro.core.topk_join.topk_join` (pairs sharing no
+    token simply score 0 here instead of being padded in).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1, got %d" % k)
+    sim = similarity or Jaccard()
+    records = collection.records
+    heap: List[Tuple[float, Tuple[int, int]]] = []
+    for a, b in _pair_space(len(records), sides):
+        value = sim.similarity(records[a].tokens, records[b].tokens)
+        # Max-heap order on (similarity, then *reversed* pair ids) so that
+        # among boundary ties the smallest (x, y) pairs are retained —
+        # the documented deterministic tie policy.
+        item = (value, (-a, -b))
+        if len(heap) < k:
+            heapq.heappush(heap, item)
+        elif item > heap[0]:
+            heapq.heappushpop(heap, item)
+    return sort_results(
+        JoinResult(-na, -nb, value) for value, (na, nb) in heap
+    )
+
+
+def naive_threshold(
+    collection: RecordCollection,
+    threshold: float,
+    similarity: Optional[SimilarityFunction] = None,
+    sides: Optional[Sequence[int]] = None,
+) -> List[JoinResult]:
+    """All pairs with ``sim >= threshold``, best first (quadratic oracle)."""
+    sim = similarity or Jaccard()
+    records = collection.records
+    results = []
+    for a, b in _pair_space(len(records), sides):
+        value = sim.similarity(records[a].tokens, records[b].tokens)
+        if value >= threshold:
+            results.append(JoinResult(a, b, value))
+    return sort_results(results)
+
+
+def topk_multiset(
+    results: Sequence[JoinResult], digits: int = DIGITS
+) -> List[float]:
+    """Descending similarity multiset, rounded for float-safe comparison."""
+    return sorted((round(r.similarity, digits) for r in results), reverse=True)
+
+
+def _boundary_pairs(
+    results: Sequence[JoinResult], digits: int
+) -> Tuple[Set[Tuple[int, int]], Set[Tuple[int, int]]]:
+    """Split a top-k answer into (strictly-above-boundary, boundary) pairs.
+
+    The boundary is the smallest reported similarity; pairs tied at it are
+    interchangeable with unreported pairs of the same similarity, so only
+    the strictly-above set is comparable across valid answers.
+    """
+    if not results:
+        return set(), set()
+    floor = min(round(r.similarity, digits) for r in results)
+    above = set()
+    tied = set()
+    for r in results:
+        if round(r.similarity, digits) > floor:
+            above.add((r.x, r.y))
+        else:
+            tied.add((r.x, r.y))
+    return above, tied
+
+
+def assert_topk_equivalent(
+    actual: Sequence[JoinResult],
+    expected: Sequence[JoinResult],
+    digits: int = DIGITS,
+    context: str = "",
+) -> None:
+    """Assert two top-k answers are equal up to boundary tie-breaking.
+
+    Checks (1) equal result counts, (2) identical rounded similarity
+    multisets, (3) identical pair sets strictly above the k-th similarity.
+    Pairs tied at the boundary may differ — any of them is a valid k-th
+    result.  Raises ``AssertionError`` with a diff-style message.
+    """
+    prefix = context + ": " if context else ""
+    if len(actual) != len(expected):
+        raise AssertionError(
+            "%sresult count mismatch: got %d, expected %d"
+            % (prefix, len(actual), len(expected))
+        )
+    got = topk_multiset(actual, digits)
+    want = topk_multiset(expected, digits)
+    if got != want:
+        for index, (g, w) in enumerate(zip(got, want)):
+            if g != w:
+                raise AssertionError(
+                    "%ssimilarity multiset mismatch at rank %d: "
+                    "got %r, expected %r (got=%r expected=%r)"
+                    % (prefix, index + 1, g, w, got[:10], want[:10])
+                )
+    above_actual, __ = _boundary_pairs(actual, digits)
+    above_expected, __ = _boundary_pairs(expected, digits)
+    if above_actual != above_expected:
+        raise AssertionError(
+            "%spairs above the tie boundary differ: "
+            "unexpected=%r missing=%r"
+            % (
+                prefix,
+                sorted(above_actual - above_expected),
+                sorted(above_expected - above_actual),
+            )
+        )
+
+
+def assert_valid_topk(
+    collection: RecordCollection,
+    k: int,
+    actual: Sequence[JoinResult],
+    similarity: Optional[SimilarityFunction] = None,
+    sides: Optional[Sequence[int]] = None,
+    digits: int = DIGITS,
+) -> None:
+    """Assert *actual* is a valid top-k answer for *collection* outright.
+
+    Stronger than comparing against a second backend: every reported
+    similarity is recomputed from the records (so a backend cannot agree
+    with the oracle by making the same arithmetic mistake twice), pair ids
+    must be canonical, in-space and unique, and the whole answer must be
+    tie-equivalent to the exhaustive oracle's.
+    """
+    sim = similarity or Jaccard()
+    records = collection.records
+    seen: Set[Tuple[int, int]] = set()
+    for r in actual:
+        if not (0 <= r.x < len(records) and 0 <= r.y < len(records)):
+            raise AssertionError("result %r references unknown records" % (r,))
+        if r.x >= r.y:
+            raise AssertionError("result %r is not canonically ordered" % (r,))
+        if sides is not None and sides[r.x] == sides[r.y]:
+            raise AssertionError("result %r is not a cross pair" % (r,))
+        if (r.x, r.y) in seen:
+            raise AssertionError("pair (%d, %d) reported twice" % (r.x, r.y))
+        seen.add((r.x, r.y))
+        recomputed = sim.similarity(records[r.x].tokens, records[r.y].tokens)
+        if round(recomputed, digits) != round(r.similarity, digits):
+            raise AssertionError(
+                "result %r reports similarity %r but the records score %r"
+                % (r, r.similarity, recomputed)
+            )
+    assert_topk_equivalent(
+        actual, naive_topk(collection, k, sim, sides=sides), digits=digits
+    )

@@ -147,16 +147,28 @@ def _run_pool(collection, rid_shards, k, sim, base, plan, worker_count, seed_bou
         context = _pool_context()
         shared = SharedSimilarityBound(context.Value("d", seed_bound))
         processes = min(worker_count, len(plan))
-        with context.Pool(
+        pool = context.Pool(
             processes,
             initializer=initialize_worker,
             initargs=(collection, rid_shards, k, sim, base, shared.raw),
-        ) as pool:
+        )
+        # Shut the pool down explicitly: ``Pool.__exit__`` calls
+        # ``terminate()``, which kills workers mid-flight and leaks
+        # semaphores/pipes that surface as ResourceWarnings at interpreter
+        # exit.  ``close()`` + ``join()`` lets every worker drain and
+        # release its primitives; ``terminate()`` remains the error path.
+        try:
             task_rows = []
             task_stats = []
             for rows, entry in pool.imap_unordered(run_task, plan):
                 task_rows.append(rows)
                 task_stats.append(entry)
+            pool.close()
+        except BaseException:
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
         return task_rows, task_stats
     except (ImportError, OSError, PermissionError):
         # No usable multiprocessing primitives (e.g. sandboxed /dev/shm);

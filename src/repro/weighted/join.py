@@ -22,6 +22,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Tuple
 
+from ..oracle.invariants import CheckHooks, invariant_checks_enabled
 from ..result import JoinResult, sort_results
 from .functions import WeightedJaccard, WeightedSimilarity
 from .records import WeightedCollection
@@ -118,6 +119,7 @@ def weighted_topk_join(
     collection: WeightedCollection,
     k: int,
     similarity: Optional[WeightedSimilarity] = None,
+    check_invariants: bool = False,
 ) -> List[JoinResult]:
     """The k most similar pairs under a weighted similarity.
 
@@ -127,10 +129,20 @@ def weighted_topk_join(
     and the loop halts when the best remaining event cannot beat ``s_k``.
     Pairs with zero shared weight are padded in at similarity 0 when the
     collection has fewer than *k* overlapping pairs.
+
+    With *check_invariants* (or ``REPRO_CHECK=1``) the structural
+    invariants — non-increasing event pops, monotone ``s_k``, verify
+    exactly once, no indexing after stop, ordered verified emissions —
+    are asserted at runtime via :mod:`repro.oracle.invariants`.  The
+    Lemma 1/4 bound recomputation is skipped: the weighted bound
+    formulas take records, not sizes.
     """
     if k < 1:
         raise ValueError("k must be >= 1, got %d" % k)
     sim = similarity or WeightedJaccard()
+    checks = None
+    if check_invariants or invariant_checks_enabled(None):
+        checks = CheckHooks(sim, k, reference_bounds=False)
 
     heap: List[Tuple[float, int, int]] = []  # (-bound, rid, prefix)
     for record in collection:
@@ -152,6 +164,8 @@ def weighted_topk_join(
     while heap:
         negated, rid, prefix = heapq.heappop(heap)
         bound = -negated
+        if checks is not None:
+            checks.on_pop(bound, prefix, 0, s_k())
         if len(top) >= k and bound <= s_k():
             break
         record = collection[rid]
@@ -163,6 +177,8 @@ def weighted_topk_join(
             if pair in verified:
                 continue
             verified.add(pair)
+            if checks is not None:
+                checks.on_verified(pair)
             other = collection[rid_y]
             threshold = s_k()
             if threshold > 0 and not sim.weight_compatible(
@@ -183,7 +199,12 @@ def weighted_topk_join(
 
         # Weighted indexing bound (Lemma 4 analogue).
         if not stop_indexing[rid]:
-            if sim.indexing_upper_bound(record, prefix) > s_k():
+            inserted = sim.indexing_upper_bound(record, prefix) > s_k()
+            if checks is not None:
+                checks.on_index_decision(
+                    rid, len(record.tokens), prefix, s_k(), inserted
+                )
+            if inserted:
                 index.setdefault(token, []).append(rid)
             else:
                 stop_indexing[rid] = 1
@@ -199,6 +220,12 @@ def weighted_topk_join(
             top, key=lambda item: (-item[0], item[2])
         )
     ]
+    if checks is not None:
+        for result in results:
+            checks.on_emit(
+                (result.x, result.y), result.similarity, 0.0,
+                progressive=False,
+            )
     if len(results) < k:
         present = set(members)
         n = len(collection)

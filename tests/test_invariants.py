@@ -1,0 +1,212 @@
+"""The runtime invariant layer (repro.oracle.invariants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_collection
+from repro.core.rs_join import TaggedCollection, topk_join_rs
+from repro.core.topk_join import TopkOptions, topk_join
+from repro.data.synthetic import random_integer_collection, tie_heavy_collection
+from repro.oracle import (
+    CheckHooks,
+    InvariantViolation,
+    assert_valid_topk,
+    invariant_checks_enabled,
+    naive_topk,
+)
+from repro.oracle.reference import assert_topk_equivalent
+from repro.similarity.functions import Jaccard, similarity_by_name
+from repro.weighted.functions import WeightedJaccard
+from repro.weighted.join import weighted_topk_join
+from repro.weighted.records import WeightedCollection
+
+
+# ----------------------------------------------------------------------
+# Enabling / zero-cost-off plumbing
+# ----------------------------------------------------------------------
+
+def test_flag_enables_checks():
+    assert invariant_checks_enabled(TopkOptions(check_invariants=True))
+    assert not invariant_checks_enabled(TopkOptions())
+
+
+def test_env_var_enables_checks(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK", "1")
+    assert invariant_checks_enabled(TopkOptions())
+    monkeypatch.setenv("REPRO_CHECK", "0")
+    assert not invariant_checks_enabled(TopkOptions())
+    monkeypatch.setenv("REPRO_CHECK", "")
+    assert not invariant_checks_enabled(TopkOptions())
+
+
+def test_checked_join_matches_unchecked():
+    coll = random_integer_collection(40, 30, 8, seed=5)
+    plain = topk_join(coll, 8)
+    checked = topk_join(coll, 8, options=TopkOptions(check_invariants=True))
+    assert plain == checked
+
+
+# ----------------------------------------------------------------------
+# Hook-by-hook violation detection
+# ----------------------------------------------------------------------
+
+def _hooks(**kwargs) -> CheckHooks:
+    return CheckHooks(Jaccard(), 2, **kwargs)
+
+
+def test_event_order_violation():
+    checks = _hooks()
+    checks.on_pop(Jaccard().probing_upper_bound(4, 2), 2, 4, 0.0)
+    with pytest.raises(InvariantViolation) as excinfo:
+        checks.on_pop(1.0, 1, 4, 0.0)
+    assert excinfo.value.invariant == "event-order"
+
+
+def test_ub_p_violation():
+    checks = _hooks()
+    with pytest.raises(InvariantViolation) as excinfo:
+        checks.on_pop(0.9, 1, 5, 0.0)  # true bound at prefix 1 is 1.0
+    assert excinfo.value.invariant == "ub_p"
+
+
+def test_s_k_monotonicity_violation():
+    checks = _hooks()
+    checks.on_s_k(0.5)
+    checks.on_s_k(0.5)
+    with pytest.raises(InvariantViolation) as excinfo:
+        checks.on_s_k(0.4)
+    assert excinfo.value.invariant == "s_k-monotone"
+
+
+def test_verify_once_violation():
+    checks = _hooks()
+    checks.on_verified((1, 2))
+    with pytest.raises(InvariantViolation) as excinfo:
+        checks.on_verified((1, 2))
+    assert excinfo.value.invariant == "verify-once"
+
+
+def test_verify_once_disabled_when_dedup_off():
+    checks = _hooks(dedup_active=False)
+    checks.on_verified((1, 2))
+    checks.on_verified((1, 2))  # duplicates expected with mode "off"
+
+
+def test_ub_i_violation():
+    checks = _hooks()
+    # Jaccard ub_i(size=5, prefix=2) = 4/6 > 0.5: refusing to insert is wrong.
+    with pytest.raises(InvariantViolation) as excinfo:
+        checks.on_index_decision(0, 5, 2, 0.5, inserted=False)
+    assert excinfo.value.invariant == "ub_i"
+
+
+def test_stop_indexing_violation():
+    checks = _hooks()
+    # Stop legitimately (ub_i(5, 4) = 2/8 < 0.5)...
+    checks.on_index_decision(0, 5, 4, 0.5, inserted=False)
+    # ...then inserting again at an earlier prefix/lower threshold is a bug.
+    with pytest.raises(InvariantViolation) as excinfo:
+        checks.on_index_decision(0, 5, 2, 0.1, inserted=True)
+    assert excinfo.value.invariant == "stop-indexing"
+
+
+def test_emit_requires_verification():
+    checks = _hooks()
+    with pytest.raises(InvariantViolation) as excinfo:
+        checks.on_emit((0, 1), 0.8, 0.0, progressive=True)
+    assert excinfo.value.invariant == "emit-verified"
+
+
+def test_emit_bound_violation_only_when_progressive():
+    checks = _hooks()
+    checks.on_verified((0, 1))
+    checks.on_emit((0, 1), 0.3, 0.9, progressive=False)  # drain: allowed
+    checks = _hooks()
+    checks.on_verified((0, 1))
+    with pytest.raises(InvariantViolation) as excinfo:
+        checks.on_emit((0, 1), 0.3, 0.9, progressive=True)
+    assert excinfo.value.invariant == "emit-bound"
+
+
+def test_emit_order_violation():
+    checks = _hooks()
+    checks.on_verified((0, 1))
+    checks.on_verified((0, 2))
+    checks.on_emit((0, 1), 0.5, 0.0, progressive=False)
+    with pytest.raises(InvariantViolation) as excinfo:
+        checks.on_emit((0, 2), 0.6, 0.0, progressive=False)
+    assert excinfo.value.invariant == "emit-order"
+
+
+def test_emit_similarity_recomputation():
+    coll = make_collection([0, 1], [0, 1])
+    checks = CheckHooks(Jaccard(), 1, collection=coll)
+    checks.on_verified((0, 1))
+    with pytest.raises(InvariantViolation) as excinfo:
+        checks.on_emit((0, 1), 0.5, 0.0, progressive=False)  # truly 1.0
+    assert excinfo.value.invariant == "emit-similarity"
+
+
+def test_cross_pair_violation():
+    checks = CheckHooks(Jaccard(), 1, sides=[0, 0, 1])
+    checks.on_verified((0, 1))
+    with pytest.raises(InvariantViolation) as excinfo:
+        checks.on_emit((0, 1), 0.5, 0.0, progressive=False)
+    assert excinfo.value.invariant == "cross-pair"
+
+
+# ----------------------------------------------------------------------
+# Whole-join sweeps with checks on
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["jaccard", "cosine", "dice", "overlap"])
+def test_checked_join_valid_on_adversarial_collections(name):
+    sim = similarity_by_name(name)
+    options = TopkOptions(check_invariants=True)
+    for seed in range(6):
+        coll = tie_heavy_collection(25, seed=seed)
+        results = topk_join(coll, 5, similarity=sim, options=options)
+        assert_valid_topk(coll, 5, results, similarity=sim)
+
+
+def test_checked_join_all_option_ablations():
+    coll = random_integer_collection(35, 20, 7, seed=11)
+    variants = [
+        TopkOptions(check_invariants=True),
+        TopkOptions(
+            check_invariants=True, verification_mode="all",
+            compress_events=False,
+        ),
+        TopkOptions(
+            check_invariants=True, verification_mode="off",
+            compress_events=False, index_optimization=False,
+            access_optimization=False, positional_filter=False,
+            suffix_filter=False, seed_results=False,
+        ),
+    ]
+    expected = naive_topk(coll, 6)
+    for options in variants:
+        assert_topk_equivalent(topk_join(coll, 6, options=options), expected)
+
+
+def test_checked_rs_join():
+    tagged = TaggedCollection.from_integer_sets(
+        [[0, 1, 2], [3, 4], [0, 5]], [[0, 1], [3, 4, 5], [6]]
+    )
+    results = topk_join_rs(
+        tagged, 4, options=TopkOptions(check_invariants=True)
+    )
+    assert_topk_equivalent(
+        results, naive_topk(tagged.collection, 4, sides=tagged.sides)
+    )
+
+
+def test_checked_weighted_join():
+    lists = [[0, 1, 2], [0, 1], [2, 3], [0, 1, 2], [4]]
+    weighted = WeightedCollection.from_integer_sets(lists)
+    checked = weighted_topk_join(
+        weighted, 4, similarity=WeightedJaccard(), check_invariants=True
+    )
+    plain = weighted_topk_join(weighted, 4, similarity=WeightedJaccard())
+    assert checked == plain

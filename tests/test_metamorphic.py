@@ -1,0 +1,95 @@
+"""Metamorphic relations over the invariant-checked sequential join."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.topk_join import TopkOptions, topk_join
+from repro.data.records import RecordCollection
+from repro.oracle.metamorphic import (
+    inject_duplicates,
+    metamorphic_failures,
+    rename_tokens,
+    shuffle_records,
+)
+from repro.oracle.reference import topk_multiset
+
+
+def _backend(token_lists, k, sim):
+    collection = RecordCollection.from_integer_sets(token_lists, dedupe=False)
+    return topk_join(
+        collection, k, similarity=sim,
+        options=TopkOptions(check_invariants=True),
+    )
+
+
+def test_rename_tokens_is_a_bijection():
+    rng = random.Random(1)
+    lists = [[3, 7, 7, 20], [5], [3, 5]]
+    renamed = rename_tokens(lists, rng)
+    assert [len(tokens) for tokens in renamed] == [4, 1, 2]
+    old_universe = {t for tokens in lists for t in tokens}
+    new_universe = {t for tokens in renamed for t in tokens}
+    assert len(new_universe) == len(old_universe)
+    # Equal tokens stay equal, distinct tokens stay distinct (per position).
+    assert renamed[0][1] == renamed[0][2]
+    assert renamed[2][1] == renamed[1][0]
+
+
+def test_shuffle_records_preserves_content():
+    rng = random.Random(2)
+    lists = [[1, 2], [3], [4, 5, 6]]
+    shuffled = shuffle_records(lists, rng)
+    assert sorted(sorted(t) for t in shuffled) == sorted(
+        sorted(t) for t in lists
+    )
+
+
+def test_inject_duplicates_copies_nonempty_records():
+    rng = random.Random(3)
+    lists = [[], [1, 2]]
+    enriched, injected = inject_duplicates(lists, rng, copies=3)
+    assert injected == 3
+    assert enriched[:2] == [[], [1, 2]]
+    assert all(tokens == [1, 2] for tokens in enriched[2:])
+    assert inject_duplicates([[], []], rng) == ([[], []], 0)
+
+
+@pytest.mark.parametrize("name", ["jaccard", "cosine", "dice", "overlap"])
+def test_relations_hold_on_random_inputs(name):
+    rng = random.Random(hash(name) & 0xFFFF)
+    for __ in range(4):
+        lists = [
+            [rng.randrange(12) for __ in range(rng.randint(1, 6))]
+            for __ in range(rng.randint(4, 18))
+        ]
+        failures = metamorphic_failures(
+            _backend, lists, rng.randint(1, 6), name, rng
+        )
+        assert failures == []
+
+
+def test_relations_flag_a_broken_backend():
+    """A backend that drops its best result violates k-monotonicity or
+    duplicate injection — the relations are not vacuous."""
+
+    def lossy_backend(token_lists, k, sim):
+        return _backend(token_lists, k, sim)[1:]  # drop the top pair
+
+    rng = random.Random(99)
+    lists = [[0, 1, 2], [0, 1, 2], [0, 1], [3]]
+    failures = metamorphic_failures(lossy_backend, lists, 2, "jaccard", rng)
+    assert failures
+
+
+def test_duplicate_injection_adds_perfect_pair():
+    from repro.similarity.functions import Jaccard
+
+    rng = random.Random(5)
+    lists = [[0, 1], [2, 3], [4, 5]]
+    enriched, injected = inject_duplicates(lists, rng, copies=1)
+    assert injected == 1
+    best = topk_multiset(_backend(enriched, 1, Jaccard()))
+    assert best == [1.0]

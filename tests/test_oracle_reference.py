@@ -1,0 +1,140 @@
+"""The brute-force oracles and tie-aware comparators of repro.oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import make_collection, rounded_multiset
+from repro.core.naive_topk import naive_topk as legacy_naive_topk
+from repro.core.rs_join import TaggedCollection, naive_topk_rs
+from repro.data.synthetic import random_integer_collection
+from repro.oracle import (
+    assert_topk_equivalent,
+    assert_valid_topk,
+    naive_threshold,
+    naive_topk,
+    topk_multiset,
+)
+from repro.result import JoinResult
+from repro.similarity.functions import similarity_by_name
+
+
+def test_naive_topk_hand_computed():
+    coll = make_collection([0, 1, 2], [0, 1, 2], [0, 1], [5, 6])
+    results = naive_topk(coll, 2)
+    assert [round(r.similarity, 9) for r in results] == [1.0, round(2 / 3, 9)]
+    # The identical records are the unique top pair.
+    top = results[0]
+    assert coll[top.x].tokens == coll[top.y].tokens
+
+
+def test_naive_topk_truncates_to_pair_space():
+    coll = make_collection([0], [1])
+    assert len(naive_topk(coll, 10)) == 1  # one pair exists, k=10 requested
+    assert naive_topk(coll, 10)[0].similarity == 0.0
+
+
+def test_naive_topk_rejects_bad_k():
+    coll = make_collection([0], [1])
+    with pytest.raises(ValueError):
+        naive_topk(coll, 0)
+
+
+def test_naive_topk_sides_restricts_to_cross_pairs():
+    # Two identical records on the same side must not be reported.
+    coll = make_collection([0, 1], [0, 1], [0, 2])
+    sides = [0, 0, 1]
+    results = naive_topk(coll, 10, sides=sides)
+    assert len(results) == 2
+    for r in results:
+        assert sides[r.x] != sides[r.y]
+
+
+def test_naive_threshold_matches_manual_filter():
+    coll = random_integer_collection(25, 20, 6, seed=3)
+    sim = similarity_by_name("jaccard")
+    expected = [
+        (a, b)
+        for a in range(len(coll))
+        for b in range(a + 1, len(coll))
+        if sim.similarity(coll[a].tokens, coll[b].tokens) >= 0.5
+    ]
+    results = naive_threshold(coll, 0.5)
+    assert {(r.x, r.y) for r in results} == set(expected)
+    values = [r.similarity for r in results]
+    assert values == sorted(values, reverse=True)
+
+
+def test_legacy_oracles_delegate_to_reference():
+    coll = random_integer_collection(30, 15, 6, seed=9)
+    assert legacy_naive_topk(coll, 7) == naive_topk(coll, 7)
+
+    tagged = TaggedCollection.from_integer_sets(
+        [[0, 1, 2], [3, 4]], [[0, 1], [3, 4, 5]]
+    )
+    assert naive_topk_rs(tagged, 3) == naive_topk(
+        tagged.collection, 3, sides=tagged.sides
+    )
+
+
+def test_topk_multiset_rounds_and_sorts():
+    results = [JoinResult(0, 1, 0.1 + 0.2), JoinResult(0, 2, 0.5)]
+    assert topk_multiset(results) == [0.5, round(0.1 + 0.2, 9)]
+
+
+def test_equivalence_accepts_alternate_boundary_tiebreak():
+    # Ranks 1-2 fixed, rank 3 tied between (0,3) and (1,2): either is valid.
+    expected = [
+        JoinResult(0, 1, 0.9),
+        JoinResult(0, 2, 0.7),
+        JoinResult(0, 3, 0.5),
+    ]
+    alternate = expected[:2] + [JoinResult(1, 2, 0.5)]
+    assert_topk_equivalent(alternate, expected)
+
+
+def test_equivalence_rejects_wrong_multiset():
+    expected = [JoinResult(0, 1, 0.9), JoinResult(0, 2, 0.7)]
+    wrong = [JoinResult(0, 1, 0.9), JoinResult(0, 2, 0.6)]
+    with pytest.raises(AssertionError, match="multiset"):
+        assert_topk_equivalent(wrong, expected)
+
+
+def test_equivalence_rejects_missing_above_boundary_pair():
+    expected = [JoinResult(0, 1, 0.9), JoinResult(0, 2, 0.5)]
+    wrong = [JoinResult(2, 3, 0.9), JoinResult(0, 2, 0.5)]
+    with pytest.raises(AssertionError, match="boundary"):
+        assert_topk_equivalent(wrong, expected)
+
+
+def test_equivalence_rejects_count_mismatch():
+    expected = [JoinResult(0, 1, 0.9)]
+    with pytest.raises(AssertionError, match="count"):
+        assert_topk_equivalent([], expected)
+
+
+def test_valid_topk_rejects_fabricated_similarity():
+    coll = make_collection([0, 1], [0, 1], [2, 3])
+    forged = [JoinResult(0, 1, 0.75)]  # records are identical: true value 1.0
+    with pytest.raises(AssertionError, match="score"):
+        assert_valid_topk(coll, 1, forged)
+
+
+def test_valid_topk_rejects_duplicate_and_noncanonical_pairs():
+    coll = make_collection([0, 1], [0, 1], [0, 2])
+    good = naive_topk(coll, 2)
+    assert_valid_topk(coll, 2, good)
+    with pytest.raises(AssertionError, match="twice"):
+        assert_valid_topk(coll, 2, [good[0], good[0]])
+    flipped = JoinResult(good[0].y, good[0].x, good[0].similarity)
+    with pytest.raises(AssertionError, match="canonically"):
+        assert_valid_topk(coll, 2, [flipped, good[1]])
+
+
+@pytest.mark.parametrize("name", ["jaccard", "cosine", "dice", "overlap"])
+def test_oracle_self_consistency_across_functions(name):
+    coll = random_integer_collection(20, 12, 5, seed=17)
+    sim = similarity_by_name(name)
+    results = naive_topk(coll, 6, similarity=sim)
+    assert_valid_topk(coll, 6, results, similarity=sim)
+    assert rounded_multiset(results) == topk_multiset(results)

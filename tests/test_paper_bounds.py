@@ -1,0 +1,147 @@
+"""Pin the bound formulas to hand-computed values from the paper.
+
+The probing bound (Lemma 1 / Algorithm 5) and indexing bound (Lemma 4 /
+Algorithm 8) instantiate, per Section VI's table, to closed forms in
+``(|x|, p)``.  These tests evaluate those closed forms with exact
+``Fraction`` arithmetic and require the implementation to match to the
+last float digit — the off-by-one family of bugs (see
+``repro.oracle.faults``) cannot survive this pinning.  The prefix-event
+queue is additionally pinned to the exact pop sequence a worked example
+produces.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from conftest import make_collection
+from repro.core.events import EventQueue
+from repro.similarity.functions import Cosine, Dice, Jaccard, Overlap
+
+
+def test_jaccard_probing_bounds_size5():
+    """ub_p = 1 - (p-1)/|x|  (Section II-B): 1, .8, .6, .4, .2 for |x|=5."""
+    sim = Jaccard()
+    expected = [1.0, 0.8, 0.6, 0.4, 0.2]
+    actual = [sim.probing_upper_bound(5, p) for p in range(1, 6)]
+    assert actual == pytest.approx(expected, abs=0)
+    assert sim.probing_upper_bound(5, 6) == 0.0
+
+
+def test_jaccard_indexing_bounds_size5():
+    """ub_i = (|x|-p+1)/(|x|+p-1)  (Lemma 4): 1, 4/6, 3/7, 2/8, 1/9."""
+    sim = Jaccard()
+    expected = [1.0, 4 / 6, 3 / 7, 2 / 8, 1 / 9]
+    actual = [sim.indexing_upper_bound(5, p) for p in range(1, 6)]
+    assert actual == pytest.approx(expected, abs=0)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 13, 40])
+def test_jaccard_bounds_closed_forms(size):
+    sim = Jaccard()
+    for p in range(1, size + 1):
+        ub_p = Fraction(size - p + 1, size)
+        ub_i = Fraction(size - p + 1, size + p - 1)
+        assert sim.probing_upper_bound(size, p) == float(ub_p)
+        assert sim.indexing_upper_bound(size, p) == float(ub_i)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 13, 40])
+def test_cosine_bounds_closed_forms(size):
+    """Section VI: ub_p = sqrt((|x|-p+1)/|x|), ub_i = (|x|-p+1)/|x|."""
+    sim = Cosine()
+    for p in range(1, size + 1):
+        o = size - p + 1
+        assert sim.probing_upper_bound(size, p) == o / math.sqrt(size * o)
+        assert sim.indexing_upper_bound(size, p) == o / math.sqrt(
+            size * size
+        )
+        assert sim.indexing_upper_bound(size, p) == pytest.approx(
+            float(Fraction(o, size)), rel=1e-15
+        )
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 13, 40])
+def test_dice_bounds_closed_forms(size):
+    """Section VI: ub_p = 2(|x|-p+1)/(2|x|-p+1), ub_i = (|x|-p+1)/|x|."""
+    sim = Dice()
+    for p in range(1, size + 1):
+        o = size - p + 1
+        assert sim.probing_upper_bound(size, p) == float(
+            Fraction(2 * o, size + o)
+        )
+        assert sim.indexing_upper_bound(size, p) == float(
+            Fraction(2 * o, 2 * size)
+        )
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 13, 40])
+def test_overlap_bounds_closed_forms(size):
+    """Footnote 1: both bounds are simply the remaining suffix length."""
+    sim = Overlap()
+    for p in range(1, size + 1):
+        assert sim.probing_upper_bound(size, p) == float(size - p + 1)
+        assert sim.indexing_upper_bound(size, p) == float(size - p + 1)
+
+
+def test_jaccard_prefix_lengths_match_paper_formulas():
+    """probing |x| - ceil(t|x|) + 1; indexing |x| - ceil(2t/(1+t)|x|) + 1."""
+    sim = Jaccard()
+    for size in (1, 2, 5, 9, 20):
+        for t_num in range(1, 20):
+            t = Fraction(t_num, 20)
+            probing = size - math.ceil(t * size) + 1
+            indexing = size - math.ceil(2 * t / (1 + t) * size) + 1
+            assert sim.probing_prefix_length(size, float(t)) == probing
+            assert sim.indexing_prefix_length(size, float(t)) == indexing
+
+
+def test_event_queue_pop_sequence_worked_example():
+    """Two records of sizes 2 and 3: the uncompressed queue must pop
+    exactly 1, 1, 2/3, 1/2, 1/3 (Jaccard ub_p in non-increasing order)."""
+    coll = make_collection([0, 1], [0, 2, 3])
+    queue = EventQueue(coll, Jaccard(), compressed=False)
+    popped = []
+    while queue:
+        bound, prefix, rids = queue.pop()
+        popped.append(bound)
+        for rid in rids:
+            queue.push_next(len(coll[rid]), prefix, [rid], cutoff=-1.0)
+    assert popped == [1.0, 1.0, 2 / 3, 1 / 2, 1 / 3]
+
+
+def test_event_queue_compression_preserves_bounds():
+    """Compressed events batch same-size records but pop identical bounds."""
+    coll = make_collection([0, 1], [2, 3], [0, 2, 3])
+    plain = EventQueue(coll, Jaccard(), compressed=False)
+    compressed = EventQueue(coll, Jaccard(), compressed=True)
+
+    def drain(queue):
+        sequence = []
+        while queue:
+            bound, prefix, rids = queue.pop()
+            for rid in sorted(rids):
+                sequence.append((round(bound, 12), prefix, rid))
+            size = len(coll[rids[0]])
+            queue.push_next(size, prefix, rids, cutoff=-1.0)
+        return sorted(sequence)
+
+    assert drain(plain) == drain(compressed)
+
+
+def test_bounds_against_from_overlap_identity():
+    """The Section VI table rows are all F(|x|-p+1, |x|, ·) in disguise —
+    the identity the runtime invariant layer relies on."""
+    for sim in (Jaccard(), Cosine(), Dice(), Overlap()):
+        for size in (1, 3, 7, 12):
+            for p in range(1, size + 1):
+                o = size - p + 1
+                assert sim.probing_upper_bound(size, p) == sim.from_overlap(
+                    o, size, o
+                )
+                assert sim.indexing_upper_bound(size, p) == sim.from_overlap(
+                    o, size, size
+                )

@@ -1,0 +1,75 @@
+"""Multiprocessing hygiene: pools shut down cleanly, nothing leaks.
+
+``Pool.__exit__`` calls ``terminate()``, which kills workers mid-flight
+and leaks semaphores/pipes that surface as ResourceWarnings at
+interpreter shutdown; the parallel backend therefore closes and joins its
+pool explicitly.  These tests assert the contract from the outside: no
+worker processes survive a join, and a dev-mode interpreter running the
+parallel backend with ResourceWarnings-as-errors exits cleanly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import subprocess
+import sys
+
+import pytest
+
+from repro.data.synthetic import random_integer_collection
+from repro.parallel import parallel_topk_join
+
+_SCRIPT = r"""
+import multiprocessing, sys
+from repro.data.synthetic import random_integer_collection
+from repro.parallel import parallel_topk_join
+
+collection = random_integer_collection(150, 40, 10, seed=3)
+results = parallel_topk_join(collection, 8, workers=2, shards=4)
+assert len(results) == 8
+children = multiprocessing.active_children()
+assert not children, "leaked worker processes: %r" % children
+print("OK")
+"""
+
+
+def _pool_usable() -> bool:
+    try:
+        context = multiprocessing.get_context()
+        with context.Pool(1) as pool:
+            pool.close()
+            pool.join()
+        return True
+    except (ImportError, OSError, PermissionError):
+        return False
+
+
+def test_no_worker_processes_survive():
+    if not _pool_usable():
+        pytest.skip("no multiprocessing primitives in this sandbox")
+    collection = random_integer_collection(150, 40, 10, seed=3)
+    parallel_topk_join(collection, 8, workers=2, shards=4)
+    assert multiprocessing.active_children() == []
+
+
+def test_no_resource_warnings_in_dev_mode():
+    """Run the parallel join in a fresh interpreter with ``-X dev`` and
+    ResourceWarning promoted to an error: leaked pool semaphores or pipes
+    would fail the subprocess at exit."""
+    if not _pool_usable():
+        pytest.skip("no multiprocessing primitives in this sandbox")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-X", "dev",
+            "-W", "error::ResourceWarning",
+            "-c", _SCRIPT,
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        "stdout:\n%s\nstderr:\n%s" % (completed.stdout, completed.stderr)
+    )
+    assert "OK" in completed.stdout

@@ -1,0 +1,152 @@
+"""Hypothesis property tests for the similarity functions and their bounds.
+
+Algebraic facts the four functions must satisfy on *every* input,
+including the empty set:
+
+* symmetry: ``sim(x, y) == sim(y, x)``;
+* bounds: the normalized functions live in ``[0, 1]``; overlap equals the
+  intersection size exactly;
+* the pointwise ordering ``jaccard <= dice <= cosine`` (from
+  ``a + b - o >= (a + b) / 2 >= sqrt(ab)`` whenever ``o <= min(a, b)``);
+* ``verify`` agrees with ``similarity`` whenever its result clears the
+  threshold, and never misclassifies (early abort is sound);
+* ``required_overlap`` is the *minimal* sufficient overlap (Eq. 1);
+* prefix lengths and upper bounds are monotone the way the event loop
+  assumes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.similarity.functions import (
+    Cosine,
+    Dice,
+    Jaccard,
+    Overlap,
+    similarity_by_name,
+)
+
+NORMALIZED = [Jaccard(), Cosine(), Dice()]
+ALL_FUNCTIONS = NORMALIZED + [Overlap()]
+
+token_sets = st.lists(
+    st.integers(min_value=0, max_value=30), max_size=12
+).map(lambda tokens: tuple(sorted(set(tokens))))
+
+thresholds = st.floats(
+    min_value=0.01, max_value=1.0, allow_nan=False, exclude_min=False
+)
+
+
+@given(x=token_sets, y=token_sets)
+@settings(max_examples=200)
+def test_symmetry(x, y):
+    for sim in ALL_FUNCTIONS:
+        assert sim.similarity(x, y) == sim.similarity(y, x)
+
+
+@given(x=token_sets, y=token_sets)
+@settings(max_examples=200)
+def test_bounds_and_overlap_consistency(x, y):
+    overlap = len(set(x) & set(y))
+    for sim in NORMALIZED:
+        value = sim.similarity(x, y)
+        assert 0.0 <= value <= 1.0
+        if overlap == 0:
+            assert value == 0.0
+    assert Overlap().similarity(x, y) == float(overlap)
+    # Self-similarity of a non-empty set is exactly 1 (normalized).
+    if x:
+        for sim in NORMALIZED:
+            assert sim.similarity(x, x) == 1.0
+
+
+@given(x=token_sets, y=token_sets)
+@settings(max_examples=200)
+def test_jaccard_dice_cosine_ordering(x, y):
+    eps = 1e-12
+    j = Jaccard().similarity(x, y)
+    d = Dice().similarity(x, y)
+    c = Cosine().similarity(x, y)
+    assert j <= d + eps
+    assert d <= c + eps
+
+
+@given(x=token_sets, y=token_sets, t=thresholds)
+@settings(max_examples=200)
+def test_verify_contract(x, y, t):
+    for sim in NORMALIZED:
+        exact = sim.similarity(x, y)
+        verified = sim.verify(x, y, t)
+        if verified >= t:
+            assert verified == exact
+        else:
+            assert exact < t
+
+
+@given(x=token_sets, y=token_sets, t=thresholds)
+@settings(max_examples=200)
+def test_required_overlap_minimality(x, y, t):
+    for sim in ALL_FUNCTIONS:
+        a, b = len(x), len(y)
+        alpha = sim.required_overlap(t, a, b)
+        limit = min(a, b)
+        assert 0 <= alpha <= limit + 1
+        if alpha <= limit:
+            assert sim.from_overlap(alpha, a, b) >= t
+        if alpha > 0:
+            assert sim.from_overlap(alpha - 1, a, b) < t
+
+
+@given(size=st.integers(min_value=0, max_value=40), t=thresholds)
+@settings(max_examples=200)
+def test_prefix_lengths_within_range_and_monotone(size, t):
+    for sim in ALL_FUNCTIONS:
+        probing = sim.probing_prefix_length(size, t)
+        indexing = sim.indexing_prefix_length(size, t)
+        assert 0 <= indexing <= probing <= size
+
+
+@given(size=st.integers(min_value=1, max_value=40))
+@settings(max_examples=100)
+def test_upper_bounds_monotone_in_prefix(size):
+    for sim in ALL_FUNCTIONS:
+        probing = [
+            sim.probing_upper_bound(size, p) for p in range(1, size + 2)
+        ]
+        indexing = [
+            sim.indexing_upper_bound(size, p) for p in range(1, size + 2)
+        ]
+        assert probing == sorted(probing, reverse=True)
+        assert indexing == sorted(indexing, reverse=True)
+        for ub_p, ub_i in zip(probing, indexing):
+            assert ub_i <= ub_p + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Empty-set boundary pinning
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["jaccard", "cosine", "dice", "overlap"])
+def test_empty_set_boundaries(name):
+    """Empty inputs score 0 (not NaN/ZeroDivisionError), and the derived
+    quantities behave: a size-0 record has no prefix and cannot reach any
+    positive threshold."""
+    sim = similarity_by_name(name)
+    assert sim.similarity((), ()) == 0.0
+    assert sim.similarity((), (1, 2)) == 0.0
+    assert sim.similarity((1, 2), ()) == 0.0
+    assert sim.verify((), (1, 2), 0.5) < 0.5
+    assert sim.probing_prefix_length(0, 0.5) == 0
+    assert sim.indexing_prefix_length(0, 0.5) == 0
+    assert sim.from_overlap(0, 0, 0) == 0.0
+    # required_overlap on an empty side: only overlap 0 is possible, and
+    # it never reaches a positive threshold -> minimal sufficient overlap
+    # is the out-of-range sentinel min(a, b) + 1 == 1.
+    assert sim.required_overlap(0.5, 0, 5) == 1
+    assert sim.required_overlap(0.5, 0, 0) == 1
