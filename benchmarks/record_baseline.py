@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Record or check the hot-path benchmark baseline (BENCH_3.json).
+
+Modes::
+
+    python benchmarks/record_baseline.py              # measure, print JSON
+    python benchmarks/record_baseline.py --record     # measure, overwrite
+                                                      # benchmarks/BENCH_3.json
+    python benchmarks/record_baseline.py --check      # measure, gate against
+                                                      # the committed baseline
+                                                      # (exit 1 on regression)
+
+``--output FILE`` additionally writes the fresh measurement (used by CI to
+publish the numbers as a build artifact).  ``--k`` restricts the k sweep
+(repeatable) to keep smoke runs short.  The JSON structure is shared with
+``repro bench --json``; see :mod:`repro.bench.baseline`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.baseline import (  # noqa: E402 — path bootstrap above
+    BASELINE_PATH,
+    check_against_baseline,
+    load_baseline,
+    measure_baseline,
+    save_baseline,
+    speedup_of,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--record", action="store_true",
+        help="overwrite the committed baseline %s" % BASELINE_PATH,
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate the fresh measurement against the committed baseline",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline file to check against (default: the committed one)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="also write the fresh measurement to this file",
+    )
+    parser.add_argument(
+        "--k", type=int, action="append", default=None,
+        help="restrict the k sweep (repeatable; default: workload sweep)",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure_baseline(k_values=args.k)
+    ratio = speedup_of(report)
+    print(
+        "# measured %d cells, accel speedup at default k: %s"
+        % (
+            len(report["entries"]),
+            "%.2fx" % ratio if ratio is not None else "n/a",
+        ),
+        file=sys.stderr,
+    )
+
+    if args.output:
+        save_baseline(report, Path(args.output))
+        print("# wrote %s" % args.output, file=sys.stderr)
+
+    if args.record:
+        target = save_baseline(report)
+        print("# recorded baseline %s" % target, file=sys.stderr)
+        return 0
+
+    if args.check:
+        baseline = load_baseline(
+            Path(args.baseline) if args.baseline else None
+        )
+        failures = check_against_baseline(report, baseline)
+        for failure in failures:
+            print("REGRESSION: %s" % failure, file=sys.stderr)
+        if failures:
+            return 1
+        print("# benchmark gate passed", file=sys.stderr)
+        return 0
+
+    json.dump(report, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

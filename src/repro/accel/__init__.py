@@ -1,0 +1,9 @@
+"""Accelerated hot-path kernels for the top-k join.
+
+See :mod:`repro.accel.kernel` for the scan kernels and
+``docs/PERFORMANCE.md`` for the design write-up.
+"""
+
+from .kernel import make_kernel, numpy_available, resolve_accel_mode
+
+__all__ = ["make_kernel", "numpy_available", "resolve_accel_mode"]

@@ -1,0 +1,605 @@
+"""Kernelized posting-scan for the event-driven top-k join.
+
+:func:`repro.core.topk_join._process_event` pays full Python object
+overhead per posting scanned.  This module consolidates the per-posting
+filter chain — size / bitmap / positional / suffix, with the α and
+probing-prefix caches — into two interchangeable kernels:
+
+* :class:`PythonScanKernel` — a pure-Python loop over the flat posting
+  columns of :class:`repro.index.inverted.BoundedInvertedIndex`.  Same
+  shape as the historical loop plus the **bitmap prefilter**: one
+  XOR + popcount per candidate that passes the size filter bounds the
+  true overlap from above (see
+  :func:`repro.data.records.signature_overlap_bound`), so most doomed
+  candidates never reach the suffix filter or the O(|x|+|y|) merge.
+
+* :class:`NumpyScanKernel` — the batch path.  The whole posting list is
+  prefiltered with vectorized size / bitmap / positional tests (the
+  columns are viewed zero-copy via the buffer protocol), and only the
+  survivors go through the sequential suffix-filter / merge / buffer
+  machinery.  Used automatically by ``TopkOptions.accel = "on"`` when
+  NumPy is importable.
+
+Both kernels are *exact*: every test they add is a conservative upper
+bound, so a candidate they prune can never reach the required overlap α.
+The differential oracle (``repro fuzz``) cross-checks all kernels against
+the brute-force reference, and the runtime invariants (``REPRO_CHECK=1``)
+hold with acceleration on.
+
+The α cache is keyed by ``(|x|, |y|)`` and the probing-prefix cache by
+record size; both are shared across events and invalidated whenever
+``s_k`` rises — the same discipline the historical loop applied per
+event, amortized across the whole join.
+"""
+
+from __future__ import annotations
+
+from ..data.records import RecordCollection, popcount
+from ..joins.filters import suffix_admits
+from ..similarity.functions import SimilarityFunction
+from ..similarity.overlap import overlap_with_common_positions as _merge
+
+__all__ = [
+    "ACCEL_MODES",
+    "make_kernel",
+    "numpy_available",
+    "resolve_accel_mode",
+    "PythonScanKernel",
+    "NumpyScanKernel",
+]
+
+#: Accepted values of ``TopkOptions.accel``.
+ACCEL_MODES = ("on", "python", "numpy", "off")
+
+_SIG_WORD_MASK = 0xFFFFFFFFFFFFFFFF
+
+_np = None
+_np_checked = False
+
+
+def _numpy():
+    """Import NumPy once, lazily; ``None`` when unavailable."""
+    global _np, _np_checked
+    if not _np_checked:
+        _np_checked = True
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - numpy is a test dep
+            numpy = None
+        _np = numpy
+    return _np
+
+
+def numpy_available() -> bool:
+    """Whether the NumPy batch kernel can run in this interpreter."""
+    return _numpy() is not None
+
+
+def resolve_accel_mode(mode: str) -> str:
+    """Normalize ``TopkOptions.accel`` to ``"python"|"numpy"|"off"``.
+
+    ``"on"`` selects the best available implementation (NumPy batch
+    kernel when importable, pure-Python kernel otherwise); ``"numpy"``
+    demands NumPy and raises when it is missing.
+    """
+    if mode not in ACCEL_MODES:
+        raise ValueError(
+            "accel must be one of %s, got %r" % (ACCEL_MODES, mode)
+        )
+    if mode == "on":
+        return "numpy" if numpy_available() else "python"
+    if mode == "numpy" and not numpy_available():
+        raise ValueError("accel='numpy' requested but NumPy is not importable")
+    return mode
+
+
+def make_kernel(
+    collection: RecordCollection,
+    similarity: SimilarityFunction,
+    options,
+    buffer,
+    registry,
+    seen_pairs,
+    stats,
+    checks=None,
+):
+    """Build the scan kernel for one join run (``None`` when accel is off).
+
+    *seen_pairs* is the live verified-pair set of *registry* (or ``None``
+    when verification dedup is off); it is captured once per join instead
+    of once per event.
+    """
+    mode = resolve_accel_mode(getattr(options, "accel", "on"))
+    if mode == "off":
+        return None
+    cls = NumpyScanKernel if mode == "numpy" else PythonScanKernel
+    return cls(
+        collection, similarity, options, buffer, registry, seen_pairs,
+        stats, checks,
+    )
+
+
+class PythonScanKernel:
+    """Pure-Python scan kernel: flat columns + bitmap prefilter."""
+
+    def __init__(
+        self,
+        collection: RecordCollection,
+        similarity: SimilarityFunction,
+        options,
+        buffer,
+        registry,
+        seen_pairs,
+        stats,
+        checks=None,
+    ):
+        self.records = collection.records
+        self.signatures = collection.signatures
+        self.sim = similarity
+        self.buffer = buffer
+        self.registry = registry
+        self.seen_pairs = seen_pairs
+        self.stats = stats
+        self.checks = checks
+        self.positional_on = options.positional_filter
+        self.suffix_on = options.suffix_filter
+        self.maxdepth = options.maxdepth
+        self.access_on = options.access_optimization
+        # s_k-keyed caches shared across events (cleared whenever s_k
+        # rises): α by (|x|, |y|), probing prefix length by size.
+        self._cache_s_k = -1.0
+        self._alpha_cache: dict = {}
+        self._prefix_cache: dict = {}
+
+    # ------------------------------------------------------------------
+
+    def _sync_caches(self, s_k: float) -> None:
+        if s_k != self._cache_s_k:
+            self._cache_s_k = s_k
+            self._alpha_cache.clear()
+            self._prefix_cache.clear()
+
+    # ------------------------------------------------------------------
+
+    def scan(
+        self,
+        probe_index,
+        token: int,
+        rid: int,
+        prefix: int,
+        bound: float,
+        external: float,
+    ) -> None:
+        """Probe one posting list for record *rid* at prefix position.
+
+        Mirrors the historical loop of ``_process_event`` with the bitmap
+        prefilter inserted between the size filter and the positional
+        filter, reading the flat posting columns directly.
+        """
+        columns = probe_index.columns(token)
+        if columns is None:
+            return
+        col_rids = columns.rids
+        total = len(col_rids)
+        if total == 0:
+            return
+        col_positions = columns.positions
+        col_bounds = columns.bounds
+
+        records = self.records
+        signatures = self.signatures
+        sim = self.sim
+        buffer = self.buffer
+        registry = self.registry
+        seen_pairs = self.seen_pairs
+        checks = self.checks
+        positional_on = self.positional_on
+        suffix_on = self.suffix_on
+        maxdepth = self.maxdepth
+        access_on = self.access_on
+
+        x = records[rid]
+        tokens_x = x.tokens
+        size_x = len(tokens_x)
+        sig_x = signatures[rid]
+        rest_x = size_x - prefix
+        from_overlap = sim.from_overlap
+        merge = _merge
+
+        full = buffer.full
+        s_k = buffer.s_k
+        if external > 0.0:
+            full = True
+            if external > s_k:
+                s_k = external
+        self._sync_caches(s_k)
+        alpha_cache = self._alpha_cache
+        prefix_cache = self._prefix_cache
+        required_overlap = sim.required_overlap
+        prefix_length = sim.probing_prefix_length
+        access_cutoff = (
+            sim.accessing_cutoff(bound, s_k) if (access_on and full) else -1.0
+        )
+
+        candidates = duplicates = size_pruned = 0
+        bitmap_checked = bitmap_pruned = 0
+        positional_pruned = suffix_pruned = verifications = 0
+
+        for position in range(total):
+            bound_y = col_bounds[position]
+
+            # Accessing-bound truncation (Algorithms 9-10): entries from
+            # here on were inserted with even smaller bounds, and future
+            # probes come with even smaller ``bound`` — the tail is dead
+            # forever.  The cutoff is a conservative closed-form inverse;
+            # the exact bound confirms before anything is deleted.
+            if bound_y <= access_cutoff:
+                if sim.accessing_upper_bound(bound, bound_y) <= s_k:
+                    probe_index.truncate(token, position)
+                    break
+
+            candidates += 1
+            rid_y = col_rids[position]
+            pair = (rid, rid_y) if rid < rid_y else (rid_y, rid)
+            if seen_pairs is not None and pair in seen_pairs:
+                duplicates += 1
+                continue
+
+            tokens_y = records[rid_y].tokens
+            size_y = len(tokens_y)
+            if full:
+                key = (size_x, size_y)
+                alpha = alpha_cache.get(key)
+                if alpha is None:
+                    alpha = required_overlap(s_k, size_x, size_y)
+                    alpha_cache[key] = alpha
+            else:
+                alpha = 0
+
+            # Size filter: no partner of this size can reach s_k.
+            if alpha > (size_x if size_x < size_y else size_y):
+                size_pruned += 1
+                continue
+            if alpha > 0:
+                # Bitmap prefilter: the signature Hamming bound caps the
+                # overlap; below α the pair can never reach s_k.
+                bitmap_checked += 1
+                delta = popcount(sig_x ^ signatures[rid_y])
+                if size_x + size_y - delta < 2 * alpha:
+                    bitmap_pruned += 1
+                    continue
+            if positional_on:
+                j = col_positions[position]
+                rest_y = size_y - j
+                best = 1 + (rest_x if rest_x < rest_y else rest_y)
+                if best < alpha:
+                    positional_pruned += 1
+                    continue
+            if suffix_on and alpha > 1:
+                if not suffix_admits(
+                    sim, s_k, tokens_x, tokens_y,
+                    prefix, col_positions[position],
+                    seen_overlap=1, maxdepth=maxdepth, alpha=alpha,
+                ):
+                    suffix_pruned += 1
+                    continue
+
+            # Let the merge cover the maximum prefixes before aborting so
+            # the verification registry can decide re-generability exactly
+            # (see OverlapProbe.scanned_x / scanned_y).
+            scan_x = prefix_cache.get(size_x)
+            if scan_x is None:
+                scan_x = prefix_length(size_x, s_k)
+                prefix_cache[size_x] = scan_x
+            scan_y = prefix_cache.get(size_y)
+            if scan_y is None:
+                scan_y = prefix_length(size_y, s_k)
+                prefix_cache[size_y] = scan_y
+
+            probe = merge(tokens_x, tokens_y, alpha, scan_x, scan_y)
+            verifications += 1
+            if checks is not None:
+                checks.on_verified(pair)
+            if not probe.aborted:
+                value = from_overlap(probe.overlap, size_x, size_y)
+                if buffer.add(pair, value):
+                    new_s_k = buffer.s_k
+                    if external > new_s_k:
+                        new_s_k = external
+                    if new_s_k != s_k or not full:
+                        s_k = new_s_k
+                        full = buffer.full or external > 0.0
+                        self._sync_caches(s_k)
+                        access_cutoff = (
+                            sim.accessing_cutoff(bound, s_k)
+                            if (access_on and full)
+                            else -1.0
+                        )
+            registry.record(pair, probe, size_x, size_y, s_k)
+
+        stats = self.stats
+        stats.candidates += candidates
+        stats.duplicates_skipped += duplicates
+        stats.size_pruned += size_pruned
+        stats.bitmap_checked += bitmap_checked
+        stats.bitmap_pruned += bitmap_pruned
+        stats.positional_pruned += positional_pruned
+        stats.suffix_pruned += suffix_pruned
+        stats.verifications += verifications
+
+
+class NumpyScanKernel(PythonScanKernel):
+    """Batch scan kernel: vectorized size/bitmap/positional prefilter.
+
+    The cheap per-posting tests run as NumPy array operations over the
+    whole (truncation-bounded) posting list at once; only survivors enter
+    the sequential suffix/merge/buffer loop.  All vector thresholds use
+    the ``s_k`` captured at batch start, which is conservative: ``s_k``
+    only rises, so a stale threshold prunes *less*, never more — the
+    merge for each survivor still aborts against the current α.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        np = _numpy()
+        if np is None:  # pragma: no cover - guarded by resolve_accel_mode
+            raise RuntimeError("NumpyScanKernel requires NumPy")
+        self._np = np
+        records = self.records
+        self._sizes_np = np.array(
+            [len(record.tokens) for record in records], dtype=np.int64
+        )
+        self._present_sizes = (
+            [int(s) for s in np.unique(self._sizes_np)] if records else []
+        )
+        self._max_size = self._present_sizes[-1] if self._present_sizes else 0
+        # Signatures as (n, 2) uint64 words so XOR + popcount vectorize.
+        sig_words = np.zeros((len(records), 2), dtype=np.uint64)
+        for i, signature in enumerate(self.signatures):
+            sig_words[i, 0] = signature & _SIG_WORD_MASK
+            sig_words[i, 1] = (signature >> 64) & _SIG_WORD_MASK
+        self._sig_words = sig_words
+        if hasattr(np, "bitwise_count"):
+            self._row_popcount = self._row_popcount_native
+        else:  # NumPy < 2.0 (the 3.9 CI lane): 256-entry LUT on bytes.
+            self._popcount_lut = np.array(
+                [bin(i).count("1") for i in range(256)], dtype=np.uint8
+            )
+            self._row_popcount = self._row_popcount_lut
+        self._alpha_table = None
+        self._alpha_table_key = None
+
+    # ------------------------------------------------------------------
+
+    def _row_popcount_native(self, xor_words):
+        np = self._np
+        return np.bitwise_count(xor_words).sum(axis=1, dtype=np.int64)
+
+    def _row_popcount_lut(self, xor_words):
+        np = self._np
+        as_bytes = xor_words.view(np.uint8).reshape(len(xor_words), -1)
+        return self._popcount_lut[as_bytes].sum(axis=1, dtype=np.int64)
+
+    def _alphas_for(self, size_x: int, s_k: float):
+        """α per partner size as an int64 table indexed by ``|y|``.
+
+        Rebuilt only when ``(|x|, s_k)`` changes; only sizes actually
+        present in the collection are filled (absent entries stay 0,
+        which never prunes).
+        """
+        key = (size_x, s_k)
+        if self._alpha_table_key != key:
+            np = self._np
+            table = np.zeros(self._max_size + 1, dtype=np.int64)
+            required_overlap = self.sim.required_overlap
+            for size in self._present_sizes:
+                table[size] = required_overlap(s_k, size_x, size)
+            self._alpha_table = table
+            self._alpha_table_key = key
+        return self._alpha_table
+
+    # ------------------------------------------------------------------
+
+    def scan(
+        self,
+        probe_index,
+        token: int,
+        rid: int,
+        prefix: int,
+        bound: float,
+        external: float,
+    ) -> None:
+        columns = probe_index.columns(token)
+        if columns is None:
+            return
+        total = len(columns.rids)
+        if total == 0:
+            return
+
+        buffer = self.buffer
+        full = buffer.full
+        s_k = buffer.s_k
+        if external > 0.0:
+            full = True
+            if external > s_k:
+                s_k = external
+        if not full:
+            # No threshold yet — nothing to prefilter; run the plain loop.
+            PythonScanKernel.scan(
+                self, probe_index, token, rid, prefix, bound, external
+            )
+            return
+
+        np = self._np
+        sim = self.sim
+        col_bounds = columns.bounds
+
+        # Accessing-bound truncation point: the exact accessing bound is
+        # non-increasing along the (bound-sorted) list, so the first
+        # failing posting is found by binary search — everything from it
+        # on is dead for this and every future probe.
+        batch = total
+        if self.access_on and (
+            sim.accessing_upper_bound(bound, col_bounds[total - 1]) <= s_k
+        ):
+            low, high = 0, total - 1
+            while low < high:
+                mid = (low + high) // 2
+                if sim.accessing_upper_bound(bound, col_bounds[mid]) <= s_k:
+                    high = mid
+                else:
+                    low = mid + 1
+            batch = low
+
+        stats = self.stats
+        stats.candidates += batch
+        if batch == 0:
+            probe_index.truncate(token, 0)
+            return
+
+        records = self.records
+        x = records[rid]
+        tokens_x = x.tokens
+        size_x = len(tokens_x)
+        rest_x = size_x - prefix
+
+        rids_np = np.frombuffer(columns.rids, dtype=np.int64)[:batch]
+        sizes_y = self._sizes_np[rids_np]
+        alphas = self._alphas_for(size_x, s_k)[sizes_y]
+
+        # Size filter: α above min(|x|, |y|) is unreachable.
+        ok = alphas <= np.minimum(sizes_y, size_x)
+        passed_size = int(ok.sum())
+        stats.size_pruned += batch - passed_size
+        stats.bitmap_checked += passed_size
+
+        # Bitmap prefilter: vectorized XOR + popcount Hamming bound.
+        sig_x = self.signatures[rid]
+        x_words = np.array(
+            [sig_x & _SIG_WORD_MASK, (sig_x >> 64) & _SIG_WORD_MASK],
+            dtype=np.uint64,
+        )
+        hamming = self._row_popcount(self._sig_words[rids_np] ^ x_words)
+        ok_bitmap = size_x + sizes_y - hamming >= 2 * alphas
+        stats.bitmap_pruned += int((ok & ~ok_bitmap).sum())
+        ok &= ok_bitmap
+
+        # Positional filter (Section V-A), vectorized.
+        if self.positional_on:
+            positions = np.frombuffer(columns.positions, dtype=np.int64)[
+                :batch
+            ]
+            best = 1 + np.minimum(rest_x, sizes_y - positions)
+            ok_positional = best >= alphas
+            stats.positional_pruned += int((ok & ~ok_positional).sum())
+            ok &= ok_positional
+            del positions
+
+        # Drop the zero-copy views before any column mutation: a live
+        # buffer export would make the tail cut a BufferError.
+        del rids_np
+
+        survivors = np.nonzero(ok)[0]
+        if len(survivors):
+            self._process_survivors(
+                survivors.tolist(), columns, rid, tokens_x, size_x,
+                prefix, external, full, s_k,
+            )
+        if batch < total:
+            probe_index.truncate(token, batch)
+
+    # ------------------------------------------------------------------
+
+    def _process_survivors(
+        self,
+        survivors,
+        columns,
+        rid: int,
+        tokens_x,
+        size_x: int,
+        prefix: int,
+        external: float,
+        full: bool,
+        s_k: float,
+    ) -> None:
+        """Sequential tail for prefilter survivors: suffix, merge, buffer.
+
+        Runs under the *current* ``s_k`` (which may rise mid-loop): α is
+        re-read from the shared cache per survivor, so late survivors are
+        still size-checked against the newest threshold before the merge.
+        """
+        records = self.records
+        sim = self.sim
+        buffer = self.buffer
+        registry = self.registry
+        seen_pairs = self.seen_pairs
+        checks = self.checks
+        suffix_on = self.suffix_on
+        maxdepth = self.maxdepth
+        col_rids = columns.rids
+        col_positions = columns.positions
+        self._sync_caches(s_k)
+        alpha_cache = self._alpha_cache
+        prefix_cache = self._prefix_cache
+        required_overlap = sim.required_overlap
+        prefix_length = sim.probing_prefix_length
+        from_overlap = sim.from_overlap
+        merge = _merge
+
+        duplicates = size_pruned = suffix_pruned = verifications = 0
+
+        for index in survivors:
+            rid_y = col_rids[index]
+            pair = (rid, rid_y) if rid < rid_y else (rid_y, rid)
+            if seen_pairs is not None and pair in seen_pairs:
+                duplicates += 1
+                continue
+            tokens_y = records[rid_y].tokens
+            size_y = len(tokens_y)
+            key = (size_x, size_y)
+            alpha = alpha_cache.get(key)
+            if alpha is None:
+                alpha = required_overlap(s_k, size_x, size_y)
+                alpha_cache[key] = alpha
+            # s_k may have risen since the vector prefilter ran; re-apply
+            # the size test so impossible merges are not attempted.
+            if alpha > (size_x if size_x < size_y else size_y):
+                size_pruned += 1
+                continue
+            if suffix_on and alpha > 1:
+                if not suffix_admits(
+                    sim, s_k, tokens_x, tokens_y,
+                    prefix, col_positions[index],
+                    seen_overlap=1, maxdepth=maxdepth, alpha=alpha,
+                ):
+                    suffix_pruned += 1
+                    continue
+            scan_x = prefix_cache.get(size_x)
+            if scan_x is None:
+                scan_x = prefix_length(size_x, s_k)
+                prefix_cache[size_x] = scan_x
+            scan_y = prefix_cache.get(size_y)
+            if scan_y is None:
+                scan_y = prefix_length(size_y, s_k)
+                prefix_cache[size_y] = scan_y
+
+            probe = merge(tokens_x, tokens_y, alpha, scan_x, scan_y)
+            verifications += 1
+            if checks is not None:
+                checks.on_verified(pair)
+            if not probe.aborted:
+                value = from_overlap(probe.overlap, size_x, size_y)
+                if buffer.add(pair, value):
+                    new_s_k = buffer.s_k
+                    if external > new_s_k:
+                        new_s_k = external
+                    if new_s_k != s_k:
+                        s_k = new_s_k
+                        self._sync_caches(s_k)
+            registry.record(pair, probe, size_x, size_y, s_k)
+
+        stats = self.stats
+        stats.duplicates_skipped += duplicates
+        stats.size_pruned += size_pruned
+        stats.suffix_pruned += suffix_pruned
+        stats.verifications += verifications

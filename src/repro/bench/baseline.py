@@ -1,0 +1,225 @@
+"""Hot-path benchmark baseline: measure, record, and gate (BENCH_3.json).
+
+The accelerated kernels of :mod:`repro.accel` are justified by numbers,
+so the numbers are part of the repository: ``benchmarks/BENCH_3.json``
+holds a figure4-style measurement (wall time, events/sec, candidate and
+verification counts per dataset/k, acceleration on and off) recorded by
+``benchmarks/record_baseline.py``.  CI re-measures the same workload and
+fails when the accelerated path regresses by more than
+:data:`SLOWDOWN_LIMIT` against the committed baseline, or when the
+on-vs-off speedup at the default k drops below :data:`MIN_SPEEDUP`.
+
+Absolute wall-clock differs between machines, so the gate first
+*calibrates*: the ratio of the current machine's ``accel="off"`` time to
+the baseline's ``accel="off"`` time rescales every committed number
+before the limit is applied.  The unaccelerated loop is the yardstick —
+it exercises the same interpreter, allocator and cache hierarchy without
+the code under test.
+
+``repro bench --json`` emits exactly the structure recorded here, so the
+gate and humans consume one format.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..core.metrics import TopkStats
+from ..core.topk_join import TopkOptions, topk_join
+from .workloads import collection, workload
+
+__all__ = [
+    "BASELINE_PATH",
+    "MIN_SPEEDUP",
+    "SLOWDOWN_LIMIT",
+    "check_against_baseline",
+    "load_baseline",
+    "measure_baseline",
+    "save_baseline",
+    "speedup_of",
+]
+
+#: Format version of BENCH_3.json.
+SCHEMA = 3
+
+#: The committed baseline (repo-relative; resolved from this file).
+BASELINE_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_3.json"
+
+#: CI fails when calibrated accelerated wall time regresses past this.
+SLOWDOWN_LIMIT = 1.25
+
+#: Required accel on-vs-off speedup at the default (first) k.
+MIN_SPEEDUP = 1.5
+
+#: The figure4-style smoke: the dblp-like panel at its standard k sweep.
+DEFAULT_DATASETS = ("dblp",)
+
+
+def _run_once(name: str, k: int, accel: str) -> Dict[str, object]:
+    """One measured join cell -> a BENCH_3 entry dict.
+
+    Accelerated cells finish in fractions of a second, where scheduler
+    noise dominates a single run — they are measured best-of-3.  The
+    slow ``accel="off"`` cells run once: the gate only uses their *sum*
+    (for machine calibration), which averages the noise out.
+    """
+    load = workload(name)
+    coll = collection(name)
+    options = TopkOptions(maxdepth=load.maxdepth, accel=accel)
+    wall = None
+    for __ in range(3 if accel != "off" else 1):
+        if accel != "off":
+            # Charge signature construction to the accelerated run (the
+            # cache on the shared collection would otherwise hide it).
+            coll._signatures = None
+        stats = TopkStats()
+        start = time.perf_counter()
+        results = topk_join(
+            coll, k, similarity=load.similarity, options=options,
+            stats=stats,
+        )
+        elapsed = time.perf_counter() - start
+        if wall is None or elapsed < wall:
+            wall = elapsed
+    return {
+        "dataset": name,
+        "k": k,
+        "accel": accel,
+        "wall_s": round(wall, 6),
+        "events": stats.events,
+        "events_per_s": round(stats.events / wall, 3) if wall > 0 else 0.0,
+        "candidates": stats.candidates,
+        "verifications": stats.verifications,
+        "bitmap_checked": stats.bitmap_checked,
+        "bitmap_pruned": stats.bitmap_pruned,
+        "results": len(results),
+    }
+
+
+def measure_baseline(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    k_values: Optional[Sequence[int]] = None,
+) -> Dict[str, object]:
+    """Measure the baseline workload; returns the BENCH_3 structure.
+
+    Every ``(dataset, k)`` cell is measured with acceleration on and off.
+    *k_values* overrides each workload's standard k sweep (used by tests
+    to keep runtime tiny).
+    """
+    entries: List[Dict[str, object]] = []
+    for name in datasets:
+        ks = list(k_values) if k_values is not None else workload(name).k_values
+        for k in ks:
+            for accel in ("off", "on"):
+                entries.append(_run_once(name, k, accel))
+    report: Dict[str, object] = {
+        "schema": SCHEMA,
+        "workload": "figure4-style smoke (synthetic stand-ins, see "
+                    "repro.bench.workloads)",
+        "datasets": list(datasets),
+        "entries": entries,
+    }
+    ratio = speedup_of(report)
+    if ratio is not None:
+        report["speedup_default_k"] = round(ratio, 3)
+    return report
+
+
+def _entry_map(report: Dict[str, object]) -> Dict[tuple, Dict[str, object]]:
+    return {
+        (e["dataset"], e["k"], e["accel"]): e
+        for e in report.get("entries", [])
+    }
+
+
+def speedup_of(report: Dict[str, object]) -> Optional[float]:
+    """Accel on-vs-off wall-time ratio at the first dataset's default k."""
+    entries = report.get("entries", [])
+    if not entries:
+        return None
+    first = entries[0]
+    key_off = (first["dataset"], first["k"], "off")
+    key_on = (first["dataset"], first["k"], "on")
+    table = _entry_map(report)
+    if key_off not in table or key_on not in table:
+        return None
+    on_wall = table[key_on]["wall_s"]
+    if on_wall <= 0:
+        return None
+    return table[key_off]["wall_s"] / on_wall
+
+
+def check_against_baseline(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    slowdown_limit: float = SLOWDOWN_LIMIT,
+    min_speedup: float = MIN_SPEEDUP,
+) -> List[str]:
+    """Gate *current* against the committed *baseline*; returns failures.
+
+    Calibration: committed times are rescaled by the ratio of total
+    ``accel="off"`` wall time (current / baseline) over the cells both
+    reports measured, then each accelerated cell must stay within
+    ``slowdown_limit`` of its rescaled committed time.  Additionally the
+    on-vs-off speedup at the default k must reach *min_speedup*.
+    """
+    failures: List[str] = []
+    current_map = _entry_map(current)
+    baseline_map = _entry_map(baseline)
+
+    common_off = [
+        key for key in baseline_map
+        if key[2] == "off" and key in current_map
+    ]
+    if not common_off:
+        return ["no overlapping accel='off' cells to calibrate against"]
+    baseline_off = sum(baseline_map[key]["wall_s"] for key in common_off)
+    current_off = sum(current_map[key]["wall_s"] for key in common_off)
+    if baseline_off <= 0:
+        return ["committed baseline has zero accel='off' wall time"]
+    scale = current_off / baseline_off
+
+    for key in sorted(baseline_map):
+        if key[2] != "on" or key not in current_map:
+            continue
+        allowed = baseline_map[key]["wall_s"] * scale * slowdown_limit
+        got = current_map[key]["wall_s"]
+        if got > allowed:
+            failures.append(
+                "%s k=%s: accelerated wall %.3fs exceeds %.3fs "
+                "(committed %.3fs x machine scale %.2f x limit %.2f)"
+                % (key[0], key[1], got, allowed,
+                   baseline_map[key]["wall_s"], scale, slowdown_limit)
+            )
+
+    ratio = speedup_of(current)
+    if ratio is None:
+        failures.append("current report has no default-k on/off pair")
+    elif ratio < min_speedup:
+        failures.append(
+            "accel on-vs-off speedup %.2fx at default k is below the "
+            "required %.2fx" % (ratio, min_speedup)
+        )
+    return failures
+
+
+def load_baseline(path: Optional[Path] = None) -> Dict[str, object]:
+    """Read a BENCH_3.json file (the committed one by default)."""
+    target = Path(path) if path is not None else BASELINE_PATH
+    with open(target, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_baseline(
+    report: Dict[str, object], path: Optional[Path] = None
+) -> Path:
+    """Write *report* as BENCH_3.json (to the committed path by default)."""
+    target = Path(path) if path is not None else BASELINE_PATH
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return target

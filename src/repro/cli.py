@@ -4,11 +4,13 @@ Subcommands::
 
     python -m repro topk      --input data.txt --k 100 [--similarity jaccard]
                               [--workers N] [--shards M] [--check]
+                              [--accel on|python|numpy|off]
     python -m repro threshold --input data.txt --threshold 0.8 [--algorithm ppjoin+]
     python -m repro generate  --dataset dblp --n 2000 --output data.txt
     python -m repro stats     --input data.txt
     python -m repro fuzz      --seed 0 --iters 200 [--budget 60]
                               [--corpus-dir tests/corpus] [--replay]
+    python -m repro bench     --json [--k 100]  (hot-path baseline JSON)
 
 Input files hold one record per line, tokens separated by spaces (use
 ``--qgram Q`` to treat each line as raw text tokenized into q-grams).
@@ -72,7 +74,10 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     collection = _load(args.input, args.qgram)
     sim = similarity_by_name(args.similarity)
     stats = TopkStats()
-    options = TopkOptions(maxdepth=args.maxdepth, check_invariants=args.check)
+    options = TopkOptions(
+        maxdepth=args.maxdepth, check_invariants=args.check,
+        accel=args.accel,
+    )
     start = time.perf_counter()
     if args.workers > 1 or args.shards is not None:
         results = parallel_topk_join(
@@ -257,6 +262,21 @@ def _experiment_registry():
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.json:
+        import json
+
+        from .bench.baseline import measure_baseline, speedup_of
+
+        report = measure_baseline(k_values=args.k or None)
+        json.dump(report, sys.stdout, indent=2)
+        print()
+        ratio = speedup_of(report)
+        if ratio is not None:
+            print(
+                "# accel speedup at default k: %.2fx" % ratio,
+                file=sys.stderr,
+            )
+        return 0
     registry = _experiment_registry()
     if args.list:
         for name, (description, __) in sorted(registry.items()):
@@ -315,6 +335,11 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--check", action="store_true",
                       help="assert the paper's runtime invariants while "
                            "joining (slow; also via REPRO_CHECK=1)")
+    topk.add_argument("--accel", default="on",
+                      choices=["on", "python", "numpy", "off"],
+                      help="hot-path acceleration: 'on' picks the best "
+                           "available kernel, 'off' runs the historical "
+                           "loop (ablation baseline)")
     topk.set_defaults(handler=_cmd_topk)
 
     threshold = commands.add_parser("threshold", help="threshold join")
@@ -367,6 +392,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="experiment id (see --list)")
     bench.add_argument("--list", action="store_true",
                        help="list available experiments")
+    bench.add_argument("--json", action="store_true",
+                       help="measure the hot-path baseline workload and "
+                            "print BENCH_3-format JSON (the same structure "
+                            "the CI benchmark gate consumes)")
+    bench.add_argument("--k", type=int, action="append", default=None,
+                       help="with --json: restrict the k sweep (repeatable)")
     bench.set_defaults(handler=_cmd_bench)
 
     return parser

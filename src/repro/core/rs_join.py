@@ -130,6 +130,11 @@ def topk_join_rs(
     there is no risk of same-side pairs crowding cross pairs out of the
     buffer and no enlarged-k re-runs — one pass, exactly like the
     self-join.
+
+    ``options.accel`` applies unchanged: the scan kernels (see
+    :mod:`repro.accel.kernel`) are side-agnostic — bit signatures live on
+    the joint collection, and the kernel only ever sees the opposite
+    side's posting columns.
     """
     sim = similarity or Jaccard()
     opts = replace(options or TopkOptions(), bipartite_sides=tagged.sides)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..data.records import RecordCollection
+from ..data.records import RecordCollection, signature_overlap_bound
 from ..result import ordered_pair
 from ..similarity.functions import SimilarityFunction
 from ..similarity.overlap import overlap_with_common_positions
@@ -74,6 +74,8 @@ def seed_temporary_results(
     registry: VerificationRegistry,
     sides: Optional[Sequence[int]] = None,
     checks=None,
+    stats=None,
+    bitmap: bool = True,
 ) -> int:
     """Fill *buffer* with pairs sharing selective tokens.
 
@@ -82,6 +84,14 @@ def seed_temporary_results(
     stops after ``min(4k, 20000)`` verifications.  Every verified seed pair
     is recorded in *registry*: the event loop will re-generate these pairs
     and must not verify them again.  Returns the number of pairs verified.
+
+    Once the buffer is full, candidate pairs whose bitmap-signature
+    overlap bound (see :func:`repro.data.records.signature_overlap_bound`)
+    cannot reach ``s_k`` are skipped *without* verifying or recording
+    them — the event loop regenerates and verifies them later if they
+    matter, so the verify-once discipline is untouched.  *stats* is an
+    optional :class:`repro.core.metrics.TopkStats` receiving the bitmap
+    counters.
 
     With *sides* (bipartite joins) only cross-side pairs are seeded — a
     same-side pair is outside the pair space and must never reach the
@@ -119,12 +129,14 @@ def seed_temporary_results(
             if token in wanted:
                 holders[token].append(record.rid)
 
+    signatures = collection.signatures if bitmap else None
     verified = 0
     seen: set = set()
     for token in chosen:
         rids = holders[token]
         for a in range(len(rids)):
             x = collection[rids[a]]
+            size_x = len(x)
             for b in range(a + 1, len(rids)):
                 if verified >= budget:
                     return verified
@@ -135,6 +147,24 @@ def seed_temporary_results(
                     continue
                 seen.add(pair)
                 y = collection[rids[b]]
+                if signatures is not None and buffer.full:
+                    # Bitmap prune: skip (without verifying or recording)
+                    # a pair that provably cannot enter the full buffer.
+                    size_y = len(y)
+                    alpha = similarity.required_overlap(
+                        buffer.s_k, size_x, size_y
+                    )
+                    if alpha > 0:
+                        limit = signature_overlap_bound(
+                            signatures[rids[a]], signatures[rids[b]],
+                            size_x, size_y,
+                        )
+                        if stats is not None:
+                            stats.bitmap_checked += 1
+                        if limit < alpha:
+                            if stats is not None:
+                                stats.bitmap_pruned += 1
+                            continue
                 probe = overlap_with_common_positions(x.tokens, y.tokens)
                 if checks is not None:
                     checks.on_verified(pair)

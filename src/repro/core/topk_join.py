@@ -48,6 +48,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..accel.kernel import make_kernel
 from ..data.records import RecordCollection
 from ..index.inverted import BoundedInvertedIndex
 from ..joins.filters import DEFAULT_MAXDEPTH, suffix_admits
@@ -97,6 +98,13 @@ class TopkOptions:
     #: join over cross pairs only.  ``bipartite_sides[rid]`` must be
     #: indexable for every record id of the joined collection.
     bipartite_sides: Optional[Sequence[int]] = None
+    #: Hot-path acceleration (see :mod:`repro.accel.kernel`): ``"on"``
+    #: picks the NumPy batch kernel when NumPy is importable and the
+    #: pure-Python kernel otherwise; ``"python"`` / ``"numpy"`` force one
+    #: implementation; ``"off"`` runs the historical scan loop (kept for
+    #: ablation and as the benchmark-gate baseline).  All modes are exact
+    #: — the differential fuzzer cross-checks them against the oracle.
+    accel: str = "on"
     #: Assert the paper's invariants at runtime (event order, ``s_k``
     #: monotonicity, verify-exactly-once, Lemma 1/4 reference bounds,
     #: emission guarantees) via :mod:`repro.oracle.invariants`.  Also
@@ -180,9 +188,19 @@ def topk_join_iter(
             dedup_active=opts.verification_mode != "off",
         )
 
+    # The verified-pair set and the scan kernel are per-run state: both are
+    # captured once here instead of once per event (the registry's set
+    # object is stable for the lifetime of the run).
+    seen_pairs = registry.fast_set()
+    kernel = make_kernel(
+        collection, sim, opts, buffer, registry, seen_pairs, run_stats,
+        checks,
+    )
+
     if opts.seed_results:
         run_stats.verifications += seed_temporary_results(
-            collection, sim, buffer, registry, sides=sides, checks=checks
+            collection, sim, buffer, registry, sides=sides, checks=checks,
+            stats=run_stats, bitmap=kernel is not None,
         )
     if provider is not None:
         if buffer.full:
@@ -228,6 +246,8 @@ def topk_join_iter(
                 external,
                 run_stats,
                 checks,
+                seen_pairs,
+                kernel,
             )
         cutoff = buffer.s_k
         if external > cutoff:
@@ -293,15 +313,21 @@ def _process_event(
     external: float,
     stats: TopkStats,
     checks: Optional[CheckHooks] = None,
+    seen_pairs: Optional[Set[Tuple[int, int]]] = None,
+    kernel: Optional[Any] = None,
 ) -> None:
     """Probe one record at one prefix position, then maybe index it.
 
     This is the innermost loop of the whole algorithm (one iteration per
-    posting scanned), so invariants are hoisted aggressively: ``s_k``,
-    fullness, the accessing-bound cutoff and the per-partner-size required
-    overlap α are all locals refreshed only when the buffer changes.  Note
-    the size filter *is* ``α <= min(|x|, |y|)`` (a partner too small/large
-    to reach ``s_k`` has an impossible α), so one cached α serves the size,
+    posting scanned).  With acceleration on (the default), the probe is
+    delegated to a scan kernel from :mod:`repro.accel.kernel` — flat
+    column access, the bitmap-signature prefilter and (with NumPy) batch
+    vectorization.  With ``accel="off"`` the historical loop below runs;
+    invariants are hoisted aggressively there: ``s_k``, fullness, the
+    accessing-bound cutoff and the per-partner-size required overlap α
+    are all locals refreshed only when the buffer changes.  Note the size
+    filter *is* ``α <= min(|x|, |y|)`` (a partner too small/large to
+    reach ``s_k`` has an impossible α), so one cached α serves the size,
     positional and suffix filters and the verification abort threshold.
 
     *external* is a lower bound on the global ``s_k`` of a cooperating
@@ -310,16 +336,28 @@ def _process_event(
     bound holds for any lower bound on the true ``s_k``.  In the
     standalone self-join *probe_index* and *insert_index* are the same
     object; in bipartite mode they belong to opposite sides.
+    *seen_pairs* is the registry's live verified-pair set, captured once
+    per run by the caller (``None`` when verification dedup is off).
     """
     x = collection[rid]
     size_x = len(x)
     tokens_x = x.tokens
     token = tokens_x[prefix - 1]
 
-    postings = probe_index.postings(token)
-    if postings:
+    if kernel is not None:
+        kernel.scan(probe_index, token, rid, prefix, bound, external)
+        _maybe_index(
+            sim, opts, buffer, insert_index, stop_indexing, external,
+            stats, checks, token, rid, prefix, bound, size_x,
+        )
+        return
+
+    columns = probe_index.columns(token)
+    if columns is not None and len(columns.rids) > 0:
+        col_rids = columns.rids
+        col_positions = columns.positions
+        col_bounds = columns.bounds
         records = collection.records
-        seen_pairs = registry.fast_set()
         positional_on = opts.positional_filter
         suffix_on = opts.suffix_filter
         maxdepth = opts.maxdepth
@@ -341,8 +379,8 @@ def _process_event(
         candidates = duplicates = size_pruned = 0
         positional_pruned = suffix_pruned = verifications = 0
 
-        for position in range(len(postings)):
-            rid_y, j, bound_y = postings[position]
+        for position in range(len(col_rids)):
+            bound_y = col_bounds[position]
 
             # Accessing-bound truncation (Algorithms 9-10): entries from
             # here on were inserted with even smaller bounds, and future
@@ -355,6 +393,7 @@ def _process_event(
                     break
 
             candidates += 1
+            rid_y = col_rids[position]
             pair = (rid, rid_y) if rid < rid_y else (rid_y, rid)
             if seen_pairs is not None and pair in seen_pairs:
                 duplicates += 1
@@ -373,7 +412,7 @@ def _process_event(
                 size_pruned += 1
                 continue
             if positional_on:
-                rest_y = size_y - j
+                rest_y = size_y - col_positions[position]
                 best = 1 + (rest_x if rest_x < rest_y else rest_y)
                 if best < alpha:
                     positional_pruned += 1
@@ -381,7 +420,8 @@ def _process_event(
             tokens_y = records[rid_y].tokens
             if suffix_on and alpha > 1:
                 if not suffix_admits(
-                    sim, s_k, tokens_x, tokens_y, prefix, j,
+                    sim, s_k, tokens_x, tokens_y,
+                    prefix, col_positions[position],
                     seen_overlap=1, maxdepth=maxdepth, alpha=alpha,
                 ):
                     suffix_pruned += 1
@@ -430,7 +470,28 @@ def _process_event(
         stats.suffix_pruned += suffix_pruned
         stats.verifications += verifications
 
-    # Index insertion (Algorithms 7-8).
+    _maybe_index(
+        sim, opts, buffer, insert_index, stop_indexing, external, stats,
+        checks, token, rid, prefix, bound, size_x,
+    )
+
+
+def _maybe_index(
+    sim: SimilarityFunction,
+    opts: TopkOptions,
+    buffer: TopKBuffer,
+    insert_index: BoundedInvertedIndex,
+    stop_indexing: bytearray,
+    external: float,
+    stats: TopkStats,
+    checks: Optional[CheckHooks],
+    token: int,
+    rid: int,
+    prefix: int,
+    bound: float,
+    size_x: int,
+) -> None:
+    """Index insertion after a probe (Algorithms 7-8)."""
     if opts.index_optimization:
         if not stop_indexing[rid]:
             threshold = buffer.s_k

@@ -49,16 +49,16 @@ class VerificationRegistry:
         return len(self._seen)
 
     def fast_set(self):
-        """The seen-pair set for hot-loop membership tests (None if off)."""
+        """The seen-pair set for hot-loop membership tests (None if off).
+
+        This is the *live* set object — it reflects later insertions, so
+        callers hoist it once per run.  It replaced a per-pair
+        ``already_verified(pair)`` method that paid a Python call per
+        candidate in the hottest loop.
+        """
         if self.mode == "off":
             return None
         return self._seen
-
-    def already_verified(self, pair: Pair) -> bool:
-        """True when the pair was verified before and must be skipped."""
-        if self.mode == "off":
-            return False
-        return pair in self._seen
 
     def _max_prefix(self, size: int, s_k: float) -> int:
         """Cached maximum probing prefix length under the current ``s_k``."""

@@ -10,6 +10,21 @@ and the event-compression optimisation (Section V-C) rely on.
 ``Record.rid`` identifiers refer to positions in the size-sorted collection,
 so ``coll[r.rid] is r``.  The original input position is preserved in
 ``Record.source_id`` for callers that need to map results back.
+
+Collections also carry per-record **bit signatures** (the bitmap-filter
+technique of Sandes, Teodoro & Melo, arXiv:1711.07295): each token is
+hashed to one bit of a fixed ``SIGNATURE_BITS``-wide word and a record's
+signature is the XOR-fold of its token bits.  Because the XOR of two
+signatures equals the XOR-fold over the records' *symmetric difference*,
+its popcount can never exceed ``|x Δ y|``, giving the exact-safe overlap
+upper bound
+
+    ``|x ∩ y| <= (|x| + |y| - popcount(sig_x ^ sig_y)) // 2``
+
+which the accelerated join kernels (:mod:`repro.accel.kernel`) check
+before any per-pair merge work.  Signatures are built once per collection
+(lazily, cached) right after canonicalization — token ranks are already
+integers, so hashing is one multiply-shift per token.
 """
 
 from __future__ import annotations
@@ -19,7 +34,59 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 from .ordering import document_frequencies, idf_ordering
 from .tokenize import tokenize_qgrams, tokenize_words
 
-__all__ = ["Record", "RecordCollection"]
+__all__ = [
+    "Record",
+    "RecordCollection",
+    "SIGNATURE_BITS",
+    "popcount",
+    "signature_of",
+    "signature_overlap_bound",
+]
+
+#: Width of the per-record bit signature (1-4 machine words; 128 = 2 words).
+SIGNATURE_BITS = 128
+
+#: 64-bit golden-ratio multiplier (splitmix64's increment) — one multiply
+#: mixes a token rank well enough that the high bits index a signature bit.
+_MIX = 0x9E3779B97F4A7C15
+_WORD_MASK = 0xFFFFFFFFFFFFFFFF
+#: ``64 - log2(SIGNATURE_BITS)`` — the top bits select one of 128 positions.
+_BIT_SHIFT = 57
+
+try:  # int.bit_count is Python >= 3.10; fall back to bin() on 3.9.
+    popcount = int.bit_count
+except AttributeError:  # pragma: no cover - exercised only on 3.9
+    def popcount(value: int) -> int:
+        """Number of set bits in *value* (``int.bit_count`` fallback)."""
+        return bin(value).count("1")
+
+
+def signature_of(tokens: Iterable[int]) -> int:
+    """XOR-folded bit signature of a token set.
+
+    Each token sets (toggles) one of ``SIGNATURE_BITS`` bit positions
+    chosen by a multiply-shift hash of its rank.  XOR-folding (rather
+    than OR) is what makes the Hamming bound exact-safe: colliding
+    tokens cancel, they never inflate the apparent overlap floor.
+    """
+    signature = 0
+    for token in tokens:
+        signature ^= 1 << (((token * _MIX) & _WORD_MASK) >> _BIT_SHIFT)
+    return signature
+
+
+def signature_overlap_bound(
+    signature_x: int, signature_y: int, size_x: int, size_y: int
+) -> int:
+    """Upper bound on ``|x ∩ y|`` from the two records' signatures.
+
+    ``popcount(sig_x ^ sig_y)`` is a lower bound on ``|x Δ y|`` (every
+    symmetric-difference token toggles exactly one bit; collisions only
+    cancel), and ``|x ∩ y| = (|x| + |y| - |x Δ y|) / 2``.  The bound is
+    never below the true overlap, so pruning candidates whose bound is
+    below the required overlap α is exact.
+    """
+    return (size_x + size_y - popcount(signature_x ^ signature_y)) >> 1
 
 
 class Record:
@@ -76,6 +143,10 @@ class RecordCollection:
         self.records = records
         self.universe_size = universe_size
         self.token_of_rank = token_of_rank
+        #: Lazily built per-rid bit signatures (see :func:`signature_of`).
+        #: :func:`repro.parallel.partitioner.subproblem` pre-fills this for
+        #: sub-collections so worker tasks never re-hash tokens.
+        self._signatures: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -174,6 +245,24 @@ class RecordCollection:
 
     def __getitem__(self, rid: int) -> Record:
         return self.records[rid]
+
+    # ------------------------------------------------------------------
+    # Bit signatures
+    # ------------------------------------------------------------------
+
+    @property
+    def signatures(self) -> List[int]:
+        """Per-rid bit signatures, built on first use and cached.
+
+        ``signatures[rid]`` is :func:`signature_of` of record *rid*'s
+        tokens.  The accelerated join kernels index this list directly,
+        so it must stay aligned with :attr:`records`.
+        """
+        if self._signatures is None:
+            self._signatures = [
+                signature_of(record.tokens) for record in self.records
+            ]
+        return self._signatures
 
     # ------------------------------------------------------------------
     # Derived statistics

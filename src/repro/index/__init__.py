@@ -1,5 +1,15 @@
 """Inverted index structures shared by the join algorithms."""
 
-from .inverted import BoundedInvertedIndex, InvertedIndex, Posting
+from .inverted import (
+    BoundedInvertedIndex,
+    InvertedIndex,
+    Posting,
+    PostingColumns,
+)
 
-__all__ = ["InvertedIndex", "BoundedInvertedIndex", "Posting"]
+__all__ = [
+    "InvertedIndex",
+    "BoundedInvertedIndex",
+    "Posting",
+    "PostingColumns",
+]

@@ -13,13 +13,28 @@ Two flavours are provided:
   in decreasing bound order, every list is sorted by non-increasing bound,
   which is what lets Algorithm 9/10 truncate a list permanently once the
   accessing bound drops below ``s_k``.
+
+The bounded index stores postings as **flat parallel columns**
+(:class:`PostingColumns`: one ``array('q')`` of rids, one of positions,
+one ``array('d')`` of bounds) rather than lists of ``(rid, j, bound)``
+tuples.  The probe loop — the innermost loop of the whole top-k join —
+then reads machine-typed columns with local-variable indexing instead of
+allocating and unpacking a tuple per posting, the NumPy batch kernel maps
+the same columns zero-copy via the buffer protocol, and accessing-bound
+truncation is a single tail cut per column instead of a tuple-list slice.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from array import array
+from typing import Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["InvertedIndex", "BoundedInvertedIndex", "Posting"]
+__all__ = [
+    "InvertedIndex",
+    "BoundedInvertedIndex",
+    "Posting",
+    "PostingColumns",
+]
 
 #: ``(rid, position)`` — position is 1-based within the canonicalized record.
 Posting = Tuple[int, int]
@@ -28,18 +43,36 @@ Posting = Tuple[int, int]
 class InvertedIndex:
     """Token -> list of ``(rid, position)`` postings."""
 
-    __slots__ = ("_lists",)
+    __slots__ = ("_lists", "_live")
 
     def __init__(self) -> None:
         self._lists: Dict[int, List[Posting]] = {}
+        self._live = 0
 
     def add(self, token: int, rid: int, position: int) -> None:
         """Append a posting for *token* (insertion order is preserved)."""
         self._lists.setdefault(token, []).append((rid, position))
+        self._live += 1
 
     def postings(self, token: int) -> List[Posting]:
         """The posting list for *token* (empty when unseen)."""
         return self._lists.get(token, [])
+
+    def trim_head(self, token: int, count: int) -> None:
+        """Drop the first *count* postings of *token*'s list.
+
+        Used by ppjoin's lazy size filtering; going through the index
+        (rather than mutating the returned list) keeps the running
+        :attr:`entry_count` accurate.
+        """
+        if count <= 0:
+            return
+        postings = self._lists.get(token)
+        if not postings:
+            return
+        count = min(count, len(postings))
+        del postings[:count]
+        self._live -= count
 
     def __contains__(self, token: int) -> bool:
         return token in self._lists
@@ -50,11 +83,50 @@ class InvertedIndex:
 
     @property
     def entry_count(self) -> int:
-        """Total number of postings across all lists."""
-        return sum(len(postings) for postings in self._lists.values())
+        """Current number of live postings (running counter, O(1))."""
+        return self._live
 
     def tokens(self) -> Iterator[int]:
         return iter(self._lists)
+
+
+class PostingColumns:
+    """One token's postings as parallel flat columns.
+
+    ``rids[i]``, ``positions[i]`` and ``bounds[i]`` describe posting *i*;
+    all three arrays always have equal length.  ``'q'`` (signed 64-bit)
+    is used for the integer columns so NumPy can view them zero-copy with
+    a fixed dtype on every platform.
+    """
+
+    __slots__ = ("rids", "positions", "bounds")
+
+    def __init__(self) -> None:
+        self.rids = array("q")
+        self.positions = array("q")
+        self.bounds = array("d")
+
+    def __len__(self) -> int:
+        return len(self.rids)
+
+    def append(self, rid: int, position: int, bound: float) -> None:
+        self.rids.append(rid)
+        self.positions.append(position)
+        self.bounds.append(bound)
+
+    def cut(self, start: int) -> int:
+        """Drop entries ``[start:]`` from every column; return the count."""
+        removed = len(self.rids) - start
+        if removed <= 0:
+            return 0
+        del self.rids[start:]
+        del self.positions[start:]
+        del self.bounds[start:]
+        return removed
+
+    def tuples(self) -> List[Tuple[int, int, float]]:
+        """Materialize ``(rid, position, bound)`` tuples (tests/debugging)."""
+        return list(zip(self.rids, self.positions, self.bounds))
 
 
 class BoundedInvertedIndex:
@@ -67,7 +139,7 @@ class BoundedInvertedIndex:
     __slots__ = ("_lists", "inserted", "deleted", "peak_entries", "_live")
 
     def __init__(self) -> None:
-        self._lists: Dict[int, List[Tuple[int, int, float]]] = {}
+        self._lists: Dict[int, PostingColumns] = {}
         self.inserted = 0
         self.deleted = 0
         self.peak_entries = 0
@@ -75,15 +147,33 @@ class BoundedInvertedIndex:
 
     def add(self, token: int, rid: int, position: int, bound: float) -> None:
         """Append ``(rid, position, probing-bound-at-insertion)``."""
-        self._lists.setdefault(token, []).append((rid, position, bound))
+        columns = self._lists.get(token)
+        if columns is None:
+            columns = self._lists[token] = PostingColumns()
+        columns.append(rid, position, bound)
         self.inserted += 1
         self._live += 1
         if self._live > self.peak_entries:
             self.peak_entries = self._live
 
+    def columns(self, token: int) -> Optional[PostingColumns]:
+        """Live posting columns for *token* (``None`` when unseen).
+
+        Sorted by non-increasing bound; the hot loops index the columns
+        directly.
+        """
+        return self._lists.get(token)
+
     def postings(self, token: int) -> List[Tuple[int, int, float]]:
-        """Live postings for *token*, sorted by non-increasing bound."""
-        return self._lists.get(token, [])
+        """Live postings for *token* as tuples (compatibility/testing view).
+
+        The hot paths use :meth:`columns`; this materializes tuples on
+        every call.
+        """
+        columns = self._lists.get(token)
+        if columns is None:
+            return []
+        return columns.tuples()
 
     def truncate(self, token: int, start: int) -> int:
         """Drop postings ``[start:]`` of *token*'s list; return the count.
@@ -93,11 +183,10 @@ class BoundedInvertedIndex:
         entries (which have even smaller insertion bounds) fail it too — for
         this and every future probing — so the tail is deleted outright.
         """
-        postings = self._lists.get(token)
-        if postings is None or start >= len(postings):
+        columns = self._lists.get(token)
+        if columns is None:
             return 0
-        removed = len(postings) - start
-        del postings[start:]
+        removed = columns.cut(start)
         self.deleted += removed
         self._live -= removed
         return removed

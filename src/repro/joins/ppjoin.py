@@ -13,6 +13,12 @@ against (as the engine inside ``pptopk``).  On top of All-Pairs they add:
 * **suffix filtering** (``plus=True`` — i.e. ppjoin+) — the first match of
   a candidate is additionally screened by the Hamming-distance suffix probe
   of :func:`repro.joins.filters.suffix_admits` with depth ``maxdepth``.
+
+This implementation adds the **bitmap prefilter** of the accelerated
+top-k kernels (``bitmap=True``, see
+:func:`repro.data.records.signature_overlap_bound`): a candidate's first
+prefix match checks the signature Hamming bound against α before the
+suffix probe, discarding most doomed candidates for one XOR + popcount.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..core.metrics import JoinStats
-from ..data.records import RecordCollection
+from ..data.records import RecordCollection, signature_overlap_bound
 from ..index.inverted import InvertedIndex
 from ..result import JoinResult, sort_results
 from ..similarity.functions import Jaccard, SimilarityFunction
@@ -39,14 +45,19 @@ def ppjoin(
     plus: bool = False,
     maxdepth: int = DEFAULT_MAXDEPTH,
     stats: Optional[JoinStats] = None,
+    bitmap: bool = True,
 ) -> List[JoinResult]:
     """Self-join returning all pairs with ``sim >= threshold``.
 
-    With ``plus=True`` this is ppjoin+ (suffix filtering enabled).
+    With ``plus=True`` this is ppjoin+ (suffix filtering enabled).  With
+    ``bitmap=True`` (default) each candidate's first match also checks
+    the exact-safe bitmap-signature overlap bound — set ``False`` to
+    reproduce the historical WWW'08 filter chain only.
     """
     sim = similarity or Jaccard()
     index = InvertedIndex()
     results: List[JoinResult] = []
+    signatures = collection.signatures if bitmap else None
 
     for x in collection:
         size_x = len(x)
@@ -66,7 +77,7 @@ def ppjoin(
             ):
                 trim += 1
             if trim:
-                del postings[:trim]
+                index.trim_head(token, trim)
                 if stats is not None:
                     stats.size_pruned += trim
 
@@ -83,6 +94,21 @@ def ppjoin(
                     if stats is not None:
                         stats.positional_pruned += 1
                     continue
+                if signatures is not None and seen == 0:
+                    # Bitmap prefilter on first encounter: one XOR +
+                    # popcount bounds the overlap; below α the pair can
+                    # never reach the threshold.
+                    if (
+                        signature_overlap_bound(
+                            signatures[x.rid], signatures[rid],
+                            size_x, size_y,
+                        )
+                        < alpha
+                    ):
+                        accumulated[rid] = _PRUNED
+                        if stats is not None:
+                            stats.bitmap_pruned += 1
+                        continue
                 if plus and seen == 0:
                     if not suffix_admits(
                         sim, threshold, tokens_x, y.tokens, i, j,

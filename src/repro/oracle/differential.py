@@ -11,10 +11,18 @@ backend           relation to :func:`repro.oracle.reference.naive_topk`
                   compression — the paper's Fig. 3 ablation)
 ``ablated``       tie-equivalent (every optimisation off, verification
                   dedup off, no seeding — the plainest event loop)
+``accel-off``     tie-equivalent (``accel="off"`` — the historical
+                  scan loop, no bitmap prefilter)
+``accel-python``  tie-equivalent (``accel="python"`` — flat-column
+                  loop + bitmap prefilter, no NumPy)
+``accel-numpy``   tie-equivalent (``accel="numpy"`` — vectorized batch
+                  prefilter; registered only when NumPy is importable)
 ``parallel``      tie-equivalent (sharded backend, 5 shards, serial
                   execution so fuzz iterations stay cheap)
+``parallel-accel-off``  the same, with acceleration disabled
 ``rs``            tie-equivalent on the *cross* pair space (records
                   split alternately into R and S)
+``rs-accel-off``  the same, with acceleration disabled
 ``weighted``      same similarity multiset under uniform weights
                   (weighted Jaccard/cosine degenerate to the unweighted
                   functions; record-id spaces differ, so pairs are not
@@ -36,6 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..accel.kernel import numpy_available
 from ..core.pptopk import _MIN_THRESHOLD, pptopk_join
 from ..core.rs_join import TaggedCollection, topk_join_rs
 from ..core.topk_join import TopkOptions, topk_join
@@ -105,32 +114,41 @@ def _equivalence_backend(options: TopkOptions) -> BackendFn:
     return run
 
 
-def _parallel_backend(case, collection, expected, sim):
-    actual = parallel_topk_join(
-        collection,
-        case.k,
-        similarity=sim,
-        options=TopkOptions(check_invariants=True),
-        workers=1,
-        shards=_FUZZ_SHARDS,
-    )
-    assert_topk_equivalent(actual, expected)
-    return None
+def _parallel_backend(options: TopkOptions) -> BackendFn:
+    def run(case, collection, expected, sim):
+        actual = parallel_topk_join(
+            collection,
+            case.k,
+            similarity=sim,
+            options=options,
+            workers=1,
+            shards=_FUZZ_SHARDS,
+        )
+        assert_topk_equivalent(actual, expected)
+        return None
+
+    return run
 
 
-def _rs_backend(case, collection, expected, sim):
-    r_side = [tokens for i, tokens in enumerate(case.records) if i % 2 == 0]
-    s_side = [tokens for i, tokens in enumerate(case.records) if i % 2 == 1]
-    tagged = TaggedCollection.from_integer_sets(r_side, s_side)
-    cross_expected = naive_topk(
-        tagged.collection, case.k, similarity=sim, sides=tagged.sides
-    )
-    actual = topk_join_rs(
-        tagged, case.k, similarity=sim,
-        options=TopkOptions(check_invariants=True),
-    )
-    assert_topk_equivalent(actual, cross_expected)
-    return None
+def _rs_backend(options: TopkOptions) -> BackendFn:
+    def run(case, collection, expected, sim):
+        r_side = [
+            tokens for i, tokens in enumerate(case.records) if i % 2 == 0
+        ]
+        s_side = [
+            tokens for i, tokens in enumerate(case.records) if i % 2 == 1
+        ]
+        tagged = TaggedCollection.from_integer_sets(r_side, s_side)
+        cross_expected = naive_topk(
+            tagged.collection, case.k, similarity=sim, sides=tagged.sides
+        )
+        actual = topk_join_rs(
+            tagged, case.k, similarity=sim, options=options
+        )
+        assert_topk_equivalent(actual, cross_expected)
+        return None
+
+    return run
 
 
 def _weighted_backend(case, collection, expected, sim):
@@ -185,9 +203,15 @@ def _pptopk_backend(case, collection, expected, sim):
 
 
 def _backend_registry() -> Dict[str, BackendFn]:
-    return {
+    registry = {
         "sequential": _equivalence_backend(
             TopkOptions(check_invariants=True)
+        ),
+        "accel-off": _equivalence_backend(
+            TopkOptions(check_invariants=True, accel="off")
+        ),
+        "accel-python": _equivalence_backend(
+            TopkOptions(check_invariants=True, accel="python")
         ),
         "record-all": _equivalence_backend(
             TopkOptions(
@@ -208,11 +232,22 @@ def _backend_registry() -> Dict[str, BackendFn]:
                 seed_results=False,
             )
         ),
-        "parallel": _parallel_backend,
-        "rs": _rs_backend,
+        "parallel": _parallel_backend(TopkOptions(check_invariants=True)),
+        "parallel-accel-off": _parallel_backend(
+            TopkOptions(check_invariants=True, accel="off")
+        ),
+        "rs": _rs_backend(TopkOptions(check_invariants=True)),
+        "rs-accel-off": _rs_backend(
+            TopkOptions(check_invariants=True, accel="off")
+        ),
         "weighted": _weighted_backend,
         "pptopk": _pptopk_backend,
     }
+    if numpy_available():
+        registry["accel-numpy"] = _equivalence_backend(
+            TopkOptions(check_invariants=True, accel="numpy")
+        )
+    return registry
 
 
 _BACKENDS = _backend_registry()

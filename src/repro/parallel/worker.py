@@ -36,6 +36,10 @@ def initialize_worker(collection, shards, k, similarity, options, bound) -> None
     """
     if not hasattr(bound, "offer"):
         bound = SharedSimilarityBound(bound)
+    if getattr(options, "accel", "off") != "off":
+        # Build the collection's bit signatures once per worker; every
+        # task's subproblem then slices them instead of re-hashing.
+        collection.signatures
     _STATE["collection"] = collection
     _STATE["shards"] = shards
     _STATE["k"] = k

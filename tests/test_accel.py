@@ -1,0 +1,227 @@
+"""Tests for the accelerated hot path (bitmap prefilter, scan kernels).
+
+Covers the exactness contract of :mod:`repro.accel.kernel` — the bitmap
+signature bound must never undercut a true overlap, and every kernel must
+be tie-equivalent to the historical loop — plus the flat posting columns
+and the benchmark-baseline gate logic.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TopkOptions, TopkStats, naive_topk, topk_join
+from repro.accel.kernel import (
+    ACCEL_MODES,
+    make_kernel,
+    numpy_available,
+    resolve_accel_mode,
+)
+from repro.bench.baseline import check_against_baseline, speedup_of
+from repro.data import RecordCollection, random_integer_collection
+from repro.data.records import (
+    SIGNATURE_BITS,
+    popcount,
+    signature_of,
+    signature_overlap_bound,
+)
+from repro.index.inverted import BoundedInvertedIndex, PostingColumns
+from repro.similarity import Jaccard
+
+from conftest import rounded_multiset
+
+token_set = st.sets(st.integers(min_value=0, max_value=500), max_size=40)
+
+ACCEL_UNDER_TEST = [
+    m for m in ("python", "numpy") if m != "numpy" or numpy_available()
+]
+
+
+class TestSignatureBound:
+    @given(token_set, token_set)
+    @settings(max_examples=300, deadline=None)
+    def test_overlap_bound_is_never_below_true_overlap(self, x, y):
+        # The load-bearing exactness property: pruning below α is safe
+        # only because this bound can never undercut the true overlap.
+        bound = signature_overlap_bound(
+            signature_of(sorted(x)), signature_of(sorted(y)), len(x), len(y)
+        )
+        assert bound >= len(x & y)
+
+    @given(token_set)
+    @settings(max_examples=100, deadline=None)
+    def test_identical_records_bound_is_exact(self, x):
+        sig = signature_of(sorted(x))
+        assert signature_overlap_bound(sig, sig, len(x), len(x)) == len(x)
+
+    def test_signature_fits_width(self):
+        rng = random.Random(5)
+        tokens = [rng.randrange(10**6) for __ in range(1000)]
+        assert signature_of(tokens) < (1 << SIGNATURE_BITS)
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount((1 << 127) | 5) == 3
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("accel", ACCEL_UNDER_TEST)
+    def test_matches_oracle_with_invariants(self, accel):
+        rng = random.Random(97)
+        for trial in range(8):
+            coll = random_integer_collection(
+                rng.randint(10, 80), universe=rng.randint(8, 40),
+                max_size=rng.randint(2, 10), rng=rng,
+            )
+            k = rng.randint(1, 40)
+            options = TopkOptions(accel=accel, check_invariants=True)
+            got = rounded_multiset(topk_join(coll, k, options=options))
+            want = rounded_multiset(naive_topk(coll, k))
+            assert got == want, "accel=%s trial=%d" % (accel, trial)
+
+    @pytest.mark.parametrize("accel", ACCEL_UNDER_TEST)
+    def test_matches_accel_off_exactly(self, accel):
+        rng = random.Random(131)
+        coll = random_integer_collection(120, universe=50, max_size=12,
+                                         rng=rng)
+        baseline = topk_join(coll, 60, options=TopkOptions(accel="off"))
+        accelerated = topk_join(coll, 60, options=TopkOptions(accel=accel))
+        assert rounded_multiset(accelerated) == rounded_multiset(baseline)
+
+    @pytest.mark.parametrize("accel", ACCEL_UNDER_TEST)
+    def test_ablations_compose_with_accel(self, accel):
+        # The kernels must honor every paper ablation toggle.
+        rng = random.Random(17)
+        coll = random_integer_collection(60, universe=25, max_size=8, rng=rng)
+        options = TopkOptions(
+            accel=accel, positional_filter=False, suffix_filter=False,
+            access_optimization=False, verification_mode="all",
+            seed_results=False, check_invariants=True,
+        )
+        got = rounded_multiset(topk_join(coll, 25, options=options))
+        assert got == rounded_multiset(naive_topk(coll, 25))
+
+    def test_bitmap_counters_populated(self):
+        rng = random.Random(7)
+        coll = random_integer_collection(200, universe=80, max_size=10,
+                                         rng=rng)
+        stats = TopkStats()
+        topk_join(coll, 30, options=TopkOptions(accel="python"), stats=stats)
+        assert stats.bitmap_checked > 0
+        assert 0 < stats.bitmap_pruned <= stats.bitmap_checked
+        assert stats.bitmap_hit_rate == (
+            stats.bitmap_pruned / stats.bitmap_checked
+        )
+        off = TopkStats()
+        topk_join(coll, 30, options=TopkOptions(accel="off"), stats=off)
+        assert off.bitmap_checked == 0 and off.bitmap_pruned == 0
+        assert off.bitmap_hit_rate == 0.0
+
+
+class TestAccelModeResolution:
+    def test_modes(self):
+        assert resolve_accel_mode("off") == "off"
+        assert resolve_accel_mode("python") == "python"
+        assert resolve_accel_mode("on") in ("python", "numpy")
+        with pytest.raises(ValueError):
+            resolve_accel_mode("turbo")
+        assert set(ACCEL_MODES) == {"on", "python", "numpy", "off"}
+
+    def test_off_builds_no_kernel(self):
+        coll = RecordCollection.from_integer_sets([[1, 2], [1, 3]])
+        kernel = make_kernel(
+            coll, Jaccard(), TopkOptions(accel="off"),
+            None, None, None, TopkStats(),
+        )
+        assert kernel is None
+
+    def test_invalid_option_value_raises_at_join_time(self):
+        coll = RecordCollection.from_integer_sets([[1, 2], [1, 3]])
+        with pytest.raises(ValueError):
+            topk_join(coll, 1, options=TopkOptions(accel="turbo"))
+
+
+class TestPostingColumns:
+    def test_append_cut_roundtrip(self):
+        columns = PostingColumns()
+        for i in range(6):
+            columns.append(i, i + 1, 1.0 - i / 10)
+        assert len(columns) == 6
+        assert columns.tuples()[2] == (2, 3, pytest.approx(0.8))
+        assert columns.cut(4) == 2
+        assert len(columns) == 4
+        assert columns.cut(4) == 0
+
+    def test_bounded_index_counters(self):
+        index = BoundedInvertedIndex()
+        for i in range(5):
+            index.add(7, i, 1, 0.9)
+        index.add(8, 9, 2, 0.5)
+        assert index.entry_count == 6
+        assert index.peak_entries == 6
+        assert index.truncate(7, 2) == 3
+        assert index.entry_count == 3
+        assert index.deleted == 3
+        assert index.postings(7) == [(0, 1, 0.9), (1, 1, 0.9)]
+        assert index.truncate(99, 0) == 0
+
+
+class TestBaselineGate:
+    def _report(self, on=0.1, off=0.5):
+        return {
+            "schema": 3,
+            "entries": [
+                {"dataset": "dblp", "k": 100, "accel": "off", "wall_s": off},
+                {"dataset": "dblp", "k": 100, "accel": "on", "wall_s": on},
+            ],
+        }
+
+    def test_identical_reports_pass(self):
+        report = self._report()
+        assert check_against_baseline(report, report) == []
+
+    def test_speedup_computed(self):
+        assert speedup_of(self._report(on=0.1, off=0.5)) == pytest.approx(5.0)
+
+    def test_regression_detected_after_calibration(self):
+        # Same machine speed (off time unchanged) but the accelerated
+        # path got 2x slower: the gate must fire.
+        baseline = self._report(on=0.1, off=0.5)
+        current = self._report(on=0.2, off=0.5)
+        failures = check_against_baseline(current, baseline)
+        assert any("exceeds" in f for f in failures)
+
+    def test_slower_machine_does_not_trip_gate(self):
+        # Everything 3x slower (a slower CI box): calibration absorbs it.
+        baseline = self._report(on=0.1, off=0.5)
+        current = self._report(on=0.3, off=1.5)
+        assert check_against_baseline(current, baseline) == []
+
+    def test_lost_speedup_detected(self):
+        baseline = self._report(on=0.1, off=0.5)
+        current = self._report(on=0.42, off=0.5)
+        failures = check_against_baseline(
+            current, baseline, slowdown_limit=10.0
+        )
+        assert any("speedup" in f for f in failures)
+
+    def test_no_common_cells(self):
+        baseline = {"entries": []}
+        failures = check_against_baseline(self._report(), baseline)
+        assert failures
+
+
+class TestBenchJsonCli:
+    def test_bench_json_smoke(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--json", "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        report = json.loads(out)
+        assert report["schema"] == 3
+        modes = {(e["k"], e["accel"]) for e in report["entries"]}
+        assert (5, "on") in modes and (5, "off") in modes

@@ -28,10 +28,16 @@ from repro.oracle.fuzz import (
 
 
 def test_all_backends_registered():
-    assert set(available_backends()) == {
+    from repro.accel.kernel import numpy_available
+
+    expected = {
         "sequential", "record-all", "ablated", "parallel", "rs",
-        "weighted", "pptopk",
+        "weighted", "pptopk", "accel-off", "accel-python",
+        "parallel-accel-off", "rs-accel-off",
     }
+    if numpy_available():
+        expected.add("accel-numpy")
+    assert set(available_backends()) == expected
 
 
 def test_run_differential_clean_case():

@@ -14,10 +14,19 @@ from repro.similarity.overlap import overlap_with_common_positions
 # The package re-exports the topk_join *function* under the same dotted
 # path, so fetch the module itself for monkeypatching.
 topk_module = importlib.import_module("repro.core.topk_join")
+# With acceleration on (the default) the merge runs inside the scan
+# kernel, which binds it under a private alias — spy on both call sites.
+kernel_module = importlib.import_module("repro.accel.kernel")
 
 
 def probe_of(x, y, required=0):
     return overlap_with_common_positions(tuple(x), tuple(y), required)
+
+
+def verified(registry, pair):
+    """Membership through ``fast_set()`` — the hot loop's access path."""
+    seen = registry.fast_set()
+    return seen is not None and pair in seen
 
 
 class TestRegistryModes:
@@ -28,26 +37,26 @@ class TestRegistryModes:
     def test_off_mode_never_remembers(self):
         registry = VerificationRegistry(Jaccard(), mode="off")
         registry.record((0, 1), probe_of((1, 2, 3), (1, 2, 4)), 3, 3, 0.0)
-        assert not registry.already_verified((0, 1))
+        assert not verified(registry, (0, 1))
         assert len(registry) == 0
         assert registry.fast_set() is None
 
     def test_all_mode_remembers_everything(self):
         registry = VerificationRegistry(Jaccard(), mode="all")
         registry.record((0, 1), probe_of((1,), (2,)), 1, 1, 0.0)
-        assert registry.already_verified((0, 1))
+        assert verified(registry, (0, 1))
 
     def test_optimized_skips_single_common_token_pairs(self):
         registry = VerificationRegistry(Jaccard(), mode="optimized")
         # Only one common token: the pair can never be generated again.
         registry.record((0, 1), probe_of((1, 5), (1, 9)), 2, 2, 0.0)
-        assert not registry.already_verified((0, 1))
+        assert not verified(registry, (0, 1))
 
     def test_optimized_remembers_double_common_token_pairs(self):
         registry = VerificationRegistry(Jaccard(), mode="optimized")
         # Two common tokens within full prefixes (s_k = 0 => max prefixes).
         registry.record((0, 1), probe_of((1, 2, 9), (1, 2, 8)), 3, 3, 0.0)
-        assert registry.already_verified((0, 1))
+        assert verified(registry, (0, 1))
 
     def test_optimized_ignores_second_token_beyond_max_prefix(self):
         registry = VerificationRegistry(Jaccard(), mode="optimized")
@@ -56,14 +65,14 @@ class TestRegistryModes:
         x = (1, 5, 7, 20, 21, 22, 23, 24, 25, 26)
         y = (1, 6, 7, 30, 31, 32, 33, 34, 35, 36)
         registry.record((0, 1), probe_of(x, y), 10, 10, 0.9)
-        assert not registry.already_verified((0, 1))
+        assert not verified(registry, (0, 1))
 
     def test_aborted_probe_recorded_conservatively(self):
         registry = VerificationRegistry(Jaccard(), mode="optimized")
         probe = probe_of((1, 2, 3, 4, 5), (10, 11, 12, 13, 14), required=5)
         assert probe.aborted
         registry.record((0, 1), probe, 5, 5, 0.5)
-        assert registry.already_verified((0, 1))
+        assert verified(registry, (0, 1))
 
     def test_peak_tracks_maximum(self):
         registry = VerificationRegistry(Jaccard(), mode="all")
@@ -92,6 +101,7 @@ class TestExactOnceGuarantee:
         monkeypatch.setattr(
             topk_module, "overlap_with_common_positions", spy
         )
+        monkeypatch.setattr(kernel_module, "_merge", spy)
         options = TopkOptions(verification_mode=mode, seed_results=False)
         topk_join(collection, k, options=options)
         return calls
