@@ -34,10 +34,23 @@ event, amortized across the whole join.
 
 from __future__ import annotations
 
+from types import ModuleType
+from typing import TYPE_CHECKING, Any, List, Optional, Set, Tuple
+
 from ..data.records import RecordCollection, popcount
 from ..joins.filters import suffix_admits
 from ..similarity.functions import SimilarityFunction
 from ..similarity.overlap import overlap_with_common_positions as _merge
+
+if TYPE_CHECKING:
+    from ..core.metrics import TopkStats
+    from ..core.results import TopKBuffer
+    from ..core.topk_join import TopkOptions
+    from ..core.verification import VerificationRegistry
+    from ..index.inverted import BoundedInvertedIndex, PostingColumns
+    from ..oracle.invariants import CheckHooks
+
+Pair = Tuple[int, int]
 
 __all__ = [
     "ACCEL_MODES",
@@ -53,11 +66,11 @@ ACCEL_MODES = ("on", "python", "numpy", "off")
 
 _SIG_WORD_MASK = 0xFFFFFFFFFFFFFFFF
 
-_np = None
+_np: Optional[ModuleType] = None
 _np_checked = False
 
 
-def _numpy():
+def _numpy() -> Optional[ModuleType]:
     """Import NumPy once, lazily; ``None`` when unavailable."""
     global _np, _np_checked
     if not _np_checked:
@@ -96,20 +109,20 @@ def resolve_accel_mode(mode: str) -> str:
 def make_kernel(
     collection: RecordCollection,
     similarity: SimilarityFunction,
-    options,
-    buffer,
-    registry,
-    seen_pairs,
-    stats,
-    checks=None,
-):
+    options: "TopkOptions",
+    buffer: "TopKBuffer",
+    registry: "VerificationRegistry",
+    seen_pairs: Optional[Set[Pair]],
+    stats: "TopkStats",
+    checks: Optional["CheckHooks"] = None,
+) -> Optional["PythonScanKernel"]:
     """Build the scan kernel for one join run (``None`` when accel is off).
 
     *seen_pairs* is the live verified-pair set of *registry* (or ``None``
     when verification dedup is off); it is captured once per join instead
     of once per event.
     """
-    mode = resolve_accel_mode(getattr(options, "accel", "on"))
+    mode = resolve_accel_mode(options.accel)
     if mode == "off":
         return None
     cls = NumpyScanKernel if mode == "numpy" else PythonScanKernel
@@ -126,13 +139,13 @@ class PythonScanKernel:
         self,
         collection: RecordCollection,
         similarity: SimilarityFunction,
-        options,
-        buffer,
-        registry,
-        seen_pairs,
-        stats,
-        checks=None,
-    ):
+        options: "TopkOptions",
+        buffer: "TopKBuffer",
+        registry: "VerificationRegistry",
+        seen_pairs: Optional[Set[Pair]],
+        stats: "TopkStats",
+        checks: Optional["CheckHooks"] = None,
+    ) -> None:
         self.records = collection.records
         self.signatures = collection.signatures
         self.sim = similarity
@@ -154,7 +167,9 @@ class PythonScanKernel:
     # ------------------------------------------------------------------
 
     def _sync_caches(self, s_k: float) -> None:
-        if s_k != self._cache_s_k:
+        # s_k is monotone non-decreasing over a run, so "changed" is
+        # exactly "rose" — no float equality needed.
+        if s_k > self._cache_s_k:
             self._cache_s_k = s_k
             self._alpha_cache.clear()
             self._prefix_cache.clear()
@@ -163,7 +178,7 @@ class PythonScanKernel:
 
     def scan(
         self,
-        probe_index,
+        probe_index: "BoundedInvertedIndex",
         token: int,
         rid: int,
         prefix: int,
@@ -306,7 +321,7 @@ class PythonScanKernel:
                     new_s_k = buffer.s_k
                     if external > new_s_k:
                         new_s_k = external
-                    if new_s_k != s_k or not full:
+                    if new_s_k > s_k or not full:
                         s_k = new_s_k
                         full = buffer.full or external > 0.0
                         self._sync_caches(s_k)
@@ -339,7 +354,7 @@ class NumpyScanKernel(PythonScanKernel):
     merge for each survivor still aborts against the current α.
     """
 
-    def __init__(self, *args, **kwargs):
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         np = _numpy()
         if np is None:  # pragma: no cover - guarded by resolve_accel_mode
@@ -371,16 +386,16 @@ class NumpyScanKernel(PythonScanKernel):
 
     # ------------------------------------------------------------------
 
-    def _row_popcount_native(self, xor_words):
+    def _row_popcount_native(self, xor_words: Any) -> Any:
         np = self._np
         return np.bitwise_count(xor_words).sum(axis=1, dtype=np.int64)
 
-    def _row_popcount_lut(self, xor_words):
+    def _row_popcount_lut(self, xor_words: Any) -> Any:
         np = self._np
         as_bytes = xor_words.view(np.uint8).reshape(len(xor_words), -1)
         return self._popcount_lut[as_bytes].sum(axis=1, dtype=np.int64)
 
-    def _alphas_for(self, size_x: int, s_k: float):
+    def _alphas_for(self, size_x: int, s_k: float) -> Any:
         """α per partner size as an int64 table indexed by ``|y|``.
 
         Rebuilt only when ``(|x|, s_k)`` changes; only sizes actually
@@ -402,7 +417,7 @@ class NumpyScanKernel(PythonScanKernel):
 
     def scan(
         self,
-        probe_index,
+        probe_index: "BoundedInvertedIndex",
         token: int,
         rid: int,
         prefix: int,
@@ -512,10 +527,10 @@ class NumpyScanKernel(PythonScanKernel):
 
     def _process_survivors(
         self,
-        survivors,
-        columns,
+        survivors: List[int],
+        columns: "PostingColumns",
         rid: int,
-        tokens_x,
+        tokens_x: Tuple[int, ...],
         size_x: int,
         prefix: int,
         external: float,
@@ -593,7 +608,7 @@ class NumpyScanKernel(PythonScanKernel):
                     new_s_k = buffer.s_k
                     if external > new_s_k:
                         new_s_k = external
-                    if new_s_k != s_k:
+                    if new_s_k > s_k:
                         s_k = new_s_k
                         self._sync_caches(s_k)
             registry.record(pair, probe, size_x, size_y, s_k)

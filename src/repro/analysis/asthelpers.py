@@ -1,0 +1,95 @@
+"""Small AST utilities shared by the domain checkers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "terminal_name",
+    "identifier_words",
+    "dataclass_field_names",
+    "iter_functions",
+    "attribute_reads",
+    "getattr_literal_reads",
+]
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The rightmost identifier of a name or attribute chain.
+
+    ``s_k`` -> ``"s_k"``, ``buffer.s_k`` -> ``"s_k"``,
+    ``sim.from_overlap(...)`` (the ``func``) -> ``"from_overlap"``;
+    anything else -> ``None``.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def identifier_words(name: str) -> Set[str]:
+    """The snake_case words of an identifier, lowercased."""
+    return {word for word in name.lower().split("_") if word}
+
+
+def dataclass_field_names(class_def: ast.ClassDef) -> List[str]:
+    """Names of the annotated fields declared in a (dataclass) class body."""
+    fields: List[str] = []
+    for statement in class_def.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            fields.append(statement.target.id)
+    return fields
+
+
+def iter_functions(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, Optional[ast.ClassDef]]]:
+    """Every function definition in *tree* with its enclosing class.
+
+    Yields ``(function, enclosing_class)`` where the class is the nearest
+    lexically enclosing ``ClassDef`` (``None`` for module-level and
+    closure functions nested in plain functions).
+    """
+
+    def walk(
+        node: ast.AST, enclosing: Optional[ast.ClassDef]
+    ) -> Iterator[Tuple[ast.AST, Optional[ast.ClassDef]]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, enclosing
+                yield from walk(child, None)
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, child)
+            else:
+                yield from walk(child, enclosing)
+
+    yield from walk(tree, None)
+
+
+def attribute_reads(tree: ast.AST) -> Set[str]:
+    """All attribute names read (``Load`` context) anywhere in *tree*."""
+    reads: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            reads.add(node.attr)
+    return reads
+
+
+def getattr_literal_reads(tree: ast.AST) -> Set[str]:
+    """Attribute names read via ``getattr(obj, "literal", ...)`` calls."""
+    reads: Set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "getattr"
+            and len(node.args) >= 2
+            and isinstance(node.args[1], ast.Constant)
+            and isinstance(node.args[1].value, str)
+        ):
+            reads.add(node.args[1].value)
+    return reads

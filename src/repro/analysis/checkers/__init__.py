@@ -1,0 +1,26 @@
+"""The shipped domain checkers.
+
+Importing this package registers every checker with
+:mod:`repro.analysis.registry`; ``repro lint`` and the self-tests import
+it for that side effect.  To add a checker, drop a module here, decorate
+the class with ``@register`` and import it below — nothing else in the
+engine changes (see ``docs/STATIC_ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+from .annotations import AnnotationsChecker
+from .bound_safety import BoundSafetyChecker
+from .options_plumbing import OptionsPlumbingChecker
+from .race import RaceChecker
+from .registry_coverage import RegistryCoverageChecker
+from .stats_drift import StatsDriftChecker
+
+__all__ = [
+    "AnnotationsChecker",
+    "BoundSafetyChecker",
+    "OptionsPlumbingChecker",
+    "RaceChecker",
+    "RegistryCoverageChecker",
+    "StatsDriftChecker",
+]

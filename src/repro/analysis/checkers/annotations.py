@@ -1,0 +1,79 @@
+"""``annotations`` — full type annotations across the repro package.
+
+``mypy --strict`` is the real type gate (wired in CI), but it needs mypy
+installed; this checker is the dependency-free completeness proxy that
+runs everywhere ``repro lint`` runs: every function in ``src/repro`` —
+public or private, method or closure — must annotate every parameter and
+its return type.  That is exactly the surface ``--strict``'s
+``disallow_untyped_defs`` / ``disallow_incomplete_defs`` reject, so a
+clean ``repro lint`` keeps the annotation sweep from regressing even on
+machines without mypy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Union
+
+from ..asthelpers import iter_functions
+from ..findings import Finding
+from ..project import ModuleSource, Project
+from ..registry import Checker, register
+
+__all__ = ["AnnotationsChecker"]
+
+_SELF_NAMES = frozenset({"self", "cls"})
+
+
+def _missing_annotations(
+    function: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+) -> List[str]:
+    missing: List[str] = []
+    arguments = function.args
+    positional = list(arguments.posonlyargs) + list(arguments.args)
+    for index, arg in enumerate(positional):
+        if index == 0 and arg.arg in _SELF_NAMES:
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    for arg in arguments.kwonlyargs:
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if arguments.vararg is not None and arguments.vararg.annotation is None:
+        missing.append("*" + arguments.vararg.arg)
+    if arguments.kwarg is not None and arguments.kwarg.annotation is None:
+        missing.append("**" + arguments.kwarg.arg)
+    if function.returns is None:
+        missing.append("return")
+    return missing
+
+
+@register
+class AnnotationsChecker(Checker):
+    """Functions with unannotated parameters or return types."""
+
+    id = "annotations"
+    description = (
+        "every function in src/repro must annotate all parameters and its "
+        "return type (the local proxy for mypy --strict)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.repro_modules():
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ModuleSource) -> Iterator[Finding]:
+        assert module.tree is not None
+        for function, __ in iter_functions(module.tree):
+            if not isinstance(
+                function, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            missing = _missing_annotations(function)
+            if missing:
+                yield self.finding(
+                    module,
+                    function,
+                    "function %r is missing annotations for: %s"
+                    % (function.name, ", ".join(missing)),
+                )

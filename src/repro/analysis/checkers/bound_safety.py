@@ -1,0 +1,154 @@
+"""``bound-safety`` — no exact float comparison or floor division in bound math.
+
+The join's correctness rests on bound formulas (``ub_p``, ``ub_i``, the
+accessing bound, α) never undercutting the true similarity.  Two bug
+classes silently violate that:
+
+* **float equality** on similarity/bound values.  The production code
+  has no legitimate use for ``==`` / ``!=`` between similarity-valued
+  floats: monotone quantities (``s_k`` and its caches) compare with
+  ``>``; identity-of-computation checks compare integer sequence
+  numbers.  The oracle layer (``repro/oracle/``) is exempt — it is the
+  referee and recomputes bounds through an independent path where exact
+  equality is the point — as are the blessed epsilon helpers in
+  ``repro/similarity/epsilon.py``.
+
+* **floor division** inside a bound formula.  ``o // union`` truncates
+  toward zero and makes the bound *too tight*, dropping true results —
+  the exact failure mode PAPERS.md's bitmap-filter work warns about.
+  Integer bound arithmetic that is provably floor-safe belongs in a
+  helper outside the bound-formula namespace (cf.
+  ``signature_overlap_bound``, which bounds an integer overlap with a
+  shift).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from ..asthelpers import identifier_words, iter_functions, terminal_name
+from ..findings import Finding
+from ..project import ModuleSource, Project
+from ..registry import Checker, register
+
+__all__ = ["BoundSafetyChecker"]
+
+#: Identifier words marking a similarity-valued expression.
+_SIM_WORDS = frozenset(
+    {"bound", "bounds", "similarity", "sim", "threshold", "cutoff"}
+)
+
+#: Calls whose result is a similarity/bound value.
+_SIM_VALUED_CALLS = frozenset(
+    {
+        "from_overlap",
+        "similarity",
+        "verify",
+        "probing_upper_bound",
+        "indexing_upper_bound",
+        "accessing_upper_bound",
+        "accessing_cutoff",
+    }
+)
+
+#: Function names that constitute bound formulas (floor division banned).
+_BOUND_FORMULA_RE = re.compile(
+    r"(upper_bound|lower_bound|cutoff|from_overlap|required_overlap"
+    r"|prefix_length|_raw_|overlap_bound)"
+)
+
+#: Modules exempt from the float-equality rule (the referee layer).
+_EXEMPT_PREFIXES = ("oracle/", "analysis/")
+_EPSILON_MODULE = "similarity/epsilon.py"
+
+
+def _is_similarity_valued(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp):
+        return _is_similarity_valued(node.operand)
+    if isinstance(node, ast.Call):
+        return terminal_name(node.func) in _SIM_VALUED_CALLS
+    name = terminal_name(node)
+    if name is None:
+        return False
+    if "s_k" in name.lower():
+        return True
+    return bool(_SIM_WORDS & identifier_words(name))
+
+
+def _compares_none(comparison: ast.Compare) -> bool:
+    operands = [comparison.left] + list(comparison.comparators)
+    return any(
+        isinstance(op, ast.Constant) and op.value is None for op in operands
+    )
+
+
+@register
+class BoundSafetyChecker(Checker):
+    """Exact float comparison / floor division in bound arithmetic."""
+
+    id = "bound-safety"
+    description = (
+        "no float ==/!= on similarity or bound values outside the blessed "
+        "epsilon helpers; no floor division inside bound formulas"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.repro_modules():
+            repro_path = module.repro_path or ""
+            if repro_path == _EPSILON_MODULE:
+                continue
+            if not repro_path.startswith(_EXEMPT_PREFIXES):
+                yield from self._float_equality(module)
+            yield from self._floor_division(module)
+
+    def _float_equality(self, module: ModuleSource) -> Iterator[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            ):
+                continue
+            if _compares_none(node):
+                continue
+            operands = [node.left] + list(node.comparators)
+            offender: Optional[ast.expr] = next(
+                (op for op in operands if _is_similarity_valued(op)), None
+            )
+            if offender is None:
+                continue
+            yield self.finding(
+                module,
+                node,
+                "exact ==/!= on similarity-valued expression %r; use a "
+                "monotone comparison (>, >=) or the epsilon helpers in "
+                "repro.similarity.epsilon" % ast.unparse(offender),
+            )
+
+    def _floor_division(self, module: ModuleSource) -> Iterator[Finding]:
+        assert module.tree is not None
+        for function, __ in iter_functions(module.tree):
+            if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _BOUND_FORMULA_RE.search(function.name):
+                continue
+            for node in ast.walk(function):
+                floordiv = (
+                    isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.FloorDiv)
+                ) or (
+                    isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, ast.FloorDiv)
+                )
+                if floordiv:
+                    yield self.finding(
+                        module,
+                        node,
+                        "floor division inside bound formula %r truncates "
+                        "toward zero and can make the bound undercut the "
+                        "true similarity; use true division (or math.ceil "
+                        "for integer thresholds)" % function.name,
+                    )

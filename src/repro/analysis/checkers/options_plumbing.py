@@ -1,0 +1,169 @@
+"""``options-plumbing`` — every ``TopkOptions`` field reaches every backend.
+
+A new ``TopkOptions`` flag is wired correctly only if (a) something
+actually reads it and (b) the parallel backend forwards it to the
+workers.  Both failure modes are silent — the flag parses, defaults
+apply, results stay plausible — so they are checked statically:
+
+* **dead flag** — every field declared on ``TopkOptions`` must be read
+  (``options.field`` or ``getattr(options, "field", ...)``) somewhere in
+  the repro package outside the declaring class.  A field nobody reads
+  is a no-op waiting to be trusted.
+
+* **rebuilt options** — inside ``repro/parallel/``, constructing
+  ``TopkOptions(...)`` from scratch is banned: any field not named in
+  the call silently resets to its default under ``--workers``.  The
+  parallel layer must derive per-task options via ``dataclasses.replace``
+  on the caller's object, which forwards every field by construction.
+
+* **non-blessed override** — ``replace()`` calls in ``repro/parallel/``
+  may only override the per-task plumbing fields (``bound_provider``,
+  ``bipartite_sides``).  Overriding anything else second-guesses the
+  caller's configuration on one execution path only.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..asthelpers import (
+    attribute_reads,
+    dataclass_field_names,
+    getattr_literal_reads,
+    terminal_name,
+)
+from ..findings import Finding
+from ..project import ModuleSource, Project
+from ..registry import Checker, register
+
+__all__ = ["OptionsPlumbingChecker"]
+
+_OPTIONS_MODULE = "core/topk_join.py"
+_OPTIONS_CLASS = "TopkOptions"
+_PARALLEL_PREFIX = "parallel/"
+
+#: Fields the parallel layer installs per task (the plumbing itself).
+_BLESSED_OVERRIDES = frozenset({"bound_provider", "bipartite_sides"})
+
+#: Modules whose presence signals the whole tree is being linted; the
+#: dead-flag rule needs the full package to avoid false positives on
+#: partial-tree runs.
+_FULL_TREE_MODULES = ("core/topk_join.py", "parallel/join.py")
+
+
+def _find_class(tree: ast.Module, name: str) -> ast.ClassDef:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    raise LookupError(name)
+
+
+@register
+class OptionsPlumbingChecker(Checker):
+    """Unread or unforwarded ``TopkOptions`` fields."""
+
+    id = "options-plumbing"
+    description = (
+        "every TopkOptions field must be read somewhere and forwarded by "
+        "the parallel backend via dataclasses.replace (never rebuilt)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        options_module = project.module(_OPTIONS_MODULE)
+        if options_module is None or options_module.tree is None:
+            return
+        try:
+            options_class = _find_class(options_module.tree, _OPTIONS_CLASS)
+        except LookupError:
+            return
+
+        if all(project.module(path) is not None for path in _FULL_TREE_MODULES):
+            yield from self._dead_flags(
+                project, options_module, options_class
+            )
+        for module in project.repro_modules(_PARALLEL_PREFIX):
+            yield from self._parallel_construction(module)
+
+    def _dead_flags(
+        self,
+        project: Project,
+        options_module: ModuleSource,
+        options_class: ast.ClassDef,
+    ) -> Iterator[Finding]:
+        fields = dataclass_field_names(options_class)
+        reads: Set[str] = set()
+        for module in project.repro_modules():
+            repro_path = module.repro_path or ""
+            if repro_path.startswith("analysis/"):
+                continue
+            assert module.tree is not None
+            tree: ast.AST = module.tree
+            if module is options_module:
+                # Ignore the declaring class body itself: an AnnAssign
+                # default like ``maxdepth: int = DEFAULT_MAXDEPTH`` is
+                # not a read of the field.
+                tree = ast.Module(
+                    body=[
+                        node
+                        for node in module.tree.body
+                        if node is not options_class
+                    ],
+                    type_ignores=[],
+                )
+            reads |= attribute_reads(tree)
+            reads |= getattr_literal_reads(tree)
+        for field_node in options_class.body:
+            if not (
+                isinstance(field_node, ast.AnnAssign)
+                and isinstance(field_node.target, ast.Name)
+            ):
+                continue
+            name = field_node.target.id
+            if name in fields and name not in reads:
+                yield self.finding(
+                    options_module,
+                    field_node,
+                    "TopkOptions.%s is never read anywhere in the repro "
+                    "package — the flag is a silent no-op" % name,
+                )
+
+    def _parallel_construction(
+        self, module: ModuleSource
+    ) -> Iterator[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = terminal_name(node.func)
+            if name == _OPTIONS_CLASS and (node.args or node.keywords):
+                # ``TopkOptions()`` with no arguments is fine — pure
+                # defaults as the fallback when the caller passed None.
+                # The bug is *partial* construction, which silently
+                # resets every unnamed field.
+                yield self.finding(
+                    module,
+                    node,
+                    "the parallel backend constructs TopkOptions from "
+                    "scratch; fields not named here silently reset to "
+                    "their defaults under --workers — derive per-task "
+                    "options with dataclasses.replace(caller_options, ...)",
+                )
+            elif name == "replace":
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg is not None
+                        and keyword.arg not in _BLESSED_OVERRIDES
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            "replace() in the parallel backend overrides "
+                            "TopkOptions.%s, which is not per-task "
+                            "plumbing (%s); the parallel path would "
+                            "diverge from the sequential one"
+                            % (
+                                keyword.arg,
+                                ", ".join(sorted(_BLESSED_OVERRIDES)),
+                            ),
+                        )

@@ -1,0 +1,227 @@
+"""``race`` — shared-state discipline of the multiprocessing backend.
+
+The sharded backend's one piece of cross-process state is the shared
+``s_k`` bound (:mod:`repro.parallel.bound`); everything else shipped to a
+worker is read-only after ``initialize_worker`` installs it.  Two rules
+keep that true statically:
+
+* **worker-side global mutation** — inside ``repro/parallel/``, only the
+  blessed initializer (``initialize_worker``) may write module-level or
+  closed-over state.  Any other function that declares ``global`` /
+  ``nonlocal``, assigns into a module-level container, or calls a
+  mutating method on one is flagged: under a process pool such writes
+  are silently per-process (fork) or lost (spawn), and under threads
+  they are races.
+
+* **un-locked shared-bound write** — a write to ``<obj>.value`` (the
+  payload of a ``multiprocessing.Value``) must sit lexically inside
+  ``with <obj>.get_lock():``.  Un-locked *reads* stay legal — the bound
+  is monotone, so a stale read only weakens pruning — but a read-
+  modify-write without the lock can move the published bound backwards,
+  and a regressed bound breaks the monotonicity every pruning lemma
+  assumes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from ..asthelpers import terminal_name
+from ..findings import Finding
+from ..project import ModuleSource, Project
+from ..registry import Checker, register
+
+__all__ = ["RaceChecker"]
+
+_SCOPE_PREFIX = "parallel/"
+
+#: Functions allowed to install module-level worker state.
+_BLESSED_WRITERS = frozenset({"initialize_worker"})
+
+#: Container methods that mutate their receiver.
+_MUTATORS = frozenset(
+    {
+        "update",
+        "setdefault",
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "remove",
+        "discard",
+        "clear",
+        "pop",
+        "popitem",
+    }
+)
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    """Names bound by module-level (ann)assignments."""
+    names: Set[str] = set()
+    for statement in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            targets = list(statement.targets)
+        elif isinstance(statement, ast.AnnAssign):
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _base_name(node: ast.expr) -> ast.expr:
+    """The root expression of a subscript/attribute chain."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node
+
+
+class _LockTracker(ast.NodeVisitor):
+    """Collects ``.value`` writes outside a ``with <base>.get_lock():``."""
+
+    def __init__(self) -> None:
+        self.unlocked_writes: List[ast.AST] = []
+        self._held_locks: List[str] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "get_lock"
+            ):
+                acquired.append(ast.unparse(expr.func.value))
+        self._held_locks.extend(acquired)
+        self.generic_visit(node)
+        for __ in acquired:
+            self._held_locks.pop()
+
+    def _record_if_unlocked(self, target: ast.expr, node: ast.AST) -> None:
+        if not (isinstance(target, ast.Attribute) and target.attr == "value"):
+            return
+        base = ast.unparse(target.value)
+        if base not in self._held_locks:
+            self.unlocked_writes.append(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_if_unlocked(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_if_unlocked(node.target, node)
+        self.generic_visit(node)
+
+
+@register
+class RaceChecker(Checker):
+    """Worker-side shared-state writes in ``repro/parallel/``."""
+
+    id = "race"
+    description = (
+        "parallel workers must not mutate module-level/closed-over state "
+        "outside initialize_worker, and every shared-bound .value write "
+        "must hold get_lock()"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.repro_modules(_SCOPE_PREFIX):
+            assert module.tree is not None
+            yield from self._global_mutations(module)
+            yield from self._unlocked_bound_writes(module)
+
+    def _global_mutations(self, module: ModuleSource) -> Iterator[Finding]:
+        assert module.tree is not None
+        module_names = _module_level_names(module.tree)
+        for statement in module.tree.body:
+            if not isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if statement.name in _BLESSED_WRITERS:
+                continue
+            yield from self._mutations_in(module, statement, module_names)
+
+    def _mutations_in(
+        self,
+        module: ModuleSource,
+        function: ast.AST,
+        module_names: Set[str],
+    ) -> Iterator[Finding]:
+        name = getattr(function, "name", "<function>")
+        for node in ast.walk(function):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                yield self.finding(
+                    module,
+                    node,
+                    "worker function %r rebinds enclosing-scope state "
+                    "(%s %s); only initialize_worker may install shared "
+                    "state"
+                    % (
+                        name,
+                        "global"
+                        if isinstance(node, ast.Global)
+                        else "nonlocal",
+                        ", ".join(node.names),
+                    ),
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if not isinstance(target, (ast.Subscript, ast.Attribute)):
+                        continue
+                    base = _base_name(target)
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id in module_names
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            "worker function %r writes module-level state "
+                            "%r; per-process writes diverge under "
+                            "multiprocessing — pass state through task "
+                            "arguments or initialize_worker"
+                            % (name, ast.unparse(target)),
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATORS
+                ):
+                    base = _base_name(func.value)
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id in module_names
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            "worker function %r mutates module-level state "
+                            "via %s()" % (name, ast.unparse(func)),
+                        )
+
+    def _unlocked_bound_writes(
+        self, module: ModuleSource
+    ) -> Iterator[Finding]:
+        assert module.tree is not None
+        tracker = _LockTracker()
+        tracker.visit(module.tree)
+        for node in tracker.unlocked_writes:
+            yield self.finding(
+                module,
+                node,
+                "write to a shared multiprocessing Value payload without "
+                "holding get_lock(); an un-serialized read-modify-write "
+                "can move the published s_k bound backwards",
+            )

@@ -1,0 +1,115 @@
+"""``stats-drift`` — mergeable stats classes must merge every field.
+
+``TopkStats`` is aggregated across parallel tasks via ``merge_from`` /
+``combined``.  A counter added to the dataclass but not to ``merge_from``
+silently reads 0 under ``--workers`` while being correct sequentially —
+exactly the kind of drift a benchmark comparison then mis-attributes to
+the backend.  The rule is generic: **every** class in the repro package
+that defines both dataclass-style annotated fields and a ``merge_from``
+method must mention each field on both ``self`` and the merged-in
+parameter inside ``merge_from``, and its ``combined`` classmethod (when
+present) must delegate to ``merge_from`` rather than re-listing fields.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from ..asthelpers import dataclass_field_names
+from ..findings import Finding
+from ..project import ModuleSource, Project
+from ..registry import Checker, register
+
+__all__ = ["StatsDriftChecker"]
+
+
+def _method(class_def: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for node in class_def.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _attributes_of(tree: ast.AST, receiver: str) -> Set[str]:
+    """Attribute names accessed on the variable *receiver* in *tree*."""
+    found: Set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == receiver
+        ):
+            found.add(node.attr)
+    return found
+
+
+@register
+class StatsDriftChecker(Checker):
+    """Fields missing from ``merge_from`` / ``combined`` aggregation."""
+
+    id = "stats-drift"
+    description = (
+        "every field of a stats class with merge_from must be folded from "
+        "the other instance into self, and combined must delegate to "
+        "merge_from"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.repro_modules():
+            assert module.tree is not None
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: ModuleSource, class_def: ast.ClassDef
+    ) -> Iterator[Finding]:
+        merge_from = _method(class_def, "merge_from")
+        if merge_from is None:
+            return
+        fields = dataclass_field_names(class_def)
+        if not fields:
+            return
+        args = merge_from.args.args
+        if len(args) < 2:
+            yield self.finding(
+                module,
+                merge_from,
+                "%s.merge_from takes no source instance to merge from"
+                % class_def.name,
+            )
+            return
+        other = args[1].arg
+        self_reads = _attributes_of(merge_from, args[0].arg)
+        other_reads = _attributes_of(merge_from, other)
+        for name in fields:
+            if name not in self_reads or name not in other_reads:
+                yield self.finding(
+                    module,
+                    merge_from,
+                    "%s.%s is not merged by merge_from (missing on %s); "
+                    "parallel runs silently drop this counter"
+                    % (
+                        class_def.name,
+                        name,
+                        "self and %s" % other
+                        if name not in self_reads and name not in other_reads
+                        else ("self" if name not in self_reads else other),
+                    ),
+                )
+        combined = _method(class_def, "combined")
+        if combined is not None:
+            calls_merge = any(
+                isinstance(node, ast.Attribute)
+                and node.attr == "merge_from"
+                for node in ast.walk(combined)
+            )
+            if not calls_merge:
+                yield self.finding(
+                    module,
+                    combined,
+                    "%s.combined does not delegate to merge_from; two "
+                    "aggregation code paths will drift apart"
+                    % class_def.name,
+                )

@@ -1,0 +1,120 @@
+"""The lint engine: run registered checkers over a project.
+
+One entry point for every consumer — the ``repro lint`` CLI, the
+seeded-fault self-tests and the CI job all call :func:`run_checkers`
+(or :func:`lint_paths`, which loads sources from disk first).  Syntax
+errors surface as findings under the reserved ``syntax`` id rather than
+exceptions, so one broken file cannot mask findings elsewhere.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .findings import Finding
+from .project import Project, load_project
+from .registry import all_checkers, checker_ids
+
+__all__ = [
+    "SYNTAX_CHECKER_ID",
+    "UnknownCheckerError",
+    "lint_paths",
+    "run_checkers",
+    "selected_checker_ids",
+]
+
+#: Reserved id for unparseable files (not a registered checker).
+SYNTAX_CHECKER_ID = "syntax"
+
+
+class UnknownCheckerError(ValueError):
+    """A ``--select`` / ``--ignore`` id that no checker registered."""
+
+    def __init__(self, unknown: Sequence[str]) -> None:
+        self.unknown = list(unknown)
+        super().__init__(
+            "unknown checker id(s) %s (choose from %s)"
+            % (
+                ", ".join(sorted(self.unknown)),
+                ", ".join(checker_ids() + [SYNTAX_CHECKER_ID]),
+            )
+        )
+
+
+def selected_checker_ids(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Resolve ``--select`` / ``--ignore`` into the ids to run.
+
+    Raises :class:`UnknownCheckerError` on ids no checker registered —
+    a misspelled id must fail loudly, not silently lint nothing.
+    """
+    known = set(checker_ids()) | {SYNTAX_CHECKER_ID}
+    requested = list(select) if select else sorted(known)
+    ignored = set(ignore) if ignore else set()
+    unknown = [i for i in list(requested) + sorted(ignored) if i not in known]
+    if unknown:
+        raise UnknownCheckerError(unknown)
+    return [i for i in requested if i not in ignored]
+
+
+def run_checkers(
+    project: Project,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """All findings of the selected checkers over *project*, sorted."""
+    active = set(selected_checker_ids(select=select, ignore=ignore))
+    findings: List[Finding] = []
+    if SYNTAX_CHECKER_ID in active:
+        for module in project.modules:
+            if module.syntax_error is not None:
+                error = module.syntax_error
+                findings.append(
+                    Finding(
+                        path=module.path,
+                        line=error.lineno or 1,
+                        col=(error.offset or 1) - 1,
+                        checker=SYNTAX_CHECKER_ID,
+                        message="file does not parse: %s" % error.msg,
+                    )
+                )
+    for checker in all_checkers():
+        if checker.id not in active:
+            continue
+        findings.extend(checker.check(project))
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    base: Optional[Path] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint every ``.py`` file under *paths*.
+
+    Returns ``(findings, file_count)``; raises :class:`FileNotFoundError`
+    when a requested path does not exist and :class:`UnknownCheckerError`
+    for bad checker ids (the CLI maps both to exit code 2).
+    """
+    project, missing = load_project(paths, base=base)
+    if missing:
+        raise FileNotFoundError(
+            "no such path(s): %s" % ", ".join(sorted(missing))
+        )
+    findings = run_checkers(project, select=select, ignore=ignore)
+    return findings, len(project.modules)
+
+
+def report_to_json(
+    findings: Sequence[Finding], files: int, checkers: Sequence[str]
+) -> Dict[str, Union[int, List[str], List[Dict[str, Union[str, int]]]]]:
+    """The ``repro lint --json`` document."""
+    return {
+        "files": files,
+        "checkers": list(checkers),
+        "findings": [finding.to_json() for finding in findings],
+    }

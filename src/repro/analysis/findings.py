@@ -1,0 +1,46 @@
+"""The finding model shared by every checker and both CLI output modes.
+
+A :class:`Finding` is one violated invariant at one source location.  It
+is deliberately flat — checker id, location, message — so the text and
+JSON renderers, the self-tests and the CI job all consume the same
+object without adapters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location (sortable by location)."""
+
+    #: Repo-relative posix path of the offending file.
+    path: str
+    #: 1-based line of the offending node.
+    line: int
+    #: 0-based column of the offending node.
+    col: int
+    #: Registered id of the checker that fired (e.g. ``"bound-safety"``).
+    checker: str
+    #: Human-readable description of the violated invariant.
+    message: str
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: [checker] message``."""
+        return "%s:%d:%d: [%s] %s" % (
+            self.path, self.line, self.col, self.checker, self.message
+        )
+
+    def to_json(self) -> Dict[str, Union[str, int]]:
+        """The JSON-object form used by ``repro lint --json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "checker": self.checker,
+            "message": self.message,
+        }

@@ -1,0 +1,81 @@
+"""The pluggable checker registry behind ``repro lint``.
+
+A checker is a class with a stable ``id``, a one-line ``description``
+and a ``check(project)`` generator of findings.  Registration is a
+decorator so adding a checker is one import away::
+
+    from repro.analysis.registry import Checker, register
+
+    @register
+    class MyChecker(Checker):
+        id = "my-invariant"
+        description = "what must always hold"
+
+        def check(self, project):
+            ...
+            yield self.finding(module, node, "what went wrong")
+
+``repro lint`` discovers checkers through this registry only — nothing
+else in the engine is checker-specific — so a new checker participates
+in ``--select`` / ``--ignore``, JSON output and the CLI exit code
+without touching any other file.  See ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Type
+
+from .findings import Finding
+from .project import ModuleSource, Project
+
+__all__ = ["Checker", "register", "all_checkers", "checker_ids"]
+
+
+class Checker(ABC):
+    """Base class for one domain invariant."""
+
+    #: Stable identifier used by ``--select`` / ``--ignore`` and findings.
+    id: str = ""
+    #: One-line summary shown by ``repro lint --list``.
+    description: str = ""
+
+    @abstractmethod
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Yield one finding per violation found in *project*."""
+
+    def finding(
+        self, module: ModuleSource, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at *node* of *module*."""
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            checker=self.id,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def register(checker: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding *checker* to the global registry."""
+    if not checker.id:
+        raise ValueError("checker %r has no id" % checker.__name__)
+    if checker.id in _REGISTRY:
+        raise ValueError("duplicate checker id %r" % checker.id)
+    _REGISTRY[checker.id] = checker
+    return checker
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh instances of every registered checker, in id order."""
+    return [_REGISTRY[checker_id]() for checker_id in sorted(_REGISTRY)]
+
+
+def checker_ids() -> List[str]:
+    """Sorted ids of every registered checker."""
+    return sorted(_REGISTRY)

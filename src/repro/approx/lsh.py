@@ -36,7 +36,7 @@ def collision_probability(similarity: float, bands: int, rows: int) -> float:
 class LSHIndex:
     """Banded MinHash index producing candidate pairs."""
 
-    def __init__(self, bands: int = 16, rows: int = 8, seed: int = 1):
+    def __init__(self, bands: int = 16, rows: int = 8, seed: int = 1) -> None:
         if bands < 1 or rows < 1:
             raise ValueError("bands and rows must be >= 1")
         self.bands = bands

@@ -27,7 +27,7 @@ _PRIME = (1 << 61) - 1
 class MinHasher:
     """A family of ``num_hashes`` universal hash functions."""
 
-    def __init__(self, num_hashes: int = 128, seed: int = 1):
+    def __init__(self, num_hashes: int = 128, seed: int = 1) -> None:
         if num_hashes < 1:
             raise ValueError("num_hashes must be >= 1, got %d" % num_hashes)
         self.num_hashes = num_hashes

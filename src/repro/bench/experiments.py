@@ -80,7 +80,9 @@ def table1_rows() -> List[Tuple[str, int, float, int]]:
     return rows
 
 
-def figure2_series(name: str):
+def figure2_series(
+    name: str,
+) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
     """Figure 2: log-binned token-frequency and record-size distributions."""
     coll = collection(name)
     token_series = log_binned(token_frequency_histogram(coll))

@@ -11,6 +11,8 @@ Subcommands::
     python -m repro fuzz      --seed 0 --iters 200 [--budget 60]
                               [--corpus-dir tests/corpus] [--replay]
     python -m repro bench     --json [--k 100]  (hot-path baseline JSON)
+    python -m repro lint      [paths...] [--select ids] [--ignore ids]
+                              [--json] [--list]
 
 Input files hold one record per line, tokens separated by spaces (use
 ``--qgram Q`` to treat each line as raw text tokenized into q-grams).
@@ -19,9 +21,10 @@ Input files hold one record per line, tokens separated by spaces (use
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .core.metrics import TopkStats
 from .core.topk_join import TopkOptions, topk_join
@@ -32,6 +35,7 @@ from .data.synthetic import dblp_like, trec3_like, trec_like, uniref3_like
 from .data.tokenize import tokenize_qgrams
 from .joins import threshold_join
 from .parallel import parallel_topk_join
+from .result import JoinResult
 from .similarity.functions import similarity_by_name
 
 __all__ = ["main"]
@@ -54,7 +58,9 @@ def _load(path: str, qgram: Optional[int]) -> RecordCollection:
     return RecordCollection.from_token_lists(token_lists)
 
 
-def _print_results(collection: RecordCollection, results, limit: int) -> None:
+def _print_results(
+    collection: RecordCollection, results: List[JoinResult], limit: int
+) -> None:
     for result in results[:limit]:
         x = collection[result.x]
         y = collection[result.y]
@@ -200,7 +206,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 #: Experiment id -> (description, runner).  Runners print to stdout.
-def _experiment_registry():
+def _experiment_registry() -> Dict[str, Tuple[str, Callable[[], None]]]:
     from .bench import (
         figure3a_rows,
         figure3bc_rows,
@@ -211,20 +217,20 @@ def _experiment_registry():
         table2_rows,
     )
 
-    def table1():
+    def table1() -> None:
         print(format_table(["dataset", "N", "avg size", "|U|"], table1_rows()))
 
-    def table2():
+    def table2() -> None:
         print(format_table(["threshold", "results"], table2_rows()))
 
-    def figure3a():
+    def figure3a() -> None:
         print(
             format_table(
                 ["k", "optimized", "record-all"], figure3a_rows()
             )
         )
 
-    def figure3bc():
+    def figure3bc() -> None:
         print(
             format_table(
                 ["k", "entries (opt)", "entries (w/o)",
@@ -233,8 +239,8 @@ def _experiment_registry():
             )
         )
 
-    def figure4(name):
-        def run():
+    def figure4(name: str) -> Callable[[], None]:
+        def run() -> None:
             print(
                 format_table(
                     ["k", "verified (topk)", "verified (pptopk)",
@@ -244,7 +250,7 @@ def _experiment_registry():
             )
         return run
 
-    def figure5a():
+    def figure5a() -> None:
         print(format_table(["k", "verifications/record"], figure5a_rows()))
 
     return {
@@ -301,6 +307,51 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import (
+        UnknownCheckerError,
+        all_checkers,
+        lint_paths,
+        selected_checker_ids,
+    )
+    from .analysis.engine import report_to_json
+
+    if args.list:
+        for checker in all_checkers():
+            print("%-18s %s" % (checker.id, checker.description))
+        return 0
+
+    select = _split_ids(args.select)
+    ignore = _split_ids(args.ignore)
+    paths = args.paths or (["src"] if os.path.isdir("src") else ["."])
+    try:
+        active = selected_checker_ids(select=select, ignore=ignore)
+        findings, files = lint_paths(paths, select=select, ignore=ignore)
+    except (UnknownCheckerError, FileNotFoundError) as error:
+        print("repro lint: %s" % error, file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(report_to_json(findings, files, active), sys.stdout, indent=2)
+        print()
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(
+            "# repro lint: %d finding(s) in %d file(s), %d checker(s)"
+            % (len(findings), files, len(active)),
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -399,6 +450,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--k", type=int, action="append", default=None,
                        help="with --json: restrict the k sweep (repeatable)")
     bench.set_defaults(handler=_cmd_bench)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the domain-aware static-analysis checkers",
+    )
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files or directories to lint "
+                           "(default: ./src when it exists, else .)")
+    lint.add_argument("--select", default=None, metavar="IDS",
+                      help="comma-separated checker ids to run "
+                           "(default: all; see --list)")
+    lint.add_argument("--ignore", default=None, metavar="IDS",
+                      help="comma-separated checker ids to skip")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the findings as a JSON document")
+    lint.add_argument("--list", action="store_true",
+                      help="list the registered checkers and exit")
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

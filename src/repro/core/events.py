@@ -32,7 +32,7 @@ class EventQueue:
         collection: RecordCollection,
         similarity: SimilarityFunction,
         compressed: bool = True,
-    ):
+    ) -> None:
         self._collection = collection
         self._similarity = similarity
         self.compressed = compressed

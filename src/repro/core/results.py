@@ -25,7 +25,7 @@ Pair = Tuple[int, int]
 class TopKBuffer:
     """Best-k pair buffer with monotone ``s_k`` and progressive emission."""
 
-    def __init__(self, k: int, floor: float = 0.0):
+    def __init__(self, k: int, floor: float = 0.0) -> None:
         if k < 1:
             raise ValueError("k must be >= 1, got %d" % k)
         self.k = k
@@ -33,6 +33,11 @@ class TopKBuffer:
         self._heap: List[Tuple[float, int, Pair]] = []
         self._desc: List[Tuple[float, int, Pair]] = []
         self._members: Dict[Pair, float] = {}
+        #: Sequence number of the *live* heap entry per member pair.  The
+        #: descending heap keeps stale entries after evictions; matching
+        #: on the integer sequence (not the float similarity) identifies
+        #: the live one exactly.
+        self._live_seq: Dict[Pair, int] = {}
         self._emitted: set = set()
         self._sequence = 0
 
@@ -81,13 +86,16 @@ class TopKBuffer:
         if len(self._heap) < self.k:
             heapq.heappush(self._heap, entry)
             self._members[pair] = similarity
+            self._live_seq[pair] = self._sequence
             heapq.heappush(self._desc, (-similarity, self._sequence, pair))
             return True
         if similarity <= self._heap[0][0]:
             return False
         evicted = heapq.heappushpop(self._heap, entry)
         del self._members[evicted[2]]
+        del self._live_seq[evicted[2]]
         self._members[pair] = similarity
+        self._live_seq[pair] = self._sequence
         heapq.heappush(self._desc, (-similarity, self._sequence, pair))
         return True
 
@@ -103,9 +111,13 @@ class TopKBuffer:
         """
         out: List[Tuple[Pair, float]] = []
         while self._desc and -self._desc[0][0] >= remaining_bound:
-            negated, __, pair = heapq.heappop(self._desc)
+            negated, seq, pair = heapq.heappop(self._desc)
             similarity = -negated
-            if self._members.get(pair) != similarity or pair in self._emitted:
+            # Liveness by integer sequence number, not by comparing the
+            # float similarity: an evicted-and-readded pair gets a fresh
+            # sequence, so stale heap entries can never masquerade as
+            # live ones even at an identical similarity value.
+            if self._live_seq.get(pair) != seq or pair in self._emitted:
                 continue
             self._emitted.add(pair)
             out.append((pair, similarity))

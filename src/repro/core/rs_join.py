@@ -42,7 +42,7 @@ class TaggedCollection:
 
     def __init__(
         self, collection: RecordCollection, sides: Sequence[int]
-    ):
+    ) -> None:
         self.collection = collection
         self._sides = bytes(sides)
 

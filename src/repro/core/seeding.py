@@ -19,7 +19,7 @@ token; :func:`choose_seed_token` still implements that selection rule.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..data.records import RecordCollection, signature_overlap_bound
 from ..result import ordered_pair
@@ -27,6 +27,10 @@ from ..similarity.functions import SimilarityFunction
 from ..similarity.overlap import overlap_with_common_positions
 from .results import TopKBuffer
 from .verification import VerificationRegistry
+
+if TYPE_CHECKING:
+    from ..oracle.invariants import CheckHooks
+    from .metrics import TopkStats
 
 __all__ = ["choose_seed_token", "seed_temporary_results"]
 
@@ -73,8 +77,8 @@ def seed_temporary_results(
     buffer: TopKBuffer,
     registry: VerificationRegistry,
     sides: Optional[Sequence[int]] = None,
-    checks=None,
-    stats=None,
+    checks: Optional["CheckHooks"] = None,
+    stats: Optional["TopkStats"] = None,
     bitmap: bool = True,
 ) -> int:
     """Fill *buffer* with pairs sharing selective tokens.

@@ -42,7 +42,7 @@ class TopkSession:
         max_k: int = 1000,
         similarity: Optional[SimilarityFunction] = None,
         options: Optional[TopkOptions] = None,
-    ):
+    ) -> None:
         if max_k < 1:
             raise ValueError("max_k must be >= 1, got %d" % max_k)
         self.collection = collection

@@ -451,7 +451,9 @@ def _process_event(
                     new_s_k = buffer.s_k
                     if external > new_s_k:
                         new_s_k = external
-                    if new_s_k != s_k or not full:
+                    # s_k is monotone non-decreasing, so "changed" is
+                    # exactly "rose" — no float equality needed.
+                    if new_s_k > s_k or not full:
                         s_k = new_s_k
                         full = buffer.full or external > 0.0
                         alpha_by_size = {}

@@ -20,7 +20,7 @@ rises, so the test is conservative in the right direction).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Set, Tuple
 
 from ..similarity.functions import SimilarityFunction
 from ..similarity.overlap import OverlapProbe
@@ -35,7 +35,7 @@ _MODES = ("optimized", "all", "off")
 class VerificationRegistry:
     """Hash table of pairs that must not be verified a second time."""
 
-    def __init__(self, similarity: SimilarityFunction, mode: str = "optimized"):
+    def __init__(self, similarity: SimilarityFunction, mode: str = "optimized") -> None:
         if mode not in _MODES:
             raise ValueError("mode must be one of %s, got %r" % (_MODES, mode))
         self.similarity = similarity
@@ -48,7 +48,7 @@ class VerificationRegistry:
     def __len__(self) -> int:
         return len(self._seen)
 
-    def fast_set(self):
+    def fast_set(self) -> Optional[Set[Pair]]:
         """The seen-pair set for hot-loop membership tests (None if off).
 
         This is the *live* set object — it reflects later insertions, so
@@ -62,7 +62,9 @@ class VerificationRegistry:
 
     def _max_prefix(self, size: int, s_k: float) -> int:
         """Cached maximum probing prefix length under the current ``s_k``."""
-        if s_k != self._cached_s_k:
+        # s_k is monotone non-decreasing over a run, so "changed" is
+        # exactly "rose" — no float equality needed.
+        if s_k > self._cached_s_k:
             self._cached_s_k = s_k
             self._prefix_cache.clear()
         length = self._prefix_cache.get(size)

@@ -94,7 +94,7 @@ class Record:
 
     __slots__ = ("rid", "tokens", "source_id")
 
-    def __init__(self, rid: int, tokens: Tuple[int, ...], source_id: int):
+    def __init__(self, rid: int, tokens: Tuple[int, ...], source_id: int) -> None:
         self.rid = rid
         self.tokens = tokens
         self.source_id = source_id
@@ -139,7 +139,7 @@ class RecordCollection:
         records: List[Record],
         universe_size: int,
         token_of_rank: Optional[List[str]] = None,
-    ):
+    ) -> None:
         self.records = records
         self.universe_size = universe_size
         self.token_of_rank = token_of_rank

@@ -44,7 +44,7 @@ class ZipfSampler:
     is one ``random()`` plus one binary search.
     """
 
-    def __init__(self, universe: int, exponent: float = 1.0):
+    def __init__(self, universe: int, exponent: float = 1.0) -> None:
         if universe < 1:
             raise ValueError("universe must be >= 1, got %d" % universe)
         self.universe = universe

@@ -10,7 +10,7 @@ __all__ = ["UnionFind"]
 class UnionFind:
     """Disjoint sets over the integers ``0 .. n-1``."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int) -> None:
         if size < 0:
             raise ValueError("size must be >= 0, got %d" % size)
         self._parent = list(range(size))

@@ -75,7 +75,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     module_name = _LAZY.get(name)
     if module_name is None:
         raise AttributeError(

@@ -106,7 +106,12 @@ BackendFn = Callable[
 
 
 def _equivalence_backend(options: TopkOptions) -> BackendFn:
-    def run(case, collection, expected, sim):
+    def run(
+        case: DifferentialCase,
+        collection: RecordCollection,
+        expected: List[JoinResult],
+        sim: SimilarityFunction,
+    ) -> Optional[str]:
         actual = topk_join(collection, case.k, similarity=sim, options=options)
         assert_topk_equivalent(actual, expected)
         return None
@@ -115,7 +120,12 @@ def _equivalence_backend(options: TopkOptions) -> BackendFn:
 
 
 def _parallel_backend(options: TopkOptions) -> BackendFn:
-    def run(case, collection, expected, sim):
+    def run(
+        case: DifferentialCase,
+        collection: RecordCollection,
+        expected: List[JoinResult],
+        sim: SimilarityFunction,
+    ) -> Optional[str]:
         actual = parallel_topk_join(
             collection,
             case.k,
@@ -131,7 +141,12 @@ def _parallel_backend(options: TopkOptions) -> BackendFn:
 
 
 def _rs_backend(options: TopkOptions) -> BackendFn:
-    def run(case, collection, expected, sim):
+    def run(
+        case: DifferentialCase,
+        collection: RecordCollection,
+        expected: List[JoinResult],
+        sim: SimilarityFunction,
+    ) -> Optional[str]:
         r_side = [
             tokens for i, tokens in enumerate(case.records) if i % 2 == 0
         ]
@@ -151,7 +166,12 @@ def _rs_backend(options: TopkOptions) -> BackendFn:
     return run
 
 
-def _weighted_backend(case, collection, expected, sim):
+def _weighted_backend(
+    case: DifferentialCase,
+    collection: RecordCollection,
+    expected: List[JoinResult],
+    sim: SimilarityFunction,
+) -> Optional[str]:
     twin = _WEIGHTED_TWINS.get(case.similarity)
     if twin is None:
         return None  # no uniform-weight twin for this function
@@ -181,7 +201,12 @@ def _weighted_backend(case, collection, expected, sim):
     return None
 
 
-def _pptopk_backend(case, collection, expected, sim):
+def _pptopk_backend(
+    case: DifferentialCase,
+    collection: RecordCollection,
+    expected: List[JoinResult],
+    sim: SimilarityFunction,
+) -> Optional[str]:
     if case.similarity not in _PPTOPK_SIMS:
         return None
     actual = pptopk_join(collection, case.k, similarity=sim)

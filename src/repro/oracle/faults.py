@@ -17,9 +17,17 @@ Never use these outside tests.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Tuple
+
 from ..similarity.functions import Jaccard
 
-__all__ = ["OffByOneIndexingBound", "OffByOneProbingBound"]
+__all__ = [
+    "LINT_FAULTS",
+    "OffByOneIndexingBound",
+    "OffByOneProbingBound",
+    "SeededLintFault",
+]
 
 
 class OffByOneIndexingBound(Jaccard):
@@ -45,3 +53,149 @@ class OffByOneProbingBound(Jaccard):
 
     def probing_upper_bound(self, size_x: int, prefix: int) -> float:
         return super().probing_upper_bound(size_x, prefix + 1)
+
+
+# ---------------------------------------------------------------------------
+# Seeded faults for the static-analysis self-tests
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SeededLintFault:
+    """A historical-bug-shaped source mutation one lint checker must catch.
+
+    Mirrors the off-by-one classes above, one layer up: instead of a
+    buggy *object* handed to the join, this is a buggy *source text*
+    handed to :class:`repro.analysis.project.Project`.  The self-test
+    for each checker applies the fault to the real module source (via
+    ``Project.with_source``) and asserts the checker fires on the
+    mutated file — proving the checker detects the defect class it
+    exists for, not merely that it stays quiet on healthy code.
+
+    ``replacements`` is a sequence of ``(old, new)`` literal edits;
+    :meth:`apply` raises if any ``old`` is absent, so these faults fail
+    loudly (instead of silently passing) when the target module drifts.
+    """
+
+    checker: str
+    repro_path: str
+    description: str
+    replacements: Tuple[Tuple[str, str], ...]
+    #: Repro path the finding should anchor at; defaults to the mutated
+    #: module.  Cross-file checkers may report elsewhere — removing a
+    #: backend from the fuzzer is flagged at the backend's definition.
+    expect_path: str = ""
+
+    @property
+    def expected_path(self) -> str:
+        return self.expect_path or self.repro_path
+
+    def apply(self, source: str) -> str:
+        """Return *source* with every replacement applied (all must hit)."""
+        for old, new in self.replacements:
+            if old not in source:
+                raise ValueError(
+                    "seeded fault %r: pattern %r not found in %s — the "
+                    "module changed; update the fault"
+                    % (self.description, old, self.repro_path)
+                )
+            source = source.replace(old, new)
+        return source
+
+
+#: One (or two) representative faults per checker.  Each mutation is the
+#: minimal re-introduction of the bug class the checker guards against.
+LINT_FAULTS: Tuple[SeededLintFault, ...] = (
+    SeededLintFault(
+        checker="bound-safety",
+        repro_path="similarity/functions.py",
+        description="integer division in Jaccard.from_overlap",
+        replacements=(("return overlap / union", "return overlap // union"),),
+    ),
+    SeededLintFault(
+        checker="bound-safety",
+        repro_path="core/topk_join.py",
+        description="float != on the monotone s_k cache check",
+        replacements=(
+            ("if new_s_k > s_k or not full:", "if new_s_k != s_k or not full:"),
+        ),
+    ),
+    SeededLintFault(
+        checker="race",
+        repro_path="parallel/worker.py",
+        description="task function writes to the shared _STATE dict",
+        replacements=(
+            ("    i, j = task", '    i, j = task\n    _STATE["last_task"] = task'),
+        ),
+    ),
+    SeededLintFault(
+        checker="race",
+        repro_path="parallel/bound.py",
+        description="shared-bound write outside get_lock()",
+        replacements=(
+            (
+                "        with self._value.get_lock():\n"
+                "            if candidate > self._value.value:\n"
+                "                self._value.value = candidate",
+                "        if candidate > self._value.value:\n"
+                "            self._value.value = candidate",
+            ),
+        ),
+    ),
+    SeededLintFault(
+        checker="options-plumbing",
+        repro_path="core/topk_join.py",
+        description="TopkOptions field nothing ever reads",
+        replacements=(
+            (
+                "    check_invariants: bool = False",
+                "    check_invariants: bool = False\n"
+                "    unplumbed_flag: bool = False",
+            ),
+        ),
+    ),
+    SeededLintFault(
+        checker="options-plumbing",
+        repro_path="parallel/worker.py",
+        description="worker rebuilds TopkOptions instead of replace()",
+        replacements=(
+            (
+                "options = replace(base, bound_provider=_STATE[\"bound\"],"
+                " bipartite_sides=sides)",
+                "options = TopkOptions(bound_provider=_STATE[\"bound\"],"
+                " bipartite_sides=sides)",
+            ),
+        ),
+    ),
+    SeededLintFault(
+        checker="stats-drift",
+        repro_path="core/metrics.py",
+        description="merge_from drops the suffix_pruned counter",
+        replacements=(
+            ("        self.suffix_pruned += other.suffix_pruned\n", ""),
+        ),
+    ),
+    SeededLintFault(
+        checker="registry-coverage",
+        repro_path="oracle/differential.py",
+        description="parallel backend dropped from the fuzzer registry",
+        replacements=(
+            ("from ..parallel.join import parallel_topk_join\n", ""),
+            ("actual = parallel_topk_join(", "actual = topk_join("),
+        ),
+        expect_path="parallel/join.py",
+    ),
+    SeededLintFault(
+        checker="annotations",
+        repro_path="similarity/functions.py",
+        description="untyped public similarity method",
+        replacements=(
+            (
+                "    def from_overlap(self, overlap: int, size_x: int,"
+                " size_y: int) -> float:\n        union =",
+                "    def from_overlap(self, overlap, size_x, size_y):"
+                "\n        union =",
+            ),
+        ),
+    ),
+)

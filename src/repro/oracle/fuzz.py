@@ -25,6 +25,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.topk_join import TopkOptions, topk_join
 from ..data.records import RecordCollection
+from ..result import JoinResult
+from ..similarity.functions import SimilarityFunction
 from .differential import DifferentialCase, run_differential
 from .metamorphic import metamorphic_failures
 
@@ -145,7 +147,11 @@ GENERATORS: Dict[str, Generator] = {
 # Failure evaluation and shrinking
 # ----------------------------------------------------------------------
 
-def _sequential_backend(token_lists, k, sim):
+def _sequential_backend(
+    token_lists: Sequence[Sequence[int]],
+    k: int,
+    sim: SimilarityFunction,
+) -> List[JoinResult]:
     collection = RecordCollection.from_integer_sets(token_lists, dedupe=False)
     return topk_join(
         collection, k, similarity=sim,

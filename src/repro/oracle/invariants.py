@@ -29,9 +29,12 @@ which localizes a violation to the exact event/decision that caused it
 from __future__ import annotations
 
 import os
-from typing import Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Set, Tuple
 
 from ..similarity.functions import SimilarityFunction
+
+if TYPE_CHECKING:
+    from ..data.records import RecordCollection
 
 __all__ = ["CheckHooks", "InvariantViolation", "invariant_checks_enabled"]
 
@@ -44,12 +47,12 @@ ENV_FLAG = "REPRO_CHECK"
 class InvariantViolation(AssertionError):
     """A runtime invariant of the top-k join was violated."""
 
-    def __init__(self, invariant: str, message: str):
+    def __init__(self, invariant: str, message: str) -> None:
         super().__init__("invariant %r violated: %s" % (invariant, message))
         self.invariant = invariant
 
 
-def invariant_checks_enabled(options) -> bool:
+def invariant_checks_enabled(options: object) -> bool:
     """Whether to run invariant checks for *options* (flag or env var)."""
     if getattr(options, "check_invariants", False):
         return True
@@ -74,11 +77,11 @@ class CheckHooks:
         self,
         similarity: SimilarityFunction,
         k: int,
-        collection=None,
+        collection: Optional["RecordCollection"] = None,
         sides: Optional[Sequence[int]] = None,
         dedup_active: bool = True,
         reference_bounds: bool = True,
-    ):
+    ) -> None:
         self.similarity = similarity
         self.k = k
         self.collection = collection

@@ -32,7 +32,7 @@ class LocalSimilarityBound:
     threshold every later task starts from.
     """
 
-    def __init__(self, floor: float = 0.0):
+    def __init__(self, floor: float = 0.0) -> None:
         self._value = floor
 
     def get(self) -> float:
@@ -57,7 +57,7 @@ class SharedSimilarityBound:
     pruning weaker — never incorrect.
     """
 
-    def __init__(self, value: Optional[object] = None, floor: float = 0.0):
+    def __init__(self, value: Optional[object] = None, floor: float = 0.0) -> None:
         if value is None:
             value = multiprocessing.Value("d", floor)
         self._value = value

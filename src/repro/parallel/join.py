@@ -29,9 +29,10 @@ ids at the boundary.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.context
 import os
 from dataclasses import replace
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.metrics import TopkStats
 from ..core.results import TopKBuffer
@@ -44,9 +45,12 @@ from ..similarity.functions import Jaccard, SimilarityFunction
 from .bound import LocalSimilarityBound, SharedSimilarityBound
 from .merger import merge_task_results
 from .partitioner import shard_collection, task_plan
-from .worker import initialize_worker, run_task
+from .worker import TaskRow, initialize_worker, run_task
 
 __all__ = ["parallel_topk_join"]
+
+#: ``(per-task result rows, per-task stats)`` as collected by a runner.
+_TaskOutcome = Tuple[List[List[TaskRow]], List[TopkStats]]
 
 #: Upper limit on the shard count; see the clamp in ``parallel_topk_join``.
 MAX_SHARDS = 64
@@ -123,7 +127,12 @@ def parallel_topk_join(
     return results
 
 
-def _global_seed(collection, k, sim, options):
+def _global_seed(
+    collection: RecordCollection,
+    k: int,
+    sim: SimilarityFunction,
+    options: TopkOptions,
+) -> Tuple[float, List[TaskRow], TopkStats]:
     """Verify selective-token pairs of the whole collection up front.
 
     Returns ``(bound, rows, stats)``: a valid lower bound on the global
@@ -141,7 +150,16 @@ def _global_seed(collection, k, sim, options):
     return bound, rows, stats
 
 
-def _run_pool(collection, rid_shards, k, sim, base, plan, worker_count, seed_bound):
+def _run_pool(
+    collection: RecordCollection,
+    rid_shards: Sequence[Sequence[int]],
+    k: int,
+    sim: SimilarityFunction,
+    base: TopkOptions,
+    plan: Sequence[Tuple[int, int]],
+    worker_count: int,
+    seed_bound: float,
+) -> Optional[_TaskOutcome]:
     """Execute *plan* on a process pool; None when no pool can be made."""
     try:
         context = _pool_context()
@@ -158,8 +176,8 @@ def _run_pool(collection, rid_shards, k, sim, base, plan, worker_count, seed_bou
         # exit.  ``close()`` + ``join()`` lets every worker drain and
         # release its primitives; ``terminate()`` remains the error path.
         try:
-            task_rows = []
-            task_stats = []
+            task_rows: List[List[TaskRow]] = []
+            task_stats: List[TopkStats] = []
             for rows, entry in pool.imap_unordered(run_task, plan):
                 task_rows.append(rows)
                 task_stats.append(entry)
@@ -176,13 +194,21 @@ def _run_pool(collection, rid_shards, k, sim, base, plan, worker_count, seed_bou
         return None
 
 
-def _run_serial(collection, rid_shards, k, sim, base, plan, seed_bound):
+def _run_serial(
+    collection: RecordCollection,
+    rid_shards: Sequence[Sequence[int]],
+    k: int,
+    sim: SimilarityFunction,
+    base: TopkOptions,
+    plan: Sequence[Tuple[int, int]],
+    seed_bound: float,
+) -> _TaskOutcome:
     """Execute *plan* in-process, sharing the bound across tasks."""
     initialize_worker(
         collection, rid_shards, k, sim, base, LocalSimilarityBound(seed_bound)
     )
-    task_rows = []
-    task_stats = []
+    task_rows: List[List[TaskRow]] = []
+    task_stats: List[TopkStats] = []
     for task in plan:
         rows, entry = run_task(task)
         task_rows.append(rows)
@@ -190,7 +216,7 @@ def _run_serial(collection, rid_shards, k, sim, base, plan, seed_bound):
     return task_rows, task_stats
 
 
-def _pool_context():
+def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer ``fork`` (copy-on-write collection); fall back to default."""
     methods = multiprocessing.get_all_start_methods()
     if "fork" in methods:

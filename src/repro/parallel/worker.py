@@ -12,10 +12,12 @@ visible to coverage tooling.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple, cast
 
 from ..core.metrics import TopkStats
 from ..core.topk_join import TopkOptions, topk_join_iter
+from ..data.records import RecordCollection
+from ..similarity.functions import SimilarityFunction
 from .bound import SharedSimilarityBound
 from .partitioner import subproblem
 
@@ -27,7 +29,14 @@ TaskRow = Tuple[int, int, float]
 _STATE: Dict[str, object] = {}
 
 
-def initialize_worker(collection, shards, k, similarity, options, bound) -> None:
+def initialize_worker(
+    collection: RecordCollection,
+    shards: Sequence[Sequence[int]],
+    k: int,
+    similarity: SimilarityFunction,
+    options: TopkOptions,
+    bound: object,
+) -> None:
     """Install the task context shared by every ``run_task`` call.
 
     *bound* is either a provider object (serial in-process execution) or
@@ -36,7 +45,7 @@ def initialize_worker(collection, shards, k, similarity, options, bound) -> None
     """
     if not hasattr(bound, "offer"):
         bound = SharedSimilarityBound(bound)
-    if getattr(options, "accel", "off") != "off":
+    if options.accel != "off":
         # Build the collection's bit signatures once per worker; every
         # task's subproblem then slices them instead of re-hashing.
         collection.signatures
@@ -56,20 +65,20 @@ def run_task(task: Tuple[int, int]) -> Tuple[List[TaskRow], TopkStats]:
     task's :class:`TopkStats` for aggregation.
     """
     i, j = task
-    collection = _STATE["collection"]
-    shards = _STATE["shards"]
+    collection = cast(RecordCollection, _STATE["collection"])
+    shards = cast("Sequence[Sequence[int]]", _STATE["shards"])
     if i == j:
         sub, sides = subproblem(collection, shards[i])
     else:
         sub, sides = subproblem(collection, shards[i], shards[j])
-    base: TopkOptions = _STATE["options"]
+    base = cast(TopkOptions, _STATE["options"])
     options = replace(base, bound_provider=_STATE["bound"], bipartite_sides=sides)
     stats = TopkStats()
     rows: List[TaskRow] = []
     for result in topk_join_iter(
         sub,
-        _STATE["k"],
-        similarity=_STATE["similarity"],
+        cast(int, _STATE["k"]),
+        similarity=cast(SimilarityFunction, _STATE["similarity"]),
         options=options,
         stats=stats,
     ):

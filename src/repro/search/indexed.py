@@ -45,7 +45,7 @@ class SearchIndex:
         self,
         collection: RecordCollection,
         similarity: Optional[SimilarityFunction] = None,
-    ):
+    ) -> None:
         self.collection = collection
         self.similarity = similarity or Jaccard()
         self._postings: Dict[int, List[Tuple[int, int]]] = {}

@@ -1,5 +1,6 @@
 """Similarity functions (Jaccard, cosine, dice, overlap) and bound math."""
 
+from .epsilon import SIMILARITY_EPS, sim_eq, sim_ge, sim_le, sim_ne
 from .functions import (
     Cosine,
     Dice,
@@ -26,4 +27,9 @@ __all__ = [
     "overlap_with_early_abort",
     "overlap_with_common_positions",
     "OverlapProbe",
+    "SIMILARITY_EPS",
+    "sim_eq",
+    "sim_ne",
+    "sim_ge",
+    "sim_le",
 ]

@@ -1,0 +1,48 @@
+"""Blessed epsilon comparisons for similarity and bound values.
+
+Similarity values in this package are ratios of small integers (overlap
+over a size combination), so *derivations of the same pair* compare
+exactly — the join's own hot paths never need a tolerance, and the
+``bound-safety`` static checker bans raw float ``==``/``!=`` on
+similarity-valued expressions everywhere else.
+
+Two consumers legitimately need a tolerance and route through here:
+
+* tests asserting against scores recomputed along a *different*
+  floating-point path (e.g. a NumPy reduction vs. the scalar formula);
+* referee code comparing a backend's scores to an oracle's.
+
+This module is the one place such comparisons are allowed (the checker
+exempts it), so every tolerance in the codebase shares one definition.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SIMILARITY_EPS", "sim_eq", "sim_ne", "sim_ge", "sim_le"]
+
+#: Tolerance for cross-path similarity comparisons.  Similarities are
+#: quotients of integers bounded by record sizes (well under 2**30), so
+#: any two floating-point evaluation orders agree to far better than
+#: this; 1e-9 absolute keeps genuine mismatches (always >= 1/(n*m) for
+#: integer overlaps) clearly detectable.
+SIMILARITY_EPS = 1e-9
+
+
+def sim_eq(a: float, b: float, eps: float = SIMILARITY_EPS) -> bool:
+    """Whether two similarity values agree within *eps*."""
+    return abs(a - b) <= eps
+
+
+def sim_ne(a: float, b: float, eps: float = SIMILARITY_EPS) -> bool:
+    """Whether two similarity values differ by more than *eps*."""
+    return abs(a - b) > eps
+
+
+def sim_ge(a: float, b: float, eps: float = SIMILARITY_EPS) -> bool:
+    """Whether ``a >= b`` up to *eps* slack (``a`` may undershoot)."""
+    return a >= b - eps
+
+
+def sim_le(a: float, b: float, eps: float = SIMILARITY_EPS) -> bool:
+    """Whether ``a <= b`` up to *eps* slack (``a`` may overshoot)."""
+    return a <= b + eps

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Callable, Sequence
 
 from .overlap import overlap_size, overlap_with_early_abort
 
@@ -159,7 +159,12 @@ class SimilarityFunction(ABC):
         )
 
     @staticmethod
-    def _fixup(guess: int, limit: int, value_at, threshold: float) -> int:
+    def _fixup(
+        guess: int,
+        limit: int,
+        value_at: Callable[[int], float],
+        threshold: float,
+    ) -> int:
         """Snap *guess* to the true minimal ``o`` with ``value_at(o) >= threshold``.
 
         ``value_at`` must be nondecreasing.  The closed-form guesses are off

@@ -54,7 +54,7 @@ class WeightedRecord:
         tokens: Tuple[int, ...],
         weights: Tuple[float, ...],
         source_id: int,
-    ):
+    ) -> None:
         self.rid = rid
         self.tokens = tokens
         self.weights = weights
@@ -88,7 +88,7 @@ class WeightedRecord:
 class WeightedCollection:
     """Weight-sorted weighted records over one token universe."""
 
-    def __init__(self, records: List[WeightedRecord], universe_size: int):
+    def __init__(self, records: List[WeightedRecord], universe_size: int) -> None:
         self.records = records
         self.universe_size = universe_size
 

@@ -93,14 +93,19 @@ class TestVerificationPrefixCache:
         assert not verified(registry_strict, (0, 1))
 
     def test_interleaved_s_k_values(self):
+        # s_k is monotone non-decreasing in a real run; the prefix
+        # cache must refresh when it rises and keep serving the same
+        # (shrunken) prefixes for repeats at the new value.
         registry = VerificationRegistry(Jaccard())
         probe = overlap_with_common_positions((1, 2, 9), (1, 2, 8))
         registry.record((0, 1), probe, 3, 3, 0.0)
-        registry.record((0, 2), probe, 3, 3, 0.9)
-        registry.record((0, 3), probe, 3, 3, 0.0)
+        registry.record((0, 2), probe, 3, 3, 0.0)
+        registry.record((0, 3), probe, 3, 3, 0.9)
+        registry.record((0, 4), probe, 3, 3, 0.9)
         assert verified(registry, (0, 1))
-        assert not verified(registry, (0, 2))
-        assert verified(registry, (0, 3))
+        assert verified(registry, (0, 2))
+        assert not verified(registry, (0, 3))
+        assert not verified(registry, (0, 4))
 
 
 class TestAdversarialWorkloads:

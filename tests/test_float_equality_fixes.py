@@ -1,0 +1,122 @@
+"""Regression tests for the float-equality eliminations.
+
+The ``bound-safety`` checker bans ``==``/``!=`` on similarity-valued
+floats.  Each production site it surfaced was rewritten — monotone
+caches now test ``>`` (s_k only rises) and the result buffer tracks
+entry liveness by integer sequence number.  One test per rewritten
+site pins the behaviour the old comparison happened to provide plus
+the cases it could not.
+"""
+
+from __future__ import annotations
+
+from repro import TopkOptions, naive_topk, topk_join
+from repro.core.results import TopKBuffer
+from repro.core.verification import VerificationRegistry
+from repro.data import RecordCollection, random_integer_collection
+from repro.similarity import Jaccard
+from repro.similarity.epsilon import sim_eq, sim_ge
+from repro.similarity.overlap import overlap_with_common_positions
+
+from conftest import rounded_multiset
+
+
+class TestBufferSequenceLiveness:
+    """``TopKBuffer.pop_emittable`` — liveness by sequence, not value."""
+
+    def test_readded_at_identical_similarity_emits_once(self):
+        # Evict a pair, re-add it at the *same* similarity.  The stale
+        # descending-heap entry now carries the exact float of the live
+        # one; a value-equality check cannot tell them apart, the
+        # sequence number can.  Exactly one emission either way.
+        buffer = TopKBuffer(1)
+        buffer.add((0, 1), 0.5)
+        buffer.add((0, 2), 0.75)  # evicts (0, 1)
+        assert (0, 1) not in buffer
+        # The buffer dedupes *members*; the evicted pair may return.
+        assert buffer.add((0, 1), 0.75) is False  # below s_k: rejected
+        emitted = buffer.pop_emittable(0.0)
+        assert [pair for pair, __ in emitted] == [(0, 2)]
+        assert list(buffer.drain()) == []
+
+    def test_stale_entry_at_same_value_as_live_neighbour(self):
+        # Two pairs at the same similarity; one is evicted by a better
+        # pair.  Its stale heap entry must not shadow or duplicate the
+        # surviving equal-valued pair.
+        buffer = TopKBuffer(2)
+        buffer.add((0, 1), 0.5)
+        buffer.add((0, 2), 0.5)
+        buffer.add((0, 3), 0.9)  # evicts one of the 0.5 pairs
+        emitted = buffer.pop_emittable(0.0)
+        assert len(emitted) == 2
+        assert emitted[0][0] == (0, 3)
+        assert sim_eq(emitted[0][1], 0.9)
+        assert sim_eq(emitted[1][1], 0.5)
+        assert list(buffer.drain()) == []
+
+    def test_emitted_values_match_membership(self):
+        buffer = TopKBuffer(3)
+        for i, value in enumerate((0.2, 0.4, 0.6, 0.8, 0.4, 0.9)):
+            buffer.add((0, i), value)
+        for pair, similarity in buffer.drain():
+            assert sim_eq(similarity, buffer.similarity_of(pair))
+
+
+class TestMonotoneCacheRefresh:
+    """Caches keyed on s_k refresh on every rise (``>`` not ``!=``)."""
+
+    def test_verification_prefix_cache_refreshes_on_rise(self):
+        registry = VerificationRegistry(Jaccard())
+        probe = overlap_with_common_positions((1, 2, 9), (1, 2, 8))
+        # At s_k=0: prefix covers position 2, pair stored.
+        registry.record((0, 1), probe, 3, 3, 0.0)
+        assert (0, 1) in registry.fast_set()
+        # After s_k rose to 0.9 the prefix shrinks to length 1 and the
+        # same probe no longer qualifies — stale cached prefixes from
+        # the 0.0 era would wrongly store it.
+        registry.record((0, 2), probe, 3, 3, 0.9)
+        assert (0, 2) not in registry.fast_set()
+
+    def test_prefix_cache_repeated_equal_s_k_hits_cache(self):
+        registry = VerificationRegistry(Jaccard())
+        probe = overlap_with_common_positions((1, 2, 9), (1, 2, 8))
+        for i in range(5):
+            registry.record((0, i), probe, 3, 3, 0.5)
+        # One cache generation for all five records: the cached prefix
+        # map still holds the sizes just probed.
+        assert registry._prefix_cache  # populated, not cleared per call
+
+
+class TestJoinCorrectnessAcrossKernels:
+    """End-to-end: the rewritten s_k-rise checks keep joins exact."""
+
+    def _workload(self):
+        # A chain forces many s_k rises: record i shares most tokens
+        # with record i+1, so the bound climbs repeatedly mid-join.
+        sets = [list(range(i, i + 12)) for i in range(0, 60, 2)]
+        return RecordCollection.from_integer_sets(sets)
+
+    def test_sequential_matches_oracle_after_rewrite(self):
+        coll = self._workload()
+        opts = TopkOptions(accel="off")
+        got = rounded_multiset(topk_join(coll, 15, options=opts))
+        assert got == rounded_multiset(naive_topk(coll, 15))
+
+    def test_python_kernel_matches_oracle_after_rewrite(self):
+        coll = self._workload()
+        opts = TopkOptions(accel="python")
+        got = rounded_multiset(topk_join(coll, 15, options=opts))
+        assert got == rounded_multiset(naive_topk(coll, 15))
+
+    def test_numpy_kernel_matches_oracle_after_rewrite(self):
+        coll = self._workload()
+        opts = TopkOptions(accel="numpy")
+        got = rounded_multiset(topk_join(coll, 15, options=opts))
+        assert got == rounded_multiset(naive_topk(coll, 15))
+
+    def test_random_workload_all_results_clear_final_bound(self):
+        coll = random_integer_collection(80, universe=120, max_size=12, seed=7)
+        results = topk_join(coll, 25)
+        floor = min(r.similarity for r in results)
+        for result in results:
+            assert sim_ge(result.similarity, floor)
