@@ -11,9 +11,13 @@ Modes::
                                                       # (exit 1 on regression)
 
 ``--output FILE`` additionally writes the fresh measurement (used by CI to
-publish the numbers as a build artifact).  ``--k`` restricts the k sweep
-(repeatable) to keep smoke runs short.  The JSON structure is shared with
-``repro bench --json``; see :mod:`repro.bench.baseline`.
+publish the numbers as a build artifact).  ``--input FILE`` skips the
+measurement and gates a previously written report instead — CI measures
+once, then applies both the functional gate and the tighter observability
+overhead budget (``--slowdown-limit 1.05``) to the same numbers.  ``--k``
+restricts the k sweep (repeatable) to keep smoke runs short.  The JSON
+structure is shared with ``repro bench --json``; see
+:mod:`repro.bench.baseline`.
 """
 
 from __future__ import annotations
@@ -27,6 +31,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.bench.baseline import (  # noqa: E402 — path bootstrap above
     BASELINE_PATH,
+    MIN_SPEEDUP,
+    SLOWDOWN_LIMIT,
     check_against_baseline,
     load_baseline,
     measure_baseline,
@@ -57,9 +63,29 @@ def main(argv=None) -> int:
         "--k", type=int, action="append", default=None,
         help="restrict the k sweep (repeatable; default: workload sweep)",
     )
+    parser.add_argument(
+        "--input", default=None,
+        help="gate a previously measured report instead of measuring "
+             "(implies --check semantics for the numbers source)",
+    )
+    parser.add_argument(
+        "--slowdown-limit", type=float, default=SLOWDOWN_LIMIT,
+        help="calibrated wall-time regression limit for --check "
+             "(default %.2f; the observability overhead budget uses "
+             "1.05)" % SLOWDOWN_LIMIT,
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=MIN_SPEEDUP,
+        help="required accel on-vs-off speedup at the default k for "
+             "--check (default %.2f)" % MIN_SPEEDUP,
+    )
     args = parser.parse_args(argv)
 
-    report = measure_baseline(k_values=args.k)
+    if args.input:
+        report = load_baseline(Path(args.input))
+        print("# loaded %s" % args.input, file=sys.stderr)
+    else:
+        report = measure_baseline(k_values=args.k)
     ratio = speedup_of(report)
     print(
         "# measured %d cells, accel speedup at default k: %s"
@@ -83,7 +109,11 @@ def main(argv=None) -> int:
         baseline = load_baseline(
             Path(args.baseline) if args.baseline else None
         )
-        failures = check_against_baseline(report, baseline)
+        failures = check_against_baseline(
+            report, baseline,
+            slowdown_limit=args.slowdown_limit,
+            min_speedup=args.min_speedup,
+        )
         for failure in failures:
             print("REGRESSION: %s" % failure, file=sys.stderr)
         if failures:

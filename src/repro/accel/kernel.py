@@ -34,8 +34,9 @@ event, amortized across the whole join.
 
 from __future__ import annotations
 
+import time
 from types import ModuleType
-from typing import TYPE_CHECKING, Any, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Set, Tuple, Union
 
 from ..data.records import RecordCollection, popcount
 from ..joins.filters import suffix_admits
@@ -48,6 +49,7 @@ if TYPE_CHECKING:
     from ..core.topk_join import TopkOptions
     from ..core.verification import VerificationRegistry
     from ..index.inverted import BoundedInvertedIndex, PostingColumns
+    from ..obs.tracer import Tracer
     from ..oracle.invariants import CheckHooks
 
 Pair = Tuple[int, int]
@@ -115,21 +117,61 @@ def make_kernel(
     seen_pairs: Optional[Set[Pair]],
     stats: "TopkStats",
     checks: Optional["CheckHooks"] = None,
-) -> Optional["PythonScanKernel"]:
+) -> Optional[Union["PythonScanKernel", "_TracedKernel"]]:
     """Build the scan kernel for one join run (``None`` when accel is off).
 
     *seen_pairs* is the live verified-pair set of *registry* (or ``None``
     when verification dedup is off); it is captured once per join instead
-    of once per event.
+    of once per event.  With ``options.trace`` set the kernel comes back
+    wrapped in a timing proxy — the choice is made here, once, so the
+    untraced hot path never tests a flag.
     """
     mode = resolve_accel_mode(options.accel)
     if mode == "off":
         return None
     cls = NumpyScanKernel if mode == "numpy" else PythonScanKernel
-    return cls(
+    kernel = cls(
         collection, similarity, options, buffer, registry, seen_pairs,
         stats, checks,
     )
+    tracer = options.trace
+    if tracer is not None:
+        return _TracedKernel(kernel, tracer)
+    return kernel
+
+
+class _TracedKernel:
+    """Timing proxy around a scan kernel, chosen once at construction.
+
+    Charges every posting scan to the tracer's ``kernel_scan``
+    micro-phase accumulator.  A span per scan would swamp the span
+    buffer (there is one scan per record per event), so only the
+    ``(total seconds, call count)`` pair is kept; it exports as
+    ``repro_phase_seconds_total{phase="kernel_scan"}``.
+    """
+
+    __slots__ = ("kernel", "_tracer")
+
+    def __init__(
+        self, kernel: "PythonScanKernel", tracer: "Tracer"
+    ) -> None:
+        self.kernel = kernel
+        self._tracer = tracer
+
+    def scan(
+        self,
+        probe_index: "BoundedInvertedIndex",
+        token: int,
+        rid: int,
+        prefix: int,
+        bound: float,
+        external: float,
+    ) -> None:
+        begin = time.perf_counter()
+        self.kernel.scan(probe_index, token, rid, prefix, bound, external)
+        self._tracer.add_phase_time(
+            "kernel_scan", time.perf_counter() - begin
+        )
 
 
 class PythonScanKernel:

@@ -18,8 +18,15 @@ apply, results stay plausible — so they are checked statically:
 
 * **non-blessed override** — ``replace()`` calls in ``repro/parallel/``
   may only override the per-task plumbing fields (``bound_provider``,
-  ``bipartite_sides``).  Overriding anything else second-guesses the
-  caller's configuration on one execution path only.
+  ``bipartite_sides``, ``trace``).  Overriding anything else
+  second-guesses the caller's configuration on one execution path only.
+
+* **uninstalled plumbing field** — the inverse: every blessed field must
+  actually appear as a ``replace()`` keyword somewhere in
+  ``repro/parallel/``.  A field blessed but never installed means the
+  parallel layer forgot its half of the contract — e.g. a tracer that
+  silently rides into (or is dropped by) the workers under
+  ``--workers`` while the sequential path honors it.
 """
 
 from __future__ import annotations
@@ -44,7 +51,9 @@ _OPTIONS_CLASS = "TopkOptions"
 _PARALLEL_PREFIX = "parallel/"
 
 #: Fields the parallel layer installs per task (the plumbing itself).
-_BLESSED_OVERRIDES = frozenset({"bound_provider", "bipartite_sides"})
+#: ``trace`` is plumbing too: the parent's tracer must be stripped from
+#: shipped options (it holds a lock) and worker-local tracers installed.
+_BLESSED_OVERRIDES = frozenset({"bound_provider", "bipartite_sides", "trace"})
 
 #: Modules whose presence signals the whole tree is being linted; the
 #: dead-flag rule needs the full package to avoid false positives on
@@ -78,12 +87,30 @@ class OptionsPlumbingChecker(Checker):
         except LookupError:
             return
 
-        if all(project.module(path) is not None for path in _FULL_TREE_MODULES):
+        full_tree = all(
+            project.module(path) is not None for path in _FULL_TREE_MODULES
+        )
+        if full_tree:
             yield from self._dead_flags(
                 project, options_module, options_class
             )
-        for module in project.repro_modules(_PARALLEL_PREFIX):
-            yield from self._parallel_construction(module)
+        installed: Set[str] = set()
+        parallel_modules = list(project.repro_modules(_PARALLEL_PREFIX))
+        for module in parallel_modules:
+            yield from self._parallel_construction(module, installed)
+        if full_tree and parallel_modules:
+            declared = set(dataclass_field_names(options_class))
+            for name in sorted((_BLESSED_OVERRIDES & declared) - installed):
+                anchor = parallel_modules[0]
+                assert anchor.tree is not None
+                yield self.finding(
+                    anchor,
+                    anchor.tree.body[0] if anchor.tree.body else anchor.tree,
+                    "TopkOptions.%s is blessed per-task plumbing but no "
+                    "replace() in the parallel backend installs it — the "
+                    "flag silently no-ops (or leaks the caller's object) "
+                    "under --workers" % name,
+                )
 
     def _dead_flags(
         self,
@@ -129,7 +156,7 @@ class OptionsPlumbingChecker(Checker):
                 )
 
     def _parallel_construction(
-        self, module: ModuleSource
+        self, module: ModuleSource, installed: Set[str]
     ) -> Iterator[Finding]:
         assert module.tree is not None
         for node in ast.walk(module.tree):
@@ -151,10 +178,11 @@ class OptionsPlumbingChecker(Checker):
                 )
             elif name == "replace":
                 for keyword in node.keywords:
-                    if (
-                        keyword.arg is not None
-                        and keyword.arg not in _BLESSED_OVERRIDES
-                    ):
+                    if keyword.arg is None:
+                        continue
+                    if keyword.arg in _BLESSED_OVERRIDES:
+                        installed.add(keyword.arg)
+                    else:
                         yield self.finding(
                             module,
                             node,

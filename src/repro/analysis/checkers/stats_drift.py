@@ -9,12 +9,21 @@ that defines both dataclass-style annotated fields and a ``merge_from``
 method must mention each field on both ``self`` and the merged-in
 parameter inside ``merge_from``, and its ``combined`` classmethod (when
 present) must delegate to ``merge_from`` rather than re-listing fields.
+
+A second rule guards the observability bridge: the *absorber* functions
+that fold a finished run's stats into the metrics registry
+(``absorb_topk_stats`` for ``TopkStats``, ``absorb_join_stats`` for
+``JoinStats``, see :mod:`repro.obs.metrics`) must read **every** field
+of their source dataclass.  A counter added to the dataclass but not to
+its absorber would be correct in the raw stats yet silently absent from
+every exporter — Prometheus text, JSON traces and the phase tree would
+all under-report without any test failing.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Set
+from typing import Dict, Iterator, Optional, Set
 
 from ..asthelpers import dataclass_field_names
 from ..findings import Finding
@@ -22,6 +31,15 @@ from ..project import ModuleSource, Project
 from ..registry import Checker, register
 
 __all__ = ["StatsDriftChecker"]
+
+#: Where the stats dataclasses the absorbers bridge from are declared.
+_STATS_MODULE = "core/metrics.py"
+
+#: Absorber function name -> source dataclass it must cover in full.
+_ABSORBERS = {
+    "absorb_topk_stats": "TopkStats",
+    "absorb_join_stats": "JoinStats",
+}
 
 
 def _method(class_def: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
@@ -61,6 +79,7 @@ class StatsDriftChecker(Checker):
             for node in ast.walk(module.tree):
                 if isinstance(node, ast.ClassDef):
                     yield from self._check_class(module, node)
+        yield from self._check_absorbers(project)
 
     def _check_class(
         self, module: ModuleSource, class_def: ast.ClassDef
@@ -113,3 +132,58 @@ class StatsDriftChecker(Checker):
                     "aggregation code paths will drift apart"
                     % class_def.name,
                 )
+
+    def _check_absorbers(self, project: Project) -> Iterator[Finding]:
+        """Absorber functions must read every field of their source class.
+
+        Skipped silently on partial-tree runs where the declaring module
+        is not part of the lint target.
+        """
+        declaring = project.module(_STATS_MODULE)
+        if declaring is None or declaring.tree is None:
+            return
+        fields_of: Dict[str, Set[str]] = {}
+        for node in ast.walk(declaring.tree):
+            if (
+                isinstance(node, ast.ClassDef)
+                and node.name in _ABSORBERS.values()
+            ):
+                fields_of[node.name] = set(dataclass_field_names(node))
+        for module in project.repro_modules():
+            assert module.tree is not None
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.FunctionDef)
+                    and node.name in _ABSORBERS
+                ):
+                    continue
+                class_name = _ABSORBERS[node.name]
+                fields = fields_of.get(class_name)
+                if not fields:
+                    continue
+                receiver = _stats_param(node)
+                if receiver is None:
+                    yield self.finding(
+                        module,
+                        node,
+                        "%s takes no stats parameter to absorb from"
+                        % node.name,
+                    )
+                    continue
+                reads = _attributes_of(node, receiver)
+                for name in sorted(fields - reads):
+                    yield self.finding(
+                        module,
+                        node,
+                        "%s does not read %s.%s; the field is counted at "
+                        "runtime but silently missing from every metric "
+                        "exporter" % (node.name, class_name, name),
+                    )
+
+
+def _stats_param(func: ast.FunctionDef) -> Optional[str]:
+    """The first non-self/cls positional parameter of *func*."""
+    for arg in func.args.args:
+        if arg.arg not in ("self", "cls"):
+            return arg.arg
+    return None

@@ -5,6 +5,9 @@ Subcommands::
     python -m repro topk      --input data.txt --k 100 [--similarity jaccard]
                               [--workers N] [--shards M] [--check]
                               [--accel on|python|numpy|off]
+                              [--trace] [--trace-out trace.json]
+    python -m repro trace     [--workload dblp | --input data.txt] [--k 100]
+                              [--prom-out m.prom] [--json-out trace.json]
     python -m repro threshold --input data.txt --threshold 0.8 [--algorithm ppjoin+]
     python -m repro generate  --dataset dblp --n 2000 --output data.txt
     python -m repro stats     --input data.txt
@@ -24,7 +27,15 @@ import argparse
 import os
 import sys
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    TextIO,
+    Tuple,
+)
 
 from .core.metrics import TopkStats
 from .core.topk_join import TopkOptions, topk_join
@@ -36,7 +47,10 @@ from .data.tokenize import tokenize_qgrams
 from .joins import threshold_join
 from .parallel import parallel_topk_join
 from .result import JoinResult
-from .similarity.functions import similarity_by_name
+from .similarity.functions import SimilarityFunction, similarity_by_name
+
+if TYPE_CHECKING:
+    from .obs import Tracer
 
 __all__ = ["main"]
 
@@ -76,32 +90,139 @@ def _print_results(
         )
 
 
-def _cmd_topk(args: argparse.Namespace) -> int:
-    collection = _load(args.input, args.qgram)
-    sim = similarity_by_name(args.similarity)
-    stats = TopkStats()
-    options = TopkOptions(
-        maxdepth=args.maxdepth, check_invariants=args.check,
-        accel=args.accel,
-    )
-    start = time.perf_counter()
+def _run_topk(
+    collection: RecordCollection,
+    args: argparse.Namespace,
+    sim: SimilarityFunction,
+    options: TopkOptions,
+    stats: TopkStats,
+) -> List[JoinResult]:
+    """Dispatch to the sequential or sharded backend per CLI flags."""
     if args.workers > 1 or args.shards is not None:
-        results = parallel_topk_join(
+        return parallel_topk_join(
             collection, args.k, similarity=sim, options=options,
             workers=args.workers, shards=args.shards, stats=stats,
         )
-    else:
-        results = topk_join(
-            collection, args.k, similarity=sim, options=options, stats=stats
-        )
-    elapsed = time.perf_counter() - start
-    _print_results(collection, results, args.k)
-    print(
+    return topk_join(
+        collection, args.k, similarity=sim, options=options, stats=stats
+    )
+
+
+def _open_trace_outputs(
+    specs: List[Tuple[Optional[str], Callable[["Tracer"], str]]],
+) -> Optional[List[Tuple[TextIO, Callable[["Tracer"], str]]]]:
+    """Open every requested trace output up front, so a bad path fails
+    before the join burns any time.  Returns ``None`` (with any partial
+    opens closed and a message on stderr) when a path is unwritable.
+    """
+    handles: List[Tuple[TextIO, Callable[["Tracer"], str]]] = []
+    for path, renderer in specs:
+        if not path:
+            continue
+        try:
+            handle = open(path, "w", encoding="utf-8")
+        except OSError as error:
+            for opened, __ in handles:
+                opened.close()
+            print(
+                "repro: cannot write trace output %s: %s" % (path, error),
+                file=sys.stderr,
+            )
+            return None
+        handles.append((handle, renderer))
+    return handles
+
+
+def _summary_line(
+    results: List[JoinResult], elapsed: float, stats: TopkStats
+) -> str:
+    return (
         "# %d results in %.3fs (%d events, %d candidates, %d verifications)"
         % (len(results), elapsed, stats.events, stats.candidates,
-           stats.verifications),
-        file=sys.stderr,
+           stats.verifications)
     )
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    from .obs import (
+        Tracer,
+        maybe_profile,
+        render_phase_tree,
+        to_json,
+        to_prometheus_text,
+    )
+
+    collection = _load(args.input, args.qgram)
+    sim = similarity_by_name(args.similarity)
+    stats = TopkStats()
+    tracer: Optional[Tracer] = None
+    outputs: List[Tuple[TextIO, Callable[[Tracer], str]]] = []
+    if args.trace or args.trace_out:
+        tracer = Tracer()
+        if args.trace_out:
+            renderer = (
+                to_json if args.trace_out.endswith(".json")
+                else to_prometheus_text
+            )
+            opened = _open_trace_outputs([(args.trace_out, renderer)])
+            if opened is None:
+                return 2
+            outputs = opened
+    options = TopkOptions(
+        maxdepth=args.maxdepth, check_invariants=args.check,
+        accel=args.accel, trace=tracer,
+    )
+    start = time.perf_counter()
+    with maybe_profile(tracer):
+        results = _run_topk(collection, args, sim, options, stats)
+    elapsed = time.perf_counter() - start
+    _print_results(collection, results, args.k)
+    if tracer is not None:
+        sys.stderr.write(render_phase_tree(tracer))
+        for handle, render in outputs:
+            with handle:
+                handle.write(render(tracer))
+    print(_summary_line(results, elapsed, stats), file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (
+        Tracer,
+        maybe_profile,
+        render_phase_tree,
+        to_json,
+        to_prometheus_text,
+    )
+
+    if args.input:
+        collection = _load(args.input, args.qgram)
+        sim = similarity_by_name(args.similarity)
+        maxdepth = args.maxdepth
+    else:
+        from .bench.workloads import workload
+
+        bench = workload(args.workload)
+        collection = bench.factory()
+        sim = bench.similarity
+        maxdepth = bench.maxdepth
+    outputs = _open_trace_outputs(
+        [(args.prom_out, to_prometheus_text), (args.json_out, to_json)]
+    )
+    if outputs is None:
+        return 2
+    tracer = Tracer()
+    stats = TopkStats()
+    options = TopkOptions(maxdepth=maxdepth, accel=args.accel, trace=tracer)
+    start = time.perf_counter()
+    with maybe_profile(tracer):
+        results = _run_topk(collection, args, sim, options, stats)
+    elapsed = time.perf_counter() - start
+    sys.stdout.write(render_phase_tree(tracer))
+    for handle, render in outputs:
+        with handle:
+            handle.write(render(tracer))
+    print(_summary_line(results, elapsed, stats), file=sys.stderr)
     return 0
 
 
@@ -391,7 +512,48 @@ def build_parser() -> argparse.ArgumentParser:
                       help="hot-path acceleration: 'on' picks the best "
                            "available kernel, 'off' runs the historical "
                            "loop (ablation baseline)")
+    topk.add_argument("--trace", action="store_true",
+                      help="trace phase timings and print a phase-time "
+                           "tree to stderr after the results")
+    topk.add_argument("--trace-out", default=None, metavar="PATH",
+                      help="also write the trace to PATH (.json -> full "
+                           "JSON payload, anything else -> Prometheus "
+                           "text exposition); implies --trace")
     topk.set_defaults(handler=_cmd_topk)
+
+    trace = commands.add_parser(
+        "trace",
+        help="run a traced top-k join and report where the time went",
+    )
+    source = trace.add_mutually_exclusive_group()
+    source.add_argument("--workload", default="dblp",
+                        choices=sorted(_GENERATORS),
+                        help="named benchmark workload (dataset + "
+                             "similarity + maxdepth, see bench.workloads)")
+    source.add_argument("--input", default=None,
+                        help="token file path instead of a named workload")
+    trace.add_argument("--qgram", type=int, default=None, metavar="Q",
+                       help="with --input: re-tokenize each line into "
+                            "character q-grams")
+    trace.add_argument("--similarity", default="jaccard",
+                       choices=["jaccard", "cosine", "dice", "overlap"],
+                       help="with --input: similarity function "
+                            "(workloads fix their own)")
+    trace.add_argument("--maxdepth", type=int, default=2,
+                       help="with --input: suffix-filter depth")
+    trace.add_argument("--k", type=int, default=100)
+    trace.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the sharded parallel "
+                            "backend (1 = sequential)")
+    trace.add_argument("--shards", type=int, default=None,
+                       help="shard count for the parallel backend")
+    trace.add_argument("--accel", default="on",
+                       choices=["on", "python", "numpy", "off"])
+    trace.add_argument("--prom-out", default=None, metavar="PATH",
+                       help="write Prometheus text exposition to PATH")
+    trace.add_argument("--json-out", default=None, metavar="PATH",
+                       help="write the JSON trace payload to PATH")
+    trace.set_defaults(handler=_cmd_trace)
 
     threshold = commands.add_parser("threshold", help="threshold join")
     add_io(threshold)

@@ -38,6 +38,7 @@ class EventQueue:
         self.compressed = compressed
         self._heap: List[Tuple[float, int, int, Tuple[int, ...]]] = []
         self.events_pushed = 0
+        self.peak_size = 0
         self._initialize()
 
     def _initialize(self) -> None:
@@ -61,6 +62,8 @@ class EventQueue:
     ) -> None:
         heapq.heappush(self._heap, (-bound, size, prefix, rids))
         self.events_pushed += 1
+        if len(self._heap) > self.peak_size:
+            self.peak_size = len(self._heap)
 
     # ------------------------------------------------------------------
 

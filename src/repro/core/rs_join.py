@@ -138,6 +138,15 @@ def topk_join_rs(
     """
     sim = similarity or Jaccard()
     opts = replace(options or TopkOptions(), bipartite_sides=tagged.sides)
+    tracer = opts.trace
+    if tracer is not None:
+        # The core join's own "topk_join" span nests under this one, so
+        # a trace distinguishes an R-S run from a plain self-join.
+        with tracer.span("topk_join_rs", k=k, records=len(tagged)):
+            return topk_join(
+                tagged.collection, k, similarity=sim, options=opts,
+                stats=stats,
+            )
     return topk_join(
         tagged.collection, k, similarity=sim, options=opts, stats=stats
     )

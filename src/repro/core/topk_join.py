@@ -46,7 +46,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..accel.kernel import make_kernel
 from ..data.records import RecordCollection
@@ -61,6 +70,9 @@ from .metrics import EmitEvent, TopkStats
 from .results import TopKBuffer
 from .seeding import seed_temporary_results
 from .verification import VerificationRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.tracer import Tracer
 
 __all__ = ["TopkOptions", "topk_join", "topk_join_iter"]
 
@@ -111,6 +123,14 @@ class TopkOptions:
     #: enabled globally by exporting ``REPRO_CHECK=1``.  Zero-cost when
     #: off: the hot loops pay one ``is not None`` test per hook site.
     check_invariants: bool = False
+    #: Observability hook (see :mod:`repro.obs`): a tracer collecting
+    #: spans, metrics and profiler samples for this run.  ``None`` (the
+    #: default) disables all instrumentation — the join then pays one
+    #: ``is not None`` test per *phase* boundary, never per event.  A
+    #: tracer holds a lock and must not cross process boundaries:
+    #: :mod:`repro.parallel` strips it from the options it ships to
+    #: workers and merges worker-local trace payloads at the parent.
+    trace: Optional["Tracer"] = None
 
 
 def topk_join(
@@ -160,9 +180,39 @@ def topk_join_iter(
     guarantee of Section VII-F.  Only pairs actually sharing a token are
     yielded (no zero-similarity padding; see :func:`topk_join`).
     """
-    sim = similarity or Jaccard()
     opts = options or TopkOptions()
+    tracer = opts.trace
+    if tracer is None:
+        yield from _topk_join_run(collection, k, similarity, opts, stats)
+        return
+    with tracer.span(
+        "topk_join", k=k, records=len(collection), accel=opts.accel
+    ):
+        yield from _topk_join_run(
+            collection, k, similarity, opts, stats, tracer
+        )
+
+
+def _topk_join_run(
+    collection: RecordCollection,
+    k: int,
+    similarity: Optional[SimilarityFunction],
+    opts: TopkOptions,
+    stats: Optional[TopkStats],
+    tracer: Optional["Tracer"] = None,
+) -> Iterator[JoinResult]:
+    """The join proper; see :func:`topk_join_iter` for the contract.
+
+    *tracer* is ``opts.trace``, threaded through by the wrapper that
+    opened the ``topk_join`` root span.  When set, the run is carved
+    into ``seed`` / ``event_loop`` / ``drain`` child spans and finishes
+    by publishing end-of-run gauges and absorbing *run_stats* into the
+    tracer's metrics registry; when ``None``, the historical code paths
+    run untouched.
+    """
+    sim = similarity or Jaccard()
     run_stats = stats if stats is not None else TopkStats()
+    span = tracer.span if tracer is not None else _null_span
     start = time.perf_counter()
 
     buffer = TopKBuffer(k)
@@ -197,105 +247,173 @@ def topk_join_iter(
         checks,
     )
 
-    if opts.seed_results:
-        run_stats.verifications += seed_temporary_results(
-            collection, sim, buffer, registry, sides=sides, checks=checks,
-            stats=run_stats, bitmap=kernel is not None,
-        )
-    if provider is not None:
-        if buffer.full:
-            provider.offer(buffer.s_k)
-        external = provider.refresh()
-
-    emitted = 0
-
-    while queue:
-        bound, prefix, rids = queue.pop()
-        run_stats.events += 1
-        if checks is not None:
-            checks.on_pop(
-                bound, prefix, len(collection[rids[0]]), buffer.s_k
+    with span("seed"):
+        if opts.seed_results:
+            run_stats.verifications += seed_temporary_results(
+                collection, sim, buffer, registry, sides=sides,
+                checks=checks, stats=run_stats, bitmap=kernel is not None,
             )
-        if buffer.full and bound <= buffer.s_k:
-            break
-        if external > 0.0 and bound <= external:
-            # No remaining event of this sub-join can beat the global
-            # s_k lower bound: everything still findable is at best an
-            # interchangeable tie of the global k-th result.
-            break
-        size = len(collection[rids[0]])
-        for rid in rids:
-            if sides is None:
-                probe_index = insert_index = indexes[0]
-            else:
-                side = sides[rid]
-                probe_index = indexes[1 - side]
-                insert_index = indexes[side]
-            _process_event(
-                collection,
-                rid,
-                prefix,
-                bound,
-                sim,
-                opts,
-                buffer,
-                registry,
-                probe_index,
-                insert_index,
-                stop_indexing,
-                external,
-                run_stats,
-                checks,
-                seen_pairs,
-                kernel,
-            )
-        cutoff = buffer.s_k
-        if external > cutoff:
-            cutoff = external
-        queue.push_next(size, prefix, rids, cutoff=cutoff)
         if provider is not None:
             if buffer.full:
                 provider.offer(buffer.s_k)
             external = provider.refresh()
 
-        remaining = queue.peek_bound()
-        if remaining is None:
-            break
-        for pair, value in buffer.pop_emittable(remaining):
+    emitted = 0
+
+    with span("event_loop"):
+        while queue:
+            bound, prefix, rids = queue.pop()
+            run_stats.events += 1
+            if checks is not None:
+                checks.on_pop(
+                    bound, prefix, len(collection[rids[0]]), buffer.s_k
+                )
+            if buffer.full and bound <= buffer.s_k:
+                break
+            if external > 0.0 and bound <= external:
+                # No remaining event of this sub-join can beat the global
+                # s_k lower bound: everything still findable is at best an
+                # interchangeable tie of the global k-th result.
+                break
+            size = len(collection[rids[0]])
+            for rid in rids:
+                if sides is None:
+                    probe_index = insert_index = indexes[0]
+                else:
+                    side = sides[rid]
+                    probe_index = indexes[1 - side]
+                    insert_index = indexes[side]
+                _process_event(
+                    collection,
+                    rid,
+                    prefix,
+                    bound,
+                    sim,
+                    opts,
+                    buffer,
+                    registry,
+                    probe_index,
+                    insert_index,
+                    stop_indexing,
+                    external,
+                    run_stats,
+                    checks,
+                    seen_pairs,
+                    kernel,
+                )
+            cutoff = buffer.s_k
+            if external > cutoff:
+                cutoff = external
+            queue.push_next(size, prefix, rids, cutoff=cutoff)
+            if provider is not None:
+                if buffer.full:
+                    provider.offer(buffer.s_k)
+                external = provider.refresh()
+
+            remaining = queue.peek_bound()
+            if remaining is None:
+                break
+            for pair, value in buffer.pop_emittable(remaining):
+                emitted += 1
+                if checks is not None:
+                    checks.on_emit(pair, value, remaining, progressive=True)
+                run_stats.emits.append(
+                    EmitEvent(
+                        index=emitted,
+                        similarity=value,
+                        upper_bound=remaining,
+                        s_k=buffer.s_k,
+                        elapsed=time.perf_counter() - start,
+                    )
+                )
+                yield JoinResult(pair[0], pair[1], value)
+
+    with span("drain"):
+        final_bound = queue.peek_bound() or 0.0
+        for pair, value in buffer.drain():
             emitted += 1
             if checks is not None:
-                checks.on_emit(pair, value, remaining, progressive=True)
+                checks.on_emit(pair, value, final_bound, progressive=False)
             run_stats.emits.append(
                 EmitEvent(
                     index=emitted,
                     similarity=value,
-                    upper_bound=remaining,
+                    upper_bound=final_bound,
                     s_k=buffer.s_k,
                     elapsed=time.perf_counter() - start,
                 )
             )
             yield JoinResult(pair[0], pair[1], value)
 
-    final_bound = queue.peek_bound() or 0.0
-    for pair, value in buffer.drain():
-        emitted += 1
-        if checks is not None:
-            checks.on_emit(pair, value, final_bound, progressive=False)
-        run_stats.emits.append(
-            EmitEvent(
-                index=emitted,
-                similarity=value,
-                upper_bound=final_bound,
-                s_k=buffer.s_k,
-                elapsed=time.perf_counter() - start,
-            )
-        )
-        yield JoinResult(pair[0], pair[1], value)
-
     run_stats.hash_entries_peak = registry.peak_entries
     run_stats.index_inserted = sum(ix.inserted for ix in indexes)
     run_stats.index_deleted = sum(ix.deleted for ix in indexes)
     run_stats.index_entries_peak = sum(ix.peak_entries for ix in indexes)
+
+    if tracer is not None:
+        _publish_run_metrics(
+            tracer, run_stats, buffer, queue, indexes, registry,
+            len(collection),
+        )
+
+
+class _NullSpan:
+    """Inert context manager standing in for a span when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def _null_span(name: str, **meta: Any) -> _NullSpan:
+    """Span factory used in place of ``Tracer.span`` when tracing is off."""
+    return _NULL_SPAN
+
+
+def _publish_run_metrics(
+    tracer: "Tracer",
+    run_stats: TopkStats,
+    buffer: TopKBuffer,
+    queue: EventQueue,
+    indexes: Tuple[BoundedInvertedIndex, ...],
+    registry: VerificationRegistry,
+    record_count: int,
+) -> None:
+    """End-of-run gauge snapshot plus counter/histogram absorption.
+
+    Runs once per traced join, after the drain, so tracing adds nothing
+    to the per-event path.  Gauge modes encode how cooperating tasks
+    merge: footprints (heap / index / hash peaks) *sum*, matching
+    ``TopkStats.merge_from``'s worst-case-simultaneous semantics, while
+    ``s_k`` takes the *max* because every task's local bound is a lower
+    bound on the global one.
+    """
+    metrics = tracer.metrics
+    metrics.gauge(
+        "repro_s_k", "k-th best similarity at the end of the run.",
+        mode="max",
+    ).set(buffer.s_k)
+    metrics.gauge(
+        "repro_heap_size", "Events left in the queue at termination.",
+        mode="sum",
+    ).set(float(len(queue)))
+    metrics.gauge(
+        "repro_heap_size_peak", "Peak number of events in the queue.",
+        mode="sum",
+    ).set(float(queue.peak_size))
+    metrics.gauge(
+        "repro_index_entries_live",
+        "Inverted-index postings alive at termination.", mode="sum",
+    ).set(float(sum(ix.inserted - ix.deleted for ix in indexes)))
+    registry.publish_metrics(metrics)
+    metrics.absorb_topk_stats(run_stats, record_count=record_count)
 
 
 def _process_event(

@@ -23,7 +23,7 @@ suffix probe, discarding most doomed candidates for one XOR + popcount.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core.metrics import JoinStats
 from ..data.records import RecordCollection, signature_overlap_bound
@@ -31,6 +31,9 @@ from ..index.inverted import InvertedIndex
 from ..result import JoinResult, sort_results
 from ..similarity.functions import Jaccard, SimilarityFunction
 from .filters import DEFAULT_MAXDEPTH, positional_max_overlap, suffix_admits
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.tracer import Tracer
 
 __all__ = ["ppjoin", "ppjoin_plus"]
 
@@ -46,14 +49,43 @@ def ppjoin(
     maxdepth: int = DEFAULT_MAXDEPTH,
     stats: Optional[JoinStats] = None,
     bitmap: bool = True,
+    tracer: Optional["Tracer"] = None,
 ) -> List[JoinResult]:
     """Self-join returning all pairs with ``sim >= threshold``.
 
     With ``plus=True`` this is ppjoin+ (suffix filtering enabled).  With
     ``bitmap=True`` (default) each candidate's first match also checks
     the exact-safe bitmap-signature overlap bound — set ``False`` to
-    reproduce the historical WWW'08 filter chain only.
+    reproduce the historical WWW'08 filter chain only.  *tracer* wraps
+    the run in a ``ppjoin`` span and absorbs the run's
+    :class:`~repro.core.metrics.JoinStats` into its metrics registry.
     """
+    if tracer is not None:
+        run_stats = stats if stats is not None else JoinStats()
+        with tracer.span(
+            "ppjoin", threshold=threshold, plus=plus, records=len(collection)
+        ):
+            results = _ppjoin_run(
+                collection, threshold, similarity, plus, maxdepth,
+                run_stats, bitmap,
+            )
+        tracer.metrics.absorb_join_stats(run_stats)
+        return results
+    return _ppjoin_run(
+        collection, threshold, similarity, plus, maxdepth, stats, bitmap
+    )
+
+
+def _ppjoin_run(
+    collection: RecordCollection,
+    threshold: float,
+    similarity: Optional[SimilarityFunction],
+    plus: bool,
+    maxdepth: int,
+    stats: Optional[JoinStats],
+    bitmap: bool,
+) -> List[JoinResult]:
+    """The WWW'08 join proper; see :func:`ppjoin` for the contract."""
     sim = similarity or Jaccard()
     index = InvertedIndex()
     results: List[JoinResult] = []
@@ -148,6 +180,7 @@ def ppjoin_plus(
     similarity: Optional[SimilarityFunction] = None,
     maxdepth: int = DEFAULT_MAXDEPTH,
     stats: Optional[JoinStats] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> List[JoinResult]:
     """ppjoin+ — ppjoin with suffix filtering (the paper's `pptopk` engine)."""
     return ppjoin(
@@ -157,4 +190,5 @@ def ppjoin_plus(
         plus=True,
         maxdepth=maxdepth,
         stats=stats,
+        tracer=tracer,
     )

@@ -1,0 +1,282 @@
+"""Span-based tracing for the join stack.
+
+The event-driven top-k join behaves like a service, not a batch call:
+results stream out progressively while ``s_k`` rises and the event heap
+drains.  A :class:`Tracer` makes that lifecycle observable without
+changing it — phase boundaries (seeding, the event loop, the final
+drain, per-task sub-joins) become nested :class:`SpanRecord` entries on
+a monotonic clock, and hot inner phases that are too frequent for
+per-call spans (the kernel posting scans) accumulate into named *phase
+timers* instead.
+
+Design constraints, in order:
+
+* **Zero cost when absent.**  Instrumented code paths hold a tracer
+  reference that is ``None`` by default; every hook site pays one
+  ``is not None`` test and nothing else.  There is no global tracer and
+  no monkey-patching — the tracer travels explicitly via
+  ``TopkOptions.trace``.
+* **Monotonic clocks.**  All timestamps are ``time.perf_counter``
+  deltas against the tracer's epoch; wall-clock adjustments can never
+  produce negative spans.
+* **Thread-safe buffers.**  Span completion, phase accumulation and
+  metric updates take a lock; the per-thread *active-span stacks* are
+  only mutated by their own thread and snapshotted by the sampling
+  profiler (:mod:`repro.obs.profile`).
+* **Process-safe by value.**  A tracer object is never shipped across
+  processes (it holds a lock).  Workers build their own tracer, call
+  :meth:`Tracer.export` (plain JSON-able dicts), and the parent folds
+  the payload back in with :meth:`Tracer.absorb` — mirroring how
+  ``TopkStats.merge_from`` aggregates per-task counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from .metrics import MetricsRegistry
+
+__all__ = ["SpanRecord", "Tracer", "TRACE_SCHEMA"]
+
+#: Version stamp of the :meth:`Tracer.export` payload layout.
+TRACE_SCHEMA = 1
+
+MetaValue = Union[str, int, float]
+
+
+@dataclass
+class SpanRecord:
+    """One completed span: a named, timed, possibly nested phase."""
+
+    #: Phase name (``topk_join``, ``seed``, ``event_loop``, ``task-3``…).
+    name: str
+    #: Seconds since the tracer epoch at which the span started.
+    start: float
+    #: Wall-clock seconds from enter to exit (monotonic clock).
+    duration: float
+    #: ``span_id`` of the enclosing span, 0 for roots.
+    parent: int
+    #: Unique id within one tracer (absorb re-numbers to keep it unique).
+    span_id: int
+    #: Small static annotations (k, record count, task coordinates…).
+    meta: Dict[str, MetaValue] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start_s": self.start,
+            "duration_s": self.duration,
+            "parent": self.parent,
+            "id": self.span_id,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SpanRecord":
+        return cls(
+            name=str(payload["name"]),
+            start=float(payload["start_s"]),
+            duration=float(payload["duration_s"]),
+            parent=int(payload["parent"]),
+            span_id=int(payload["id"]),
+            meta=dict(payload.get("meta", {})),
+        )
+
+
+class Tracer:
+    """Collects spans, phase timers and metrics for one join run.
+
+    The tracer owns a :class:`~repro.obs.metrics.MetricsRegistry`
+    (``tracer.metrics``) so one object carries the whole observability
+    state of a run; exporters (:mod:`repro.obs.exporters`) consume the
+    tracer directly.
+    """
+
+    def __init__(self) -> None:
+        self._clock = time.perf_counter
+        self._epoch = self._clock()
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self.spans: List[SpanRecord] = []
+        #: thread ident -> stack of ``(span_id, name)`` currently open.
+        self._stacks: Dict[int, List[Tuple[int, str]]] = {}
+        #: phase name -> ``[total_seconds, call_count]`` (hot-path timers).
+        self._phases: Dict[str, List[float]] = {}
+        #: profiler phase name -> sample count (see repro.obs.profile).
+        self.profile_samples: Dict[str, int] = {}
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # clocks
+
+    def now(self) -> float:
+        """Monotonic seconds since this tracer was created."""
+        return self._clock() - self._epoch
+
+    # ------------------------------------------------------------------
+    # spans
+
+    @contextmanager
+    def span(self, name: str, **meta: MetaValue) -> Iterator[int]:
+        """Open a nested span; records a :class:`SpanRecord` on exit.
+
+        Nesting is per-thread: the innermost open span of the calling
+        thread becomes the parent.  The span id is yielded for callers
+        that want to reference it, though most ignore it.
+        """
+        ident = threading.get_ident()
+        stack = self._stacks.setdefault(ident, [])
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        parent = stack[-1][0] if stack else 0
+        start = self.now()
+        stack.append((span_id, name))
+        try:
+            yield span_id
+        finally:
+            stack.pop()
+            record = SpanRecord(
+                name=name,
+                start=start,
+                duration=self.now() - start,
+                parent=parent,
+                span_id=span_id,
+                meta=dict(meta),
+            )
+            with self._lock:
+                self.spans.append(record)
+
+    def active_stacks(self) -> Dict[int, List[str]]:
+        """Snapshot of every thread's open-span name stack (for sampling).
+
+        Reading foreign stacks relies on list append/pop atomicity under
+        the GIL; a sampler tolerates the rare off-by-one-frame snapshot.
+        """
+        return {
+            ident: [name for __, name in stack]
+            for ident, stack in list(self._stacks.items())
+            if stack
+        }
+
+    # ------------------------------------------------------------------
+    # hot-path phase timers
+
+    def add_phase_time(self, name: str, seconds: float) -> None:
+        """Accumulate one timed call into the named micro-phase.
+
+        For inner phases called thousands of times per run (the kernel
+        posting scan), a span per call would dominate the measurement;
+        an accumulator records ``(total seconds, call count)`` instead.
+        """
+        with self._lock:
+            entry = self._phases.get(name)
+            if entry is None:
+                self._phases[name] = [seconds, 1.0]
+            else:
+                entry[0] += seconds
+                entry[1] += 1.0
+
+    def phase_times(self) -> Dict[str, Tuple[float, int]]:
+        """``name -> (total seconds, call count)`` for every micro-phase."""
+        with self._lock:
+            return {
+                name: (entry[0], int(entry[1]))
+                for name, entry in self._phases.items()
+            }
+
+    # ------------------------------------------------------------------
+    # profiler samples
+
+    def add_profile_samples(self, samples: Dict[str, int]) -> None:
+        """Fold sampling-profiler counts in (see :mod:`repro.obs.profile`)."""
+        with self._lock:
+            for name, count in samples.items():
+                self.profile_samples[name] = (
+                    self.profile_samples.get(name, 0) + count
+                )
+
+    # ------------------------------------------------------------------
+    # cross-process merge
+
+    def export(self) -> Dict[str, Any]:
+        """The tracer's whole state as plain JSON-able dicts.
+
+        This is the only form that crosses process boundaries: worker
+        tasks return it alongside their :class:`TopkStats`, and the
+        parent folds it back with :meth:`absorb`.
+        """
+        with self._lock:
+            spans = [record.as_dict() for record in self.spans]
+            phases = {
+                name: {"total_s": entry[0], "count": int(entry[1])}
+                for name, entry in self._phases.items()
+            }
+            profile = dict(self.profile_samples)
+        return {
+            "schema": TRACE_SCHEMA,
+            "spans": spans,
+            "phases": phases,
+            "profile": profile,
+            "metrics": self.metrics.export(),
+        }
+
+    def absorb(self, payload: Dict[str, Any], prefix: str) -> None:
+        """Merge an exported tracer payload under a labeled container span.
+
+        The payload's root spans are re-parented under a synthetic span
+        named *prefix* (one per absorbed payload, so per-task subtrees
+        stay distinguishable in the phase tree); span ids are shifted to
+        stay unique.  Phase timers, profiler samples and metrics merge
+        additively — the same discipline as ``TopkStats.merge_from``.
+        Child span ``start`` offsets stay relative to the child's own
+        epoch (worker clocks are not synchronized with the parent's).
+        """
+        if payload.get("schema") != TRACE_SCHEMA:
+            raise ValueError(
+                "unsupported trace schema %r (expected %r)"
+                % (payload.get("schema"), TRACE_SCHEMA)
+            )
+        records = [SpanRecord.from_dict(raw) for raw in payload.get("spans", [])]
+        child_extent = max(
+            (record.start + record.duration for record in records),
+            default=0.0,
+        )
+        with self._lock:
+            offset = self._next_id
+            container = SpanRecord(
+                name=prefix,
+                start=self.now(),
+                duration=child_extent,
+                parent=0,
+                span_id=offset,
+                meta={"absorbed_spans": len(records)},
+            )
+            self._next_id += 1 + len(records)
+            self.spans.append(container)
+            for record in records:
+                record.span_id += offset
+                record.parent = (
+                    container.span_id
+                    if record.parent == 0
+                    else record.parent + offset
+                )
+                self.spans.append(record)
+            for name, entry in payload.get("phases", {}).items():
+                mine = self._phases.get(name)
+                if mine is None:
+                    self._phases[name] = [
+                        float(entry["total_s"]), float(entry["count"])
+                    ]
+                else:
+                    mine[0] += float(entry["total_s"])
+                    mine[1] += float(entry["count"])
+            for name, count in payload.get("profile", {}).items():
+                self.profile_samples[name] = (
+                    self.profile_samples.get(name, 0) + int(count)
+                )
+        self.metrics.absorb_export(payload.get("metrics", {}))

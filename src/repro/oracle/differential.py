@@ -31,6 +31,12 @@ backend           relation to :func:`repro.oracle.reference.naive_topk`
                   every oracle pair it misses lies below the threshold
                   schedule's floor (the baseline cannot enumerate pairs
                   below its last threshold)
+``trace-on``      **byte-identical** — installing a tracer must be a
+                  pure observation: the exact ordered ``(x, y, sim)``
+                  row list of the sequential, accel-off, accel-numpy
+                  (when importable) and sharded-parallel backends must
+                  not change when ``TopkOptions.trace`` is set, and the
+                  tracer must actually record spans (no silent no-op)
 ================  =====================================================
 
 All invariant-capable backends run with ``check_invariants=True``, so a
@@ -41,7 +47,7 @@ failure naming the violated invariant rather than crashing the sweep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..accel.kernel import numpy_available
@@ -49,6 +55,7 @@ from ..core.pptopk import _MIN_THRESHOLD, pptopk_join
 from ..core.rs_join import TaggedCollection, topk_join_rs
 from ..core.topk_join import TopkOptions, topk_join
 from ..data.records import RecordCollection
+from ..obs.tracer import Tracer
 from ..parallel.join import parallel_topk_join
 from ..result import JoinResult
 from ..similarity.functions import SimilarityFunction, similarity_by_name
@@ -227,6 +234,72 @@ def _pptopk_backend(
     return None
 
 
+def _trace_on_backend(
+    case: DifferentialCase,
+    collection: RecordCollection,
+    expected: List[JoinResult],
+    sim: SimilarityFunction,
+) -> Optional[str]:
+    """Tracing must be a pure observation, not a third code path.
+
+    Every backend that accepts ``TopkOptions.trace`` is run twice —
+    once plain, once with a fresh tracer installed — and the exact
+    *ordered* ``(x, y, similarity)`` row lists must match byte for
+    byte (strictly stronger than the tie-equivalence the other
+    backends use: even a tie reordering would flag).  Each traced run
+    must also record at least one span, so the plumbing cannot rot
+    into a silent no-op that this check would then vacuously pass.
+    """
+
+    def rows(results: List[JoinResult]) -> List[Tuple[int, int, float]]:
+        return [(r.x, r.y, r.similarity) for r in results]
+
+    configs = [
+        ("sequential", TopkOptions()),
+        ("accel-off", TopkOptions(accel="off")),
+    ]
+    if numpy_available():
+        configs.append(("accel-numpy", TopkOptions(accel="numpy")))
+    for label, options in configs:
+        plain = topk_join(collection, case.k, similarity=sim, options=options)
+        tracer = Tracer()
+        traced = topk_join(
+            collection, case.k, similarity=sim,
+            options=replace(options, trace=tracer),
+        )
+        if rows(traced) != rows(plain):
+            raise AssertionError(
+                "trace-on %s output diverges from trace-off: %r != %r"
+                % (label, rows(traced)[:8], rows(plain)[:8])
+            )
+        if not tracer.spans:
+            raise AssertionError(
+                "trace-on %s recorded no spans — tracing silently no-ops"
+                % label
+            )
+    plain = parallel_topk_join(
+        collection, case.k, similarity=sim, options=TopkOptions(),
+        workers=1, shards=_FUZZ_SHARDS,
+    )
+    tracer = Tracer()
+    traced = parallel_topk_join(
+        collection, case.k, similarity=sim,
+        options=TopkOptions(trace=tracer), workers=1, shards=_FUZZ_SHARDS,
+    )
+    if rows(traced) != rows(plain):
+        raise AssertionError(
+            "trace-on parallel output diverges from trace-off: %r != %r"
+            % (rows(traced)[:8], rows(plain)[:8])
+        )
+    if not tracer.spans:
+        raise AssertionError(
+            "trace-on parallel recorded no spans — the merger dropped "
+            "the worker trace payloads"
+        )
+    assert_topk_equivalent(traced, expected)
+    return None
+
+
 def _backend_registry() -> Dict[str, BackendFn]:
     registry = {
         "sequential": _equivalence_backend(
@@ -267,6 +340,7 @@ def _backend_registry() -> Dict[str, BackendFn]:
         ),
         "weighted": _weighted_backend,
         "pptopk": _pptopk_backend,
+        "trace-on": _trace_on_backend,
     }
     if numpy_available():
         registry["accel-numpy"] = _equivalence_backend(

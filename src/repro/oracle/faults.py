@@ -160,10 +160,11 @@ LINT_FAULTS: Tuple[SeededLintFault, ...] = (
         description="worker rebuilds TopkOptions instead of replace()",
         replacements=(
             (
-                "options = replace(base, bound_provider=_STATE[\"bound\"],"
-                " bipartite_sides=sides)",
-                "options = TopkOptions(bound_provider=_STATE[\"bound\"],"
-                " bipartite_sides=sides)",
+                "options = replace(\n"
+                "        base,\n"
+                "        bound_provider=_STATE[\"bound\"],",
+                "options = TopkOptions(\n"
+                "        bound_provider=_STATE[\"bound\"],",
             ),
         ),
     ),
@@ -176,12 +177,27 @@ LINT_FAULTS: Tuple[SeededLintFault, ...] = (
         ),
     ),
     SeededLintFault(
+        checker="stats-drift",
+        repro_path="obs/metrics.py",
+        description="absorb_topk_stats drops the suffix_pruned counter",
+        replacements=(
+            (
+                '        c("repro_suffix_pruned_total",\n'
+                '          "Candidates rejected by suffix filtering.").inc(\n'
+                "            stats.suffix_pruned)\n",
+                "",
+            ),
+        ),
+    ),
+    SeededLintFault(
         checker="registry-coverage",
         repro_path="oracle/differential.py",
         description="parallel backend dropped from the fuzzer registry",
         replacements=(
             ("from ..parallel.join import parallel_topk_join\n", ""),
             ("actual = parallel_topk_join(", "actual = topk_join("),
+            ("plain = parallel_topk_join(", "plain = topk_join("),
+            ("traced = parallel_topk_join(", "traced = topk_join("),
         ),
         expect_path="parallel/join.py",
     ),

@@ -31,8 +31,9 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.context
 import os
+from contextlib import nullcontext
 from dataclasses import replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, ContextManager, Dict, List, Optional, Sequence, Tuple
 
 from ..core.metrics import TopkStats
 from ..core.results import TopKBuffer
@@ -43,14 +44,17 @@ from ..data.records import RecordCollection
 from ..result import JoinResult
 from ..similarity.functions import Jaccard, SimilarityFunction
 from .bound import LocalSimilarityBound, SharedSimilarityBound
-from .merger import merge_task_results
+from .merger import absorb_task_traces, merge_task_results
 from .partitioner import shard_collection, task_plan
 from .worker import TaskRow, initialize_worker, run_task
 
 __all__ = ["parallel_topk_join"]
 
-#: ``(per-task result rows, per-task stats)`` as collected by a runner.
-_TaskOutcome = Tuple[List[List[TaskRow]], List[TopkStats]]
+#: ``(result rows, stats, trace payloads)`` per task, as collected by a
+#: runner; payloads are present only when the parent requested tracing.
+_TaskOutcome = Tuple[
+    List[List[TaskRow]], List[TopkStats], List[Dict[str, Any]]
+]
 
 #: Upper limit on the shard count; see the clamp in ``parallel_topk_join``.
 MAX_SHARDS = 64
@@ -96,35 +100,66 @@ def parallel_topk_join(
 
     # Tasks must start from a clean cooperative state; the shared bound
     # and per-task side labels are installed by the workers themselves.
-    base = replace(opts, bound_provider=None, bipartite_sides=None)
+    # The tracer is stripped too — it holds a lock and cannot cross
+    # process boundaries; tracing travels as a bool and worker-local
+    # tracers come back by value (see repro.parallel.worker).
+    tracer = opts.trace
+    base = replace(
+        opts, bound_provider=None, bipartite_sides=None, trace=None
+    )
 
-    # Seed the shared bound from the *global* collection before any task
-    # starts: per-task seeding only sees one or two shards, so without
-    # this the first wave of workers would grind with near-zero bounds
-    # until some task's buffer fills.  The seed pairs also join the merge
-    # (they are exactly verified global pairs), which is what makes
-    # pruning at the seeded bound safe for ties.
-    seed_bound, seed_rows, seed_stats = _global_seed(collection, k, sim, base)
-
-    outcome = None
-    if worker_count > 1:
-        outcome = _run_pool(
-            collection, rid_shards, k, sim, base, plan, worker_count, seed_bound
+    root: ContextManager[Any] = (
+        tracer.span(
+            "parallel_topk_join",
+            k=k,
+            workers=worker_count,
+            shards=len(rid_shards),
+            tasks=len(plan),
         )
-    if outcome is None:
-        outcome = _run_serial(collection, rid_shards, k, sim, base, plan, seed_bound)
+        if tracer is not None
+        else nullcontext()
+    )
+    with root:
+        # Seed the shared bound from the *global* collection before any
+        # task starts: per-task seeding only sees one or two shards, so
+        # without this the first wave of workers would grind with
+        # near-zero bounds until some task's buffer fills.  The seed
+        # pairs also join the merge (they are exactly verified global
+        # pairs), which is what makes pruning at the seeded bound safe
+        # for ties.
+        seed_bound, seed_rows, seed_stats = _global_seed(
+            collection, k, sim, base
+        )
 
-    task_rows, task_stats = outcome
-    task_rows.append(seed_rows)
-    task_stats.append(seed_stats)
-    if stats is not None:
-        for entry in task_stats:
-            stats.merge_from(entry)
+        outcome = None
+        if worker_count > 1:
+            outcome = _run_pool(
+                collection, rid_shards, k, sim, base, plan, worker_count,
+                seed_bound, trace=tracer is not None,
+            )
+        if outcome is None:
+            outcome = _run_serial(
+                collection, rid_shards, k, sim, base, plan, seed_bound,
+                trace=tracer is not None,
+            )
 
-    results = merge_task_results(task_rows, k)
-    if len(results) < k:
-        results.extend(_zero_fill(collection, k - len(results), results))
-    return results
+        task_rows, task_stats, task_traces = outcome
+        task_rows.append(seed_rows)
+        task_stats.append(seed_stats)
+        if stats is not None:
+            for entry in task_stats:
+                stats.merge_from(entry)
+        if tracer is not None:
+            # The merger's observability counterpart: worker span trees
+            # land under task-N containers, and the global seed's
+            # counters (it has no tracer of its own) fold in directly.
+            absorb_task_traces(tracer, task_traces)
+            tracer.metrics.absorb_topk_stats(seed_stats)
+
+        results = merge_task_results(task_rows, k)
+        if len(results) < k:
+            results.extend(_zero_fill(collection, k - len(results), results))
+        return results
 
 
 def _global_seed(
@@ -159,6 +194,7 @@ def _run_pool(
     plan: Sequence[Tuple[int, int]],
     worker_count: int,
     seed_bound: float,
+    trace: bool = False,
 ) -> Optional[_TaskOutcome]:
     """Execute *plan* on a process pool; None when no pool can be made."""
     try:
@@ -168,7 +204,9 @@ def _run_pool(
         pool = context.Pool(
             processes,
             initializer=initialize_worker,
-            initargs=(collection, rid_shards, k, sim, base, shared.raw),
+            initargs=(
+                collection, rid_shards, k, sim, base, shared.raw, trace,
+            ),
         )
         # Shut the pool down explicitly: ``Pool.__exit__`` calls
         # ``terminate()``, which kills workers mid-flight and leaks
@@ -178,16 +216,19 @@ def _run_pool(
         try:
             task_rows: List[List[TaskRow]] = []
             task_stats: List[TopkStats] = []
-            for rows, entry in pool.imap_unordered(run_task, plan):
+            task_traces: List[Dict[str, Any]] = []
+            for rows, entry, payload in pool.imap_unordered(run_task, plan):
                 task_rows.append(rows)
                 task_stats.append(entry)
+                if payload is not None:
+                    task_traces.append(payload)
             pool.close()
         except BaseException:
             pool.terminate()
             raise
         finally:
             pool.join()
-        return task_rows, task_stats
+        return task_rows, task_stats, task_traces
     except (ImportError, OSError, PermissionError):
         # No usable multiprocessing primitives (e.g. sandboxed /dev/shm);
         # the serial path computes the identical answer.
@@ -202,18 +243,23 @@ def _run_serial(
     base: TopkOptions,
     plan: Sequence[Tuple[int, int]],
     seed_bound: float,
+    trace: bool = False,
 ) -> _TaskOutcome:
     """Execute *plan* in-process, sharing the bound across tasks."""
     initialize_worker(
-        collection, rid_shards, k, sim, base, LocalSimilarityBound(seed_bound)
+        collection, rid_shards, k, sim, base,
+        LocalSimilarityBound(seed_bound), trace,
     )
     task_rows: List[List[TaskRow]] = []
     task_stats: List[TopkStats] = []
+    task_traces: List[Dict[str, Any]] = []
     for task in plan:
-        rows, entry = run_task(task)
+        rows, entry, payload = run_task(task)
         task_rows.append(rows)
         task_stats.append(entry)
-    return task_rows, task_stats
+        if payload is not None:
+            task_traces.append(payload)
+    return task_rows, task_stats, task_traces
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:

@@ -21,12 +21,15 @@ pair asc) rather than by event processing order.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Tuple
 
 from ..result import JoinResult, sort_results
 from .worker import TaskRow
 
-__all__ = ["merge_task_results"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.tracer import Tracer
+
+__all__ = ["absorb_task_traces", "merge_task_results"]
 
 
 def merge_task_results(task_rows: Iterable[List[TaskRow]], k: int) -> List[JoinResult]:
@@ -46,3 +49,20 @@ def merge_task_results(task_rows: Iterable[List[TaskRow]], k: int) -> List[JoinR
                 best[pair] = value
     merged = sort_results(JoinResult(x, y, value) for (x, y), value in best.items())
     return merged[:k]
+
+
+def absorb_task_traces(
+    tracer: "Tracer", payloads: Iterable[Dict[str, Any]]
+) -> None:
+    """Fold worker-exported trace payloads into the parent tracer.
+
+    The observability counterpart of :func:`merge_task_results`, applied
+    alongside ``TopkStats.merge_from``: each task's span subtree lands
+    under a ``task-N`` container span, its micro-phase timers and
+    profiler samples add up, and its counters / gauges / histograms
+    merge by their declared semantics.  Derived gauges (ratios do not
+    merge) are re-computed once over the merged counters at the end.
+    """
+    for number, payload in enumerate(payloads, start=1):
+        tracer.absorb(payload, prefix="task-%d" % number)
+    tracer.metrics.finalize_derived()

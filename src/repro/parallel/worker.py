@@ -12,11 +12,12 @@ visible to coverage tooling.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Sequence, Tuple, cast
+from typing import Any, Dict, List, Optional, Sequence, Tuple, cast
 
 from ..core.metrics import TopkStats
 from ..core.topk_join import TopkOptions, topk_join_iter
 from ..data.records import RecordCollection
+from ..obs.tracer import Tracer
 from ..similarity.functions import SimilarityFunction
 from .bound import SharedSimilarityBound
 from .partitioner import subproblem
@@ -25,6 +26,9 @@ __all__ = ["initialize_worker", "run_task"]
 
 #: One joined pair in global-rid terms: ``(x, y, similarity)``.
 TaskRow = Tuple[int, int, float]
+
+#: Exported trace payload of one task (``None`` when tracing is off).
+TaskTrace = Optional[Dict[str, Any]]
 
 _STATE: Dict[str, object] = {}
 
@@ -36,12 +40,17 @@ def initialize_worker(
     similarity: SimilarityFunction,
     options: TopkOptions,
     bound: object,
+    trace: bool = False,
 ) -> None:
     """Install the task context shared by every ``run_task`` call.
 
     *bound* is either a provider object (serial in-process execution) or
     the raw ``multiprocessing.Value`` inherited from the parent, which
     each worker process wraps in its own :class:`SharedSimilarityBound`.
+    *trace* asks each task to build a worker-local :class:`Tracer` and
+    return its exported payload — the parent's tracer never crosses the
+    process boundary (it holds a lock), so tracing travels as this bool
+    and comes back by value.
     """
     if not hasattr(bound, "offer"):
         bound = SharedSimilarityBound(bound)
@@ -55,14 +64,19 @@ def initialize_worker(
     _STATE["similarity"] = similarity
     _STATE["options"] = options
     _STATE["bound"] = bound
+    _STATE["trace"] = trace
 
 
-def run_task(task: Tuple[int, int]) -> Tuple[List[TaskRow], TopkStats]:
+def run_task(
+    task: Tuple[int, int]
+) -> Tuple[List[TaskRow], TopkStats, TaskTrace]:
     """Run one sub-join task ``(i, j)`` against the installed context.
 
     Diagonal tasks self-join shard *i*; cross tasks run the bipartite
     join ``Ri × Rj``.  Results come back as global-rid rows plus the
-    task's :class:`TopkStats` for aggregation.
+    task's :class:`TopkStats` for aggregation and — when the worker was
+    initialized with ``trace=True`` — the task's exported trace payload
+    for :func:`repro.parallel.merger.absorb_task_traces`.
     """
     i, j = task
     collection = cast(RecordCollection, _STATE["collection"])
@@ -72,7 +86,13 @@ def run_task(task: Tuple[int, int]) -> Tuple[List[TaskRow], TopkStats]:
     else:
         sub, sides = subproblem(collection, shards[i], shards[j])
     base = cast(TopkOptions, _STATE["options"])
-    options = replace(base, bound_provider=_STATE["bound"], bipartite_sides=sides)
+    tracer = Tracer() if _STATE.get("trace") else None
+    options = replace(
+        base,
+        bound_provider=_STATE["bound"],
+        bipartite_sides=sides,
+        trace=tracer,
+    )
     stats = TopkStats()
     rows: List[TaskRow] = []
     for result in topk_join_iter(
@@ -87,4 +107,5 @@ def run_task(task: Tuple[int, int]) -> Tuple[List[TaskRow], TopkStats]:
         if x > y:
             x, y = y, x
         rows.append((x, y, result.similarity))
-    return rows, stats
+    payload = tracer.export() if tracer is not None else None
+    return rows, stats, payload

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -105,3 +107,101 @@ class TestGenerateAndStats:
         main(["generate", "--dataset", "trec", "--n", "40",
               "--seed", "9", "--output", b])
         assert open(a).read() == open(b).read()
+
+
+class TestTopkTraceFlags:
+    def test_trace_prints_tree_to_stderr(self, data_file, capsys):
+        assert main(
+            ["topk", "--input", data_file, "--k", "3", "--trace"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 3  # results intact
+        assert "topk_join" in captured.err
+        assert "event_loop" in captured.err
+
+    def test_trace_does_not_change_results(self, data_file, capsys):
+        main(["topk", "--input", data_file, "--k", "4"])
+        plain = capsys.readouterr().out
+        main(["topk", "--input", data_file, "--k", "4", "--trace"])
+        traced = capsys.readouterr().out
+        assert traced == plain
+
+    def test_trace_out_json(self, data_file, tmp_path, capsys):
+        out = str(tmp_path / "trace.json")
+        assert main(
+            ["topk", "--input", data_file, "--k", "3", "--trace-out", out]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(open(out).read())
+        assert payload["schema"] == 1
+        assert any(s["name"] == "topk_join" for s in payload["spans"])
+        assert "phase_tree" in payload
+
+    def test_trace_out_prometheus(self, data_file, tmp_path, capsys):
+        out = str(tmp_path / "metrics.prom")
+        assert main(
+            ["topk", "--input", data_file, "--k", "3", "--trace-out", out]
+        ) == 0
+        capsys.readouterr()
+        text = open(out).read()
+        assert "# TYPE repro_events_total counter" in text
+        assert "repro_span_seconds_total" in text
+
+    def test_malformed_trace_out_exits_2(self, data_file, tmp_path, capsys):
+        bad = str(tmp_path / "no" / "such" / "dir" / "trace.json")
+        assert main(
+            ["topk", "--input", data_file, "--k", "3", "--trace-out", bad]
+        ) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""  # fails before the join runs
+        assert "cannot write trace output" in captured.err
+
+
+class TestTraceCommand:
+    def test_tree_on_stdout_artifacts_on_disk(
+        self, data_file, tmp_path, capsys
+    ):
+        prom = str(tmp_path / "metrics.prom")
+        payload_path = str(tmp_path / "trace.json")
+        assert main(
+            ["trace", "--input", data_file, "--k", "3",
+             "--prom-out", prom, "--json-out", payload_path]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "topk_join" in captured.out
+        assert "results in" in captured.err  # summary goes to stderr
+        prom_text = open(prom).read()
+        assert "# TYPE repro_candidates_total counter" in prom_text
+        payload = json.loads(open(payload_path).read())
+        assert payload["phase_tree"]["roots"][0]["name"] == "topk_join"
+
+    def test_workload_and_input_are_mutually_exclusive(self):
+        # (argparse only flags the conflict when the explicit value
+        # differs from the default, hence "trec" rather than "dblp")
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "--workload", "trec", "--input", "f"]
+            )
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.workload == "dblp"
+        assert args.k == 100
+
+    def test_bad_prom_out_exits_2(self, data_file, tmp_path, capsys):
+        bad = str(tmp_path / "missing" / "metrics.prom")
+        assert main(
+            ["trace", "--input", data_file, "--k", "2", "--prom-out", bad]
+        ) == 2
+        assert "cannot write trace output" in capsys.readouterr().err
+
+    def test_bad_json_out_closes_earlier_outputs(
+        self, data_file, tmp_path, capsys
+    ):
+        good = str(tmp_path / "metrics.prom")
+        bad = str(tmp_path / "missing" / "trace.json")
+        assert main(
+            ["trace", "--input", data_file, "--k", "2",
+             "--prom-out", good, "--json-out", bad]
+        ) == 2
+        assert "cannot write trace output" in capsys.readouterr().err

@@ -26,6 +26,9 @@ from repro.oracle.fuzz import (
     shrink_case,
 )
 
+# Heavy Hypothesis/fuzz suite: runs in the slow CI lane.
+pytestmark = pytest.mark.slow
+
 
 def test_all_backends_registered():
     from repro.accel.kernel import numpy_available
@@ -33,7 +36,7 @@ def test_all_backends_registered():
     expected = {
         "sequential", "record-all", "ablated", "parallel", "rs",
         "weighted", "pptopk", "accel-off", "accel-python",
-        "parallel-accel-off", "rs-accel-off",
+        "parallel-accel-off", "rs-accel-off", "trace-on",
     }
     if numpy_available():
         expected.add("accel-numpy")

@@ -1,0 +1,202 @@
+"""Unit tests for the metrics registry, absorbers and exporters.
+
+``TestAbsorberCoverage`` is the runtime half of the ``stats-drift``
+absorber lint rule: the checker proves ``absorb_topk_stats`` /
+``absorb_join_stats`` *read* every field; these tests prove each field
+actually *changes* the exported registry, with the field list discovered
+through ``dataclasses.fields`` so new counters are covered automatically.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.metrics import EmitEvent, JoinStats, TopkStats
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    to_prometheus_text,
+)
+from repro.obs.metrics import Gauge, Histogram
+
+
+class TestGaugeModes:
+    def test_max_mode_keeps_best_value(self):
+        gauge = Gauge(name="g", help="", mode="max")
+        gauge.set(2.0)
+        gauge.set(1.0)
+        assert gauge.value == 2.0
+        gauge.set(3.0)
+        assert gauge.value == 3.0
+
+    def test_sum_mode_merge_adds(self):
+        a = Gauge(name="g", help="", mode="sum")
+        b = Gauge(name="g", help="", mode="sum")
+        a.set(2.0)
+        b.set(3.0)
+        a.merge_from(b)
+        assert a.value == 5.0
+
+    def test_last_mode_merge_replaces(self):
+        a = Gauge(name="g", help="", mode="last")
+        b = Gauge(name="g", help="", mode="last")
+        a.set(2.0)
+        b.set(3.0)
+        a.merge_from(b)
+        assert a.value == 3.0
+
+    def test_merge_from_unset_gauge_is_a_noop(self):
+        a = Gauge(name="g", help="", mode="sum")
+        a.set(2.0)
+        a.merge_from(Gauge(name="g", help="", mode="sum"))
+        assert a.value == 2.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Gauge(name="g", help="", mode="median")
+
+    def test_conflicting_modes_refuse_to_merge(self):
+        a = Gauge(name="g", help="", mode="sum")
+        with pytest.raises(ValueError):
+            a.merge_from(Gauge(name="g", help="", mode="max"))
+
+
+class TestHistogram:
+    def test_observe_fills_the_right_buckets(self):
+        histogram = Histogram(name="h", help="", edges=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        histogram.observe(9.0)  # lands in the implicit +Inf bucket
+        assert histogram.bucket_counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.total == 11.0
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(name="h", help="", edges=(2.0, 1.0))
+
+    def test_merge_requires_identical_edges(self):
+        a = Histogram(name="h", help="", edges=(1.0,))
+        with pytest.raises(ValueError):
+            a.merge_from(Histogram(name="h", help="", edges=(2.0,)))
+
+    def test_merge_adds_buckets_and_totals(self):
+        a = Histogram(name="h", help="", edges=(1.0,))
+        b = Histogram(name="h", help="", edges=(1.0,))
+        a.observe(0.5)
+        b.observe(5.0)
+        a.merge_from(b)
+        assert a.bucket_counts == [1, 1]
+        assert a.count == 2 and a.total == 5.5
+
+
+class TestAbsorberCoverage:
+    def test_every_topk_stats_field_influences_the_export(self):
+        baseline = MetricsRegistry()
+        baseline.absorb_topk_stats(TopkStats())
+        for spec in dataclasses.fields(TopkStats):
+            if spec.type in ("int", int):
+                bumped = TopkStats(**{spec.name: 7})
+            elif spec.name == "emits":
+                bumped = TopkStats(
+                    emits=[EmitEvent(1, 0.5, 0.9, 0.4, 0.002)]
+                )
+            else:
+                pytest.fail(
+                    "extend this test for TopkStats.%s (type %r)"
+                    % (spec.name, spec.type)
+                )
+            registry = MetricsRegistry()
+            registry.absorb_topk_stats(bumped)
+            assert registry.export() != baseline.export(), spec.name
+
+    def test_every_join_stats_field_influences_the_export(self):
+        baseline = MetricsRegistry()
+        baseline.absorb_join_stats(JoinStats())
+        for spec in dataclasses.fields(JoinStats):
+            registry = MetricsRegistry()
+            registry.absorb_join_stats(JoinStats(**{spec.name: 7}))
+            assert registry.export() != baseline.export(), spec.name
+
+    def test_counter_values_match_the_stats(self):
+        registry = MetricsRegistry()
+        registry.absorb_topk_stats(
+            TopkStats(events=5, candidates=9, verifications=4),
+            record_count=2,
+        )
+        counters = {c.name: c.value for c in registry.counters()}
+        assert counters["repro_events_total"] == 5
+        assert counters["repro_candidates_total"] == 9
+        assert counters["repro_verifications_total"] == 4
+        gauges = {g.name: g.value for g in registry.gauges()}
+        assert gauges["repro_verifications_per_record"] == 2.0
+
+    def test_bitmap_hit_rate_is_rederived_from_merged_counters(self):
+        # A ratio of sums is not a sum (or average) of ratios: 5/10 and
+        # 10/10 must merge to 15/20 = 0.75, not 0.5, 1.0 or 1.5.
+        a = MetricsRegistry()
+        a.absorb_topk_stats(TopkStats(bitmap_checked=10, bitmap_pruned=5))
+        b = MetricsRegistry()
+        b.absorb_topk_stats(TopkStats(bitmap_checked=10, bitmap_pruned=10))
+        a.merge_from(b)
+        gauges = {g.name: g.value for g in a.gauges()}
+        assert gauges["repro_bitmap_hit_rate"] == pytest.approx(0.75)
+
+
+class TestWireFormat:
+    def test_export_absorb_roundtrip_merges_additively(self):
+        source = MetricsRegistry()
+        source.counter("c", "help").inc(3)
+        source.gauge("g", "help", mode="sum").set(2.0)
+        source.histogram("h", "help", edges=(1.0,)).observe(0.5)
+
+        target = MetricsRegistry()
+        target.counter("c", "help").inc(1)
+        target.gauge("g", "help", mode="sum").set(1.0)
+        target.histogram("h", "help", edges=(1.0,)).observe(5.0)
+        target.absorb_export(source.export())
+
+        assert target.counter("c").value == 4
+        assert target.gauge("g").value == 3.0
+        histogram = target.histogram("h")
+        assert histogram.bucket_counts == [1, 1]
+        assert histogram.count == 2
+
+    def test_labeled_families_stay_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help", labels={"side": "r"}).inc(1)
+        registry.counter("c", "help", labels={"side": "s"}).inc(2)
+        values = sorted(c.value for c in registry.counters())
+        assert values == [1, 2]
+
+
+class TestPrometheusText:
+    def test_families_and_histogram_series(self):
+        tracer = Tracer()
+        with tracer.span("topk_join"):
+            pass
+        tracer.add_phase_time("kernel_scan", 0.5)
+        tracer.metrics.absorb_topk_stats(
+            TopkStats(
+                events=5,
+                bitmap_checked=4,
+                bitmap_pruned=3,
+                emits=[EmitEvent(1, 0.5, 0.9, 0.4, 0.002)],
+            )
+        )
+        text = to_prometheus_text(tracer)
+        assert "# TYPE repro_events_total counter" in text
+        assert "repro_events_total 5" in text
+        assert "# TYPE repro_emit_latency_seconds histogram" in text
+        assert 'repro_emit_latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_emit_latency_seconds_count 1" in text
+        assert 'repro_span_seconds_total{phase="topk_join"}' in text
+        assert 'repro_phase_calls_total{phase="kernel_scan"} 1' in text
+
+    def test_label_values_are_escaped(self):
+        tracer = Tracer()
+        tracer.metrics.counter(
+            "c", "help", labels={"dataset": 'a"b\nc\\d'}
+        ).inc(1)
+        text = to_prometheus_text(tracer)
+        assert 'dataset="a\\"b\\nc\\\\d"' in text

@@ -7,6 +7,7 @@ k-th value is shared by many pairs (the only regime where the shared-bound
 pruning argument has any room to go wrong).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -21,6 +22,9 @@ from repro import (
 from repro.data import RecordCollection
 
 from conftest import rounded_multiset
+
+# Heavy Hypothesis/fuzz suite: runs in the slow CI lane.
+pytestmark = pytest.mark.slow
 
 token_sets = st.lists(
     st.sets(st.integers(min_value=0, max_value=20), min_size=1, max_size=8),

@@ -11,6 +11,7 @@ These encode the paper's lemmas directly:
 
 import math
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -28,6 +29,9 @@ from repro.data import RecordCollection
 from repro.similarity.overlap import overlap_size
 
 from conftest import rounded_multiset
+
+# Heavy Hypothesis/fuzz suite: runs in the slow CI lane.
+pytestmark = pytest.mark.slow
 
 token_sets = st.lists(
     st.sets(st.integers(min_value=0, max_value=20), min_size=1, max_size=8),

@@ -1,5 +1,6 @@
 """Property-based tests for the extensions (R-S join, session, approx)."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -15,6 +16,9 @@ from repro.data import RecordCollection
 from repro.similarity import Jaccard
 
 from conftest import rounded_multiset
+
+# Heavy Hypothesis/fuzz suite: runs in the slow CI lane.
+pytestmark = pytest.mark.slow
 
 token_sets = st.lists(
     st.sets(st.integers(min_value=0, max_value=15), min_size=1, max_size=6),

@@ -1,5 +1,6 @@
 """Property-based tests for the search and dedup layers."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -7,6 +8,9 @@ from repro.data import RecordCollection
 from repro.dedup import cluster_by_threshold
 from repro.search import SearchIndex
 from repro.similarity import Jaccard
+
+# Heavy Hypothesis/fuzz suite: runs in the slow CI lane.
+pytestmark = pytest.mark.slow
 
 token_sets = st.lists(
     st.sets(st.integers(min_value=0, max_value=18), min_size=1, max_size=7),

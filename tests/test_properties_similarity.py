@@ -31,6 +31,9 @@ from repro.similarity.functions import (
     similarity_by_name,
 )
 
+# Heavy Hypothesis/fuzz suite: runs in the slow CI lane.
+pytestmark = pytest.mark.slow
+
 NORMALIZED = [Jaccard(), Cosine(), Dice()]
 ALL_FUNCTIONS = NORMALIZED + [Overlap()]
 

@@ -1,0 +1,110 @@
+"""Auto-discovered round-trip tests for the mergeable stats classes.
+
+The ``stats-drift`` lint rule proves ``merge_from`` *mentions* every
+field; these tests prove the *arithmetic*.  Fields are enumerated with
+``dataclasses.fields`` at test time, so a counter added to ``TopkStats``
+tomorrow is exercised the day it lands — no test edit required:
+
+* every int counter must sum across ``merge_from``;
+* the ``emits`` trace must concatenate in merge order;
+* ``combined`` over N instances must equal N sequential ``merge_from``
+  calls into a fresh instance;
+* the value filler fails loudly on a field type it does not know how to
+  populate, so coverage cannot silently narrow when the class grows.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.metrics import EmitEvent, TopkStats
+
+
+def _emit(seed: int) -> EmitEvent:
+    return EmitEvent(
+        index=seed,
+        similarity=0.5 + (seed % 5) / 10.0,
+        upper_bound=0.95,
+        s_k=0.4,
+        elapsed=0.001 * seed,
+    )
+
+
+def _int_fields():
+    return [
+        spec.name
+        for spec in dataclasses.fields(TopkStats)
+        if spec.type in ("int", int)
+    ]
+
+
+def _filled(salt: int) -> TopkStats:
+    """A ``TopkStats`` with every field at a distinct non-default value."""
+    kwargs = {}
+    for offset, spec in enumerate(dataclasses.fields(TopkStats), start=1):
+        if spec.type in ("int", int):
+            kwargs[spec.name] = salt * 100 + offset
+        elif spec.name == "emits":
+            kwargs[spec.name] = [_emit(salt * 100 + offset)]
+        else:
+            pytest.fail(
+                "don't know how to fill TopkStats.%s (type %r); extend "
+                "_filled so the round-trip keeps covering every field"
+                % (spec.name, spec.type)
+            )
+    return TopkStats(**kwargs)
+
+
+class TestMergeFrom:
+    def test_every_int_field_sums(self):
+        a, b = _filled(1), _filled(2)
+        expected = {
+            name: getattr(a, name) + getattr(b, name)
+            for name in _int_fields()
+        }
+        a.merge_from(b)
+        for name in _int_fields():
+            assert getattr(a, name) == expected[name], name
+
+    def test_emits_concatenate_in_merge_order(self):
+        a, b = _filled(1), _filled(2)
+        first, second = a.emits[0], b.emits[0]
+        a.merge_from(b)
+        assert a.emits == [first, second]
+
+    def test_source_instance_is_untouched(self):
+        a, b = _filled(1), _filled(2)
+        snapshot = dataclasses.asdict(b)
+        a.merge_from(b)
+        assert dataclasses.asdict(b) == snapshot
+
+    def test_merge_into_default_copies_every_field(self):
+        fresh, source = TopkStats(), _filled(3)
+        fresh.merge_from(source)
+        assert dataclasses.asdict(fresh) == dataclasses.asdict(source)
+
+    def test_filler_leaves_no_field_at_default(self):
+        # Guards the tests above against a degenerate filler: summing
+        # zeros would "pass" while proving nothing.
+        defaults = TopkStats()
+        filled = _filled(4)
+        for spec in dataclasses.fields(TopkStats):
+            assert getattr(filled, spec.name) != getattr(
+                defaults, spec.name
+            ), spec.name
+
+
+class TestCombined:
+    def test_equals_sequential_merge(self):
+        runs = [_filled(salt) for salt in (1, 2, 3, 4)]
+        manual = TopkStats()
+        for run in runs:
+            manual.merge_from(run)
+        assert dataclasses.asdict(TopkStats.combined(runs)) == (
+            dataclasses.asdict(manual)
+        )
+
+    def test_empty_iterable_yields_defaults(self):
+        assert dataclasses.asdict(TopkStats.combined([])) == (
+            dataclasses.asdict(TopkStats())
+        )
