@@ -15,7 +15,11 @@ publish the numbers as a build artifact).  ``--input FILE`` skips the
 measurement and gates a previously written report instead — CI measures
 once, then applies both the functional gate and the tighter observability
 overhead budget (``--slowdown-limit 1.05``) to the same numbers.  ``--k``
-restricts the k sweep (repeatable) to keep smoke runs short.  The JSON
+restricts the k sweep (repeatable) to keep smoke runs short.
+``--workers N`` adds a ``parallel`` row — the sharded backend's N-worker
+speedup over its own 1-worker serial run — which ``--check`` gates
+against ``--min-parallel-speedup`` (the shared-memory data-plane
+contract; CI runs ``--workers 2``).  The JSON
 structure is shared with ``repro bench --json``; see
 :mod:`repro.bench.baseline`.
 """
@@ -31,11 +35,13 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.bench.baseline import (  # noqa: E402 — path bootstrap above
     BASELINE_PATH,
+    MIN_PARALLEL_SPEEDUP,
     MIN_SPEEDUP,
     SLOWDOWN_LIMIT,
     check_against_baseline,
     load_baseline,
     measure_baseline,
+    measure_parallel,
     save_baseline,
     speedup_of,
 )
@@ -79,6 +85,18 @@ def main(argv=None) -> int:
         help="required accel on-vs-off speedup at the default k for "
              "--check (default %.2f)" % MIN_SPEEDUP,
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="also measure the sharded backend's N-worker speedup over "
+             "its 1-worker serial run and add it to the report as a "
+             "'parallel' row (--check then gates it)",
+    )
+    parser.add_argument(
+        "--min-parallel-speedup", type=float,
+        default=MIN_PARALLEL_SPEEDUP,
+        help="required multi-worker speedup for --check when the report "
+             "has a parallel row (default %.2f)" % MIN_PARALLEL_SPEEDUP,
+    )
     args = parser.parse_args(argv)
 
     if args.input:
@@ -86,6 +104,13 @@ def main(argv=None) -> int:
         print("# loaded %s" % args.input, file=sys.stderr)
     else:
         report = measure_baseline(k_values=args.k)
+    if args.workers is not None and args.workers > 1:
+        report["parallel"] = measure_parallel(args.workers)
+        print(
+            "# parallel row: %(workers)s workers on %(dataset)s k=%(k)s "
+            "-> %(speedup)sx" % report["parallel"],
+            file=sys.stderr,
+        )
     ratio = speedup_of(report)
     print(
         "# measured %d cells, accel speedup at default k: %s"
@@ -113,6 +138,7 @@ def main(argv=None) -> int:
             report, baseline,
             slowdown_limit=args.slowdown_limit,
             min_speedup=args.min_speedup,
+            min_parallel_speedup=args.min_parallel_speedup,
         )
         for failure in failures:
             print("REGRESSION: %s" % failure, file=sys.stderr)

@@ -98,9 +98,7 @@ def resolve_accel_mode(mode: str) -> str:
     demands NumPy and raises when it is missing.
     """
     if mode not in ACCEL_MODES:
-        raise ValueError(
-            "accel must be one of %s, got %r" % (ACCEL_MODES, mode)
-        )
+        raise ValueError("accel must be one of %s, got %r" % (ACCEL_MODES, mode))
     if mode == "on":
         return "numpy" if numpy_available() else "python"
     if mode == "numpy" and not numpy_available():
@@ -131,8 +129,7 @@ def make_kernel(
         return None
     cls = NumpyScanKernel if mode == "numpy" else PythonScanKernel
     kernel = cls(
-        collection, similarity, options, buffer, registry, seen_pairs,
-        stats, checks,
+        collection, similarity, options, buffer, registry, seen_pairs, stats, checks
     )
     tracer = options.trace
     if tracer is not None:
@@ -152,9 +149,7 @@ class _TracedKernel:
 
     __slots__ = ("kernel", "_tracer")
 
-    def __init__(
-        self, kernel: "PythonScanKernel", tracer: "Tracer"
-    ) -> None:
+    def __init__(self, kernel: "PythonScanKernel", tracer: "Tracer") -> None:
         self.kernel = kernel
         self._tracer = tracer
 
@@ -169,9 +164,7 @@ class _TracedKernel:
     ) -> None:
         begin = time.perf_counter()
         self.kernel.scan(probe_index, token, rid, prefix, bound, external)
-        self._tracer.add_phase_time(
-            "kernel_scan", time.perf_counter() - begin
-        )
+        self._tracer.add_phase_time("kernel_scan", time.perf_counter() - begin)
 
 
 class PythonScanKernel:
@@ -334,9 +327,15 @@ class PythonScanKernel:
                     continue
             if suffix_on and alpha > 1:
                 if not suffix_admits(
-                    sim, s_k, tokens_x, tokens_y,
-                    prefix, col_positions[position],
-                    seen_overlap=1, maxdepth=maxdepth, alpha=alpha,
+                    sim,
+                    s_k,
+                    tokens_x,
+                    tokens_y,
+                    prefix,
+                    col_positions[position],
+                    seen_overlap=1,
+                    maxdepth=maxdepth,
+                    alpha=alpha,
                 ):
                     suffix_pruned += 1
                     continue
@@ -543,9 +542,7 @@ class NumpyScanKernel(PythonScanKernel):
 
         # Positional filter (Section V-A), vectorized.
         if self.positional_on:
-            positions = np.frombuffer(columns.positions, dtype=np.int64)[
-                :batch
-            ]
+            positions = np.frombuffer(columns.positions, dtype=np.int64)[:batch]
             best = 1 + np.minimum(rest_x, sizes_y - positions)
             ok_positional = best >= alphas
             stats.positional_pruned += int((ok & ~ok_positional).sum())
@@ -559,8 +556,15 @@ class NumpyScanKernel(PythonScanKernel):
         survivors = np.nonzero(ok)[0]
         if len(survivors):
             self._process_survivors(
-                survivors.tolist(), columns, rid, tokens_x, size_x,
-                prefix, external, full, s_k,
+                survivors.tolist(),
+                columns,
+                rid,
+                tokens_x,
+                size_x,
+                prefix,
+                external,
+                full,
+                s_k,
             )
         if batch < total:
             probe_index.truncate(token, batch)
@@ -625,9 +629,15 @@ class NumpyScanKernel(PythonScanKernel):
                 continue
             if suffix_on and alpha > 1:
                 if not suffix_admits(
-                    sim, s_k, tokens_x, tokens_y,
-                    prefix, col_positions[index],
-                    seen_overlap=1, maxdepth=maxdepth, alpha=alpha,
+                    sim,
+                    s_k,
+                    tokens_x,
+                    tokens_y,
+                    prefix,
+                    col_positions[index],
+                    seen_overlap=1,
+                    maxdepth=maxdepth,
+                    alpha=alpha,
                 ):
                     suffix_pruned += 1
                     continue

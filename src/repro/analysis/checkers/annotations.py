@@ -65,9 +65,7 @@ class AnnotationsChecker(Checker):
     def _check_module(self, module: ModuleSource) -> Iterator[Finding]:
         assert module.tree is not None
         for function, __ in iter_functions(module.tree):
-            if not isinstance(
-                function, (ast.FunctionDef, ast.AsyncFunctionDef)
-            ):
+            if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
             missing = _missing_annotations(function)
             if missing:

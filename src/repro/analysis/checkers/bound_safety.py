@@ -36,9 +36,7 @@ from ..registry import Checker, register
 __all__ = ["BoundSafetyChecker"]
 
 #: Identifier words marking a similarity-valued expression.
-_SIM_WORDS = frozenset(
-    {"bound", "bounds", "similarity", "sim", "threshold", "cutoff"}
-)
+_SIM_WORDS = frozenset({"bound", "bounds", "similarity", "sim", "threshold", "cutoff"})
 
 #: Calls whose result is a similarity/bound value.
 _SIM_VALUED_CALLS = frozenset(
@@ -79,9 +77,7 @@ def _is_similarity_valued(node: ast.expr) -> bool:
 
 def _compares_none(comparison: ast.Compare) -> bool:
     operands = [comparison.left] + list(comparison.comparators)
-    return any(
-        isinstance(op, ast.Constant) and op.value is None for op in operands
-    )
+    return any(isinstance(op, ast.Constant) and op.value is None for op in operands)
 
 
 @register
@@ -108,9 +104,7 @@ class BoundSafetyChecker(Checker):
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Compare):
                 continue
-            if not any(
-                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
-            ):
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
                 continue
             if _compares_none(node):
                 continue
@@ -137,10 +131,7 @@ class BoundSafetyChecker(Checker):
                 continue
             for node in ast.walk(function):
                 floordiv = (
-                    isinstance(node, ast.BinOp)
-                    and isinstance(node.op, ast.FloorDiv)
-                ) or (
-                    isinstance(node, ast.AugAssign)
+                    isinstance(node, (ast.BinOp, ast.AugAssign))
                     and isinstance(node.op, ast.FloorDiv)
                 )
                 if floordiv:

@@ -27,6 +27,13 @@ apply, results stay plausible — so they are checked statically:
   parallel layer forgot its half of the contract — e.g. a tracer that
   silently rides into (or is dropped by) the workers under
   ``--workers`` while the sequential path honors it.
+
+* **uninstalled entry parameter** — the parallel entry point's keyword
+  surface (``workers``, ``shards``, ``shm``, ...) is plumbing of its own:
+  every parameter ``parallel_topk_join`` accepts must be read somewhere
+  in its body.  An accepted-but-unread parameter is the same silent
+  failure one level up — the CLI forwards the flag, the signature
+  swallows it, and the join runs as if it were never passed.
 """
 
 from __future__ import annotations
@@ -60,6 +67,10 @@ _BLESSED_OVERRIDES = frozenset({"bound_provider", "bipartite_sides", "trace"})
 #: partial-tree runs.
 _FULL_TREE_MODULES = ("core/topk_join.py", "parallel/join.py")
 
+#: Public entry points whose parameter list is itself plumbing: every
+#: parameter accepted by these functions must be read in their body.
+_ENTRY_POINTS = {"parallel/join.py": ("parallel_topk_join",)}
+
 
 def _find_class(tree: ast.Module, name: str) -> ast.ClassDef:
     for node in tree.body:
@@ -75,7 +86,8 @@ class OptionsPlumbingChecker(Checker):
     id = "options-plumbing"
     description = (
         "every TopkOptions field must be read somewhere and forwarded by "
-        "the parallel backend via dataclasses.replace (never rebuilt)"
+        "the parallel backend via dataclasses.replace (never rebuilt), "
+        "and every parallel entry-point parameter must be used"
     )
 
     def check(self, project: Project) -> Iterator[Finding]:
@@ -87,17 +99,14 @@ class OptionsPlumbingChecker(Checker):
         except LookupError:
             return
 
-        full_tree = all(
-            project.module(path) is not None for path in _FULL_TREE_MODULES
-        )
+        full_tree = all(project.module(path) is not None for path in _FULL_TREE_MODULES)
         if full_tree:
-            yield from self._dead_flags(
-                project, options_module, options_class
-            )
+            yield from self._dead_flags(project, options_module, options_class)
         installed: Set[str] = set()
         parallel_modules = list(project.repro_modules(_PARALLEL_PREFIX))
         for module in parallel_modules:
             yield from self._parallel_construction(module, installed)
+            yield from self._entry_plumbing(module)
         if full_tree and parallel_modules:
             declared = set(dataclass_field_names(options_class))
             for name in sorted((_BLESSED_OVERRIDES & declared) - installed):
@@ -154,6 +163,40 @@ class OptionsPlumbingChecker(Checker):
                     "TopkOptions.%s is never read anywhere in the repro "
                     "package — the flag is a silent no-op" % name,
                 )
+
+    def _entry_plumbing(self, module: ModuleSource) -> Iterator[Finding]:
+        entry_names = _ENTRY_POINTS.get(module.repro_path or "", ())
+        if not entry_names:
+            return
+        assert module.tree is not None
+        for node in module.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in entry_names:
+                continue
+            # Positional and keyword-only parameters alike; the body is
+            # walked statement by statement so parameter *annotations*
+            # (which mention nothing) cannot mask a missing read.
+            parameters = [
+                arg.arg
+                for arg in list(node.args.args) + list(node.args.kwonlyargs)
+            ]
+            reads = {
+                name.id
+                for statement in node.body
+                for name in ast.walk(statement)
+                if isinstance(name, ast.Name)
+                and isinstance(name.ctx, ast.Load)
+            }
+            for parameter in parameters:
+                if parameter not in reads:
+                    yield self.finding(
+                        module,
+                        node,
+                        "entry point %s() accepts %r but never reads it — "
+                        "callers' flag parses and silently no-ops"
+                        % (node.name, parameter),
+                    )
 
     def _parallel_construction(
         self, module: ModuleSource, installed: Set[str]

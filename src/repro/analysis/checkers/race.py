@@ -36,8 +36,11 @@ __all__ = ["RaceChecker"]
 
 _SCOPE_PREFIX = "parallel/"
 
-#: Functions allowed to install module-level worker state.
-_BLESSED_WRITERS = frozenset({"initialize_worker"})
+#: Functions allowed to install (or tear down) module-level worker state.
+#: ``teardown_worker`` is the initializer's inverse — the serial
+#: shared-memory round-trip must drop the installed context so the
+#: segment can detach deterministically.
+_BLESSED_WRITERS = frozenset({"initialize_worker", "teardown_worker"})
 
 #: Container methods that mutate their receiver.
 _MUTATORS = frozenset(
@@ -139,9 +142,7 @@ class RaceChecker(Checker):
         assert module.tree is not None
         module_names = _module_level_names(module.tree)
         for statement in module.tree.body:
-            if not isinstance(
-                statement, (ast.FunctionDef, ast.AsyncFunctionDef)
-            ):
+            if not isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
             if statement.name in _BLESSED_WRITERS:
                 continue
@@ -172,18 +173,13 @@ class RaceChecker(Checker):
                 )
             elif isinstance(node, (ast.Assign, ast.AugAssign)):
                 targets = (
-                    node.targets
-                    if isinstance(node, ast.Assign)
-                    else [node.target]
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
                 )
                 for target in targets:
                     if not isinstance(target, (ast.Subscript, ast.Attribute)):
                         continue
                     base = _base_name(target)
-                    if (
-                        isinstance(base, ast.Name)
-                        and base.id in module_names
-                    ):
+                    if isinstance(base, ast.Name) and base.id in module_names:
                         yield self.finding(
                             module,
                             node,
@@ -195,15 +191,9 @@ class RaceChecker(Checker):
                         )
             elif isinstance(node, ast.Call):
                 func = node.func
-                if (
-                    isinstance(func, ast.Attribute)
-                    and func.attr in _MUTATORS
-                ):
+                if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
                     base = _base_name(func.value)
-                    if (
-                        isinstance(base, ast.Name)
-                        and base.id in module_names
-                    ):
+                    if isinstance(base, ast.Name) and base.id in module_names:
                         yield self.finding(
                             module,
                             node,
@@ -211,9 +201,7 @@ class RaceChecker(Checker):
                             "via %s()" % (name, ast.unparse(func)),
                         )
 
-    def _unlocked_bound_writes(
-        self, module: ModuleSource
-    ) -> Iterator[Finding]:
+    def _unlocked_bound_writes(self, module: ModuleSource) -> Iterator[Finding]:
         assert module.tree is not None
         tracker = _LockTracker()
         tracker.visit(module.tree)

@@ -82,9 +82,7 @@ class RegistryCoverageChecker(Checker):
                 % name,
             )
 
-    def _backends(
-        self, project: Project
-    ) -> Iterator[Tuple[object, ast.FunctionDef]]:
+    def _backends(self, project: Project) -> Iterator[Tuple[object, ast.FunctionDef]]:
         for module in project.repro_modules():
             repro_path = module.repro_path or ""
             if repro_path.startswith(_EXCLUDED_PREFIXES):

@@ -144,18 +144,12 @@ class StatsDriftChecker(Checker):
             return
         fields_of: Dict[str, Set[str]] = {}
         for node in ast.walk(declaring.tree):
-            if (
-                isinstance(node, ast.ClassDef)
-                and node.name in _ABSORBERS.values()
-            ):
+            if isinstance(node, ast.ClassDef) and node.name in _ABSORBERS.values():
                 fields_of[node.name] = set(dataclass_field_names(node))
         for module in project.repro_modules():
             assert module.tree is not None
             for node in ast.walk(module.tree):
-                if not (
-                    isinstance(node, ast.FunctionDef)
-                    and node.name in _ABSORBERS
-                ):
+                if not (isinstance(node, ast.FunctionDef) and node.name in _ABSORBERS):
                     continue
                 class_name = _ABSORBERS[node.name]
                 fields = fields_of.get(class_name)

@@ -102,9 +102,7 @@ def lint_paths(
     """
     project, missing = load_project(paths, base=base)
     if missing:
-        raise FileNotFoundError(
-            "no such path(s): %s" % ", ".join(sorted(missing))
-        )
+        raise FileNotFoundError("no such path(s): %s" % ", ".join(sorted(missing)))
     findings = run_checkers(project, select=select, ignore=ignore)
     return findings, len(project.modules)
 

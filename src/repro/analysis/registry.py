@@ -45,9 +45,7 @@ class Checker(ABC):
     def check(self, project: Project) -> Iterator[Finding]:
         """Yield one finding per violation found in *project*."""
 
-    def finding(
-        self, module: ModuleSource, node: ast.AST, message: str
-    ) -> Finding:
+    def finding(self, module: ModuleSource, node: ast.AST, message: str) -> Finding:
         """Build a finding anchored at *node* of *module*."""
         return Finding(
             path=module.path,

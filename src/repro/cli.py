@@ -3,7 +3,8 @@
 Subcommands::
 
     python -m repro topk      --input data.txt --k 100 [--similarity jaccard]
-                              [--workers N] [--shards M] [--check]
+                              [--workers N] [--shards M] [--shm|--no-shm]
+                              [--check]
                               [--accel on|python|numpy|off]
                               [--trace] [--trace-out trace.json]
     python -m repro trace     [--workload dblp | --input data.txt] [--k 100]
@@ -102,6 +103,7 @@ def _run_topk(
         return parallel_topk_join(
             collection, args.k, similarity=sim, options=options,
             workers=args.workers, shards=args.shards, stats=stats,
+            shm=args.shm,
         )
     return topk_join(
         collection, args.k, similarity=sim, options=options, stats=stats
@@ -504,6 +506,13 @@ def build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--shards", type=int, default=None,
                       help="shard count for the parallel backend "
                            "(default: 2x workers)")
+    topk.add_argument("--shm", action=argparse.BooleanOptionalAction,
+                      default=None,
+                      help="data plane for the parallel backend: --shm "
+                           "forces the zero-copy shared-memory segments, "
+                           "--no-shm forces per-worker pickling (default: "
+                           "shared memory when a pool runs and the host "
+                           "supports it)")
     topk.add_argument("--check", action="store_true",
                       help="assert the paper's runtime invariants while "
                            "joining (slow; also via REPRO_CHECK=1)")
@@ -547,6 +556,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "backend (1 = sequential)")
     trace.add_argument("--shards", type=int, default=None,
                        help="shard count for the parallel backend")
+    trace.add_argument("--shm", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="data plane for the parallel backend "
+                            "(see 'topk --shm')")
     trace.add_argument("--accel", default="on",
                        choices=["on", "python", "numpy", "off"])
     trace.add_argument("--prom-out", default=None, metavar="PATH",

@@ -104,7 +104,11 @@ class TopkOptions:
     #: Cooperative lower bound on the *global* ``s_k`` for multi-task runs
     #: (see :mod:`repro.parallel`).  Any object with ``refresh() -> float``
     #: (sync, then return the latest external bound) and ``offer(value)``
-    #: (publish this run's local ``s_k``); polled once per event.
+    #: (publish this run's local ``s_k``); polled once per event.  A
+    #: provider may also expose ``generation`` — a shared counter cell
+    #: bumped on every cross-process publication — in which case the
+    #: event loop detects foreign improvements every iteration from one
+    #: unlocked load and refreshes only when the counter moved.
     bound_provider: Optional[Any] = None
     #: Per-record side labels (0/1) turning the join into an exact R×S
     #: join over cross pairs only.  ``bipartite_sides[rid]`` must be
@@ -260,8 +264,24 @@ def _topk_join_run(
 
     emitted = 0
 
+    # Shared-bound fast path (see repro.parallel.bound): providers backed
+    # by shared-memory cells expose a generation counter bumped on every
+    # publication.  One aligned load per iteration detects foreign bound
+    # improvements immediately, without paying a refresh() per event;
+    # plain providers (no such attribute) keep the per-event polling
+    # below.  Reading the generation before refresh() can at worst pair a
+    # new generation with a not-yet-visible value — the provider re-syncs
+    # on the next bump, and a stale bound only weakens pruning.
+    generation = getattr(provider, "generation", None)
+    seen_generation = generation.value if generation is not None else 0
+
     with span("event_loop"):
         while queue:
+            if generation is not None and generation.value != seen_generation:
+                seen_generation = generation.value
+                refreshed = provider.refresh()
+                if refreshed > external:
+                    external = refreshed
             bound, prefix, rids = queue.pop()
             run_stats.events += 1
             if checks is not None:

@@ -90,11 +90,17 @@ def signature_overlap_bound(
 
 
 class Record:
-    """A canonicalized record: a sorted tuple of integer token ranks."""
+    """A canonicalized record: a sorted sequence of integer token ranks.
+
+    ``tokens`` is usually a tuple, but any sorted integer sequence works —
+    the shared-memory data plane (:mod:`repro.parallel.shm`) attaches
+    records whose tokens are read-only ``memoryview`` slices of a shared
+    segment, and every consumer only indexes, measures and iterates.
+    """
 
     __slots__ = ("rid", "tokens", "source_id")
 
-    def __init__(self, rid: int, tokens: Tuple[int, ...], source_id: int) -> None:
+    def __init__(self, rid: int, tokens: Sequence[int], source_id: int) -> None:
         self.rid = rid
         self.tokens = tokens
         self.source_id = source_id
@@ -147,6 +153,12 @@ class RecordCollection:
         #: :func:`repro.parallel.partitioner.subproblem` pre-fills this for
         #: sub-collections so worker tasks never re-hash tokens.
         self._signatures: Optional[List[int]] = None
+        #: Owner of the backing storage when record tokens are borrowed
+        #: views (a ``SharedMemory`` handle on the zero-copy data plane).
+        #: Declared before :attr:`records` would be natural, but it must
+        #: be *inserted* after it so instance teardown releases the token
+        #: views first and the handle can close without exported buffers.
+        self._retained_buffer: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -232,6 +244,36 @@ class RecordCollection:
             for rid, (tokens, source_id) in enumerate(canonical)
         ]
         return cls(records, universe_size=universe)
+
+    @classmethod
+    def from_flat_arrays(
+        cls,
+        offsets: Sequence[int],
+        tokens: Sequence[int],
+        source_ids: Sequence[int],
+        universe_size: int,
+        signatures: Optional[Sequence[int]] = None,
+    ) -> "RecordCollection":
+        """Rebuild an already-canonical collection from flat buffers.
+
+        The inverse of
+        :meth:`repro.index.columns.RecordColumns.from_collection`: record
+        *rid*'s tokens are the slice ``tokens[offsets[rid]:offsets[rid+1]]``
+        — kept as a *view* of the flat buffer (a zero-copy ``memoryview``
+        slice when *tokens* lives in a shared-memory segment), never
+        copied.  The buffers must describe a collection that already went
+        through canonicalization: tokens sorted ascending within each
+        record, records sorted by size.  *signatures* (when given)
+        pre-fills the signature cache so no attached process re-hashes.
+        """
+        records = [
+            Record(rid, tokens[offsets[rid] : offsets[rid + 1]], source_ids[rid])
+            for rid in range(len(offsets) - 1)
+        ]
+        collection = cls(records, universe_size=universe_size)
+        if signatures is not None:
+            collection._signatures = list(signatures)
+        return collection
 
     # ------------------------------------------------------------------
     # Container protocol

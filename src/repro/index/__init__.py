@@ -1,5 +1,6 @@
 """Inverted index structures shared by the join algorithms."""
 
+from .columns import RecordColumns
 from .inverted import (
     BoundedInvertedIndex,
     InvertedIndex,
@@ -12,4 +13,5 @@ __all__ = [
     "BoundedInvertedIndex",
     "Posting",
     "PostingColumns",
+    "RecordColumns",
 ]

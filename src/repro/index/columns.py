@@ -1,0 +1,176 @@
+"""Flat column layout for whole record collections (detach/attach).
+
+:class:`~repro.index.inverted.PostingColumns` gave the bounded index its
+flat, machine-typed shape; :class:`RecordColumns` does the same one level
+up, for an entire :class:`~repro.data.records.RecordCollection`:
+
+* ``offsets`` — ``n + 1`` int64 token-start offsets: record *rid*'s
+  tokens are ``tokens[offsets[rid]:offsets[rid + 1]]``;
+* ``source_ids`` — ``n`` int64 original input positions;
+* ``signature_words`` — ``2 * n`` int64 words holding each record's
+  128-bit bit signature as a ``(lo, hi)`` pair (all zeros when the
+  signatures were not built);
+* ``tokens`` — every record's sorted global token ranks, concatenated.
+
+This layout is the wire format of the shared-memory data plane
+(:mod:`repro.parallel.shm`): the parent process *detaches* a collection
+into these four buffers once, writes them into one flat int64 region,
+and every worker *attaches* read-only ``memoryview`` slices over the
+same physical pages instead of unpickling its own copy of the records.
+
+All four columns are plain int64 sequences, so a ``RecordColumns`` can
+be backed either by ``array('q')`` buffers (the detached, writable form)
+or by zero-copy ``memoryview`` slices of a shared segment (the attached,
+read-only form) — the round-trip :meth:`from_collection` →
+:meth:`write_into` → :meth:`read_from` → :meth:`to_collection` is exact.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Optional, Sequence, Union
+
+from ..data.records import RecordCollection
+
+__all__ = ["RecordColumns"]
+
+#: One int64 column: writable ``array('q')`` or an attached memoryview.
+IntColumn = Union["array[int]", memoryview]
+
+_WORD_MASK = 0xFFFFFFFFFFFFFFFF
+_SIGN_BIT = 1 << 63
+
+
+def _as_signed(word: int) -> int:
+    """Reinterpret an unsigned 64-bit word as the int64 with the same bits."""
+    return word - (1 << 64) if word >= _SIGN_BIT else word
+
+
+class RecordColumns:
+    """A record collection detached into four flat int64 columns."""
+
+    __slots__ = ("offsets", "source_ids", "signature_words", "tokens")
+
+    def __init__(
+        self,
+        offsets: IntColumn,
+        source_ids: IntColumn,
+        signature_words: IntColumn,
+        tokens: IntColumn,
+    ) -> None:
+        self.offsets = offsets
+        self.source_ids = source_ids
+        self.signature_words = signature_words
+        self.tokens = tokens
+
+    @property
+    def records(self) -> int:
+        return len(self.source_ids)
+
+    @property
+    def total_tokens(self) -> int:
+        return len(self.tokens)
+
+    def word_count(self) -> int:
+        """Total int64 words of the flattened layout."""
+        return (
+            len(self.offsets)
+            + len(self.source_ids)
+            + len(self.signature_words)
+            + len(self.tokens)
+        )
+
+    @classmethod
+    def from_collection(
+        cls, collection: RecordCollection, with_signatures: bool = True
+    ) -> "RecordColumns":
+        """Detach *collection* into writable ``array('q')`` columns.
+
+        With *with_signatures* the collection's 128-bit signatures are
+        built (if not already cached) and encoded, so attached workers
+        decode two words per record instead of re-hashing every token.
+        """
+        offsets = array("q", [0])
+        tokens = array("q")
+        source_ids = array("q")
+        for record in collection.records:
+            tokens.extend(record.tokens)
+            offsets.append(len(tokens))
+            source_ids.append(record.source_id)
+        if with_signatures:
+            signature_words = array("q")
+            for signature in collection.signatures:
+                signature_words.append(_as_signed(signature & _WORD_MASK))
+                signature_words.append(
+                    _as_signed((signature >> 64) & _WORD_MASK)
+                )
+        else:
+            signature_words = array("q", bytes(16 * len(collection)))
+        return cls(offsets, source_ids, signature_words, tokens)
+
+    @classmethod
+    def read_from(
+        cls, view: memoryview, records: int, total_tokens: int
+    ) -> "RecordColumns":
+        """Attach zero-copy column views over an int64-cast *view*.
+
+        *view* must hold exactly the :meth:`write_into` layout for
+        *records* records and *total_tokens* tokens; the returned columns
+        are slices of it, so they stay valid for as long as the backing
+        buffer does and never copy token data.
+        """
+        base = 0
+        offsets = view[base : base + records + 1]
+        base += records + 1
+        source_ids = view[base : base + records]
+        base += records
+        signature_words = view[base : base + 2 * records]
+        base += 2 * records
+        tokens = view[base : base + total_tokens]
+        return cls(offsets, source_ids, signature_words, tokens)
+
+    def write_into(self, view: memoryview) -> None:
+        """Write all four columns into an int64-cast *view*, in layout order.
+
+        *view* must hold at least :meth:`word_count` int64 items.
+        """
+        base = 0
+        for column in (
+            self.offsets,
+            self.source_ids,
+            self.signature_words,
+            self.tokens,
+        ):
+            view[base : base + len(column)] = column
+            base += len(column)
+
+    def signatures(self) -> List[int]:
+        """Decode the signature words back into 128-bit integers."""
+        words = self.signature_words
+        return [
+            ((words[2 * rid + 1] & _WORD_MASK) << 64)
+            | (words[2 * rid] & _WORD_MASK)
+            for rid in range(len(words) // 2)
+        ]
+
+    def to_collection(
+        self, universe_size: int, with_signatures: bool = True
+    ) -> RecordCollection:
+        """Reattach the columns as a :class:`RecordCollection`.
+
+        Each record's ``tokens`` is a slice of :attr:`tokens` — a
+        zero-copy sub-view when the columns are memoryviews over a
+        shared segment.  With *with_signatures* the encoded signatures
+        are decoded into the collection's cache, so no attached process
+        ever re-hashes tokens.
+        """
+        signatures: Optional[Sequence[int]] = (
+            self.signatures() if with_signatures else None
+        )
+        return RecordCollection.from_flat_arrays(
+            self.offsets,
+            self.tokens,
+            self.source_ids,
+            universe_size,
+            signatures=signatures,
+        )

@@ -44,9 +44,7 @@ def _prom_name(name: str) -> str:
 
 
 def _prom_label_value(value: str) -> str:
-    return (
-        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
-    )
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
 def _prom_labels(labels: Dict[str, str]) -> str:
@@ -84,16 +82,14 @@ def to_prometheus_text(tracer: Tracer) -> str:
         header(name, counter.help, "counter")
         lines.append(
             "%s%s %s"
-            % (name, _prom_labels(dict(counter.labels)),
-               _prom_number(counter.value))
+            % (name, _prom_labels(dict(counter.labels)), _prom_number(counter.value))
         )
     for gauge in registry.gauges():
         name = _prom_name(gauge.name)
         header(name, gauge.help, "gauge")
         lines.append(
             "%s%s %s"
-            % (name, _prom_labels(dict(gauge.labels)),
-               _prom_number(gauge.value))
+            % (name, _prom_labels(dict(gauge.labels)), _prom_number(gauge.value))
         )
     for histogram in registry.histograms():
         name = _prom_name(histogram.name)
@@ -105,63 +101,69 @@ def to_prometheus_text(tracer: Tracer) -> str:
             bucket_labels = dict(labels)
             bucket_labels["le"] = _prom_number(edge)
             lines.append(
-                "%s_bucket%s %d" % (name, _prom_labels(bucket_labels),
-                                    cumulative)
+                "%s_bucket%s %d" % (name, _prom_labels(bucket_labels), cumulative)
             )
         inf_labels = dict(labels)
         inf_labels["le"] = "+Inf"
         lines.append(
-            "%s_bucket%s %d" % (name, _prom_labels(inf_labels),
-                                histogram.count)
+            "%s_bucket%s %d" % (name, _prom_labels(inf_labels), histogram.count)
         )
         lines.append(
-            "%s_sum%s %s" % (name, _prom_labels(labels),
-                             _prom_number(histogram.total))
+            "%s_sum%s %s" % (name, _prom_labels(labels), _prom_number(histogram.total))
         )
-        lines.append(
-            "%s_count%s %d" % (name, _prom_labels(labels), histogram.count)
-        )
+        lines.append("%s_count%s %d" % (name, _prom_labels(labels), histogram.count))
 
     # Span durations, aggregated by phase path.
     span_totals = _span_totals(tracer)
     if span_totals:
-        header("repro_span_seconds_total",
-               "Wall seconds spent inside each span, by phase path.",
-               "counter")
+        header(
+            "repro_span_seconds_total",
+            "Wall seconds spent inside each span, by phase path.",
+            "counter",
+        )
         for path, (total, __) in sorted(span_totals.items()):
             lines.append(
                 "repro_span_seconds_total%s %s"
                 % (_prom_labels({"phase": path}), _prom_number(total))
             )
-        header("repro_span_calls_total",
-               "Number of completed spans per phase path.", "counter")
+        header(
+            "repro_span_calls_total",
+            "Number of completed spans per phase path.",
+            "counter",
+        )
         for path, (__, count) in sorted(span_totals.items()):
             lines.append(
-                "repro_span_calls_total%s %d"
-                % (_prom_labels({"phase": path}), count)
+                "repro_span_calls_total%s %d" % (_prom_labels({"phase": path}), count)
             )
 
     phases = tracer.phase_times()
     if phases:
-        header("repro_phase_seconds_total",
-               "Accumulated wall seconds of hot micro-phases.", "counter")
+        header(
+            "repro_phase_seconds_total",
+            "Accumulated wall seconds of hot micro-phases.",
+            "counter",
+        )
         for name_, (total, __) in sorted(phases.items()):
             lines.append(
                 "repro_phase_seconds_total%s %s"
                 % (_prom_labels({"phase": name_}), _prom_number(total))
             )
-        header("repro_phase_calls_total",
-               "Accumulated call counts of hot micro-phases.", "counter")
+        header(
+            "repro_phase_calls_total",
+            "Accumulated call counts of hot micro-phases.",
+            "counter",
+        )
         for name_, (__, count) in sorted(phases.items()):
             lines.append(
-                "repro_phase_calls_total%s %d"
-                % (_prom_labels({"phase": name_}), count)
+                "repro_phase_calls_total%s %d" % (_prom_labels({"phase": name_}), count)
             )
 
     if tracer.profile_samples:
-        header("repro_profile_samples_total",
-               "Sampling-profiler hits attributed to the innermost open "
-               "span.", "counter")
+        header(
+            "repro_profile_samples_total",
+            "Sampling-profiler hits attributed to the innermost open span.",
+            "counter",
+        )
         for name_, count in sorted(tracer.profile_samples.items()):
             lines.append(
                 "repro_profile_samples_total%s %d"
@@ -222,7 +224,9 @@ def phase_tree(tracer: Tracer) -> Dict[str, Any]:
             node = grouped.get(record.name)
             if node is None:
                 node = {
-                    "name": record.name, "total_s": 0.0, "count": 0,
+                    "name": record.name,
+                    "total_s": 0.0,
+                    "count": 0,
                     "children": [],
                 }
                 grouped[record.name] = node
@@ -241,9 +245,7 @@ def phase_tree(tracer: Tracer) -> Dict[str, Any]:
                     existing["total_s"] += child["total_s"]
                     existing["count"] += child["count"]
                     existing["children"].extend(child["children"])
-            node["children"] = sorted(
-                collapsed.values(), key=lambda n: -n["total_s"]
-            )
+            node["children"] = sorted(collapsed.values(), key=lambda n: -n["total_s"])
             merged[node["name"]] = node
             ordered.append(node)
         return sorted(ordered, key=lambda n: -n["total_s"])
@@ -288,9 +290,7 @@ def render_phase_tree(tracer: Tracer) -> str:
     if phases:
         lines.append("")
         lines.append("hot micro-phases (accumulated):")
-        for name, entry in sorted(
-            phases.items(), key=lambda item: -item[1]["total_s"]
-        ):
+        for name, entry in sorted(phases.items(), key=lambda item: -item[1]["total_s"]):
             lines.append(
                 "  %-24s %9.3fs over %d calls"
                 % (name, entry["total_s"], entry["count"])
@@ -302,8 +302,7 @@ def render_phase_tree(tracer: Tracer) -> str:
         lines.append("profiler samples (REPRO_PROFILE):")
         for name, count in sorted(samples.items(), key=lambda kv: -kv[1]):
             lines.append(
-                "  %-24s %6d (%5.1f%%)"
-                % (name, count, 100.0 * count / total_samples)
+                "  %-24s %6d (%5.1f%%)" % (name, count, 100.0 * count / total_samples)
             )
     return "\n".join(lines) + "\n"
 

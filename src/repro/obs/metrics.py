@@ -39,6 +39,7 @@ __all__ = [
 
 LabelSet = Tuple[Tuple[str, str], ...]
 
+# fmt: off
 #: Histogram bucket edges for per-emission latency (seconds since start).
 EMIT_LATENCY_BUCKETS: Tuple[float, ...] = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
@@ -51,6 +52,7 @@ EMIT_LATENCY_BUCKETS: Tuple[float, ...] = (
 BOUND_GAP_BUCKETS: Tuple[float, ...] = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2, 0.4, 0.8, 1.0,
 )
+# fmt: on
 
 _GAUGE_MODES = ("sum", "max", "last")
 
@@ -98,8 +100,7 @@ class Gauge:
     def __post_init__(self) -> None:
         if self.mode not in _GAUGE_MODES:
             raise ValueError(
-                "gauge mode must be one of %s, got %r"
-                % (_GAUGE_MODES, self.mode)
+                "gauge mode must be one of %s, got %r" % (_GAUGE_MODES, self.mode)
             )
 
     def set(self, value: float) -> None:
@@ -112,9 +113,7 @@ class Gauge:
 
     def merge_from(self, other: "Gauge") -> None:
         if (self.name, self.labels) != (other.name, other.labels):
-            raise ValueError(
-                "cannot merge gauge %r into %r" % (other.name, self.name)
-            )
+            raise ValueError("cannot merge gauge %r into %r" % (other.name, self.name))
         if self.mode != other.mode:
             raise ValueError(
                 "gauge %r merge with conflicting modes %r / %r"
@@ -181,8 +180,7 @@ class Histogram:
             )
         if self.edges != other.edges:
             raise ValueError(
-                "histogram %r merge with conflicting bucket edges"
-                % self.name
+                "histogram %r merge with conflicting bucket edges" % self.name
             )
         if not self.help:
             self.help = other.help
@@ -287,43 +285,58 @@ class MetricsRegistry:
         added there cannot silently miss the exporters.
         """
         c = self.counter
-        c("repro_events_total",
-          "Prefix events popped from the event heap.").inc(stats.events)
-        c("repro_candidates_total",
-          "Candidate pairs generated by probing inverted lists.").inc(
-            stats.candidates)
-        c("repro_verifications_total",
-          "Exact similarity computations performed.").inc(
-            stats.verifications)
-        c("repro_duplicates_skipped_total",
-          "Candidate occurrences skipped as already verified.").inc(
-            stats.duplicates_skipped)
-        c("repro_size_pruned_total",
-          "Candidates rejected by size filtering.").inc(stats.size_pruned)
-        c("repro_bitmap_checked_total",
-          "Candidates tested by the bitmap-signature prefilter.").inc(
-            stats.bitmap_checked)
-        c("repro_bitmap_pruned_total",
-          "Candidates rejected by the bitmap-signature prefilter.").inc(
-            stats.bitmap_pruned)
-        c("repro_positional_pruned_total",
-          "Candidates rejected by positional filtering.").inc(
-            stats.positional_pruned)
-        c("repro_suffix_pruned_total",
-          "Candidates rejected by suffix filtering.").inc(
-            stats.suffix_pruned)
-        c("repro_index_inserted_total",
-          "Postings inserted into the inverted index.").inc(
-            stats.index_inserted)
-        c("repro_index_deleted_total",
-          "Postings removed by the accessing-bound truncation.").inc(
-            stats.index_deleted)
-        c("repro_index_insertions_skipped_total",
-          "Index insertions skipped by the indexing bound.").inc(
-            stats.index_insertions_skipped)
-        c("repro_results_emitted_total",
-          "Results emitted (progressively or in the final drain).").inc(
-            len(stats.emits))
+        c(
+            "repro_events_total",
+            "Prefix events popped from the event heap.",
+        ).inc(stats.events)
+        c(
+            "repro_candidates_total",
+            "Candidate pairs generated by probing inverted lists.",
+        ).inc(stats.candidates)
+        c(
+            "repro_verifications_total",
+            "Exact similarity computations performed.",
+        ).inc(stats.verifications)
+        c(
+            "repro_duplicates_skipped_total",
+            "Candidate occurrences skipped as already verified.",
+        ).inc(stats.duplicates_skipped)
+        c(
+            "repro_size_pruned_total",
+            "Candidates rejected by size filtering.",
+        ).inc(stats.size_pruned)
+        c(
+            "repro_bitmap_checked_total",
+            "Candidates tested by the bitmap-signature prefilter.",
+        ).inc(stats.bitmap_checked)
+        c(
+            "repro_bitmap_pruned_total",
+            "Candidates rejected by the bitmap-signature prefilter.",
+        ).inc(stats.bitmap_pruned)
+        c(
+            "repro_positional_pruned_total",
+            "Candidates rejected by positional filtering.",
+        ).inc(stats.positional_pruned)
+        c(
+            "repro_suffix_pruned_total",
+            "Candidates rejected by suffix filtering.",
+        ).inc(stats.suffix_pruned)
+        c(
+            "repro_index_inserted_total",
+            "Postings inserted into the inverted index.",
+        ).inc(stats.index_inserted)
+        c(
+            "repro_index_deleted_total",
+            "Postings removed by the accessing-bound truncation.",
+        ).inc(stats.index_deleted)
+        c(
+            "repro_index_insertions_skipped_total",
+            "Index insertions skipped by the indexing bound.",
+        ).inc(stats.index_insertions_skipped)
+        c(
+            "repro_results_emitted_total",
+            "Results emitted (progressively or in the final drain).",
+        ).inc(len(stats.emits))
         self.gauge(
             "repro_hash_entries_peak",
             "Peak size of the verified-pair hash table (Fig. 3a).",
@@ -362,29 +375,38 @@ class MetricsRegistry:
         (statically enforced, see :meth:`absorb_topk_stats`).
         """
         c = self.counter
-        c("repro_threshold_candidates_total",
-          "Candidate pairs that reached the verification phase.").inc(
-            stats.candidates)
-        c("repro_threshold_verifications_total",
-          "Exact similarity computations performed.").inc(
-            stats.verifications)
-        c("repro_threshold_results_total",
-          "Results returned by the threshold join.").inc(stats.results)
-        c("repro_threshold_index_entries_total",
-          "Postings inserted into the inverted index.").inc(
-            stats.index_entries)
-        c("repro_threshold_positional_pruned_total",
-          "Candidates rejected by positional filtering.").inc(
-            stats.positional_pruned)
-        c("repro_threshold_suffix_pruned_total",
-          "Candidates rejected by suffix filtering.").inc(
-            stats.suffix_pruned)
-        c("repro_threshold_size_pruned_total",
-          "Postings skipped or removed by size filtering.").inc(
-            stats.size_pruned)
-        c("repro_threshold_bitmap_pruned_total",
-          "Candidates rejected by the bitmap-signature prefilter.").inc(
-            stats.bitmap_pruned)
+        c(
+            "repro_threshold_candidates_total",
+            "Candidate pairs that reached the verification phase.",
+        ).inc(stats.candidates)
+        c(
+            "repro_threshold_verifications_total",
+            "Exact similarity computations performed.",
+        ).inc(stats.verifications)
+        c(
+            "repro_threshold_results_total",
+            "Results returned by the threshold join.",
+        ).inc(stats.results)
+        c(
+            "repro_threshold_index_entries_total",
+            "Postings inserted into the inverted index.",
+        ).inc(stats.index_entries)
+        c(
+            "repro_threshold_positional_pruned_total",
+            "Candidates rejected by positional filtering.",
+        ).inc(stats.positional_pruned)
+        c(
+            "repro_threshold_suffix_pruned_total",
+            "Candidates rejected by suffix filtering.",
+        ).inc(stats.suffix_pruned)
+        c(
+            "repro_threshold_size_pruned_total",
+            "Postings skipped or removed by size filtering.",
+        ).inc(stats.size_pruned)
+        c(
+            "repro_threshold_bitmap_pruned_total",
+            "Candidates rejected by the bitmap-signature prefilter.",
+        ).inc(stats.bitmap_pruned)
 
     def finalize_derived(self) -> None:
         """Recompute gauges derived from counters (safe to call repeatedly).
@@ -396,12 +418,11 @@ class MetricsRegistry:
         checked = self._counters.get(("repro_bitmap_checked_total", ()))
         pruned = self._counters.get(("repro_bitmap_pruned_total", ()))
         if checked is not None and checked.value > 0:
+            hits = pruned.value if pruned is not None else 0.0
             self.gauge(
                 "repro_bitmap_hit_rate",
-                "Fraction of bitmap-tested candidates the prefilter "
-                "pruned.",
-            ).set((pruned.value if pruned is not None else 0.0)
-                  / checked.value)
+                "Fraction of bitmap-tested candidates the prefilter pruned.",
+            ).set(hits / checked.value)
 
     # ------------------------------------------------------------------
     # merge / serialization
@@ -413,8 +434,10 @@ class MetricsRegistry:
             mine = self._counters.get(key)
             if mine is None:
                 self._counters[key] = Counter(
-                    name=counter.name, help=counter.help,
-                    labels=counter.labels, value=counter.value,
+                    name=counter.name,
+                    help=counter.help,
+                    labels=counter.labels,
+                    value=counter.value,
                 )
             else:
                 mine.merge_from(counter)
@@ -422,8 +445,11 @@ class MetricsRegistry:
             mine_g = self._gauges.get(key)
             if mine_g is None:
                 self._gauges[key] = Gauge(
-                    name=gauge.name, help=gauge.help, mode=gauge.mode,
-                    labels=gauge.labels, value=gauge.value,
+                    name=gauge.name,
+                    help=gauge.help,
+                    mode=gauge.mode,
+                    labels=gauge.labels,
+                    value=gauge.value,
                     updated=gauge.updated,
                 )
             else:
@@ -432,10 +458,13 @@ class MetricsRegistry:
             mine_h = self._histograms.get(key)
             if mine_h is None:
                 self._histograms[key] = Histogram(
-                    name=histogram.name, help=histogram.help,
-                    edges=histogram.edges, labels=histogram.labels,
+                    name=histogram.name,
+                    help=histogram.help,
+                    edges=histogram.edges,
+                    labels=histogram.labels,
                     bucket_counts=list(histogram.bucket_counts),
-                    total=histogram.total, count=histogram.count,
+                    total=histogram.total,
+                    count=histogram.count,
                 )
             else:
                 mine_h.merge_from(histogram)
@@ -446,26 +475,33 @@ class MetricsRegistry:
         return {
             "counters": [
                 {
-                    "name": item.name, "help": item.help,
-                    "labels": dict(item.labels), "value": item.value,
+                    "name": item.name,
+                    "help": item.help,
+                    "labels": dict(item.labels),
+                    "value": item.value,
                 }
                 for item in self.counters()
             ],
             "gauges": [
                 {
-                    "name": item.name, "help": item.help,
-                    "mode": item.mode, "labels": dict(item.labels),
-                    "value": item.value, "updated": item.updated,
+                    "name": item.name,
+                    "help": item.help,
+                    "mode": item.mode,
+                    "labels": dict(item.labels),
+                    "value": item.value,
+                    "updated": item.updated,
                 }
                 for item in self.gauges()
             ],
             "histograms": [
                 {
-                    "name": item.name, "help": item.help,
+                    "name": item.name,
+                    "help": item.help,
                     "edges": list(item.edges),
                     "labels": dict(item.labels),
                     "bucket_counts": list(item.bucket_counts),
-                    "total": item.total, "count": item.count,
+                    "total": item.total,
+                    "count": item.count,
                 }
                 for item in self.histograms()
             ],
@@ -480,20 +516,23 @@ class MetricsRegistry:
             ).inc(float(raw["value"]))
         for raw in payload.get("gauges", []):
             gauge = other.gauge(
-                raw["name"], raw.get("help", ""),
-                mode=raw.get("mode", "last"), labels=raw.get("labels"),
+                raw["name"],
+                raw.get("help", ""),
+                mode=raw.get("mode", "last"),
+                labels=raw.get("labels"),
             )
             if raw.get("updated", True):
                 gauge.set(float(raw["value"]))
         for raw in payload.get("histograms", []):
             histogram = other.histogram(
-                raw["name"], raw.get("help", ""),
+                raw["name"],
+                raw.get("help", ""),
                 edges=tuple(raw.get("edges", ())),
                 labels=raw.get("labels"),
             )
-            histogram.bucket_counts = [
-                int(x) for x in raw.get("bucket_counts", [])
-            ] or histogram.bucket_counts
+            raw_counts = raw.get("bucket_counts", [])
+            if raw_counts:
+                histogram.bucket_counts = [int(x) for x in raw_counts]
             histogram.total = float(raw.get("total", 0.0))
             histogram.count = int(raw.get("count", 0))
         self.merge_from(other)

@@ -44,17 +44,13 @@ DEFAULT_INTERVAL = 0.005
 
 def profiling_enabled() -> bool:
     """Whether ``REPRO_PROFILE`` requests the sampling profiler."""
-    return os.environ.get(PROFILE_ENV, "").strip().lower() in (
-        "1", "true", "yes", "on",
-    )
+    return os.environ.get(PROFILE_ENV, "").strip().lower() in ("1", "true", "yes", "on")
 
 
 class SamplingProfiler:
     """Samples a tracer's open-span stacks from a daemon thread."""
 
-    def __init__(
-        self, tracer: Tracer, interval: float = DEFAULT_INTERVAL
-    ) -> None:
+    def __init__(self, tracer: Tracer, interval: float = DEFAULT_INTERVAL) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive, got %r" % interval)
         self.tracer = tracer

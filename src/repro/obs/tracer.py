@@ -196,9 +196,7 @@ class Tracer:
         """Fold sampling-profiler counts in (see :mod:`repro.obs.profile`)."""
         with self._lock:
             for name, count in samples.items():
-                self.profile_samples[name] = (
-                    self.profile_samples.get(name, 0) + count
-                )
+                self.profile_samples[name] = self.profile_samples.get(name, 0) + count
 
     # ------------------------------------------------------------------
     # cross-process merge
@@ -261,9 +259,7 @@ class Tracer:
             for record in records:
                 record.span_id += offset
                 record.parent = (
-                    container.span_id
-                    if record.parent == 0
-                    else record.parent + offset
+                    container.span_id if record.parent == 0 else record.parent + offset
                 )
                 self.spans.append(record)
             for name, entry in payload.get("phases", {}).items():

@@ -20,6 +20,11 @@ backend           relation to :func:`repro.oracle.reference.naive_topk`
 ``parallel``      tie-equivalent (sharded backend, 5 shards, serial
                   execution so fuzz iterations stay cheap)
 ``parallel-accel-off``  the same, with acceleration disabled
+``parallel-shm``  **byte-identical** across data planes — the sharded
+                  join on the zero-copy shared-memory plane must return
+                  the exact ordered row list of the pickling plane, and
+                  the shm answer must be tie-equivalent to the oracle
+                  (registered only where shared memory is usable)
 ``rs``            tie-equivalent on the *cross* pair space (records
                   split alternately into R and S)
 ``rs-accel-off``  the same, with acceleration disabled
@@ -57,6 +62,7 @@ from ..core.topk_join import TopkOptions, topk_join
 from ..data.records import RecordCollection
 from ..obs.tracer import Tracer
 from ..parallel.join import parallel_topk_join
+from ..parallel.shm import shm_usable
 from ..result import JoinResult
 from ..similarity.functions import SimilarityFunction, similarity_by_name
 from ..weighted.functions import WeightedCosine, WeightedJaccard
@@ -110,6 +116,11 @@ BackendFn = Callable[
     [DifferentialCase, RecordCollection, List[JoinResult], SimilarityFunction],
     Optional[str],
 ]
+
+
+def _rows(results: List[JoinResult]) -> List[Tuple[int, int, float]]:
+    """The exact ordered row list — the byte-identity comparison key."""
+    return [(r.x, r.y, r.similarity) for r in results]
 
 
 def _equivalence_backend(options: TopkOptions) -> BackendFn:
@@ -251,9 +262,6 @@ def _trace_on_backend(
     into a silent no-op that this check would then vacuously pass.
     """
 
-    def rows(results: List[JoinResult]) -> List[Tuple[int, int, float]]:
-        return [(r.x, r.y, r.similarity) for r in results]
-
     configs = [
         ("sequential", TopkOptions()),
         ("accel-off", TopkOptions(accel="off")),
@@ -267,10 +275,10 @@ def _trace_on_backend(
             collection, case.k, similarity=sim,
             options=replace(options, trace=tracer),
         )
-        if rows(traced) != rows(plain):
+        if _rows(traced) != _rows(plain):
             raise AssertionError(
                 "trace-on %s output diverges from trace-off: %r != %r"
-                % (label, rows(traced)[:8], rows(plain)[:8])
+                % (label, _rows(traced)[:8], _rows(plain)[:8])
             )
         if not tracer.spans:
             raise AssertionError(
@@ -286,10 +294,10 @@ def _trace_on_backend(
         collection, case.k, similarity=sim,
         options=TopkOptions(trace=tracer), workers=1, shards=_FUZZ_SHARDS,
     )
-    if rows(traced) != rows(plain):
+    if _rows(traced) != _rows(plain):
         raise AssertionError(
             "trace-on parallel output diverges from trace-off: %r != %r"
-            % (rows(traced)[:8], rows(plain)[:8])
+            % (_rows(traced)[:8], _rows(plain)[:8])
         )
     if not tracer.spans:
         raise AssertionError(
@@ -297,6 +305,41 @@ def _trace_on_backend(
             "the worker trace payloads"
         )
     assert_topk_equivalent(traced, expected)
+    return None
+
+
+def _parallel_shm_backend(
+    case: DifferentialCase,
+    collection: RecordCollection,
+    expected: List[JoinResult],
+    sim: SimilarityFunction,
+) -> Optional[str]:
+    """The zero-copy data plane must be invisible in the answer.
+
+    The same sharded join runs twice — once on the pickling data plane
+    (``shm=False``) and once through a full shared-memory round-trip
+    (``shm=True``: create, attach, join over borrowed ``memoryview``
+    tokens, detach, destroy) — and the exact *ordered* row lists must be
+    byte-identical: flattening the collection into columns and decoding
+    it back must not perturb a single similarity or tie order.  The shm
+    answer is then checked against the oracle as well, so the plane is
+    never vacuously compared against an already-wrong twin.
+    """
+    options = TopkOptions(check_invariants=True)
+    pickled = parallel_topk_join(
+        collection, case.k, similarity=sim, options=options,
+        workers=1, shards=_FUZZ_SHARDS, shm=False,
+    )
+    shared = parallel_topk_join(
+        collection, case.k, similarity=sim, options=options,
+        workers=1, shards=_FUZZ_SHARDS, shm=True,
+    )
+    if _rows(shared) != _rows(pickled):
+        raise AssertionError(
+            "shared-memory rows diverge from the pickling plane: %r != %r"
+            % (_rows(shared)[:8], _rows(pickled)[:8])
+        )
+    assert_topk_equivalent(shared, expected)
     return None
 
 
@@ -346,6 +389,8 @@ def _backend_registry() -> Dict[str, BackendFn]:
         registry["accel-numpy"] = _equivalence_backend(
             TopkOptions(check_invariants=True, accel="numpy")
         )
+    if shm_usable():
+        registry["parallel-shm"] = _parallel_shm_backend
     return registry
 
 

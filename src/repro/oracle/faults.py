@@ -136,9 +136,13 @@ LINT_FAULTS: Tuple[SeededLintFault, ...] = (
             (
                 "        with self._value.get_lock():\n"
                 "            if candidate > self._value.value:\n"
-                "                self._value.value = candidate",
+                "                self._value.value = candidate\n"
+                "                with self._generation.get_lock():\n"
+                "                    self._generation.value += 1",
                 "        if candidate > self._value.value:\n"
-                "            self._value.value = candidate",
+                "            self._value.value = candidate\n"
+                "            with self._generation.get_lock():\n"
+                "                self._generation.value += 1",
             ),
         ),
     ),
@@ -169,6 +173,20 @@ LINT_FAULTS: Tuple[SeededLintFault, ...] = (
         ),
     ),
     SeededLintFault(
+        checker="options-plumbing",
+        repro_path="parallel/join.py",
+        description="entry-point flag accepted but never read",
+        replacements=(
+            (
+                "    shm: Optional[bool] = None,\n"
+                ") -> List[JoinResult]:",
+                "    shm: Optional[bool] = None,\n"
+                "    shm_spill_dir: Optional[str] = None,\n"
+                ") -> List[JoinResult]:",
+            ),
+        ),
+    ),
+    SeededLintFault(
         checker="stats-drift",
         repro_path="core/metrics.py",
         description="merge_from drops the suffix_pruned counter",
@@ -182,9 +200,10 @@ LINT_FAULTS: Tuple[SeededLintFault, ...] = (
         description="absorb_topk_stats drops the suffix_pruned counter",
         replacements=(
             (
-                '        c("repro_suffix_pruned_total",\n'
-                '          "Candidates rejected by suffix filtering.").inc(\n'
-                "            stats.suffix_pruned)\n",
+                "        c(\n"
+                '            "repro_suffix_pruned_total",\n'
+                '            "Candidates rejected by suffix filtering.",\n'
+                "        ).inc(stats.suffix_pruned)\n",
                 "",
             ),
         ),
@@ -198,6 +217,8 @@ LINT_FAULTS: Tuple[SeededLintFault, ...] = (
             ("actual = parallel_topk_join(", "actual = topk_join("),
             ("plain = parallel_topk_join(", "plain = topk_join("),
             ("traced = parallel_topk_join(", "traced = topk_join("),
+            ("pickled = parallel_topk_join(", "pickled = topk_join("),
+            ("shared = parallel_topk_join(", "shared = topk_join("),
         ),
         expect_path="parallel/join.py",
     ),

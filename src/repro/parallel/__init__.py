@@ -7,15 +7,26 @@ shared, monotonically rising lower bound on the global ``s_k`` — exact
 results, near-linear scaling on multi-core machines.
 
 Entry point: :func:`parallel_topk_join`.  The building blocks
-(partitioner, shared bound, per-task worker, merger) are exported for
-tests and for composing custom schedulers.
+(partitioner, shared bound, shared-memory data plane, per-task worker,
+merger) are exported for tests and for composing custom schedulers.
 """
 
 from .bound import LocalSimilarityBound, SharedSimilarityBound
 from .join import parallel_topk_join
 from .merger import merge_task_results
-from .partitioner import shard_collection, subproblem, task_plan
-from .worker import initialize_worker, run_task
+from .partitioner import shard_collection, shard_ranges, subproblem, task_plan
+from .shm import (
+    AttachedSegment,
+    ShmAttachError,
+    ShmDescriptor,
+    ShmError,
+    attach_collection,
+    create_segment,
+    destroy_segment,
+    leaked_segments,
+    shm_usable,
+)
+from .worker import initialize_worker, run_task, teardown_worker
 
 __all__ = [
     "LocalSimilarityBound",
@@ -23,8 +34,19 @@ __all__ = [
     "parallel_topk_join",
     "merge_task_results",
     "shard_collection",
+    "shard_ranges",
     "subproblem",
     "task_plan",
     "initialize_worker",
     "run_task",
+    "teardown_worker",
+    "AttachedSegment",
+    "ShmAttachError",
+    "ShmDescriptor",
+    "ShmError",
+    "attach_collection",
+    "create_segment",
+    "destroy_segment",
+    "leaked_segments",
+    "shm_usable",
 ]

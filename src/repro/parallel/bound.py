@@ -14,12 +14,23 @@ Both classes implement the tiny protocol ``TopkOptions.bound_provider``
 expects: ``offer(value)`` publishes a local bound, ``refresh()`` syncs
 with the shared state and returns the latest global bound, ``get()``
 returns the last synced value without touching shared state.
+
+The shared variant is backed by a *pair* of cells: a ``Value('d')``
+holding the bound itself and a ``Value('q')`` **generation counter**
+bumped under its own lock on every publication.  Readers poll the
+generation — one aligned shared-memory load, no lock — and only pay the
+synchronized value read when it changed, which is what lets the event
+loop in :mod:`repro.core.topk_join` check for foreign bound improvements
+on *every* iteration instead of once per ``refresh()`` polling cycle.
+Unlocked reads are safe by monotonicity: both cells only rise, a stale
+value can only make pruning weaker, and the read ordering in
+``refresh()`` guarantees a publication is never permanently missed.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Optional
+from typing import Any, Optional, Tuple
 
 __all__ = ["LocalSimilarityBound", "SharedSimilarityBound"]
 
@@ -47,33 +58,68 @@ class LocalSimilarityBound:
 
 
 class SharedSimilarityBound:
-    """Cross-process bound backed by a ``multiprocessing.Value('d')``.
+    """Cross-process bound backed by shared ``multiprocessing`` cells.
 
-    Each worker process wraps the inherited raw value in its own instance;
-    ``refresh()`` performs one synchronized read (called once per event, so
-    lock traffic stays far off the hot posting-scan path) and ``offer()``
-    takes the lock only when this process actually beat its last published
-    bound.  Both directions are monotone, so a stale read can only make
-    pruning weaker — never incorrect.
+    Each worker process wraps the inherited raw cell pair in its own
+    instance; ``refresh()`` is generation-gated (no lock, no shared
+    write unless something actually changed) and ``offer()`` takes the
+    locks only when this process beat its last published bound.  Both
+    directions are monotone, so a stale read can only make pruning
+    weaker — never incorrect.
     """
 
-    def __init__(self, value: Optional[object] = None, floor: float = 0.0) -> None:
-        if value is None:
-            value = multiprocessing.Value("d", floor)
-        self._value = value
+    def __init__(
+        self,
+        cells: Optional[Tuple[Any, Any]] = None,
+        floor: float = 0.0,
+    ) -> None:
+        if cells is None:
+            cells = (
+                multiprocessing.Value("d", floor),
+                multiprocessing.Value("q", 0),
+            )
+        self._value, self._generation = cells
         self._cached = floor
         self._published = floor
+        # Generation this process last synchronized at; -1 forces the
+        # first refresh() to read the parent's seed bound.
+        self._seen = -1
+
+    @classmethod
+    def for_context(cls, context: Any, floor: float = 0.0) -> "SharedSimilarityBound":
+        """A fresh bound whose cells come from *context* (the pool parent)."""
+        return cls((context.Value("d", floor), context.Value("q", 0)), floor=floor)
 
     @property
-    def raw(self) -> object:
-        """The underlying shared value, for passing to worker initargs."""
-        return self._value
+    def raw(self) -> Tuple[Any, Any]:
+        """The underlying shared cells, for passing to worker initargs."""
+        return (self._value, self._generation)
+
+    @property
+    def generation(self) -> Any:
+        """The shared generation cell, for the event loop's inline check.
+
+        A rising ``generation.value`` means some cooperating worker
+        published a better bound since this process last synchronized;
+        the read is one aligned 64-bit load, cheap enough to perform on
+        every event-loop iteration.
+        """
+        return self._generation
 
     def get(self) -> float:
         return self._cached
 
     def refresh(self) -> float:
+        # Snapshot the generation *before* reading the value: a
+        # publication racing in between leaves us with a newer value
+        # under an older snapshot, so the next refresh simply re-reads.
+        # The opposite order could latch a new generation against a
+        # stale value and skip a published bound for good.
+        latest_generation = self._generation.value
+        if latest_generation == self._seen:
+            return self._cached
         latest = self._value.value
+        self._seen = latest_generation
         if latest > self._cached:
             self._cached = latest
         return self._cached
@@ -85,5 +131,7 @@ class SharedSimilarityBound:
         with self._value.get_lock():
             if candidate > self._value.value:
                 self._value.value = candidate
+                with self._generation.get_lock():
+                    self._generation.value += 1
         if candidate > self._cached:
             self._cached = candidate

@@ -11,14 +11,21 @@ The merger folds the per-task buffers into the exact global top-k.
 
 Execution strategy:
 
-* ``workers > 1`` — a ``multiprocessing`` pool (``fork`` start method
-  where available, so the collection is shared copy-on-write); the
-  collection and shard table are shipped once per worker via the pool
-  initializer, and tasks are dispatched diagonals-first so the shared
-  bound rises before the large cross tasks start.
+* ``workers > 1`` — a ``multiprocessing`` pool; the collection is
+  serialized **once** into a shared-memory segment
+  (:mod:`repro.parallel.shm`) and workers attach zero-copy read-only
+  views, so data distribution costs no longer grow with the worker
+  count.  Where shared memory is unavailable the pool falls back to the
+  pickling data plane (``fork`` copy-on-write where possible, a pickle
+  per worker under ``spawn``).  Tasks are dispatched diagonals-first so
+  the shared bound rises before the large cross tasks start.
 * ``workers == 1`` (or pool creation fails, e.g. in sandboxes without
   semaphore support) — the same tasks run serially in-process, still
   sharing the bound from task to task.
+
+This module owns the segment lifecycle: every segment it creates is
+destroyed in a ``finally`` block, so success, worker crashes and
+KeyboardInterrupt all unlink deterministically.
 
 The result is exact: same similarity multiset as the sequential
 :func:`repro.core.topk_join.topk_join`, same pairs wherever similarities
@@ -33,7 +40,17 @@ import multiprocessing.context
 import os
 from contextlib import nullcontext
 from dataclasses import replace
-from typing import Any, ContextManager, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    ContextManager,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.metrics import TopkStats
 from ..core.results import TopKBuffer
@@ -45,16 +62,22 @@ from ..result import JoinResult
 from ..similarity.functions import Jaccard, SimilarityFunction
 from .bound import LocalSimilarityBound, SharedSimilarityBound
 from .merger import absorb_task_traces, merge_task_results
-from .partitioner import shard_collection, task_plan
-from .worker import TaskRow, initialize_worker, run_task
+from .partitioner import shard_ranges, task_plan
+from .shm import (
+    ShmDescriptor,
+    create_segment,
+    destroy_segment,
+)
+from .worker import TaskRow, initialize_worker, run_task, teardown_worker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.tracer import Tracer
 
 __all__ = ["parallel_topk_join"]
 
 #: ``(result rows, stats, trace payloads)`` per task, as collected by a
 #: runner; payloads are present only when the parent requested tracing.
-_TaskOutcome = Tuple[
-    List[List[TaskRow]], List[TopkStats], List[Dict[str, Any]]
-]
+_TaskOutcome = Tuple[List[List[TaskRow]], List[TopkStats], List[Dict[str, Any]]]
 
 #: Upper limit on the shard count; see the clamp in ``parallel_topk_join``.
 MAX_SHARDS = 64
@@ -68,6 +91,7 @@ def parallel_topk_join(
     workers: Optional[int] = None,
     shards: Optional[int] = None,
     stats: Optional[TopkStats] = None,
+    shm: Optional[bool] = None,
 ) -> List[JoinResult]:
     """The k most similar pairs of *collection*, computed shard-parallel.
 
@@ -77,6 +101,13 @@ def parallel_topk_join(
     into *stats* via :meth:`TopkStats.merge_from`.  Like the sequential
     join, the answer is padded with similarity-0 pairs when fewer than
     *k* pairs share a token.
+
+    *shm* selects the data plane: ``None`` (the default) uses zero-copy
+    shared-memory segments whenever a worker pool runs and the host
+    supports them, ``True`` additionally forces the single-worker serial
+    path through a full create/attach/destroy round-trip (how the
+    differential fuzzer exercises the plane), and ``False`` forces the
+    legacy pickling plane.
     """
     if k < 1:
         raise ValueError("k must be >= 1, got %d" % k)
@@ -93,7 +124,7 @@ def parallel_topk_join(
     # keeps the busiest sensible pool fed with plenty of slack.
     shard_count = min(shard_count, MAX_SHARDS)
 
-    rid_shards = shard_collection(collection, shard_count)
+    rid_shards = shard_ranges(len(collection), shard_count)
     plan = task_plan(len(rid_shards))
     if len(plan) <= 1:
         return topk_join(collection, k, similarity=sim, options=opts, stats=stats)
@@ -104,9 +135,7 @@ def parallel_topk_join(
     # process boundaries; tracing travels as a bool and worker-local
     # tracers come back by value (see repro.parallel.worker).
     tracer = opts.trace
-    base = replace(
-        opts, bound_provider=None, bipartite_sides=None, trace=None
-    )
+    base = replace(opts, bound_provider=None, bipartite_sides=None, trace=None)
 
     root: ContextManager[Any] = (
         tracer.span(
@@ -127,21 +156,44 @@ def parallel_topk_join(
         # pairs also join the merge (they are exactly verified global
         # pairs), which is what makes pruning at the seeded bound safe
         # for ties.
-        seed_bound, seed_rows, seed_stats = _global_seed(
-            collection, k, sim, base
-        )
+        seed_bound, seed_rows, seed_stats = _global_seed(collection, k, sim, base)
 
         outcome = None
-        if worker_count > 1:
-            outcome = _run_pool(
-                collection, rid_shards, k, sim, base, plan, worker_count,
-                seed_bound, trace=tracer is not None,
-            )
-        if outcome is None:
-            outcome = _run_serial(
-                collection, rid_shards, k, sim, base, plan, seed_bound,
-                trace=tracer is not None,
-            )
+        segment: Optional[ShmDescriptor] = None
+        try:
+            if worker_count > 1:
+                if shm is not False:
+                    segment = _build_segment(collection, base, tracer)
+                outcome = _run_pool(
+                    segment if segment is not None else collection,
+                    rid_shards,
+                    k,
+                    sim,
+                    base,
+                    plan,
+                    worker_count,
+                    seed_bound,
+                    trace=tracer is not None,
+                )
+            if outcome is None:
+                outcome = _run_serial(
+                    collection,
+                    rid_shards,
+                    k,
+                    sim,
+                    base,
+                    plan,
+                    seed_bound,
+                    trace=tracer is not None,
+                    use_shm=shm is True,
+                    tracer=tracer,
+                )
+        finally:
+            # Owner-side unlink: runs on success, worker crash and
+            # KeyboardInterrupt alike.  Attached workers keep their
+            # mappings until they exit (POSIX unlink semantics).
+            if segment is not None:
+                destroy_segment(segment)
 
         task_rows, task_stats, task_traces = outcome
         task_rows.append(seed_rows)
@@ -185,8 +237,38 @@ def _global_seed(
     return bound, rows, stats
 
 
-def _run_pool(
+def _build_segment(
     collection: RecordCollection,
+    base: TopkOptions,
+    tracer: Optional["Tracer"],
+) -> Optional[ShmDescriptor]:
+    """Encode *collection* into a shared segment; None when unsupported.
+
+    Failure is not an error: sandboxes without a usable ``/dev/shm``
+    fall back to the pickling data plane, which computes the identical
+    answer.  Signatures are encoded whenever the accelerated kernels
+    will want them, so workers decode two words per record instead of
+    re-hashing every token.
+    """
+    span: ContextManager[Any] = (
+        tracer.span("shm_build") if tracer is not None else nullcontext()
+    )
+    try:
+        with span:
+            segment = create_segment(collection, with_signatures=base.accel != "off")
+    except (ImportError, OSError, PermissionError):
+        return None
+    if tracer is not None:
+        tracer.metrics.gauge(
+            "repro_shm_segment_bytes",
+            "Size of the shared-memory collection segment.",
+            mode="max",
+        ).set(float(segment.nbytes))
+    return segment
+
+
+def _run_pool(
+    source: Union[RecordCollection, ShmDescriptor],
     rid_shards: Sequence[Sequence[int]],
     k: int,
     sim: SimilarityFunction,
@@ -196,17 +278,20 @@ def _run_pool(
     seed_bound: float,
     trace: bool = False,
 ) -> Optional[_TaskOutcome]:
-    """Execute *plan* on a process pool; None when no pool can be made."""
+    """Execute *plan* on a process pool; None when no pool can be made.
+
+    *source* is what each worker's initializer receives: a shared-memory
+    descriptor on the zero-copy plane, or the collection itself on the
+    pickling plane.
+    """
     try:
         context = _pool_context()
-        shared = SharedSimilarityBound(context.Value("d", seed_bound))
+        shared = SharedSimilarityBound.for_context(context, seed_bound)
         processes = min(worker_count, len(plan))
         pool = context.Pool(
             processes,
             initializer=initialize_worker,
-            initargs=(
-                collection, rid_shards, k, sim, base, shared.raw, trace,
-            ),
+            initargs=(source, rid_shards, k, sim, base, shared.raw, trace),
         )
         # Shut the pool down explicitly: ``Pool.__exit__`` calls
         # ``terminate()``, which kills workers mid-flight and leaks
@@ -244,22 +329,52 @@ def _run_serial(
     plan: Sequence[Tuple[int, int]],
     seed_bound: float,
     trace: bool = False,
+    use_shm: bool = False,
+    tracer: Optional["Tracer"] = None,
 ) -> _TaskOutcome:
-    """Execute *plan* in-process, sharing the bound across tasks."""
-    initialize_worker(
-        collection, rid_shards, k, sim, base,
-        LocalSimilarityBound(seed_bound), trace,
-    )
-    task_rows: List[List[TaskRow]] = []
-    task_stats: List[TopkStats] = []
-    task_traces: List[Dict[str, Any]] = []
-    for task in plan:
-        rows, entry, payload = run_task(task)
-        task_rows.append(rows)
-        task_stats.append(entry)
-        if payload is not None:
-            task_traces.append(payload)
-    return task_rows, task_stats, task_traces
+    """Execute *plan* in-process, sharing the bound across tasks.
+
+    With *use_shm* the run still goes through a full shared-memory
+    round-trip — create, attach, join over the attached views, detach,
+    destroy — which is how the differential fuzzer exercises the data
+    plane without paying pool start-up per case.
+    """
+    segment: Optional[ShmDescriptor] = None
+    source: Union[RecordCollection, ShmDescriptor] = collection
+    if use_shm:
+        segment = _build_segment(collection, base, tracer)
+        if segment is not None:
+            source = segment
+    try:
+        attach_span: ContextManager[Any] = (
+            tracer.span("shm_attach")
+            if tracer is not None and segment is not None
+            else nullcontext()
+        )
+        with attach_span:
+            initialize_worker(
+                source,
+                rid_shards,
+                k,
+                sim,
+                base,
+                LocalSimilarityBound(seed_bound),
+                trace,
+            )
+        task_rows: List[List[TaskRow]] = []
+        task_stats: List[TopkStats] = []
+        task_traces: List[Dict[str, Any]] = []
+        for task in plan:
+            rows, entry, payload = run_task(task)
+            task_rows.append(rows)
+            task_stats.append(entry)
+            if payload is not None:
+                task_traces.append(payload)
+        return task_rows, task_stats, task_traces
+    finally:
+        if segment is not None:
+            teardown_worker()
+            destroy_segment(segment)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:

@@ -51,9 +51,7 @@ def merge_task_results(task_rows: Iterable[List[TaskRow]], k: int) -> List[JoinR
     return merged[:k]
 
 
-def absorb_task_traces(
-    tracer: "Tracer", payloads: Iterable[Dict[str, Any]]
-) -> None:
+def absorb_task_traces(tracer: "Tracer", payloads: Iterable[Dict[str, Any]]) -> None:
     """Fold worker-exported trace payloads into the parent tracer.
 
     The observability counterpart of :func:`merge_task_results`, applied

@@ -28,25 +28,36 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..data.records import Record, RecordCollection
 
-__all__ = ["shard_collection", "task_plan", "subproblem"]
+__all__ = ["shard_collection", "shard_ranges", "task_plan", "subproblem"]
+
+
+def shard_ranges(record_count: int, shards: int) -> List[range]:
+    """Split ``0..record_count-1`` into up to *shards* contiguous spans.
+
+    The descriptor form of sharding: a contiguous size-sorted shard is
+    fully described by its ``range(start, stop)``, so the parallel
+    backend ships these constant-size descriptors to workers instead of
+    materialized rid tuples.  Spans cover the rid space exactly once,
+    with record counts differing by at most one; the shard count is
+    clamped to the collection size (never more shards than records, at
+    least one shard).
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1, got %d" % shards)
+    m = max(1, min(shards, record_count))
+    bounds = [record_count * i // m for i in range(m + 1)]
+    return [range(bounds[i], bounds[i + 1]) for i in range(m)]
 
 
 def shard_collection(
     collection: RecordCollection, shards: int
 ) -> List[Tuple[int, ...]]:
-    """Split *collection* into up to *shards* contiguous size-sorted shards.
+    """Split *collection* into contiguous size-sorted shards of rid tuples.
 
-    Returns a list of ascending rid tuples covering ``0..n-1`` exactly
-    once, each a contiguous run of the size-sorted collection with record
-    counts differing by at most one.  The shard count is clamped to the
-    collection size (never more shards than records, at least one shard).
+    Compatibility wrapper over :func:`shard_ranges` returning the rids
+    materialized as ascending tuples.
     """
-    if shards < 1:
-        raise ValueError("shards must be >= 1, got %d" % shards)
-    n = len(collection)
-    m = max(1, min(shards, n))
-    bounds = [n * i // m for i in range(m + 1)]
-    return [tuple(range(bounds[i], bounds[i + 1])) for i in range(m)]
+    return [tuple(span) for span in shard_ranges(len(collection), shards)]
 
 
 def task_plan(shard_count: int) -> List[Tuple[int, int]]:

@@ -1,0 +1,318 @@
+"""Shared-memory segments: the zero-copy data plane of the parallel backend.
+
+The pickling data plane ships the whole collection to every worker (via
+fork copy-on-write or, under spawn, a full pickle per worker), so data
+distribution costs grow with ``workers x collection``.  This module
+serializes the collection **once** into a single
+:mod:`multiprocessing.shared_memory` segment and hands workers a tiny
+picklable :class:`ShmDescriptor`; each worker attaches read-only
+``memoryview`` slices over the same physical pages — no per-worker token
+copies, no per-worker signature hashing, and spawn-platform support for
+free.
+
+Segment layout (all int64 words)::
+
+    word 0..7   header: MAGIC, SCHEMA, records, total_tokens,
+                universe_size, has_signatures, reserved, reserved
+    word 8..    RecordColumns payload — offsets, source_ids,
+                signature_words, tokens (see repro.index.columns)
+
+Lifecycle contract:
+
+* the creating process is the **owner**: it must call
+  :func:`destroy_segment` exactly once on every descriptor it created,
+  on success *and* on failure (``parallel_topk_join`` does so in a
+  ``finally`` block, covering worker crashes and KeyboardInterrupt);
+* attached processes never ``close()`` explicitly — their token views
+  keep the mapping alive, and process exit unmaps it.  The serial
+  round-trip detaches deterministically via
+  :meth:`AttachedSegment.detach` once all views are dropped;
+* :func:`destroy_segment` re-opens the segment by name, so it works even
+  after the owner's create-time handle is gone, and is idempotent
+  (destroying an already-destroyed segment is a no-op);
+* resource-tracker bookkeeping is left entirely to the standard library:
+  registration is deduplicated per name and ``unlink()`` unregisters, so
+  neither creators nor attachers may call ``unregister`` by hand —
+  pool children share the parent's tracker, and a manual unregister in a
+  worker would strip the parent's entry.
+
+Segment names carry a recognizable prefix so tests can assert (via
+:func:`leaked_segments`) that nothing survives on ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from functools import lru_cache
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import List
+
+from ..data.records import RecordCollection
+from ..index.columns import RecordColumns
+
+__all__ = [
+    "AttachedSegment",
+    "ShmAttachError",
+    "ShmDescriptor",
+    "ShmError",
+    "attach_collection",
+    "create_segment",
+    "destroy_segment",
+    "leaked_segments",
+    "shm_usable",
+]
+
+#: ``b"TKSM"`` ("top-k shared memory") as a little int.
+_MAGIC = 0x544B534D
+_SCHEMA = 1
+_HEADER_WORDS = 8
+
+#: Prefix of every segment name this module creates; the leak check in
+#: the test suite scans ``/dev/shm`` for it.
+_NAME_PREFIX = "repro_topk_"
+
+
+class _Segment(shared_memory.SharedMemory):
+    """``SharedMemory`` whose close tolerates still-exported views.
+
+    An attached collection can end up in a reference cycle (the accel
+    kernels point back at the records), and cycle collection finalizes
+    members in arbitrary order — the handle may die while token views
+    are still alive.  Closing is then impossible (the views pin the
+    pages) but also unnecessary: the views' managed buffer keeps the
+    mapping alive and the process unmaps when the last one dies.  A
+    plain ``SharedMemory`` sprays ``Exception ignored ... BufferError``
+    noise from its finalizer in that order; this subclass retries
+    nothing and simply leaves the mapping to the views.
+    """
+
+    def close(self) -> None:
+        try:
+            super().close()
+        except BufferError:
+            pass
+
+
+class ShmError(RuntimeError):
+    """A shared-memory data-plane failure."""
+
+
+class ShmAttachError(ShmError):
+    """Attaching a segment failed (gone, or not one of ours)."""
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """Everything a worker needs to attach one collection segment.
+
+    Descriptors are tiny and picklable — they ride through pool
+    ``initargs`` in place of the collection itself.  The size fields
+    double as validation: attach re-checks them against the segment
+    header so a stale or foreign name fails loudly instead of decoding
+    garbage.
+    """
+
+    name: str
+    records: int
+    total_tokens: int
+    universe_size: int
+    has_signatures: bool
+    nbytes: int
+
+
+class AttachedSegment:
+    """A segment attached for reading: the collection plus its handle.
+
+    The ``SharedMemory`` handle must outlive every token view derived
+    from it (dropping the handle first makes its finalizer trip over the
+    exported buffers), so attach returns both together.  Pool workers
+    simply keep the pair until process exit; the serial round-trip drops
+    the collection first and then calls :meth:`detach`.
+    """
+
+    __slots__ = ("collection", "descriptor", "_shm")
+
+    def __init__(
+        self,
+        collection: RecordCollection,
+        descriptor: ShmDescriptor,
+        shm: shared_memory.SharedMemory,
+    ) -> None:
+        self.collection = collection
+        self.descriptor = descriptor
+        self._shm = shm
+
+    def detach(self) -> None:
+        """Close the mapping, best-effort.
+
+        Safe to call while token views are still alive: the close is
+        skipped (the views pin the pages, see :class:`_Segment`) and the
+        mapping goes away with the last view.
+        """
+        self._shm.close()
+
+
+def _fresh_name() -> str:
+    return _NAME_PREFIX + secrets.token_hex(8)
+
+
+@lru_cache(maxsize=1)
+def shm_usable() -> bool:
+    """Whether shared-memory segments work in this environment.
+
+    Sandboxes without ``/dev/shm`` (or with it mounted read-only) raise
+    on create; callers fall back to the pickling data plane, which
+    computes the identical answer.
+    """
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=8, name=_fresh_name())
+    except (ImportError, OSError, PermissionError):
+        return False
+    probe.close()
+    try:
+        probe.unlink()
+    except FileNotFoundError:  # pragma: no cover - platform quirk
+        pass
+    return True
+
+
+def leaked_segments() -> List[str]:
+    """Names of live segments created by this module, machine-wide.
+
+    Scans ``/dev/shm`` directly (POSIX), so it sees segments leaked by
+    *any* process — the test suite runs it after every test.  Returns an
+    empty list on platforms without ``/dev/shm``.
+    """
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return []
+    return sorted(path.name for path in root.glob(_NAME_PREFIX + "*"))
+
+
+def create_segment(
+    collection: RecordCollection, with_signatures: bool = True
+) -> ShmDescriptor:
+    """Serialize *collection* into a fresh shared segment, once.
+
+    Detaches the collection into flat :class:`RecordColumns`, writes
+    header plus payload, closes the create-time handle (the named
+    segment persists until :func:`destroy_segment`) and returns the
+    descriptor to ship to workers.  Raises ``OSError`` where shared
+    memory is unavailable — probe with :func:`shm_usable` or be ready to
+    fall back.
+    """
+    columns = RecordColumns.from_collection(collection, with_signatures=with_signatures)
+    nbytes = 8 * (_HEADER_WORDS + columns.word_count())
+    shm = shared_memory.SharedMemory(create=True, size=nbytes, name=_fresh_name())
+    try:
+        view = memoryview(shm.buf).cast("q")
+        try:
+            view[0] = _MAGIC
+            view[1] = _SCHEMA
+            view[2] = columns.records
+            view[3] = columns.total_tokens
+            view[4] = collection.universe_size
+            view[5] = 1 if with_signatures else 0
+            view[6] = 0
+            view[7] = 0
+            payload = view[_HEADER_WORDS:]
+            try:
+                columns.write_into(payload)
+            finally:
+                payload.release()
+        finally:
+            view.release()
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    descriptor = ShmDescriptor(
+        name=shm.name,
+        records=columns.records,
+        total_tokens=columns.total_tokens,
+        universe_size=collection.universe_size,
+        has_signatures=with_signatures,
+        nbytes=nbytes,
+    )
+    shm.close()
+    return descriptor
+
+
+def attach_collection(descriptor: ShmDescriptor) -> AttachedSegment:
+    """Attach read-only zero-copy views over *descriptor*'s segment.
+
+    The returned collection's per-record tokens are ``memoryview``
+    slices of the shared pages; nothing is copied except the (decoded)
+    signature cache.  Raises :class:`ShmAttachError` when the segment
+    was already unlinked or its header does not match the descriptor.
+    """
+    try:
+        shm = _Segment(name=descriptor.name, create=False)
+    except FileNotFoundError:
+        raise ShmAttachError(
+            "shared-memory segment %r is gone: it was already unlinked "
+            "(attach after destroy_segment?)" % descriptor.name
+        ) from None
+    try:
+        if shm.size < descriptor.nbytes:
+            raise ShmAttachError(
+                "segment %r holds %d bytes, descriptor promises %d"
+                % (descriptor.name, shm.size, descriptor.nbytes)
+            )
+        view = memoryview(shm.buf).toreadonly().cast("q")
+        header = tuple(view[:_HEADER_WORDS])
+        if header[0] != _MAGIC or header[1] != _SCHEMA:
+            view.release()
+            raise ShmAttachError(
+                "segment %r is not a schema-%d collection segment"
+                % (descriptor.name, _SCHEMA)
+            )
+        if header[2] != descriptor.records or header[3] != descriptor.total_tokens:
+            view.release()
+            raise ShmAttachError(
+                "segment %r header disagrees with its descriptor "
+                "(records %d vs %d, tokens %d vs %d)"
+                % (
+                    descriptor.name,
+                    header[2],
+                    descriptor.records,
+                    header[3],
+                    descriptor.total_tokens,
+                )
+            )
+    except ShmAttachError:
+        shm.close()
+        raise
+    columns = RecordColumns.read_from(
+        view[_HEADER_WORDS:],
+        records=descriptor.records,
+        total_tokens=descriptor.total_tokens,
+    )
+    collection = columns.to_collection(
+        universe_size=header[4], with_signatures=bool(header[5])
+    )
+    # The collection itself pins the handle: its token views borrow the
+    # mapping, so the handle must live at least as long as the records do
+    # — even when the AttachedSegment wrapper is dropped first.
+    collection._retained_buffer = shm
+    return AttachedSegment(collection, descriptor, shm)
+
+
+def destroy_segment(descriptor: ShmDescriptor) -> None:
+    """Unlink *descriptor*'s segment; idempotent and owner-only.
+
+    Re-opens by name so it works regardless of which handle created the
+    segment; attached processes keep their mappings (POSIX unlink
+    semantics) and the pages are reclaimed once the last one exits.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=descriptor.name, create=False)
+    except FileNotFoundError:
+        return
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost a destroy race
+        pass
+    shm.close()

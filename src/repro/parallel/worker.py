@@ -2,17 +2,24 @@
 
 The module-level state/function pair exists so :mod:`multiprocessing`
 pools can run tasks: ``initialize_worker`` is the pool initializer (the
-collection, shard table and options are shipped once per worker process,
-not once per task) and ``run_task`` is the mapped function.  The serial
-fallback calls exactly the same pair in-process, so both execution paths
-share one code path — and the in-process path keeps the worker fully
-visible to coverage tooling.
+collection — or its shared-memory descriptor — shard table and options
+are shipped once per worker process, not once per task) and ``run_task``
+is the mapped function.  The serial fallback calls exactly the same pair
+in-process, so both execution paths share one code path — and the
+in-process path keeps the worker fully visible to coverage tooling.
+
+On the zero-copy data plane (:mod:`repro.parallel.shm`) the initializer
+receives a :class:`~repro.parallel.shm.ShmDescriptor` instead of the
+collection and attaches read-only views over the shared segment; pool
+workers keep the attached handle until process exit, while the serial
+round-trip detaches deterministically via :func:`teardown_worker`.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple, cast
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union, cast
 
 from ..core.metrics import TopkStats
 from ..core.topk_join import TopkOptions, topk_join_iter
@@ -21,8 +28,9 @@ from ..obs.tracer import Tracer
 from ..similarity.functions import SimilarityFunction
 from .bound import SharedSimilarityBound
 from .partitioner import subproblem
+from .shm import AttachedSegment, ShmDescriptor, attach_collection
 
-__all__ = ["initialize_worker", "run_task"]
+__all__ = ["initialize_worker", "run_task", "teardown_worker"]
 
 #: One joined pair in global-rid terms: ``(x, y, similarity)``.
 TaskRow = Tuple[int, int, float]
@@ -34,7 +42,7 @@ _STATE: Dict[str, object] = {}
 
 
 def initialize_worker(
-    collection: RecordCollection,
+    source: Union[RecordCollection, ShmDescriptor],
     shards: Sequence[Sequence[int]],
     k: int,
     similarity: SimilarityFunction,
@@ -44,32 +52,62 @@ def initialize_worker(
 ) -> None:
     """Install the task context shared by every ``run_task`` call.
 
+    *source* is either the record collection itself (fork inheritance /
+    serial execution) or a :class:`~repro.parallel.shm.ShmDescriptor`,
+    in which case this worker attaches zero-copy token views over the
+    shared segment instead of holding its own copy of the records.
+
     *bound* is either a provider object (serial in-process execution) or
-    the raw ``multiprocessing.Value`` inherited from the parent, which
-    each worker process wraps in its own :class:`SharedSimilarityBound`.
-    *trace* asks each task to build a worker-local :class:`Tracer` and
-    return its exported payload — the parent's tracer never crosses the
-    process boundary (it holds a lock), so tracing travels as this bool
-    and comes back by value.
+    the raw shared cells inherited from the parent, which each worker
+    process wraps in its own :class:`SharedSimilarityBound`.  *trace*
+    asks each task to build a worker-local :class:`Tracer` and return
+    its exported payload — the parent's tracer never crosses the process
+    boundary (it holds a lock), so tracing travels as this bool and
+    comes back by value.
     """
     if not hasattr(bound, "offer"):
-        bound = SharedSimilarityBound(bound)
+        bound = SharedSimilarityBound(cast("Tuple[Any, Any]", bound))
+    attach_seconds = 0.0
+    segment: Optional[AttachedSegment] = None
+    if isinstance(source, ShmDescriptor):
+        started = time.perf_counter()
+        segment = attach_collection(source)
+        attach_seconds = time.perf_counter() - started
+        collection = segment.collection
+    else:
+        collection = source
     if options.accel != "off":
-        # Build the collection's bit signatures once per worker; every
-        # task's subproblem then slices them instead of re-hashing.
+        # Build (attached: decode) the collection's bit signatures once
+        # per worker; every task's subproblem then slices them instead
+        # of re-hashing.
         collection.signatures
     _STATE["collection"] = collection
+    _STATE["segment"] = segment
     _STATE["shards"] = shards
     _STATE["k"] = k
     _STATE["similarity"] = similarity
     _STATE["options"] = options
     _STATE["bound"] = bound
     _STATE["trace"] = trace
+    _STATE["attach_seconds"] = attach_seconds
 
 
-def run_task(
-    task: Tuple[int, int]
-) -> Tuple[List[TaskRow], TopkStats, TaskTrace]:
+def teardown_worker() -> None:
+    """Drop the installed context and detach any attached segment.
+
+    Pool workers never call this — they exit with the pool and the OS
+    unmaps their views.  The serial shared-memory round-trip must detach
+    deterministically, and ordering matters: the context is cleared
+    first (token views die with the collection), then the segment handle
+    can close cleanly.
+    """
+    segment = _STATE.pop("segment", None)
+    _STATE.clear()
+    if segment is not None:
+        cast(AttachedSegment, segment).detach()
+
+
+def run_task(task: Tuple[int, int]) -> Tuple[List[TaskRow], TopkStats, TaskTrace]:
     """Run one sub-join task ``(i, j)`` against the installed context.
 
     Diagonal tasks self-join shard *i*; cross tasks run the bipartite
@@ -87,6 +125,16 @@ def run_task(
         sub, sides = subproblem(collection, shards[i], shards[j])
     base = cast(TopkOptions, _STATE["options"])
     tracer = Tracer() if _STATE.get("trace") else None
+    if tracer is not None:
+        attach_seconds = cast(float, _STATE.get("attach_seconds", 0.0))
+        if attach_seconds > 0.0:
+            # mode="max" keeps the per-worker gauge idempotent across
+            # this worker's tasks when the parent absorbs the payloads.
+            tracer.metrics.gauge(
+                "repro_shm_attach_seconds",
+                "Worker-side shared-memory attach and decode time.",
+                mode="max",
+            ).set(attach_seconds)
     options = replace(
         base,
         bound_provider=_STATE["bound"],

@@ -9,6 +9,7 @@ import pytest
 
 from repro import JoinResult, RecordCollection
 from repro.data import random_integer_collection
+from repro.parallel.shm import leaked_segments
 
 
 def make_collection(*token_sets: Sequence[int]) -> RecordCollection:
@@ -19,6 +20,25 @@ def make_collection(*token_sets: Sequence[int]) -> RecordCollection:
 def rounded_multiset(results: Sequence[JoinResult], digits: int = 9) -> List[float]:
     """Descending similarity multiset rounded for float-safe comparison."""
     return sorted((round(r.similarity, digits) for r in results), reverse=True)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_shm_segments():
+    """Fail any test that leaves a shared-memory segment on /dev/shm.
+
+    The segment lifecycle contract (repro.parallel.shm) says the owner
+    unlinks every segment it creates, success or crash; scanning the
+    prefix after *every* test turns a leak anywhere in the suite into a
+    precise failure instead of cross-machine /dev/shm pollution.  Leaks
+    present *before* the test are reported by whichever test made them.
+    """
+    before = set(leaked_segments())
+    yield
+    fresh = [name for name in leaked_segments() if name not in before]
+    assert not fresh, (
+        "test leaked shared-memory segments: %r (the creating join must "
+        "destroy_segment() in a finally block)" % fresh
+    )
 
 
 @pytest.fixture

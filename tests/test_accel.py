@@ -34,9 +34,7 @@ from conftest import rounded_multiset
 
 token_set = st.sets(st.integers(min_value=0, max_value=500), max_size=40)
 
-ACCEL_UNDER_TEST = [
-    m for m in ("python", "numpy") if m != "numpy" or numpy_available()
-]
+ACCEL_UNDER_TEST = [m for m in ("python", "numpy") if m != "numpy" or numpy_available()]
 
 
 class TestSignatureBound:
@@ -72,8 +70,10 @@ class TestKernelEquivalence:
         rng = random.Random(97)
         for trial in range(8):
             coll = random_integer_collection(
-                rng.randint(10, 80), universe=rng.randint(8, 40),
-                max_size=rng.randint(2, 10), rng=rng,
+                rng.randint(10, 80),
+                universe=rng.randint(8, 40),
+                max_size=rng.randint(2, 10),
+                rng=rng,
             )
             k = rng.randint(1, 40)
             options = TopkOptions(accel=accel, check_invariants=True)
@@ -84,8 +84,7 @@ class TestKernelEquivalence:
     @pytest.mark.parametrize("accel", ACCEL_UNDER_TEST)
     def test_matches_accel_off_exactly(self, accel):
         rng = random.Random(131)
-        coll = random_integer_collection(120, universe=50, max_size=12,
-                                         rng=rng)
+        coll = random_integer_collection(120, universe=50, max_size=12, rng=rng)
         baseline = topk_join(coll, 60, options=TopkOptions(accel="off"))
         accelerated = topk_join(coll, 60, options=TopkOptions(accel=accel))
         assert rounded_multiset(accelerated) == rounded_multiset(baseline)
@@ -96,24 +95,25 @@ class TestKernelEquivalence:
         rng = random.Random(17)
         coll = random_integer_collection(60, universe=25, max_size=8, rng=rng)
         options = TopkOptions(
-            accel=accel, positional_filter=False, suffix_filter=False,
-            access_optimization=False, verification_mode="all",
-            seed_results=False, check_invariants=True,
+            accel=accel,
+            positional_filter=False,
+            suffix_filter=False,
+            access_optimization=False,
+            verification_mode="all",
+            seed_results=False,
+            check_invariants=True,
         )
         got = rounded_multiset(topk_join(coll, 25, options=options))
         assert got == rounded_multiset(naive_topk(coll, 25))
 
     def test_bitmap_counters_populated(self):
         rng = random.Random(7)
-        coll = random_integer_collection(200, universe=80, max_size=10,
-                                         rng=rng)
+        coll = random_integer_collection(200, universe=80, max_size=10, rng=rng)
         stats = TopkStats()
         topk_join(coll, 30, options=TopkOptions(accel="python"), stats=stats)
         assert stats.bitmap_checked > 0
         assert 0 < stats.bitmap_pruned <= stats.bitmap_checked
-        assert stats.bitmap_hit_rate == (
-            stats.bitmap_pruned / stats.bitmap_checked
-        )
+        assert stats.bitmap_hit_rate == stats.bitmap_pruned / stats.bitmap_checked
         off = TopkStats()
         topk_join(coll, 30, options=TopkOptions(accel="off"), stats=off)
         assert off.bitmap_checked == 0 and off.bitmap_pruned == 0
@@ -132,8 +132,7 @@ class TestAccelModeResolution:
     def test_off_builds_no_kernel(self):
         coll = RecordCollection.from_integer_sets([[1, 2], [1, 3]])
         kernel = make_kernel(
-            coll, Jaccard(), TopkOptions(accel="off"),
-            None, None, None, TopkStats(),
+            coll, Jaccard(), TopkOptions(accel="off"), None, None, None, TopkStats()
         )
         assert kernel is None
 
@@ -202,9 +201,7 @@ class TestBaselineGate:
     def test_lost_speedup_detected(self):
         baseline = self._report(on=0.1, off=0.5)
         current = self._report(on=0.42, off=0.5)
-        failures = check_against_baseline(
-            current, baseline, slowdown_limit=10.0
-        )
+        failures = check_against_baseline(current, baseline, slowdown_limit=10.0)
         assert any("speedup" in f for f in failures)
 
     def test_no_common_cells(self):

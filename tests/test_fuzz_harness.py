@@ -32,6 +32,7 @@ pytestmark = pytest.mark.slow
 
 def test_all_backends_registered():
     from repro.accel.kernel import numpy_available
+    from repro.parallel.shm import shm_usable
 
     expected = {
         "sequential", "record-all", "ablated", "parallel", "rs",
@@ -40,6 +41,8 @@ def test_all_backends_registered():
     }
     if numpy_available():
         expected.add("accel-numpy")
+    if shm_usable():
+        expected.add("parallel-shm")
     assert set(available_backends()) == expected
 
 

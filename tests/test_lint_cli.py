@@ -10,7 +10,10 @@ from repro.analysis.engine import checker_ids
 
 REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
 
-CLEAN = 'GREETING: str = "hi"\n\n\ndef shout(text: str) -> str:\n    return text.upper()\n'
+CLEAN = (
+    'GREETING: str = "hi"\n\n\ndef shout(text: str) -> str:\n'
+    "    return text.upper()\n"
+)
 UNTYPED = "def shout(text):\n    return text.upper()\n"
 BROKEN = "def shout(text:\n"
 
@@ -73,9 +76,7 @@ class TestSelection:
 
     def test_select_and_ignore_compose(self, tree, capsys):
         path = tree("repro/bad.py", UNTYPED)
-        code = main(
-            ["lint", path, "--select", "annotations,race", "--ignore", "race"]
-        )
+        code = main(["lint", path, "--select", "annotations,race", "--ignore", "race"])
         assert code == 1
 
     def test_outside_repro_package_is_skipped(self, tree):
@@ -92,9 +93,7 @@ class TestJsonMode:
         report = json.loads(capsys.readouterr().out)
         assert report["files"] == 1
         assert set(report["checkers"]) == set(checker_ids()) | {"syntax"}
-        (finding,) = [
-            f for f in report["findings"] if f["checker"] == "annotations"
-        ]
+        (finding,) = [f for f in report["findings"] if f["checker"] == "annotations"]
         assert finding["path"].endswith("bad.py")
         assert finding["line"] >= 1
         assert "shout" in finding["message"]

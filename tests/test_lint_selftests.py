@@ -70,9 +70,7 @@ def test_seeded_fault_invisible_to_other_checkers(pristine_project, fault):
     # The mutation re-introduces exactly one bug class; the remaining
     # checkers must stay quiet on it, or finding attribution is noise.
     module = pristine_project.module(fault.repro_path)
-    project = pristine_project.with_source(
-        fault.repro_path, fault.apply(module.text)
-    )
+    project = pristine_project.with_source(fault.repro_path, fault.apply(module.text))
     others = [cid for cid in checker_ids() if cid != fault.checker]
     assert run_checkers(project, select=others) == []
 

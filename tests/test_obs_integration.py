@@ -52,10 +52,7 @@ class TestSequentialTracing:
 
     def test_kernel_micro_phase_recorded(self):
         tracer = Tracer()
-        topk_join(
-            _collection(), 4,
-            options=TopkOptions(trace=tracer, accel="python"),
-        )
+        topk_join(_collection(), 4, options=TopkOptions(trace=tracer, accel="python"))
         phases = tracer.phase_times()
         assert "kernel_scan" in phases
         total, count = phases["kernel_scan"]
@@ -81,8 +78,12 @@ class TestParallelTracing:
         tracer = Tracer()
         stats = TopkStats()
         traced = parallel_topk_join(
-            collection, 6, options=TopkOptions(trace=tracer),
-            workers=1, shards=3, stats=stats,
+            collection,
+            6,
+            options=TopkOptions(trace=tracer),
+            workers=1,
+            shards=3,
+            stats=stats,
         )
         assert _rows(traced) == _rows(plain)
         names = [s.name for s in tracer.spans]
@@ -97,8 +98,7 @@ class TestParallelTracing:
     def test_multiprocess_workers_ship_trace_payloads(self):
         tracer = Tracer()
         parallel_topk_join(
-            _collection(), 4, options=TopkOptions(trace=tracer),
-            workers=2, shards=2,
+            _collection(), 4, options=TopkOptions(trace=tracer), workers=2, shards=2
         )
         names = [s.name for s in tracer.spans]
         assert any(name.startswith("task-") for name in names)
@@ -107,9 +107,7 @@ class TestParallelTracing:
 
 class TestOtherBackends:
     def test_rs_join_traced(self):
-        tagged = TaggedCollection.from_integer_sets(
-            RECORDS[::2], RECORDS[1::2]
-        )
+        tagged = TaggedCollection.from_integer_sets(RECORDS[::2], RECORDS[1::2])
         plain = topk_join_rs(tagged, 4, options=TopkOptions())
         tracer = Tracer()
         traced = topk_join_rs(tagged, 4, options=TopkOptions(trace=tracer))
@@ -127,9 +125,7 @@ class TestOtherBackends:
         assert any(s.name == "ppjoin" for s in tracer.spans)
         counters = {c.name: c.value for c in tracer.metrics.counters()}
         assert counters["repro_threshold_results_total"] == len(traced)
-        assert counters["repro_threshold_candidates_total"] == (
-            stats.candidates
-        )
+        assert counters["repro_threshold_candidates_total"] == stats.candidates
 
 
 class TestProfiler:

@@ -98,9 +98,7 @@ class TestAbsorberCoverage:
             if spec.type in ("int", int):
                 bumped = TopkStats(**{spec.name: 7})
             elif spec.name == "emits":
-                bumped = TopkStats(
-                    emits=[EmitEvent(1, 0.5, 0.9, 0.4, 0.002)]
-                )
+                bumped = TopkStats(emits=[EmitEvent(1, 0.5, 0.9, 0.4, 0.002)])
             else:
                 pytest.fail(
                     "extend this test for TopkStats.%s (type %r)"
@@ -195,8 +193,6 @@ class TestPrometheusText:
 
     def test_label_values_are_escaped(self):
         tracer = Tracer()
-        tracer.metrics.counter(
-            "c", "help", labels={"dataset": 'a"b\nc\\d'}
-        ).inc(1)
+        tracer.metrics.counter("c", "help", labels={"dataset": 'a"b\nc\\d'}).inc(1)
         text = to_prometheus_text(tracer)
         assert 'dataset="a\\"b\\nc\\\\d"' in text

@@ -46,10 +46,7 @@ class TestSpans:
         by_name = {s.name: s for s in tracer.spans}
         inner, outer = by_name["inner"], by_name["outer"]
         assert outer.start <= inner.start
-        assert (
-            inner.start + inner.duration
-            <= outer.start + outer.duration + 1e-6
-        )
+        assert inner.start + inner.duration <= outer.start + outer.duration + 1e-6
 
     def test_sibling_threads_do_not_nest(self):
         tracer = Tracer()
@@ -90,8 +87,7 @@ class TestExportAbsorb:
 
     def test_span_dict_roundtrip(self):
         record = SpanRecord(
-            name="n", start=1.0, duration=2.0, parent=3, span_id=4,
-            meta={"k": 5},
+            name="n", start=1.0, duration=2.0, parent=3, span_id=4, meta={"k": 5}
         )
         assert SpanRecord.from_dict(record.as_dict()) == record
 

@@ -1,7 +1,5 @@
 """Unit tests for the parallel backend's pieces (repro.parallel)."""
 
-import multiprocessing
-
 import pytest
 
 from repro import TopkStats, parallel_topk_join, topk_join
@@ -93,12 +91,25 @@ class TestBounds:
         assert shared.refresh() == 0.7
 
     def test_shared_bound_propagates_between_wrappers(self):
-        raw = multiprocessing.Value("d", 0.0)
+        raw = SharedSimilarityBound(floor=0.0).raw
         a = SharedSimilarityBound(raw)
         b = SharedSimilarityBound(raw)
         a.offer(0.9)
         assert b.get() == 0.0  # cached until an explicit refresh
         assert b.refresh() == 0.9
+
+    def test_shared_bound_generation_gates_refresh(self):
+        raw = SharedSimilarityBound(floor=0.0).raw
+        a = SharedSimilarityBound(raw)
+        b = SharedSimilarityBound(raw)
+        generation = b.generation.value
+        a.offer(0.4)
+        assert b.generation.value == generation + 1
+        assert b.refresh() == 0.4
+        # Re-offering a non-improving bound must not bump the generation.
+        a.offer(0.4)
+        a.offer(0.2)
+        assert b.generation.value == generation + 1
 
 
 class TestMerger:

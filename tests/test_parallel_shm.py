@@ -1,0 +1,162 @@
+"""Lifecycle and exactness tests for the shared-memory data plane."""
+
+import pytest
+
+from repro import topk_join
+from repro.data import random_integer_collection
+from repro.parallel import parallel_topk_join
+from repro.parallel.shm import (
+    ShmAttachError,
+    attach_collection,
+    create_segment,
+    destroy_segment,
+    leaked_segments,
+    shm_usable,
+)
+
+from conftest import make_collection, rounded_multiset
+
+pytestmark = pytest.mark.skipif(
+    not shm_usable(), reason="no usable shared memory on this host"
+)
+
+
+def ordered_rows(results):
+    return [(r.x, r.y, r.similarity) for r in results]
+
+
+class TestSegmentLifecycle:
+    def test_create_then_destroy_unlinks(self):
+        coll = make_collection((1, 2, 3), (2, 3, 4), (5,))
+        descriptor = create_segment(coll)
+        assert descriptor.name in leaked_segments()
+        destroy_segment(descriptor)
+        assert descriptor.name not in leaked_segments()
+
+    def test_destroy_is_idempotent(self):
+        coll = make_collection((1, 2), (2, 3))
+        descriptor = create_segment(coll)
+        destroy_segment(descriptor)
+        destroy_segment(descriptor)  # second unlink is a no-op
+
+    def test_attach_after_destroy_raises_clear_error(self):
+        coll = make_collection((1, 2), (2, 3))
+        descriptor = create_segment(coll)
+        destroy_segment(descriptor)
+        with pytest.raises(ShmAttachError, match="already unlinked"):
+            attach_collection(descriptor)
+
+    def test_attach_rejects_mismatched_descriptor(self):
+        from dataclasses import replace
+
+        coll = make_collection((1, 2, 3), (2, 3, 4))
+        descriptor = create_segment(coll)
+        try:
+            forged = replace(descriptor, records=descriptor.records + 1)
+            with pytest.raises(ShmAttachError, match="disagrees"):
+                attach_collection(forged)
+        finally:
+            destroy_segment(descriptor)
+
+    def test_roundtrip_preserves_collection(self, rng):
+        coll = random_integer_collection(40, universe=30, max_size=8, rng=rng)
+        descriptor = create_segment(coll, with_signatures=True)
+        try:
+            attached = attach_collection(descriptor)
+            twin = attached.collection
+            assert len(twin) == len(coll)
+            assert twin.universe_size == coll.universe_size
+            for mine, theirs in zip(coll.records, twin.records):
+                assert list(mine.tokens) == list(theirs.tokens)
+                assert mine.source_id == theirs.source_id
+            assert twin.signatures == coll.signatures
+        finally:
+            destroy_segment(descriptor)
+
+    def test_empty_collection_roundtrips(self):
+        coll = make_collection()
+        descriptor = create_segment(coll)
+        try:
+            attached = attach_collection(descriptor)
+            assert len(attached.collection) == 0
+        finally:
+            destroy_segment(descriptor)
+
+
+class TestJoinLifecycle:
+    """parallel_topk_join owns the segment: unlink on every exit path.
+
+    The autouse ``no_leaked_shm_segments`` fixture re-checks after each
+    test, so these assertions are intentionally redundant — they localize
+    a failure to the exit path under test instead of the fixture.
+    """
+
+    def test_success_unlinks(self, rng):
+        coll = random_integer_collection(30, universe=20, max_size=6, rng=rng)
+        parallel_topk_join(coll, 5, workers=1, shards=4, shm=True)
+        assert leaked_segments() == []
+
+    def test_serial_task_crash_unlinks(self, rng, monkeypatch):
+        coll = random_integer_collection(30, universe=20, max_size=6, rng=rng)
+
+        def explode(task):
+            raise RuntimeError("worker blew up mid-task")
+
+        # RuntimeError on purpose: OSError would be mistaken for a
+        # missing-multiprocessing environment and swallowed by the
+        # pool's serial fallback.
+        monkeypatch.setattr("repro.parallel.join.run_task", explode)
+        with pytest.raises(RuntimeError, match="blew up"):
+            parallel_topk_join(coll, 5, workers=1, shards=4, shm=True)
+        assert leaked_segments() == []
+
+    def test_pool_crash_unlinks(self, rng, monkeypatch):
+        coll = random_integer_collection(30, universe=20, max_size=6, rng=rng)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("pool terminated")
+
+        monkeypatch.setattr("repro.parallel.join._run_pool", explode)
+        with pytest.raises(RuntimeError, match="pool terminated"):
+            parallel_topk_join(coll, 5, workers=2, shards=4)
+        assert leaked_segments() == []
+
+    def test_keyboard_interrupt_unlinks(self, rng, monkeypatch):
+        coll = random_integer_collection(30, universe=20, max_size=6, rng=rng)
+
+        def interrupt(*args, **kwargs):
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr("repro.parallel.join._run_pool", interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            parallel_topk_join(coll, 5, workers=2, shards=4)
+        assert leaked_segments() == []
+
+
+class TestExactness:
+    def test_shm_rows_match_pickling_rows(self, rng):
+        for __ in range(5):
+            coll = random_integer_collection(
+                35, universe=rng.randint(10, 30), max_size=7, rng=rng
+            )
+            pickled = parallel_topk_join(coll, 8, workers=1, shards=5, shm=False)
+            shared = parallel_topk_join(coll, 8, workers=1, shards=5, shm=True)
+            assert ordered_rows(shared) == ordered_rows(pickled)
+
+    def test_pool_shm_matches_sequential(self, rng):
+        coll = random_integer_collection(50, universe=25, max_size=7, rng=rng)
+        results = parallel_topk_join(coll, 12, workers=2, shards=4, shm=True)
+        assert rounded_multiset(results) == rounded_multiset(topk_join(coll, 12))
+
+    def test_accel_off_skips_signature_encoding(self, rng):
+        from repro import TopkOptions
+
+        coll = random_integer_collection(30, universe=20, max_size=6, rng=rng)
+        options = TopkOptions(accel="off")
+        pickled = parallel_topk_join(
+            coll, 6, options=options, workers=1, shards=4, shm=False
+        )
+        shared = parallel_topk_join(
+            coll, 6, options=options, workers=1, shards=4, shm=True
+        )
+        assert ordered_rows(shared) == ordered_rows(pickled)
