@@ -19,7 +19,10 @@ restricts the k sweep (repeatable) to keep smoke runs short.
 ``--workers N`` adds a ``parallel`` row — the sharded backend's N-worker
 speedup over its own 1-worker serial run — which ``--check`` gates
 against ``--min-parallel-speedup`` (the shared-memory data-plane
-contract; CI runs ``--workers 2``).  The JSON
+contract; CI runs ``--workers 2``).  ``--stream`` adds a ``stream``
+row — the incremental streaming engine's speedup over per-event batch
+recompute on the same event sequence — gated by
+``--min-stream-speedup``.  The JSON
 structure is shared with ``repro bench --json``; see
 :mod:`repro.bench.baseline`.
 """
@@ -37,11 +40,13 @@ from repro.bench.baseline import (  # noqa: E402 — path bootstrap above
     BASELINE_PATH,
     MIN_PARALLEL_SPEEDUP,
     MIN_SPEEDUP,
+    MIN_STREAM_SPEEDUP,
     SLOWDOWN_LIMIT,
     check_against_baseline,
     load_baseline,
     measure_baseline,
     measure_parallel,
+    measure_stream,
     save_baseline,
     speedup_of,
 )
@@ -97,6 +102,18 @@ def main(argv=None) -> int:
         help="required multi-worker speedup for --check when the report "
              "has a parallel row (default %.2f)" % MIN_PARALLEL_SPEEDUP,
     )
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="also measure the streaming engine's incremental-vs-"
+             "recompute speedup and add it to the report as a 'stream' "
+             "row (--check then gates it)",
+    )
+    parser.add_argument(
+        "--min-stream-speedup", type=float, default=MIN_STREAM_SPEEDUP,
+        help="required incremental-vs-recompute speedup for --check when "
+             "the report has a stream row (default %.2f)"
+             % MIN_STREAM_SPEEDUP,
+    )
     args = parser.parse_args(argv)
 
     if args.input:
@@ -109,6 +126,14 @@ def main(argv=None) -> int:
         print(
             "# parallel row: %(workers)s workers on %(dataset)s k=%(k)s "
             "-> %(speedup)sx" % report["parallel"],
+            file=sys.stderr,
+        )
+    if args.stream:
+        report["stream"] = measure_stream()
+        print(
+            "# stream row: %(events)s events on %(dataset)s k=%(k)s "
+            "window=%(window)s -> %(speedup)sx incremental vs recompute"
+            % report["stream"],
             file=sys.stderr,
         )
     ratio = speedup_of(report)
@@ -139,6 +164,7 @@ def main(argv=None) -> int:
             slowdown_limit=args.slowdown_limit,
             min_speedup=args.min_speedup,
             min_parallel_speedup=args.min_parallel_speedup,
+            min_stream_speedup=args.min_stream_speedup,
         )
         for failure in failures:
             print("REGRESSION: %s" % failure, file=sys.stderr)

@@ -39,6 +39,7 @@ _STATS_MODULE = "core/metrics.py"
 _ABSORBERS = {
     "absorb_topk_stats": "TopkStats",
     "absorb_join_stats": "JoinStats",
+    "absorb_stream_stats": "StreamStats",
 }
 
 

@@ -36,11 +36,13 @@ __all__ = [
     "BASELINE_PATH",
     "MIN_PARALLEL_SPEEDUP",
     "MIN_SPEEDUP",
+    "MIN_STREAM_SPEEDUP",
     "SLOWDOWN_LIMIT",
     "check_against_baseline",
     "load_baseline",
     "measure_baseline",
     "measure_parallel",
+    "measure_stream",
     "save_baseline",
     "speedup_of",
 ]
@@ -64,6 +66,13 @@ MIN_SPEEDUP = 1.5
 #: so pool start-up no longer pays a per-worker pickle of the records.
 MIN_PARALLEL_SPEEDUP = 1.2
 
+#: Required incremental-over-recompute speedup when a report carries a
+#: ``stream`` row.  The incremental engine's whole reason to exist is
+#: that probing the live index under the current bound beats re-joining
+#: the window after every event; even on small windows the gap is wide,
+#: so the floor is conservative.
+MIN_STREAM_SPEEDUP = 2.0
+
 #: The figure4-style smoke: the dblp-like panel at its standard k sweep.
 DEFAULT_DATASETS = ("dblp",)
 
@@ -71,6 +80,14 @@ DEFAULT_DATASETS = ("dblp",)
 #: runs long enough (~1.5s serial) that pool start-up does not dominate.
 PARALLEL_DATASET = "dblp"
 PARALLEL_K = 500
+
+#: The stream-speedup row's cell: dblp-like records replayed as an
+#: insert-only stream over a full count window, so every arrival both
+#: displaces the oldest record and probes the live index.
+STREAM_DATASET = "dblp"
+STREAM_K = 50
+STREAM_WINDOW = 200
+STREAM_EVENTS = 260
 
 
 def _run_once(name: str, k: int, accel: str) -> Dict[str, object]:
@@ -189,6 +206,65 @@ def measure_parallel(
     }
 
 
+def measure_stream(
+    dataset: str = STREAM_DATASET,
+    k: int = STREAM_K,
+    window: int = STREAM_WINDOW,
+    events: int = STREAM_EVENTS,
+) -> Dict[str, object]:
+    """Measure the incremental engine against per-event recompute.
+
+    The same insert-only event stream (the workload's records in order)
+    runs through both streaming modes over a full count window — the
+    incremental engine probes the live index under the current bound and
+    refills only when a top-k member dies, while ``mode="recompute"``
+    re-runs the batch join after every mutation.  Both sides produce
+    identical answers (the differential harness holds them to that), so
+    the ratio isolates what incremental maintenance buys.  Best-of-3
+    per side, engine construction inside the timed region.
+    """
+    from ..stream.engine import StreamingTopkEngine
+
+    load = workload(dataset)
+    coll = collection(dataset)
+    token_lists = [
+        list(record.tokens) for record in coll.records[:events]
+    ]
+
+    def best_of_3(mode: str) -> float:
+        wall = None
+        for __ in range(3):
+            options = TopkOptions(
+                window_size=window, window_policy="count"
+            )
+            start = time.perf_counter()
+            engine = StreamingTopkEngine(
+                k, similarity=load.similarity, options=options, mode=mode
+            )
+            with engine:
+                for tokens in token_lists:
+                    engine.insert(tokens)
+            elapsed = time.perf_counter() - start
+            if wall is None or elapsed < wall:
+                wall = elapsed
+        return wall
+
+    wall_recompute = best_of_3("recompute")
+    wall_incremental = best_of_3("incremental")
+    return {
+        "dataset": dataset,
+        "k": k,
+        "window": window,
+        "events": len(token_lists),
+        "wall_incremental_s": round(wall_incremental, 6),
+        "wall_recompute_s": round(wall_recompute, 6),
+        "speedup": (
+            round(wall_recompute / wall_incremental, 3)
+            if wall_incremental > 0 else 0.0
+        ),
+    }
+
+
 def _entry_map(report: Dict[str, object]) -> Dict[tuple, Dict[str, object]]:
     return {
         (e["dataset"], e["k"], e["accel"]): e
@@ -219,6 +295,7 @@ def check_against_baseline(
     slowdown_limit: float = SLOWDOWN_LIMIT,
     min_speedup: float = MIN_SPEEDUP,
     min_parallel_speedup: float = MIN_PARALLEL_SPEEDUP,
+    min_stream_speedup: float = MIN_STREAM_SPEEDUP,
 ) -> List[str]:
     """Gate *current* against the committed *baseline*; returns failures.
 
@@ -229,8 +306,10 @@ def check_against_baseline(
     on-vs-off speedup at the default k must reach *min_speedup*, and —
     when the current report carries a ``parallel`` row (it only does
     when measured with ``--workers``) — the multi-worker speedup must
-    reach *min_parallel_speedup*.  The parallel row needs no committed
-    counterpart: it is a self-contained ratio on one machine.
+    reach *min_parallel_speedup*; a ``stream`` row (measured with
+    ``--stream``) must likewise reach *min_stream_speedup*.  These rows
+    need no committed counterpart: each is a self-contained ratio on
+    one machine.
     """
     failures: List[str] = []
     current_map = _entry_map(current)
@@ -283,6 +362,24 @@ def check_against_baseline(
                     parallel.get("wall_serial_s", 0.0),
                     parallel.get("wall_parallel_s", 0.0),
                     min_parallel_speedup,
+                )
+            )
+
+    stream = current.get("stream")
+    if isinstance(stream, dict):
+        stream_ratio = float(stream.get("speedup", 0.0))
+        if stream_ratio < min_stream_speedup:
+            failures.append(
+                "stream incremental-vs-recompute speedup %.2fx (%s k=%s "
+                "window=%s over %s events: %.3fs recompute vs %.3fs "
+                "incremental) is below the required %.2fx"
+                % (
+                    stream_ratio,
+                    stream.get("dataset", "?"), stream.get("k", "?"),
+                    stream.get("window", "?"), stream.get("events", "?"),
+                    stream.get("wall_recompute_s", 0.0),
+                    stream.get("wall_incremental_s", 0.0),
+                    min_stream_speedup,
                 )
             )
     return failures

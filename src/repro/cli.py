@@ -14,6 +14,11 @@ Subcommands::
     python -m repro stats     --input data.txt
     python -m repro fuzz      --seed 0 --iters 200 [--budget 60]
                               [--corpus-dir tests/corpus] [--replay]
+                              [--stream]
+    python -m repro stream    --input events.txt|- --k 10 [--window 50]
+                              [--policy count|time]
+                              [--mode incremental|recompute] [--check]
+                              [--quiet] [--prom-out m.prom] [--trace]
     python -m repro bench     --json [--k 100]  (hot-path baseline JSON)
     python -m repro lint      [paths...] [--select ids] [--ignore ids]
                               [--json] [--list]
@@ -275,23 +280,33 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from .oracle import fuzz_run, replay_corpus
-    from .oracle.differential import available_backends
+    from .oracle import fuzz_run, fuzz_stream_run, replay_corpus
+    from .oracle.differential import (
+        available_backends,
+        available_stream_backends,
+    )
 
+    valid = (
+        available_stream_backends() if args.stream else available_backends()
+    )
     backends = None
     if args.backends:
         backends = [name.strip() for name in args.backends.split(",")]
-        unknown = set(backends) - set(available_backends())
+        unknown = set(backends) - set(valid)
         if unknown:
             print(
                 "unknown backends: %s (choose from %s)"
-                % (", ".join(sorted(unknown)), ", ".join(available_backends())),
+                % (", ".join(sorted(unknown)), ", ".join(valid)),
                 file=sys.stderr,
             )
             return 2
 
     if args.replay:
-        failing = replay_corpus(args.corpus_dir, backends=backends)
+        failing = replay_corpus(
+            args.corpus_dir,
+            backends=None if args.stream else backends,
+            stream_backends=backends if args.stream else None,
+        )
         if failing:
             for path, failures in failing:
                 print("FAIL %s" % path, file=sys.stderr)
@@ -300,6 +315,35 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             return 1
         print("# corpus %s: all cases pass" % args.corpus_dir, file=sys.stderr)
         return 0
+
+    if args.stream:
+        stream_report = fuzz_stream_run(
+            seed=args.seed,
+            iterations=args.iters,
+            budget=args.budget,
+            backends=backends,
+            corpus_dir=args.corpus_dir,
+        )
+        print(
+            "# stream fuzz seed=%d: %d iterations in %.1fs, %d failure(s)"
+            % (args.seed, stream_report.iterations, stream_report.elapsed,
+               len(stream_report.failures)),
+            file=sys.stderr,
+        )
+        for iteration, generator, case, failures, path in (
+            stream_report.failures
+        ):
+            print(
+                "FAIL iteration=%d generator=%s k=%d window=%d policy=%s "
+                "similarity=%s%s"
+                % (iteration, generator, case.k, case.window, case.policy,
+                   case.similarity, " -> %s" % path if path else ""),
+                file=sys.stderr,
+            )
+            print("  events=%r" % (case.events_payload(),), file=sys.stderr)
+            for message in failures:
+                print("  %s" % message, file=sys.stderr)
+        return 1 if stream_report.failures else 0
 
     report = fuzz_run(
         seed=args.seed,
@@ -326,6 +370,98 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         for message in failures:
             print("  %s" % message, file=sys.stderr)
     return 1 if report.failures else 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .obs import Tracer, render_phase_tree
+    from .stream.engine import StreamingTopkEngine
+    from .stream.events import read_events
+
+    sim = similarity_by_name(args.similarity)
+    tracer: Optional["Tracer"] = None
+    if args.trace:
+        tracer = Tracer()
+    options = TopkOptions(
+        check_invariants=args.check,
+        accel=args.accel,
+        trace=tracer,
+        window_size=args.window,
+        window_policy=args.policy,
+    )
+    try:
+        engine = StreamingTopkEngine(
+            args.k, similarity=sim, options=options, mode=args.mode
+        )
+    except ValueError as error:
+        print("repro stream: %s" % error, file=sys.stderr)
+        return 2
+
+    prom_handle: Optional[TextIO] = None
+    if args.prom_out:
+        try:
+            prom_handle = open(args.prom_out, "w", encoding="utf-8")
+        except OSError as error:
+            print(
+                "repro stream: cannot write %s: %s"
+                % (args.prom_out, error),
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.input == "-":
+        source: TextIO = sys.stdin
+        close_source = False
+    else:
+        try:
+            source = open(args.input, "r", encoding="utf-8")
+        except OSError as error:
+            if prom_handle is not None:
+                prom_handle.close()
+            print("repro stream: %s" % error, file=sys.stderr)
+            return 2
+        close_source = True
+
+    start = time.perf_counter()
+    events = 0
+    try:
+        with engine:
+            for event in read_events(source):
+                deltas = engine.apply(event)
+                events += 1
+                if not args.quiet:
+                    for delta in deltas:
+                        print(
+                            "%s\t%d\t%d\t%.6f"
+                            % (delta.action, delta.x, delta.y,
+                               delta.similarity)
+                        )
+    except ValueError as error:
+        if prom_handle is not None:
+            prom_handle.close()
+        print("repro stream: %s" % error, file=sys.stderr)
+        return 2
+    finally:
+        if close_source:
+            source.close()
+    elapsed = time.perf_counter() - start
+
+    print("# final top-%d" % args.k)
+    for result in engine.results():
+        print("%.6f\t%d\t%d" % (result.similarity, result.x, result.y))
+    if prom_handle is not None:
+        with prom_handle:
+            prom_handle.write(engine.metrics_text())
+    if tracer is not None:
+        sys.stderr.write(render_phase_tree(tracer))
+    stats = engine.stats
+    print(
+        "# %d events in %.3fs (%d inserts, %d expirations, %d refills, "
+        "%d live, s_k=%.6f)"
+        % (events, elapsed, stats.inserts, stats.expirations,
+           stats.refills, engine.window_live, engine.s_k),
+        file=sys.stderr,
+    )
+    return 0
 
 
 #: Experiment id -> (description, runner).  Runners print to stdout.
@@ -609,7 +745,55 @@ def build_parser() -> argparse.ArgumentParser:
                       help="where shrunk failures are saved / replayed from")
     fuzz.add_argument("--replay", action="store_true",
                       help="re-run the saved corpus instead of fuzzing")
+    fuzz.add_argument("--stream", action="store_true",
+                      help="fuzz the sliding-window streaming engine with "
+                           "random insert/expire/advance traces instead of "
+                           "the batch backends")
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    stream = commands.add_parser(
+        "stream",
+        help="replay an event trace through the sliding-window top-k "
+             "engine, emitting result deltas",
+    )
+    stream.add_argument("--input", required=True,
+                        help="event trace path, or '-' for stdin (one "
+                             "event per line: '+ 1 2 3' inserts, '- 2' "
+                             "expires, '> 1.5' advances; bare token lines "
+                             "insert, so any dataset file replays as an "
+                             "insert-only stream)")
+    stream.add_argument("--k", type=int, required=True)
+    stream.add_argument("--similarity", default="jaccard",
+                        choices=["jaccard", "cosine", "dice", "overlap"])
+    stream.add_argument("--window", type=int, default=0,
+                        help="sliding-window size (0 = unbounded)")
+    stream.add_argument("--policy", default="count",
+                        choices=["count", "time"],
+                        help="window policy: 'count' keeps the last "
+                             "--window records, 'time' expires by the "
+                             "stream clock moved with '>' events")
+    stream.add_argument("--mode", default="incremental",
+                        choices=["incremental", "recompute"],
+                        help="'incremental' maintains the top-k via index "
+                             "probes and bound relaxation; 'recompute' "
+                             "re-runs the batch join after every mutation "
+                             "(the reference twin)")
+    stream.add_argument("--accel", default="on",
+                        choices=["on", "python", "numpy", "off"])
+    stream.add_argument("--check", action="store_true",
+                        help="assert the streaming runtime invariants "
+                             "after every event (slow; also via "
+                             "REPRO_CHECK=1)")
+    stream.add_argument("--quiet", action="store_true",
+                        help="suppress per-event delta lines; print only "
+                             "the final top-k")
+    stream.add_argument("--prom-out", default=None, metavar="PATH",
+                        help="write Prometheus text exposition of the "
+                             "stream metrics to PATH at end of stream")
+    stream.add_argument("--trace", action="store_true",
+                        help="trace ingest/expire/refill phase timings "
+                             "and print the phase tree to stderr")
+    stream.set_defaults(handler=_cmd_stream)
 
     bench = commands.add_parser(
         "bench", help="run one of the paper's experiments"

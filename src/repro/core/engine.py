@@ -1,0 +1,129 @@
+"""Engine lifecycle — explicit ``new -> open -> closed`` state machine.
+
+The batch join is a one-shot function call, but two consumers hold join
+state across many calls: the interactive :class:`~repro.core.session.
+TopkSession` (lazy, resumable retrieval over a static collection) and
+the sliding-window :class:`~repro.stream.engine.StreamingTopkEngine`
+(records arrive and expire over time).  Both need the same contract —
+resources are acquired at a well-defined point, operations are rejected
+outside the open state, and closing is idempotent and final — so the
+contract lives here once.
+
+States::
+
+    new ──open()──▶ open ──close()──▶ closed
+                      │                  ▲
+                      └────── close() ───┘   (close() from "new" is legal
+                                              and skips the teardown hook)
+
+``open()`` is idempotent while open, and reopening a closed engine is an
+error — a closed engine has torn down its indexes and cannot resume.
+Engines are context managers: ``with engine:`` opens on entry and closes
+on exit, even on error.
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+from typing import Optional, Type, TypeVar
+
+__all__ = ["EngineLifecycle", "EngineStateError"]
+
+#: Lifecycle state names (compared as plain strings; no enum dependency).
+STATE_NEW = "new"
+STATE_OPEN = "open"
+STATE_CLOSED = "closed"
+
+E = TypeVar("E", bound="EngineLifecycle")
+
+
+class EngineStateError(RuntimeError):
+    """An operation was issued in a lifecycle state that forbids it."""
+
+
+class EngineLifecycle:
+    """Base class providing the ``new -> open -> closed`` state machine.
+
+    Subclasses override :meth:`_on_open` (acquire state: build indexes,
+    start iterators) and :meth:`_on_close` (release it).  The hooks run
+    exactly once each: ``_on_open`` on the first successful :meth:`open`,
+    ``_on_close`` on the first :meth:`close` of an engine that was open.
+    """
+
+    def __init__(self) -> None:
+        self._lifecycle_state = STATE_NEW
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``"new"``, ``"open"`` or ``"closed"``."""
+        return self._lifecycle_state
+
+    @property
+    def is_open(self) -> bool:
+        return self._lifecycle_state == STATE_OPEN
+
+    @property
+    def closed(self) -> bool:
+        return self._lifecycle_state == STATE_CLOSED
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+
+    def open(self: E) -> E:
+        """Enter the open state (idempotent while open); returns self."""
+        if self._lifecycle_state == STATE_CLOSED:
+            raise EngineStateError(
+                "%s is closed and cannot be reopened; construct a new one"
+                % type(self).__name__
+            )
+        if self._lifecycle_state == STATE_NEW:
+            self._on_open()
+            self._lifecycle_state = STATE_OPEN
+        return self
+
+    def close(self) -> None:
+        """Enter the closed state, releasing resources (idempotent)."""
+        if self._lifecycle_state == STATE_CLOSED:
+            return
+        was_open = self._lifecycle_state == STATE_OPEN
+        self._lifecycle_state = STATE_CLOSED
+        if was_open:
+            self._on_close()
+
+    def _require_open(self, action: str) -> None:
+        """Raise :class:`EngineStateError` unless the engine is open."""
+        if self._lifecycle_state != STATE_OPEN:
+            raise EngineStateError(
+                "cannot %s: %s is %s (call open() first)"
+                % (action, type(self).__name__, self._lifecycle_state)
+            )
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+
+    def _on_open(self) -> None:
+        """Acquire engine state; runs once, before entering ``open``."""
+
+    def _on_close(self) -> None:
+        """Release engine state; runs once, when leaving ``open``."""
+
+    # ------------------------------------------------------------------
+    # Context manager
+    # ------------------------------------------------------------------
+
+    def __enter__(self: E) -> E:
+        return self.open()
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()

@@ -12,6 +12,15 @@ and in any order, paying only for the deepest prefix ever requested:
     first = session.top(10)       # runs until 10 results are final
     more = session.top(50)        # resumes, 40 more results
     again = session.top(25)       # served from cache, no work
+
+The session is an engine with an explicit lifecycle (see
+:mod:`repro.core.engine`): construction opens it immediately — the
+historical behaviour — and :meth:`~repro.core.engine.EngineLifecycle.
+close` releases the underlying join iterator.  Results already confirmed
+final stay readable through :attr:`results_so_far` after close, but
+asking a closed session for *more* work raises
+:class:`~repro.core.engine.EngineStateError`.  Sessions are context
+managers: ``with TopkSession(coll) as session: ...``.
 """
 
 from __future__ import annotations
@@ -21,13 +30,14 @@ from typing import Iterator, List, Optional
 from ..data.records import RecordCollection
 from ..result import JoinResult
 from ..similarity.functions import SimilarityFunction
+from .engine import EngineLifecycle
 from .metrics import TopkStats
 from .topk_join import TopkOptions, topk_join_iter
 
 __all__ = ["TopkSession"]
 
 
-class TopkSession:
+class TopkSession(EngineLifecycle):
     """A pausable top-k join over one collection.
 
     *max_k* bounds how deep the ranking can ever be explored; it sizes the
@@ -43,17 +53,38 @@ class TopkSession:
         similarity: Optional[SimilarityFunction] = None,
         options: Optional[TopkOptions] = None,
     ) -> None:
+        super().__init__()
         if max_k < 1:
             raise ValueError("max_k must be >= 1, got %d" % max_k)
         self.collection = collection
         self.max_k = max_k
         self.stats = TopkStats()
-        self._iterator: Iterator[JoinResult] = topk_join_iter(
-            collection, max_k, similarity=similarity, options=options,
-            stats=self.stats,
-        )
+        self._similarity = similarity
+        self._options = options
+        self._iterator: Optional[Iterator[JoinResult]] = None
         self._cache: List[JoinResult] = []
         self._exhausted = False
+        self.open()
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+
+    def _on_open(self) -> None:
+        self._iterator = topk_join_iter(
+            self.collection, self.max_k, similarity=self._similarity,
+            options=self._options, stats=self.stats,
+        )
+
+    def _on_close(self) -> None:
+        # Drop the suspended generator (and the join state it captures:
+        # event heap, inverted index, verification table).  The cache of
+        # already-final results is kept readable.
+        self._iterator = None
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
 
     def top(self, k: int) -> List[JoinResult]:
         """The best *k* pairs (k <= max_k), resuming the join if needed."""
@@ -84,6 +115,10 @@ class TopkSession:
         return list(self._cache)
 
     def _advance_to(self, k: int) -> None:
+        if len(self._cache) >= k or self._exhausted:
+            return
+        self._require_open("resume the join for %d results" % k)
+        assert self._iterator is not None
         while len(self._cache) < k and not self._exhausted:
             try:
                 self._cache.append(next(self._iterator))

@@ -135,6 +135,18 @@ class TopkOptions:
     #: :mod:`repro.parallel` strips it from the options it ships to
     #: workers and merges worker-local trace payloads at the parent.
     trace: Optional["Tracer"] = None
+    #: Sliding-window extent for the streaming engine
+    #: (:mod:`repro.stream`): the number of most-recent records kept
+    #: live under the ``"count"`` policy, or the window width in stream
+    #: time units under the ``"time"`` policy.  ``0`` means unbounded —
+    #: records then expire only through explicit ``expire``/``advance``
+    #: calls.  The batch join ignores it.
+    window_size: int = 0
+    #: Streaming window policy: ``"count"`` (the window holds the last
+    #: ``window_size`` records; an arrival displaces the oldest) or
+    #: ``"time"`` (a record expires once the stream clock has advanced
+    #: ``window_size`` past its arrival).  The batch join ignores it.
+    window_policy: str = "count"
 
 
 def topk_join(

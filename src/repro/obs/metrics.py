@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..core.metrics import JoinStats, TopkStats
+    from ..core.metrics import JoinStats, StreamStats, TopkStats
 
 __all__ = [
     "Counter",
@@ -407,6 +407,68 @@ class MetricsRegistry:
             "repro_threshold_bitmap_pruned_total",
             "Candidates rejected by the bitmap-signature prefilter.",
         ).inc(stats.bitmap_pruned)
+
+    def absorb_stream_stats(self, stats: "StreamStats") -> None:
+        """Fold a streaming engine's lifetime counters into metric families.
+
+        Reads every field of :class:`~repro.core.metrics.StreamStats`
+        (statically enforced, see :meth:`absorb_topk_stats`).
+        """
+        c = self.counter
+        c(
+            "repro_stream_inserts_total",
+            "Records inserted into the sliding window.",
+        ).inc(stats.inserts)
+        c(
+            "repro_stream_expirations_total",
+            "Records expired out of the sliding window.",
+        ).inc(stats.expirations)
+        c(
+            "repro_stream_advances_total",
+            "Window advance operations applied.",
+        ).inc(stats.advances)
+        c(
+            "repro_stream_refills_total",
+            "Bound-relaxation refill passes after a top-k member died.",
+        ).inc(stats.refills)
+        c(
+            "repro_stream_probe_candidates_total",
+            "Candidate records produced by probing the live index.",
+        ).inc(stats.probe_candidates)
+        c(
+            "repro_stream_probe_verifications_total",
+            "Exact similarity computations on arrival.",
+        ).inc(stats.probe_verifications)
+        c(
+            "repro_stream_size_pruned_total",
+            "Arrival candidates rejected by size filtering.",
+        ).inc(stats.size_pruned)
+        c(
+            "repro_stream_bitmap_checked_total",
+            "Arrival candidates tested by the bitmap-signature prefilter.",
+        ).inc(stats.bitmap_checked)
+        c(
+            "repro_stream_bitmap_pruned_total",
+            "Arrival candidates rejected by the bitmap-signature prefilter.",
+        ).inc(stats.bitmap_pruned)
+        c(
+            "repro_stream_pairs_entered_total",
+            "Pairs that entered the live top-k result set.",
+        ).inc(stats.pairs_entered)
+        c(
+            "repro_stream_pairs_left_total",
+            "Pairs that left the live top-k result set.",
+        ).inc(stats.pairs_left)
+        self.gauge(
+            "repro_stream_window_peak",
+            "Peak number of live records in the sliding window.",
+            mode="sum",
+        ).set(stats.window_peak)
+        self.gauge(
+            "repro_stream_index_entries_peak",
+            "Peak number of live postings in the streaming index.",
+            mode="sum",
+        ).set(stats.index_entries_peak)
 
     def finalize_derived(self) -> None:
         """Recompute gauges derived from counters (safe to call repeatedly).

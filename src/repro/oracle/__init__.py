@@ -29,6 +29,7 @@ from __future__ import annotations
 from .invariants import (
     CheckHooks,
     InvariantViolation,
+    StreamCheckHooks,
     invariant_checks_enabled,
 )
 from .reference import (
@@ -36,42 +37,65 @@ from .reference import (
     assert_valid_topk,
     naive_threshold,
     naive_topk,
+    naive_window_topk,
     topk_multiset,
 )
 
 __all__ = [
     "CheckHooks",
     "InvariantViolation",
+    "StreamCheckHooks",
     "invariant_checks_enabled",
     "naive_topk",
     "naive_threshold",
+    "naive_window_topk",
     "topk_multiset",
     "assert_topk_equivalent",
     "assert_valid_topk",
     # lazily loaded (see __getattr__):
     "DifferentialCase",
+    "StreamCase",
     "run_differential",
+    "run_stream_differential",
     "available_backends",
+    "available_stream_backends",
     "FuzzReport",
+    "StreamFuzzReport",
     "fuzz_run",
+    "fuzz_stream_run",
     "shrink_case",
+    "shrink_stream_case",
     "save_corpus_case",
     "load_corpus_case",
+    "save_stream_case",
+    "load_stream_case",
     "replay_corpus",
     "metamorphic_failures",
+    "stream_metamorphic_failures",
+    "split_advances",
 ]
 
 _LAZY = {
     "DifferentialCase": "differential",
+    "StreamCase": "differential",
     "run_differential": "differential",
+    "run_stream_differential": "differential",
     "available_backends": "differential",
+    "available_stream_backends": "differential",
     "FuzzReport": "fuzz",
+    "StreamFuzzReport": "fuzz",
     "fuzz_run": "fuzz",
+    "fuzz_stream_run": "fuzz",
     "shrink_case": "fuzz",
+    "shrink_stream_case": "fuzz",
     "save_corpus_case": "fuzz",
     "load_corpus_case": "fuzz",
+    "save_stream_case": "fuzz",
+    "load_stream_case": "fuzz",
     "replay_corpus": "fuzz",
     "metamorphic_failures": "metamorphic",
+    "stream_metamorphic_failures": "metamorphic",
+    "split_advances": "metamorphic",
 }
 
 

@@ -68,13 +68,23 @@ from ..similarity.functions import SimilarityFunction, similarity_by_name
 from ..weighted.functions import WeightedCosine, WeightedJaccard
 from ..weighted.join import weighted_topk_join
 from ..weighted.records import WeightedCollection
+from ..stream.engine import StreamingTopkEngine
+from ..stream.events import StreamEvent, events_from_lists, events_to_lists
 from .invariants import InvariantViolation
-from .reference import assert_topk_equivalent, naive_topk, topk_multiset
+from .reference import (
+    assert_topk_equivalent,
+    naive_topk,
+    naive_window_topk,
+    topk_multiset,
+)
 
 __all__ = [
     "DifferentialCase",
+    "StreamCase",
     "available_backends",
+    "available_stream_backends",
     "run_differential",
+    "run_stream_differential",
 ]
 
 #: Shard count for the parallel backend — small enough that tiny fuzz
@@ -429,6 +439,270 @@ def run_differential(
     for name in names:
         try:
             message = _BACKENDS[name](case, collection, expected, sim)
+        except InvariantViolation as violation:
+            failures.append(
+                "%s: runtime invariant %r: %s"
+                % (name, violation.invariant, violation)
+            )
+        except AssertionError as mismatch:
+            failures.append("%s: differential mismatch: %s" % (name, mismatch))
+        except Exception as crash:  # noqa: BLE001 — crashes are findings
+            failures.append(
+                "%s: crashed with %s: %s" % (name, type(crash).__name__, crash)
+            )
+        else:
+            if message:
+                failures.append("%s: %s" % (name, message))
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Streaming differential: the sliding-window engine against the oracle
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StreamCase:
+    """One streaming fuzz input: an event trace plus engine parameters."""
+
+    events: Tuple[StreamEvent, ...]
+    k: int
+    window: int = 0
+    policy: str = "count"
+    similarity: str = "jaccard"
+
+    @classmethod
+    def make(
+        cls,
+        events: Sequence[StreamEvent],
+        k: int,
+        window: int = 0,
+        policy: str = "count",
+        similarity: str = "jaccard",
+    ) -> "StreamCase":
+        return cls(tuple(events), k, window, policy, similarity)
+
+    def events_payload(self) -> List[List[object]]:
+        """The JSON-ready compact event list (corpus serialization)."""
+        return events_to_lists(self.events)
+
+    @classmethod
+    def from_payload(
+        cls,
+        events: Sequence[Sequence[object]],
+        k: int,
+        window: int = 0,
+        policy: str = "count",
+        similarity: str = "jaccard",
+    ) -> "StreamCase":
+        return cls.make(
+            events_from_lists(events), k, window, policy, similarity
+        )
+
+    def options(self, **overrides: object) -> TopkOptions:
+        base = TopkOptions(
+            window_size=self.window, window_policy=self.policy
+        )
+        return replace(base, **overrides)  # type: ignore[arg-type]
+
+
+def _window_snapshots(
+    case: StreamCase,
+) -> List[List[Tuple[int, Tuple[int, ...]]]]:
+    """The live ``(sid, tokens)`` set after each event of *case*.
+
+    An independent ~20-line replay of the window semantics (count
+    displacement, relative advance, half-open time window, FIFO expiry)
+    so a bug in :mod:`repro.stream.window` cannot cancel out of the
+    comparison.
+    """
+    live: List[Tuple[int, float, Tuple[int, ...]]] = []
+    next_sid = 0
+    clock = 0.0
+    snapshots: List[List[Tuple[int, Tuple[int, ...]]]] = []
+    for event in case.events:
+        if event.kind == "insert":
+            if case.policy == "count" and case.window > 0:
+                while len(live) >= case.window:
+                    live.pop(0)
+            canonical = tuple(sorted(set(event.tokens)))
+            live.append((next_sid, clock, canonical))
+            next_sid += 1
+        elif event.kind == "expire":
+            del live[: min(int(event.amount), len(live))]
+        elif case.policy == "count":
+            del live[: min(int(event.amount), len(live))]
+        else:
+            clock += event.amount
+            if case.window > 0:
+                while live and live[0][1] <= clock - case.window:
+                    live.pop(0)
+        snapshots.append(
+            [(sid, tokens) for sid, __, tokens in live if tokens]
+        )
+    return snapshots
+
+
+StreamBackendFn = Callable[
+    [
+        StreamCase,
+        List[List[Tuple[int, Tuple[int, ...]]]],
+        SimilarityFunction,
+    ],
+    Optional[str],
+]
+
+
+def _stream_rows(engine: StreamingTopkEngine) -> List[Tuple[int, int, float]]:
+    return [(r.x, r.y, r.similarity) for r in engine.results()]
+
+
+def _run_stream_engine(
+    case: StreamCase,
+    snapshots: List[List[Tuple[int, Tuple[int, ...]]]],
+    sim: SimilarityFunction,
+    mode: str,
+    options: TopkOptions,
+) -> StreamingTopkEngine:
+    """Drive one engine through *case*, checking after **every** event.
+
+    Three per-event checks: (1) the engine's answer is tie-equivalent to
+    the brute-force oracle over the independently-replayed live window;
+    (2) the emitted deltas, folded into a shadow result set, reproduce
+    the engine's reported rows exactly — a lost "leave" or duplicate
+    "enter" cannot hide; (3) the runtime invariants are armed, so the
+    structural streaming invariants fire at the offending event.
+    """
+    engine = StreamingTopkEngine(
+        case.k, similarity=sim, options=options, mode=mode
+    )
+    shadow: Dict[Tuple[int, int], float] = {}
+    with engine:
+        for index, event in enumerate(case.events):
+            deltas = engine.apply(event)
+            for delta in deltas:
+                pair = (delta.x, delta.y)
+                if delta.action == "leave":
+                    if pair not in shadow:
+                        raise AssertionError(
+                            "event %d: delta says pair %r left but it was "
+                            "never reported live" % (index, pair)
+                        )
+                    del shadow[pair]
+                else:
+                    if pair in shadow:
+                        raise AssertionError(
+                            "event %d: delta says pair %r entered twice"
+                            % (index, pair)
+                        )
+                    shadow[pair] = delta.similarity
+            rows = _stream_rows(engine)
+            row_map = {(x, y): value for x, y, value in rows}
+            if shadow != row_map:
+                raise AssertionError(
+                    "event %d: replaying the deltas gives %r but the "
+                    "engine reports %r"
+                    % (index, sorted(shadow.items())[:8], rows[:8])
+                )
+            expected = naive_window_topk(snapshots[index], case.k, sim)
+            assert_topk_equivalent(
+                engine.results(), expected, context="event %d" % index
+            )
+    return engine
+
+
+def _stream_backend(mode: str, accel: str) -> StreamBackendFn:
+    def run(
+        case: StreamCase,
+        snapshots: List[List[Tuple[int, Tuple[int, ...]]]],
+        sim: SimilarityFunction,
+    ) -> Optional[str]:
+        options = case.options(check_invariants=True, accel=accel)
+        _run_stream_engine(case, snapshots, sim, mode, options)
+        return None
+
+    return run
+
+
+def _stream_trace_backend(
+    case: StreamCase,
+    snapshots: List[List[Tuple[int, Tuple[int, ...]]]],
+    sim: SimilarityFunction,
+) -> Optional[str]:
+    """Tracing a stream must be a pure observation (cf. ``trace-on``).
+
+    The engine runs twice — plain, then with a tracer installed — and
+    the final row lists must be byte-identical; the traced run must
+    record phase times and at least one span at close.
+    """
+    plain = _run_stream_engine(
+        case, snapshots, sim, "incremental", case.options()
+    )
+    tracer = Tracer()
+    traced = _run_stream_engine(
+        case, snapshots, sim, "incremental", case.options(trace=tracer)
+    )
+    if _stream_rows(traced) != _stream_rows(plain):
+        raise AssertionError(
+            "stream trace-on rows diverge from trace-off: %r != %r"
+            % (_stream_rows(traced)[:8], _stream_rows(plain)[:8])
+        )
+    if any(e.kind == "insert" for e in case.events):
+        if not tracer.phase_times():
+            raise AssertionError(
+                "stream trace-on recorded no phase times — the ingest "
+                "timers silently no-op"
+            )
+        if not tracer.spans:
+            raise AssertionError(
+                "stream trace-on recorded no spans — close() dropped "
+                "the summary span"
+            )
+    return None
+
+
+_STREAM_BACKENDS: Dict[str, StreamBackendFn] = {
+    "stream-incremental": _stream_backend("incremental", "on"),
+    "stream-incremental-accel-off": _stream_backend("incremental", "off"),
+    "stream-recompute": _stream_backend("recompute", "on"),
+    "stream-recompute-accel-off": _stream_backend("recompute", "off"),
+    "stream-trace-on": _stream_trace_backend,
+}
+
+
+def available_stream_backends() -> Tuple[str, ...]:
+    """Names accepted by :func:`run_stream_differential`."""
+    return tuple(_STREAM_BACKENDS)
+
+
+def run_stream_differential(
+    case: StreamCase,
+    backends: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Run *case* through every streaming backend; return failure strings.
+
+    The incremental engine, the per-event full-recompute twin, and their
+    acceleration variants must all stay tie-equivalent to the
+    brute-force window oracle after **every single event**, with runtime
+    invariants armed.  Failure semantics match :func:`run_differential`:
+    invariant violations, mismatches and crashes are collected, not
+    propagated.
+    """
+    names = (
+        list(backends) if backends is not None else list(_STREAM_BACKENDS)
+    )
+    unknown = [name for name in names if name not in _STREAM_BACKENDS]
+    if unknown:
+        raise ValueError(
+            "unknown stream backends %r (choose from %s)"
+            % (unknown, ", ".join(_STREAM_BACKENDS))
+        )
+    sim = similarity_by_name(case.similarity)
+    snapshots = _window_snapshots(case)
+    failures: List[str] = []
+    for name in names:
+        try:
+            message = _STREAM_BACKENDS[name](case, snapshots, sim)
         except InvariantViolation as violation:
             failures.append(
                 "%s: runtime invariant %r: %s"

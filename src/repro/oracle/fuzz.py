@@ -9,6 +9,13 @@ metamorphic relations.  A failing input is *shrunk* by delta debugging to
 a minimal reproducing case and saved as JSON under ``tests/corpus/``;
 the corpus replays in CI forever after, so a fixed bug stays fixed.
 
+The streaming twin (:func:`fuzz_stream_run`) does the same for the
+sliding-window engine: random insert/expire/advance traces run through
+:func:`repro.oracle.differential.run_stream_differential` (incremental
+vs full recompute vs the window oracle after *every* event) plus the
+streaming metamorphic relations; failing traces shrink to minimal event
+sequences and persist as ``tests/corpus/stream_*.json``.
+
 Everything is seeded: ``fuzz_run(seed=0, iterations=200)`` explores the
 same 200 cases on every machine.
 """
@@ -20,28 +27,43 @@ import json
 import os
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.topk_join import TopkOptions, topk_join
 from ..data.records import RecordCollection
 from ..result import JoinResult
 from ..similarity.functions import SimilarityFunction
-from .differential import DifferentialCase, run_differential
-from .metamorphic import metamorphic_failures
+from ..stream.events import INSERT, StreamEvent
+from .differential import (
+    DifferentialCase,
+    StreamCase,
+    run_differential,
+    run_stream_differential,
+)
+from .metamorphic import metamorphic_failures, stream_metamorphic_failures
 
 __all__ = [
     "CASE_SCHEMA",
+    "STREAM_CASE_SCHEMA",
     "FuzzReport",
+    "StreamFuzzReport",
     "fuzz_run",
+    "fuzz_stream_run",
     "load_corpus_case",
+    "load_stream_case",
     "replay_corpus",
     "save_corpus_case",
+    "save_stream_case",
     "shrink_case",
+    "shrink_stream_case",
 ]
 
 #: Version stamp of the corpus JSON layout.
 CASE_SCHEMA = 1
+
+#: Version stamp of the streaming corpus JSON layout.
+STREAM_CASE_SCHEMA = 1
 
 #: Similarity functions cycled through by the fuzzer.
 _SIMILARITIES = ("jaccard", "cosine", "dice", "overlap")
@@ -140,6 +162,107 @@ GENERATORS: Dict[str, Generator] = {
     "near-duplicates": _gen_near_duplicates,
     "blocks": _gen_blocks,
     "degenerate": _gen_degenerate,
+}
+
+
+# ----------------------------------------------------------------------
+# Streaming generators: adversarial event traces
+# ----------------------------------------------------------------------
+
+StreamGenerator = Callable[[random.Random], StreamCase]
+
+
+def _stream_insert(
+    rng: random.Random,
+    universe: int,
+    history: List[List[int]],
+) -> StreamEvent:
+    """One insert event: sometimes empty, sometimes an exact re-arrival."""
+    if rng.random() < 0.10:
+        tokens: List[int] = []
+    elif history and rng.random() < 0.15:
+        tokens = list(rng.choice(history))
+    else:
+        size = rng.randint(1, min(6, universe))
+        tokens = [rng.randrange(universe) for __ in range(size)]
+    history.append(tokens)
+    return StreamEvent.insert(tokens)
+
+
+def _stream_advance(rng: random.Random, policy: str) -> StreamEvent:
+    """A policy-appropriate advance (count amounts must stay integral)."""
+    if policy == "count":
+        return StreamEvent.advance(float(rng.randint(0, 3)))
+    return StreamEvent.advance(rng.randint(0, 6) / 2.0)
+
+
+def _gen_stream_mixed(rng: random.Random) -> StreamCase:
+    """The generic trace: ~60% inserts, ~20% expiries, ~20% advances."""
+    universe = rng.randint(4, 12)
+    policy = "count" if rng.random() < 0.5 else "time"
+    events: List[StreamEvent] = []
+    history: List[List[int]] = []
+    for __ in range(rng.randint(6, 32)):
+        roll = rng.random()
+        if roll < 0.6:
+            events.append(_stream_insert(rng, universe, history))
+        elif roll < 0.8:
+            events.append(StreamEvent.expire(rng.randint(1, 3)))
+        else:
+            events.append(_stream_advance(rng, policy))
+    return StreamCase.make(
+        events,
+        k=rng.randint(1, 8),
+        window=rng.randint(0, 8),
+        policy=policy,
+        similarity=_SIMILARITIES[rng.randrange(len(_SIMILARITIES))],
+    )
+
+
+def _gen_stream_churn(rng: random.Random) -> StreamCase:
+    """A tiny full count window: every arrival displaces and most
+    expiries kill a top-k member — bound relaxation and refill on
+    nearly every event."""
+    universe = rng.randint(3, 6)
+    events: List[StreamEvent] = []
+    history: List[List[int]] = []
+    for __ in range(rng.randint(8, 40)):
+        if rng.random() < 0.7:
+            events.append(_stream_insert(rng, universe, history))
+        else:
+            events.append(StreamEvent.expire(1))
+    return StreamCase.make(
+        events,
+        k=rng.randint(1, 4),
+        window=rng.randint(2, 4),
+        policy="count",
+        similarity=_SIMILARITIES[rng.randrange(len(_SIMILARITIES))],
+    )
+
+
+def _gen_stream_bursty(rng: random.Random) -> StreamCase:
+    """Insert bursts separated by big clock jumps: mass expiry under the
+    time policy, including whole-window wipeouts."""
+    universe = rng.randint(4, 10)
+    events: List[StreamEvent] = []
+    history: List[List[int]] = []
+    for __ in range(rng.randint(2, 5)):
+        for __ in range(rng.randint(2, 6)):
+            events.append(_stream_insert(rng, universe, history))
+        events.append(StreamEvent.advance(rng.randint(0, 8) / 2.0))
+    return StreamCase.make(
+        events,
+        k=rng.randint(1, 8),
+        window=rng.randint(0, 5),
+        policy="time",
+        similarity=_SIMILARITIES[rng.randrange(len(_SIMILARITIES))],
+    )
+
+
+STREAM_GENERATORS: Dict[str, StreamGenerator] = {
+    "stream-mixed": _gen_stream_mixed,
+    "stream-churn": _gen_stream_churn,
+    "stream-bursty": _gen_stream_bursty,
 }
 
 
@@ -277,6 +400,110 @@ def shrink_case(
     return current
 
 
+def _stream_case_failures(
+    case: StreamCase,
+    backends: Optional[Sequence[str]],
+    metamorphic: bool,
+) -> List[str]:
+    """All failures of *case*: the per-event differential sweep plus
+    (optionally) the streaming metamorphic relations."""
+    failures = run_stream_differential(case, backends=backends)
+    if metamorphic:
+        try:
+            failures.extend(
+                "metamorphic: %s" % message
+                for message in stream_metamorphic_failures(case)
+            )
+        except Exception as crash:  # noqa: BLE001 — crashes are findings
+            failures.append(
+                "metamorphic: crashed with %s: %s"
+                % (type(crash).__name__, crash)
+            )
+    return failures
+
+
+def shrink_stream_case(
+    case: StreamCase,
+    failing: Callable[[StreamCase], List[str]],
+) -> StreamCase:
+    """Delta-debug a failing event trace to a locally minimal one.
+
+    Passes, in order: event chunk removal (halves, quarters, …),
+    per-insert token dropping, window shrinking, and k reduction.  Each
+    accepted candidate must still make *failing* return a non-empty
+    list; the result is 1-minimal with respect to these operations.
+    """
+
+    def still_fails(candidate: StreamCase) -> bool:
+        try:
+            return bool(failing(candidate))
+        except Exception:  # noqa: BLE001 — a shrunk crash still reproduces
+            return True
+
+    current = case
+
+    # Event chunk removal: drop ever-smaller contiguous runs of events.
+    chunk = max(1, len(current.events) // 2)
+    while chunk >= 1:
+        start = 0
+        progressed = False
+        while start < len(current.events) and len(current.events) > 1:
+            remaining = (
+                current.events[:start] + current.events[start + chunk:]
+            )
+            candidate = replace(current, events=remaining)
+            if remaining and still_fails(candidate):
+                current = candidate
+                progressed = True
+            else:
+                start += chunk
+        chunk = chunk // 2 if chunk > 1 and not progressed else chunk - 1
+
+    # Token dropping: shorten individual insert payloads.
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current.events)):
+            if current.events[index].kind != INSERT:
+                continue
+            position = 0
+            while position < len(current.events[index].tokens):
+                event = current.events[index]
+                shrunk = StreamEvent.insert(
+                    event.tokens[:position] + event.tokens[position + 1:]
+                )
+                candidate = replace(
+                    current,
+                    events=(
+                        current.events[:index]
+                        + (shrunk,)
+                        + current.events[index + 1:]
+                    ),
+                )
+                if still_fails(candidate):
+                    current = candidate
+                    changed = True
+                else:
+                    position += 1
+
+    # Window shrinking (0 = unbounded changes semantics, but the
+    # still-fails gate keeps only candidates that reproduce).
+    while current.window > 0:
+        candidate = replace(current, window=current.window - 1)
+        if not still_fails(candidate):
+            break
+        current = candidate
+
+    # k reduction.
+    while current.k > 1:
+        candidate = replace(current, k=current.k - 1)
+        if not still_fails(candidate):
+            break
+        current = candidate
+
+    return current
+
+
 # ----------------------------------------------------------------------
 # Corpus persistence
 # ----------------------------------------------------------------------
@@ -330,24 +557,99 @@ def load_corpus_case(path: str) -> Tuple[DifferentialCase, dict]:
     return case, document
 
 
+def _stream_case_digest(case: StreamCase) -> str:
+    payload = json.dumps(
+        [
+            case.events_payload(),
+            case.k,
+            case.window,
+            case.policy,
+            case.similarity,
+        ],
+        separators=(",", ":"),
+    )
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:12]
+
+
+def save_stream_case(
+    corpus_dir: str,
+    case: StreamCase,
+    failures: Sequence[str],
+    seed: Optional[int] = None,
+    generator: Optional[str] = None,
+    description: str = "",
+) -> str:
+    """Write *case* as ``stream_<digest>.json`` under *corpus_dir*."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(
+        corpus_dir, "stream_%s.json" % _stream_case_digest(case)
+    )
+    document = {
+        "schema": STREAM_CASE_SCHEMA,
+        "description": description,
+        "seed": seed,
+        "generator": generator,
+        "similarity": case.similarity,
+        "k": case.k,
+        "window": case.window,
+        "policy": case.policy,
+        "events": case.events_payload(),
+        "failures": list(failures),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_stream_case(path: str) -> Tuple[StreamCase, dict]:
+    """Read one streaming corpus file; the case and the raw document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("schema") != STREAM_CASE_SCHEMA:
+        raise ValueError(
+            "%s: unsupported stream corpus schema %r"
+            % (path, document.get("schema"))
+        )
+    case = StreamCase.from_payload(
+        document["events"],
+        document["k"],
+        window=document.get("window", 0),
+        policy=document.get("policy", "count"),
+        similarity=document.get("similarity", "jaccard"),
+    )
+    return case, document
+
+
 def replay_corpus(
     corpus_dir: str,
     backends: Optional[Sequence[str]] = None,
+    stream_backends: Optional[Sequence[str]] = None,
 ) -> List[Tuple[str, List[str]]]:
     """Re-run every saved case; return ``(path, failures)`` per failure.
 
-    An empty list means the whole corpus passes — every bug the fuzzer
-    ever shrank stays fixed.
+    Replays both flavors — batch ``case_*.json`` through
+    :func:`run_differential` and streaming ``stream_*.json`` through
+    :func:`run_stream_differential`.  An empty list means the whole
+    corpus passes — every bug the fuzzer ever shrank stays fixed.
     """
     failing: List[Tuple[str, List[str]]] = []
     if not os.path.isdir(corpus_dir):
         return failing
     for name in sorted(os.listdir(corpus_dir)):
-        if not (name.startswith("case_") and name.endswith(".json")):
+        if not name.endswith(".json"):
             continue
         path = os.path.join(corpus_dir, name)
-        case, __ = load_corpus_case(path)
-        failures = run_differential(case, backends=backends)
+        if name.startswith("case_"):
+            case, __ = load_corpus_case(path)
+            failures = run_differential(case, backends=backends)
+        elif name.startswith("stream_"):
+            stream_case, __ = load_stream_case(path)
+            failures = run_stream_differential(
+                stream_case, backends=stream_backends
+            )
+        else:
+            continue
         if failures:
             failing.append((path, failures))
     return failing
@@ -438,6 +740,93 @@ def fuzz_run(
                 seed=seed,
                 generator=generator,
                 description="fuzz seed=%d iteration=%d" % (seed, iteration),
+            )
+        report.failures.append(
+            (iteration, generator, shrunk, final_failures, path)
+        )
+
+    report.elapsed = time.monotonic() - started
+    return report
+
+
+@dataclass
+class StreamFuzzReport:
+    """Outcome of one :func:`fuzz_stream_run`."""
+
+    seed: int
+    iterations: int = 0
+    #: ``(iteration, generator, case, failure messages, corpus path)``.
+    failures: List[
+        Tuple[int, str, StreamCase, List[str], Optional[str]]
+    ] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def fuzz_stream_run(
+    seed: int = 0,
+    iterations: int = 200,
+    budget: Optional[float] = None,
+    backends: Optional[Sequence[str]] = None,
+    corpus_dir: Optional[str] = None,
+    max_failures: int = 5,
+    on_progress: Optional[Callable[[int, int], None]] = None,
+) -> StreamFuzzReport:
+    """Differentially fuzz the streaming engine; shrink and save failures.
+
+    The streaming twin of :func:`fuzz_run`: each iteration generates one
+    adversarial event trace, runs it through every streaming backend
+    (checked against the brute-force window oracle after *every* event,
+    invariants armed) and, every :data:`_METAMORPHIC_EVERY`-th
+    iteration, through the streaming metamorphic relations.  Failing
+    traces are shrunk via :func:`shrink_stream_case` and, when
+    *corpus_dir* is given, saved via :func:`save_stream_case`.
+    Deterministic in *seed*; stops at *iterations*, *budget* seconds, or
+    *max_failures* shrunk failures — whichever first.
+    """
+    rng = random.Random(seed)
+    names = sorted(STREAM_GENERATORS)
+    started = time.monotonic()
+    report = StreamFuzzReport(seed=seed)
+
+    for iteration in range(iterations):
+        if budget is not None and time.monotonic() - started >= budget:
+            break
+        if len(report.failures) >= max_failures:
+            break
+        generator = names[iteration % len(names)]
+        case = STREAM_GENERATORS[generator](rng)
+        metamorphic = iteration % _METAMORPHIC_EVERY == 0
+
+        failures = _stream_case_failures(case, backends, metamorphic)
+        report.iterations += 1
+        if on_progress is not None:
+            on_progress(iteration + 1, len(report.failures))
+        if not failures:
+            continue
+
+        shrunk = shrink_stream_case(
+            case,
+            lambda candidate: _stream_case_failures(
+                candidate, backends, metamorphic
+            ),
+        )
+        final_failures = _stream_case_failures(
+            shrunk, backends, metamorphic
+        ) or failures
+        path = None
+        if corpus_dir is not None:
+            path = save_stream_case(
+                corpus_dir,
+                shrunk,
+                final_failures,
+                seed=seed,
+                generator=generator,
+                description="stream fuzz seed=%d iteration=%d"
+                % (seed, iteration),
             )
         report.failures.append(
             (iteration, generator, shrunk, final_failures, path)

@@ -29,14 +29,21 @@ which localizes a violation to the exact event/decision that caused it
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Set, Tuple
 
 from ..similarity.functions import SimilarityFunction
 
 if TYPE_CHECKING:
     from ..data.records import RecordCollection
+    from ..index.inverted import InvertedIndex
+    from ..stream.engine import StreamingTopkEngine
 
-__all__ = ["CheckHooks", "InvariantViolation", "invariant_checks_enabled"]
+__all__ = [
+    "CheckHooks",
+    "InvariantViolation",
+    "StreamCheckHooks",
+    "invariant_checks_enabled",
+]
 
 Pair = Tuple[int, int]
 
@@ -253,3 +260,126 @@ class CheckHooks:
                     "pair %r emitted at %r but re-scoring the records "
                     "gives %r" % (pair, value, recomputed),
                 )
+
+
+class StreamCheckHooks:
+    """Invariant assertions for one streaming-engine lifetime.
+
+    Armed by :class:`repro.stream.engine.StreamingTopkEngine` under the
+    same switch as the batch hooks (``TopkOptions.check_invariants`` or
+    ``REPRO_CHECK=1``).  After every public event the engine calls
+    :meth:`after_event`, which asserts the structural streaming
+    invariants:
+
+    * every reported pair joins two currently-live window members;
+    * the result set holds exactly ``min(k, P)`` pairs, ``P`` being the
+      live pair count — the buffer is never silently under-filled;
+    * no expired record survives in any posting list, and every posting
+      list stays in arrival (sid) order — the precondition of FIFO
+      ``trim_head`` eviction;
+    * ``s_k`` is monotone non-decreasing *between relaxations*: it may
+      fall only across an event the engine flagged via
+      :meth:`on_relaxation` (a top-k member died), mirroring the batch
+      ``s_k-monotone`` invariant piecewise.
+
+    The expiry path additionally asserts, per trimmed token, that the
+    head posting belongs to the expiring record (:meth:`on_trim`), and
+    each refill asserts the rebuilt bound never exceeds the pre-expiry
+    bound (:meth:`on_refill` — relaxation only loosens).
+    """
+
+    def __init__(self) -> None:
+        self._last_s_k: Optional[float] = None
+        self._relaxed = False
+        self.events = 0
+        self.refills = 0
+
+    @staticmethod
+    def _fail(invariant: str, message: str) -> None:
+        raise InvariantViolation(invariant, message)
+
+    # ------------------------------------------------------------------
+    # Hook sites
+    # ------------------------------------------------------------------
+
+    def on_trim(self, index: "InvertedIndex", token: int, sid: int) -> None:
+        """About to ``trim_head(token, 1)`` while expiring record *sid*."""
+        postings = index.postings(token)
+        if not postings or postings[0][0] != sid:
+            head = postings[0][0] if postings else None
+            self._fail(
+                "stream-trim-head",
+                "expiring sid %d but the head posting of token %d is %r "
+                "— FIFO expiry requires the oldest record at every list "
+                "head" % (sid, token, head),
+            )
+
+    def on_relaxation(self) -> None:
+        """The current event may legitimately lower ``s_k`` (a member
+        of the top-k died)."""
+        self._relaxed = True
+
+    def on_refill(self, bound_before: float, bound_after: float) -> None:
+        """A refill rebuilt the buffer; *bound_before* is the pre-expiry
+        ``s_k``."""
+        self.refills += 1
+        if bound_after > bound_before:
+            self._fail(
+                "stream-s_k-relaxation",
+                "refill raised s_k from %r to %r — the live pair space "
+                "only shrank, so the bound may only relax"
+                % (bound_before, bound_after),
+            )
+
+    def after_event(self, engine: "StreamingTopkEngine") -> None:
+        """Assert the structural invariants of the post-event state."""
+        self.events += 1
+        live = set(engine.live_sids())
+        results = engine.results()
+        for result in results:
+            if result.x not in live or result.y not in live:
+                self._fail(
+                    "stream-window-membership",
+                    "result pair (%d, %d) references an expired record "
+                    "(live sids: %s)"
+                    % (result.x, result.y, sorted(live)),
+                )
+        nonempty = engine.nonempty_count
+        expected = min(engine.k, nonempty * (nonempty - 1) // 2)
+        if len(results) != expected:
+            self._fail(
+                "stream-completeness",
+                "%d results for %d nonempty live records and k=%d — "
+                "the buffer must hold exactly min(k, P) = %d pairs"
+                % (len(results), nonempty, engine.k, expected),
+            )
+        last_by_token: Dict[int, int] = {}
+        for token, sid in engine.index_entries():
+            if sid not in live:
+                self._fail(
+                    "stream-expired-posting",
+                    "token %d still lists expired sid %d after the event"
+                    % (token, sid),
+                )
+            previous = last_by_token.get(token)
+            if previous is not None and sid <= previous:
+                self._fail(
+                    "stream-posting-order",
+                    "token %d postings out of arrival order (%d after %d) "
+                    "— FIFO head eviction would evict the wrong record"
+                    % (token, sid, previous),
+                )
+            last_by_token[token] = sid
+        s_k = engine.s_k
+        if (
+            self._last_s_k is not None
+            and not self._relaxed
+            and s_k < self._last_s_k
+        ):
+            self._fail(
+                "stream-s_k-monotone",
+                "s_k dropped from %r to %r without a relaxation event"
+                % (self._last_s_k, s_k),
+            )
+        self._last_s_k = s_k
+        self._relaxed = False

@@ -15,22 +15,45 @@ The relations here hold for every similarity function in the package:
   copied record's self-similarity (1.0 for normalized functions);
 * **k-monotonicity** — the top-k multiset is a prefix of the
   top-(k+1) multiset (pairs only ever get *added* as k grows).
+
+The streaming relations (:func:`stream_metamorphic_failures`) hold the
+sliding-window engine to the batch join and to itself:
+
+* **final-window equivalence** — after the whole event trace, the
+  engine's live top-k must be tie-equivalent to a *batch* join over the
+  records still in the window (replayed independently of the engine's
+  own window bookkeeping);
+* **replay determinism** — running the same trace twice must produce
+  byte-identical result rows *and* byte-identical delta streams;
+* **advance splitting** — replacing every ``advance(a)`` with
+  ``advance(a/2); advance(a/2)`` (or ``1 + (n-1)`` under the count
+  policy) must leave the final engine state byte-identical: window
+  advancement is additive.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Sequence, Tuple
 
-from ..result import JoinResult
+from ..core.topk_join import TopkOptions, topk_join
+from ..data.records import RecordCollection
+from ..result import JoinResult, sort_results
 from ..similarity.functions import SimilarityFunction, similarity_by_name
-from .reference import topk_multiset
+from ..stream.engine import StreamDelta, StreamingTopkEngine
+from ..stream.events import ADVANCE, EXPIRE, INSERT, StreamEvent
+from .reference import assert_topk_equivalent, topk_multiset
+
+if TYPE_CHECKING:
+    from .differential import StreamCase
 
 __all__ = [
     "rename_tokens",
     "shuffle_records",
     "inject_duplicates",
     "metamorphic_failures",
+    "split_advances",
+    "stream_metamorphic_failures",
 ]
 
 TokenLists = Sequence[Sequence[int]]
@@ -138,6 +161,149 @@ def metamorphic_failures(
         failures.append(
             "top-%d is not a prefix of top-%d: %r vs %r"
             % (k, k + 1, base[:8], bigger[: 8])
+        )
+
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Streaming relations
+# ----------------------------------------------------------------------
+
+
+def split_advances(events: Sequence[StreamEvent]) -> List[StreamEvent]:
+    """Split every ``advance`` into two half-steps (the additive relation).
+
+    ``advance(a); advance(b)`` must equal ``advance(a + b)`` under both
+    window policies, so replacing ``advance(a)`` with two halves may not
+    change the final state.  Count-policy amounts split as ``1 + (n-1)``
+    to stay integral; time amounts split as ``a/2 + (a - a/2)``, which
+    sums back to exactly ``a`` in floating point.
+    """
+    out: List[StreamEvent] = []
+    for event in events:
+        if event.kind != ADVANCE or event.amount == 0:
+            out.append(event)
+            continue
+        if event.amount == int(event.amount) and event.amount >= 2:
+            out.append(StreamEvent.advance(1.0))
+            out.append(StreamEvent.advance(event.amount - 1.0))
+        elif event.amount != int(event.amount):
+            half = event.amount / 2.0
+            out.append(StreamEvent.advance(half))
+            out.append(StreamEvent.advance(event.amount - half))
+        else:
+            out.append(event)
+    return out
+
+
+def _stream_run(
+    case: "StreamCase",
+    events: Sequence[StreamEvent],
+    sim: SimilarityFunction,
+) -> Tuple[List[Tuple[int, int, float]], List[StreamDelta]]:
+    """Drive one incremental engine; return (final rows, all deltas)."""
+    options = TopkOptions(
+        window_size=case.window, window_policy=case.policy
+    )
+    engine = StreamingTopkEngine(case.k, similarity=sim, options=options)
+    deltas: List[StreamDelta] = []
+    with engine:
+        for event in events:
+            deltas.extend(engine.apply(event))
+        rows = [(r.x, r.y, r.similarity) for r in engine.results()]
+    return rows, deltas
+
+
+def _final_live_window(
+    case: "StreamCase",
+) -> List[Tuple[int, Tuple[int, ...]]]:
+    """Replay the window semantics independently; the final live set."""
+    live: List[Tuple[int, float, Tuple[int, ...]]] = []
+    next_sid = 0
+    clock = 0.0
+    for event in case.events:
+        if event.kind == INSERT:
+            if case.policy == "count" and case.window > 0:
+                while len(live) >= case.window:
+                    live.pop(0)
+            live.append(
+                (next_sid, clock, tuple(sorted(set(event.tokens))))
+            )
+            next_sid += 1
+        elif event.kind == EXPIRE or case.policy == "count":
+            del live[: min(int(event.amount), len(live))]
+        else:
+            clock += event.amount
+            if case.window > 0:
+                while live and live[0][1] <= clock - case.window:
+                    live.pop(0)
+    return [(sid, tokens) for sid, __, tokens in live if tokens]
+
+
+def stream_metamorphic_failures(
+    case: "StreamCase", digits: int = 9
+) -> List[str]:
+    """Run every streaming metamorphic relation; failure descriptions.
+
+    An empty list means all three relations held (final-window batch
+    equivalence, replay determinism, advance splitting).
+    """
+    sim = similarity_by_name(case.similarity)
+    failures: List[str] = []
+
+    rows, deltas = _stream_run(case, case.events, sim)
+
+    # Relation 1: the final state equals a batch join over the final
+    # live window (mapped back to stream ids).
+    live = _final_live_window(case)
+    expected: List[JoinResult] = []
+    if len(live) >= 2:
+        collection = RecordCollection.from_integer_sets(
+            [list(tokens) for __, tokens in live], dedupe=False
+        )
+        batch = topk_join(collection, case.k, similarity=sim)
+        sid_by_source = [sid for sid, __ in live]
+        records = collection.records
+        for r in batch:
+            a = sid_by_source[records[r.x].source_id]
+            b = sid_by_source[records[r.y].source_id]
+            expected.append(
+                JoinResult(min(a, b), max(a, b), r.similarity)
+            )
+        expected = sort_results(expected)
+    try:
+        assert_topk_equivalent(
+            [JoinResult(x, y, value) for x, y, value in rows],
+            expected,
+            digits=digits,
+            context="final window",
+        )
+    except AssertionError as mismatch:
+        failures.append(
+            "streaming state diverges from the batch join over the "
+            "final window: %s" % mismatch
+        )
+
+    # Relation 2: replay determinism — rows and deltas byte-identical.
+    rows_again, deltas_again = _stream_run(case, case.events, sim)
+    if rows_again != rows:
+        failures.append(
+            "replay nondeterminism: %r != %r"
+            % (rows_again[:8], rows[:8])
+        )
+    if deltas_again != deltas:
+        failures.append(
+            "replayed delta stream differs: %d deltas vs %d"
+            % (len(deltas_again), len(deltas))
+        )
+
+    # Relation 3: advance splitting — the final state is unchanged.
+    split_rows, __ = _stream_run(case, split_advances(case.events), sim)
+    if split_rows != rows:
+        failures.append(
+            "splitting advances changed the final state: %r != %r"
+            % (split_rows[:8], rows[:8])
         )
 
     return failures

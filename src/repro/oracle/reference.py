@@ -25,6 +25,7 @@ from ..similarity.functions import Jaccard, SimilarityFunction
 __all__ = [
     "naive_topk",
     "naive_threshold",
+    "naive_window_topk",
     "topk_multiset",
     "assert_topk_equivalent",
     "assert_valid_topk",
@@ -81,6 +82,39 @@ def naive_topk(
             heapq.heappushpop(heap, item)
     return sort_results(
         JoinResult(-na, -nb, value) for value, (na, nb) in heap
+    )
+
+
+def naive_window_topk(
+    live: Sequence[Tuple[int, Sequence[int]]],
+    k: int,
+    similarity: Optional[SimilarityFunction] = None,
+) -> List[JoinResult]:
+    """The exact top-k over a live window snapshot (quadratic — tests only).
+
+    *live* is ``(sid, tokens)`` per live record; records with no tokens
+    are excluded from the pair space (they occupy a window slot but join
+    no pairs), matching the streaming engine's and the batch join's
+    treatment of empty records.  Pairs are reported by stream ids with
+    the same tie policy as :func:`naive_topk`: best first, boundary ties
+    resolved toward the smallest ``(x, y)``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1, got %d" % k)
+    sim = similarity or Jaccard()
+    members = [(sid, tuple(tokens)) for sid, tokens in live if tokens]
+    heap: List[Tuple[float, Tuple[int, int]]] = []
+    for index, (a, tokens_a) in enumerate(members):
+        for b, tokens_b in members[index + 1 :]:
+            value = sim.similarity(tokens_a, tokens_b)
+            x, y = (a, b) if a < b else (b, a)
+            item = (value, (-x, -y))
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif item > heap[0]:
+                heapq.heappushpop(heap, item)
+    return sort_results(
+        [JoinResult(-nx, -ny, value) for value, (nx, ny) in heap]
     )
 
 

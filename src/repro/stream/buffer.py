@@ -1,0 +1,153 @@
+"""A deletion-capable top-k pair buffer — the streaming twin of ``TopKBuffer``.
+
+The batch buffer (:mod:`repro.core.results`) rides on a monotone ``s_k``:
+pairs are only ever displaced by better pairs, never deleted.  Streaming
+breaks that — when a window member expires, every pair it participates
+in dies, wherever it ranks — so this buffer adds per-record deletion
+(:meth:`remove_record`) and accepts that ``s_k`` can *fall* after a
+refill (:meth:`rebuild`).
+
+Implementation: an exact member map (pair -> similarity), a per-sid pair
+index for O(degree) deletion, and a lazy min-heap for the ``s_k`` /
+eviction queries.  Heap entries are invalidated by integer sequence
+number (never by comparing float similarities), mirroring the liveness
+scheme of the batch buffer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["StreamTopkBuffer"]
+
+Pair = Tuple[int, int]
+
+
+class StreamTopkBuffer:
+    """Best-k pair buffer over a mutating pair space."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1, got %d" % k)
+        self.k = k
+        self._members: Dict[Pair, float] = {}
+        self._by_sid: Dict[int, Set[Pair]] = {}
+        self._heap: List[Tuple[float, int, Pair]] = []
+        #: Sequence number of the live heap entry per member pair; stale
+        #: entries (evicted/removed pairs) are discarded lazily when they
+        #: surface at the heap top.
+        self._live_seq: Dict[Pair, int] = {}
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def full(self) -> bool:
+        return len(self._members) >= self.k
+
+    @property
+    def s_k(self) -> float:
+        """Similarity of the k-th best member (0.0 while not full).
+
+        NOT monotone: expiry of a member pair relaxes the bound.
+        """
+        if len(self._members) < self.k:
+            return 0.0
+        self._settle()
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._members
+
+    def similarity_of(self, pair: Pair) -> float:
+        return self._members[pair]
+
+    def items(self) -> List[Tuple[Pair, float]]:
+        """Current contents, best first (similarity desc, then pair asc)."""
+        return sorted(
+            self._members.items(), key=lambda item: (-item[1], item[0])
+        )
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add(
+        self, pair: Pair, similarity: float
+    ) -> Tuple[bool, Optional[Tuple[Pair, float]]]:
+        """Offer a pair; returns ``(added, evicted)``.
+
+        A full buffer keeps the offer only when it strictly beats the
+        current ``s_k`` (ties lose — any boundary-tied pair is an equally
+        valid k-th result, and the incumbent wins).  *evicted* is the
+        displaced ``(pair, similarity)`` when the add pushed one out.
+        """
+        if pair in self._members:
+            return False, None
+        if len(self._members) >= self.k:
+            self._settle()
+            if similarity <= self._heap[0][0]:
+                return False, None
+            evicted_entry = heapq.heappop(self._heap)
+            evicted_pair = evicted_entry[2]
+            evicted = (evicted_pair, self._members[evicted_pair])
+            self._forget(evicted_pair)
+            self._push(pair, similarity)
+            return True, evicted
+        self._push(pair, similarity)
+        return True, None
+
+    def remove_record(self, sid: int) -> List[Tuple[Pair, float]]:
+        """Delete every member pair involving *sid*; best-first list."""
+        removed = [
+            (pair, self._members[pair])
+            for pair in self._by_sid.get(sid, ())
+        ]
+        for pair, __ in removed:
+            self._forget(pair)
+        removed.sort(key=lambda item: (-item[1], item[0]))
+        return removed
+
+    def rebuild(self, pairs: List[Tuple[Pair, float]]) -> None:
+        """Replace the whole contents (the refill pass after relaxation)."""
+        self._members.clear()
+        self._by_sid.clear()
+        self._heap = []
+        self._live_seq.clear()
+        for pair, similarity in pairs:
+            self._push(pair, similarity)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _push(self, pair: Pair, similarity: float) -> None:
+        self._sequence += 1
+        self._members[pair] = similarity
+        self._live_seq[pair] = self._sequence
+        heapq.heappush(self._heap, (similarity, self._sequence, pair))
+        for sid in pair:
+            self._by_sid.setdefault(sid, set()).add(pair)
+
+    def _forget(self, pair: Pair) -> None:
+        del self._members[pair]
+        del self._live_seq[pair]
+        for sid in pair:
+            bucket = self._by_sid.get(sid)
+            if bucket is not None:
+                bucket.discard(pair)
+                if not bucket:
+                    del self._by_sid[sid]
+
+    def _settle(self) -> None:
+        """Drop stale heap entries until a live member tops the heap."""
+        heap = self._heap
+        live = self._live_seq
+        while heap and live.get(heap[0][2]) != heap[0][1]:
+            heapq.heappop(heap)

@@ -1,0 +1,507 @@
+"""``StreamingTopkEngine`` — exact incremental top-k over a sliding window.
+
+The engine keeps three pieces of state per live window:
+
+* the :class:`~repro.stream.window.SlidingWindow` of live records
+  (keyed by stream ids — arrival ordinals that never recycle);
+* a full-token :class:`~repro.index.inverted.InvertedIndex` over the
+  live records, postings in arrival order;
+* a :class:`~repro.stream.buffer.StreamTopkBuffer` holding, at every
+  instant, an exact top-``min(k, P)`` of the ``P`` live pairs.
+
+**Arrival.**  While the buffer is not full, the new record is verified
+against every live record — every live pair belongs in the buffer, and
+token-disjoint (similarity-0) pairs are part of the pair space exactly
+as the batch join's zero-padding treats them.  Once the buffer is full,
+the arrival probes only its ``probing_prefix_length(|x|, s_k)``-token
+prefix against the index: by the one-sided prefix-filter argument, any
+live ``y`` with ``sim(x, y) >= s_k`` shares a token with that prefix
+(the index stores *all* of ``y``'s tokens), so every pair that could
+strictly beat the bound is generated; pairs tied at ``s_k`` are
+interchangeable with the incumbents and would be rejected by the buffer
+anyway.  Survivors of the size filter (and the bitmap-signature
+prefilter when acceleration is on) are verified with early abort at
+``s_k``.
+
+**Expiry.**  Expiry is strictly FIFO, so the dying record's posting is
+at the head of every inverted list it appears in — eviction is
+``trim_head(token, 1)`` per token.  Its buffer pairs are deleted; if any
+died, the bound *relaxes*: when the buffer now holds fewer than
+``min(k, P)`` pairs, a refill pass runs the exact batch join over the
+live window and rebuilds the buffer (``s_k`` may fall — the paper's
+monotone-``s_k`` machinery restarts from the relaxed bound).
+
+Every mutation returns :class:`StreamDelta` notifications (pair entered
+/ left the live top-k).  ``mode="recompute"`` swaps the incremental
+maintenance for a full batch recompute after every event — the trivially
+exact twin the differential fuzzer and the benchmark speedup row compare
+against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core.engine import EngineLifecycle
+from ..core.metrics import StreamStats, TopkStats
+from ..core.topk_join import TopkOptions, topk_join
+from ..data.records import RecordCollection, signature_overlap_bound
+from ..index.inverted import InvertedIndex
+from ..obs.exporters import to_prometheus_text
+from ..obs.tracer import Tracer
+from ..oracle.invariants import StreamCheckHooks, invariant_checks_enabled
+from ..result import JoinResult, sort_results
+from ..similarity.functions import Jaccard, SimilarityFunction
+from .buffer import StreamTopkBuffer
+from .events import ADVANCE, EXPIRE, INSERT, StreamEvent
+from .window import LiveRecord, SlidingWindow
+
+__all__ = ["StreamDelta", "StreamingTopkEngine", "STREAM_MODES"]
+
+Pair = Tuple[int, int]
+
+#: Engine maintenance modes.
+STREAM_MODES = ("incremental", "recompute")
+
+
+@dataclass(frozen=True)
+class StreamDelta:
+    """One change of the live top-k result set."""
+
+    #: ``"enter"`` or ``"leave"``.
+    action: str
+    #: The pair, by stream ids (``x < y``).
+    x: int
+    y: int
+    similarity: float
+
+
+class StreamingTopkEngine(EngineLifecycle):
+    """Exact top-k over a count- or time-based sliding window.
+
+    Window extent and policy come from ``TopkOptions.window_size`` /
+    ``TopkOptions.window_policy``; ``options.accel`` toggles the
+    bitmap-signature prefilter on the arrival probe and inside refill
+    joins; ``options.check_invariants`` (or ``REPRO_CHECK=1``) arms the
+    streaming runtime invariants; ``options.trace`` collects
+    ``stream_ingest`` / ``stream_expire`` / ``stream_refill`` phase
+    times and end-of-run metrics (phase timers overlap where phases
+    nest: a displacement expiry inside an insert contributes to both).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        similarity: Optional[SimilarityFunction] = None,
+        options: Optional[TopkOptions] = None,
+        mode: str = "incremental",
+        stats: Optional[StreamStats] = None,
+    ) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be >= 1, got %d" % k)
+        if mode not in STREAM_MODES:
+            raise ValueError(
+                "unknown stream mode %r (choose from %s)"
+                % (mode, ", ".join(STREAM_MODES))
+            )
+        opts = options or TopkOptions()
+        if opts.bound_provider is not None:
+            raise ValueError(
+                "the streaming engine manages its own bound; "
+                "TopkOptions.bound_provider is not supported"
+            )
+        if opts.bipartite_sides is not None:
+            raise ValueError(
+                "the streaming engine is a self-join; "
+                "TopkOptions.bipartite_sides is not supported"
+            )
+        self.k = k
+        self.mode = mode
+        self.stats = stats if stats is not None else StreamStats()
+        self._sim = similarity or Jaccard()
+        self._options = opts
+        self._tracer = opts.trace
+        self._use_bitmap = opts.accel != "off"
+        self._checks: Optional[StreamCheckHooks] = None
+        # Validates window_size/window_policy eagerly (before open).
+        self._window = SlidingWindow(opts.window_size, opts.window_policy)
+        self._index = InvertedIndex()
+        self._buffer = StreamTopkBuffer(k)
+        #: Aggregate counters of every refill/recompute batch join.
+        self.refill_stats = TopkStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+
+    def _on_open(self) -> None:
+        opts = self._options
+        self._window = SlidingWindow(opts.window_size, opts.window_policy)
+        self._index = InvertedIndex()
+        self._buffer = StreamTopkBuffer(self.k)
+        if invariant_checks_enabled(opts):
+            self._checks = StreamCheckHooks()
+
+    def _on_close(self) -> None:
+        tracer = self._tracer
+        if tracer is not None:
+            with tracer.span(
+                "stream_close",
+                inserts=self.stats.inserts,
+                expirations=self.stats.expirations,
+                refills=self.stats.refills,
+            ):
+                self._publish_metrics(tracer)
+        # Release the index (the bulky structure); the window and buffer
+        # stay readable so final results survive close.
+        self._index = InvertedIndex()
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+
+    def apply(self, event: StreamEvent) -> List[StreamDelta]:
+        """Apply one :class:`~repro.stream.events.StreamEvent`."""
+        if event.kind == INSERT:
+            return self.insert(event.tokens)
+        if event.kind == EXPIRE:
+            return self.expire(int(event.amount))
+        if event.kind == ADVANCE:
+            return self.advance(event.amount)
+        raise ValueError("unknown event kind %r" % event.kind)
+
+    def insert(self, tokens: Sequence[int]) -> List[StreamDelta]:
+        """Admit one record; returns the top-k deltas it caused."""
+        self._require_open("insert a record")
+        started = time.perf_counter() if self._tracer is not None else 0.0
+        deltas: List[StreamDelta] = []
+        displaced = self._window.count_overflow(arriving=1)
+        for __ in range(displaced):
+            self._expire_one(deltas)
+        record = self._window.append(tokens)
+        self.stats.inserts += 1
+        if len(self._window) > self.stats.window_peak:
+            self.stats.window_peak = len(self._window)
+        if self.mode == "recompute":
+            # A displacement may kill a member pair, so s_k may fall.
+            if displaced and self._checks is not None:
+                self._checks.on_relaxation()
+            self._rebuild_from_batch(deltas)
+        elif record.tokens:
+            self._probe(record, deltas)
+            for position, token in enumerate(record.tokens, start=1):
+                self._index.add(token, record.sid, position)
+            if self._index.entry_count > self.stats.index_entries_peak:
+                self.stats.index_entries_peak = self._index.entry_count
+        if self._checks is not None:
+            self._checks.after_event(self)
+        if self._tracer is not None:
+            self._tracer.add_phase_time(
+                "stream_ingest", time.perf_counter() - started
+            )
+        return deltas
+
+    def expire(self, count: int = 1) -> List[StreamDelta]:
+        """Explicitly expire the *count* oldest live records (clamped)."""
+        self._require_open("expire records")
+        if count < 0:
+            raise ValueError("expire count must be >= 0, got %d" % count)
+        deltas: List[StreamDelta] = []
+        removed = min(count, len(self._window))
+        for __ in range(removed):
+            self._expire_one(deltas)
+        if self.mode == "recompute" and removed:
+            self._recompute_after_shrink(deltas)
+        if self._checks is not None:
+            self._checks.after_event(self)
+        return deltas
+
+    def advance(self, amount: float) -> List[StreamDelta]:
+        """Advance the window by *amount* (relative under both policies).
+
+        ``"count"``: *amount* must be integral; that many oldest records
+        expire (clamped to the live count).  ``"time"``: the stream
+        clock moves forward by *amount* and every record that fell out
+        of the window expires.  ``advance(a); advance(b)`` is equivalent
+        to ``advance(a + b)`` under both policies.
+        """
+        self._require_open("advance the window")
+        if amount < 0:
+            raise ValueError("advance amount must be >= 0, got %r" % amount)
+        self.stats.advances += 1
+        deltas: List[StreamDelta] = []
+        if self._window.policy == "count":
+            if amount != int(amount):
+                raise ValueError(
+                    "count-policy advance amounts must be integral, "
+                    "got %r" % amount
+                )
+            expired = min(int(amount), len(self._window))
+        else:
+            self._window.advance_clock(amount)
+            expired = self._window.timed_out()
+        for __ in range(expired):
+            self._expire_one(deltas)
+        if self.mode == "recompute" and expired:
+            self._recompute_after_shrink(deltas)
+        if self._checks is not None:
+            self._checks.after_event(self)
+        return deltas
+
+    # ------------------------------------------------------------------
+    # Results and inspection
+    # ------------------------------------------------------------------
+
+    def results(self) -> List[JoinResult]:
+        """The live top-``min(k, P)`` pairs, best first, by stream ids."""
+        return sort_results(
+            [
+                JoinResult(pair[0], pair[1], value)
+                for pair, value in self._buffer.items()
+            ]
+        )
+
+    @property
+    def s_k(self) -> float:
+        """The k-th live similarity (0.0 while fewer than k live pairs)."""
+        return self._buffer.s_k
+
+    @property
+    def clock(self) -> float:
+        return self._window.clock
+
+    @property
+    def window_live(self) -> int:
+        return len(self._window)
+
+    @property
+    def nonempty_count(self) -> int:
+        return self._window.nonempty_count
+
+    def live_sids(self) -> List[int]:
+        return self._window.live_sids()
+
+    def index_entries(self) -> Iterator[Tuple[int, int]]:
+        """``(token, sid)`` for every live posting (invariant checks)."""
+        for token in self._index.tokens():
+            for sid, __ in self._index.postings(token):
+                yield token, sid
+
+    def metrics_text(self) -> str:
+        """A Prometheus-format snapshot of the engine's current metrics.
+
+        Built fresh on every call (counters are cumulative), so the CLI
+        can rewrite a scrape file mid-stream as a live endpoint.
+        """
+        snapshot = Tracer()
+        self._publish_metrics(snapshot)
+        if self._tracer is not None:
+            for name, (total, __) in sorted(
+                self._tracer.phase_times().items()
+            ):
+                snapshot.add_phase_time(name, total)
+        return to_prometheus_text(snapshot)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _probe(self, record: LiveRecord, deltas: List[StreamDelta]) -> None:
+        """Generate and verify the new record's candidate pairs."""
+        buffer = self._buffer
+        sim = self._sim
+        tokens = record.tokens
+        if not buffer.full:
+            # Every live pair belongs in a non-full buffer, including
+            # token-disjoint similarity-0 pairs (the streaming analogue
+            # of the batch join's zero-padding).
+            for other in self._window.records():
+                if other.sid == record.sid or not other.tokens:
+                    continue
+                value = sim.similarity(tokens, other.tokens)
+                self.stats.probe_verifications += 1
+                self._offer((other.sid, record.sid), value, deltas)
+            return
+        bound = buffer.s_k
+        prefix = sim.probing_prefix_length(len(tokens), bound)
+        seen = set()
+        for token in tokens[:prefix]:
+            for sid, __ in self._index.postings(token):
+                seen.add(sid)
+        self.stats.probe_candidates += len(seen)
+        for sid in sorted(seen):
+            other = self._window.get(sid)
+            assert other is not None  # the index holds live sids only
+            alpha = sim.required_overlap(bound, len(tokens), len(other.tokens))
+            if alpha > min(len(tokens), len(other.tokens)):
+                self.stats.size_pruned += 1
+                continue
+            if self._use_bitmap:
+                self.stats.bitmap_checked += 1
+                bitmap_bound = signature_overlap_bound(
+                    record.signature, other.signature, len(tokens),
+                    len(other.tokens),
+                )
+                if bitmap_bound < alpha:
+                    self.stats.bitmap_pruned += 1
+                    continue
+            value = sim.verify(tokens, other.tokens, bound)
+            self.stats.probe_verifications += 1
+            # An aborted merge returns some value < bound <= current
+            # s_k, which the buffer rejects — only exact values enter.
+            self._offer((sid, record.sid), value, deltas)
+
+    def _offer(
+        self, pair: Pair, value: float, deltas: List[StreamDelta]
+    ) -> None:
+        added, evicted = self._buffer.add(pair, value)
+        if not added:
+            return
+        if evicted is not None:
+            self.stats.pairs_left += 1
+            deltas.append(
+                StreamDelta("leave", evicted[0][0], evicted[0][1], evicted[1])
+            )
+        self.stats.pairs_entered += 1
+        deltas.append(StreamDelta("enter", pair[0], pair[1], value))
+
+    def _expire_one(self, deltas: List[StreamDelta]) -> None:
+        """FIFO-expire the oldest record; refill if a member pair died."""
+        started = time.perf_counter() if self._tracer is not None else 0.0
+        record = self._window.pop_oldest()
+        self.stats.expirations += 1
+        if self.mode == "recompute":
+            # No index, no incremental buffer surgery: the caller runs
+            # one batch recompute after the whole event.
+            if self._tracer is not None:
+                self._tracer.add_phase_time(
+                    "stream_expire", time.perf_counter() - started
+                )
+            return
+        if record.tokens:
+            for token in record.tokens:
+                if self._checks is not None:
+                    self._checks.on_trim(self._index, token, record.sid)
+                self._index.trim_head(token, 1)
+            bound_before = self._buffer.s_k
+            dead = self._buffer.remove_record(record.sid)
+            for pair, value in dead:
+                self.stats.pairs_left += 1
+                deltas.append(StreamDelta("leave", pair[0], pair[1], value))
+            if dead:
+                if self._checks is not None:
+                    self._checks.on_relaxation()
+                self._maybe_refill(deltas, bound_before)
+        if self._tracer is not None:
+            self._tracer.add_phase_time(
+                "stream_expire", time.perf_counter() - started
+            )
+
+    def _maybe_refill(
+        self, deltas: List[StreamDelta], bound_before: float
+    ) -> None:
+        """Refill after member death iff the buffer fell below target.
+
+        The buffer must hold ``min(k, P)`` pairs (``P`` = live pair
+        count).  When every remaining live pair is already a member, the
+        dead pairs cannot be replaced and no refill is needed.
+        *bound_before* is the pre-expiry ``s_k`` the relaxation check
+        compares the refilled bound against.
+        """
+        live = self._window.nonempty_count
+        possible = live * (live - 1) // 2
+        if len(self._buffer) < min(self.k, possible):
+            self.stats.refills += 1
+            self._rebuild_from_batch(deltas)
+            if self._checks is not None:
+                self._checks.on_refill(bound_before, self._buffer.s_k)
+
+    def _recompute_after_shrink(self, deltas: List[StreamDelta]) -> None:
+        """Recompute-mode rebuild after expiries (the pair space shrank)."""
+        bound_before = self._buffer.s_k
+        if self._checks is not None:
+            self._checks.on_relaxation()
+        self._rebuild_from_batch(deltas)
+        if self._checks is not None:
+            self._checks.on_refill(bound_before, self._buffer.s_k)
+
+    def _rebuild_from_batch(self, deltas: List[StreamDelta]) -> None:
+        """Adopt the exact batch answer over the live window.
+
+        A relaxation rebuild may swap boundary-tied members (the batch
+        join picks its own valid tie-break); the deltas report the swap
+        and the answer stays tie-equivalent to every valid top-k.
+        """
+        started = time.perf_counter() if self._tracer is not None else 0.0
+        old_items = self._buffer.items()
+        new_items = self._batch_topk()
+        self._buffer.rebuild(new_items)
+        new_pairs = {pair for pair, __ in new_items}
+        old_pairs = {pair for pair, __ in old_items}
+        for pair, value in old_items:
+            if pair not in new_pairs:
+                self.stats.pairs_left += 1
+                deltas.append(StreamDelta("leave", pair[0], pair[1], value))
+        for pair, value in new_items:
+            if pair not in old_pairs:
+                self.stats.pairs_entered += 1
+                deltas.append(StreamDelta("enter", pair[0], pair[1], value))
+        if self._tracer is not None:
+            self._tracer.add_phase_time(
+                "stream_refill", time.perf_counter() - started
+            )
+
+    def _batch_topk(self) -> List[Tuple[Pair, float]]:
+        """The exact batch top-k over the live window, pairs by sid."""
+        live = self._window.live_token_lists()
+        if len(live) < 2:
+            return []
+        collection = RecordCollection.from_integer_sets(
+            [list(tokens) for __, tokens in live], dedupe=False
+        )
+        # The inner join must not re-enter the tracer (its end-of-run
+        # absorption would pollute the stream's metric families); its
+        # counters aggregate into refill_stats instead.
+        options = replace(self._options, trace=None)
+        results = topk_join(
+            collection, self.k, similarity=self._sim, options=options,
+            stats=self.refill_stats,
+        )
+        sid_by_source = [sid for sid, __ in live]
+        records = collection.records
+        out: List[Tuple[Pair, float]] = []
+        for r in results:
+            a = sid_by_source[records[r.x].source_id]
+            b = sid_by_source[records[r.y].source_id]
+            pair = (a, b) if a < b else (b, a)
+            out.append((pair, r.similarity))
+        return out
+
+    def _publish_metrics(self, tracer: Tracer) -> None:
+        """Fold the engine's counters and gauges into *tracer*'s registry."""
+        registry = tracer.metrics
+        registry.absorb_stream_stats(self.stats)
+        registry.absorb_topk_stats(self.refill_stats)
+        registry.gauge(
+            "repro_stream_s_k",
+            "Current k-th live similarity of the streaming engine.",
+            mode="last",
+        ).set(self._buffer.s_k)
+        registry.gauge(
+            "repro_stream_window_live",
+            "Live records currently in the sliding window.",
+            mode="last",
+        ).set(float(len(self._window)))
+        registry.gauge(
+            "repro_stream_clock",
+            "Current stream clock (time-policy windows).",
+            mode="last",
+        ).set(self._window.clock)
+        registry.gauge(
+            "repro_stream_results_live",
+            "Pairs currently in the live top-k result set.",
+            mode="last",
+        ).set(float(len(self._buffer)))

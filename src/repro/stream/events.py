@@ -1,0 +1,173 @@
+"""Stream event model: a replayable insert/expire/advance trace.
+
+One event per line, in a format every dataset file already satisfies
+(a line of bare integers is an insert), so ``repro stream`` can replay
+either a hand-written trace or any existing record file:
+
+* ``+ 3 17 42`` (or just ``3 17 42``) — insert a record with those
+  tokens; ``+`` alone inserts an empty record (it occupies a window
+  slot but joins no pairs);
+* ``- 2`` — expire the 2 oldest live records (``-`` alone expires 1);
+* ``> 1.5`` — advance the window by 1.5: under the ``"count"`` policy
+  the amount must be integral and expires that many oldest records;
+  under the ``"time"`` policy it moves the stream clock forward and
+  expires everything that fell out of the window;
+* blank lines and ``#`` comments are skipped.
+
+The same trace serializes losslessly to JSON (one compact list per
+event) for the fuzz corpus under ``tests/corpus/stream_*.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "INSERT",
+    "EXPIRE",
+    "ADVANCE",
+    "StreamEvent",
+    "events_from_lists",
+    "events_to_lists",
+    "format_event",
+    "load_event_file",
+    "parse_event",
+    "read_events",
+    "save_event_file",
+]
+
+#: Event kinds.
+INSERT = "insert"
+EXPIRE = "expire"
+ADVANCE = "advance"
+
+#: JSON list form of one event, e.g. ``["+", [3, 17]]`` / ``["-", 2]``
+#: / ``[">", 1.5]``.
+EventList = Sequence[Union[str, float, int, Sequence[int]]]
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One window mutation: an insert, an expiry, or a clock advance."""
+
+    kind: str
+    #: Insert payload (sorted deduplicated on engine entry, kept raw here).
+    tokens: Tuple[int, ...] = ()
+    #: Expire count (``expire``) or advance amount (``advance``).
+    amount: float = 1.0
+
+    @classmethod
+    def insert(cls, tokens: Iterable[int]) -> "StreamEvent":
+        return cls(INSERT, tokens=tuple(int(t) for t in tokens))
+
+    @classmethod
+    def expire(cls, count: int = 1) -> "StreamEvent":
+        if count < 1:
+            raise ValueError("expire count must be >= 1, got %d" % count)
+        return cls(EXPIRE, amount=float(count))
+
+    @classmethod
+    def advance(cls, amount: float) -> "StreamEvent":
+        if amount < 0:
+            raise ValueError("advance amount must be >= 0, got %r" % amount)
+        return cls(ADVANCE, amount=float(amount))
+
+
+def parse_event(line: str) -> Optional[StreamEvent]:
+    """Parse one text line; ``None`` for blanks and ``#`` comments."""
+    text = line.strip()
+    if not text or text.startswith("#"):
+        return None
+    head, *rest = text.split()
+    if head == "+":
+        return StreamEvent.insert(int(item) for item in rest)
+    if head == "-":
+        if len(rest) > 1:
+            raise ValueError("expire takes at most one count: %r" % line)
+        return StreamEvent.expire(int(rest[0]) if rest else 1)
+    if head == ">":
+        if len(rest) != 1:
+            raise ValueError("advance takes exactly one amount: %r" % line)
+        return StreamEvent.advance(float(rest[0]))
+    # A bare token list is an insert — any dataset file is a valid
+    # insert-only stream.
+    try:
+        return StreamEvent.insert(int(item) for item in [head, *rest])
+    except ValueError as error:
+        raise ValueError("unparseable stream event: %r" % line) from error
+
+
+def format_event(event: StreamEvent) -> str:
+    """The text-line form of *event* (inverse of :func:`parse_event`)."""
+    if event.kind == INSERT:
+        return " ".join(["+", *(str(t) for t in event.tokens)])
+    if event.kind == EXPIRE:
+        return "- %d" % int(event.amount)
+    if event.kind == ADVANCE:
+        return "> %s" % repr(event.amount)
+    raise ValueError("unknown event kind %r" % event.kind)
+
+
+def read_events(lines: Iterable[str]) -> Iterator[StreamEvent]:
+    """Parse a line iterable, reporting the offending line number."""
+    for number, line in enumerate(lines, start=1):
+        try:
+            event = parse_event(line)
+        except ValueError as error:
+            raise ValueError("line %d: %s" % (number, error)) from error
+        if event is not None:
+            yield event
+
+
+def load_event_file(path: str) -> List[StreamEvent]:
+    """Read a whole event trace from *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return list(read_events(handle))
+
+
+def save_event_file(path: str, events: Iterable[StreamEvent]) -> None:
+    """Write *events* to *path*, one line each."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(format_event(event))
+            handle.write("\n")
+
+
+def events_to_lists(events: Iterable[StreamEvent]) -> List[List[object]]:
+    """JSON-ready compact form: ``["+", tokens]`` / ``["-", n]`` /
+    ``[">", amount]``."""
+    out: List[List[object]] = []
+    for event in events:
+        if event.kind == INSERT:
+            out.append(["+", list(event.tokens)])
+        elif event.kind == EXPIRE:
+            out.append(["-", int(event.amount)])
+        else:
+            out.append([">", event.amount])
+    return out
+
+
+def events_from_lists(payload: Iterable[EventList]) -> List[StreamEvent]:
+    """Inverse of :func:`events_to_lists` (raises ``ValueError`` on junk)."""
+    events: List[StreamEvent] = []
+    for item in payload:
+        entry = list(item)
+        if len(entry) != 2 or not isinstance(entry[0], str):
+            raise ValueError("malformed stream event entry: %r" % (item,))
+        op, value = entry
+        if op == "+":
+            if not isinstance(value, (list, tuple)):
+                raise ValueError("insert payload must be a list: %r" % (item,))
+            events.append(StreamEvent.insert(int(t) for t in value))
+        elif op == "-":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError("expire count must be a number: %r" % (item,))
+            events.append(StreamEvent.expire(int(value)))
+        elif op == ">":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError("advance amount must be a number: %r" % (item,))
+            events.append(StreamEvent.advance(float(value)))
+        else:
+            raise ValueError("unknown stream event op %r" % (op,))
+    return events

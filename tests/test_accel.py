@@ -209,6 +209,40 @@ class TestBaselineGate:
         failures = check_against_baseline(self._report(), baseline)
         assert failures
 
+    def test_stream_row_below_floor_trips_gate(self):
+        baseline = self._report()
+        current = self._report()
+        current["stream"] = {
+            "dataset": "dblp", "k": 50, "window": 200, "events": 260,
+            "wall_incremental_s": 1.0, "wall_recompute_s": 1.2,
+            "speedup": 1.2,
+        }
+        failures = check_against_baseline(current, baseline)
+        assert any("incremental-vs-recompute" in f for f in failures)
+
+    def test_stream_row_above_floor_passes(self):
+        baseline = self._report()
+        current = self._report()
+        current["stream"] = {
+            "dataset": "dblp", "k": 50, "window": 200, "events": 260,
+            "wall_incremental_s": 1.0, "wall_recompute_s": 5.0,
+            "speedup": 5.0,
+        }
+        assert check_against_baseline(current, baseline) == []
+
+    def test_report_without_stream_row_is_not_gated(self):
+        report = self._report()
+        assert check_against_baseline(report, report) == []
+
+    def test_measure_stream_smoke(self):
+        from repro.bench.baseline import measure_stream
+
+        row = measure_stream(window=10, events=30)
+        assert row["events"] == 30
+        assert row["wall_incremental_s"] > 0
+        assert row["wall_recompute_s"] > 0
+        assert row["speedup"] > 0
+
 
 class TestBenchJsonCli:
     def test_bench_json_smoke(self, capsys):

@@ -1,0 +1,132 @@
+"""Streaming metamorphic relations: the engine against itself and batch."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.oracle.differential import StreamCase
+from repro.oracle.fuzz import STREAM_GENERATORS
+from repro.oracle.metamorphic import (
+    split_advances,
+    stream_metamorphic_failures,
+)
+from repro.stream.engine import StreamingTopkEngine
+from repro.stream.events import StreamEvent
+
+
+class TestSplitAdvances:
+    def test_integral_amount_splits_one_plus_rest(self):
+        [first, second] = split_advances([StreamEvent.advance(3.0)])
+        assert first == StreamEvent.advance(1.0)
+        assert second == StreamEvent.advance(2.0)
+
+    def test_fractional_amount_splits_in_half(self):
+        [first, second] = split_advances([StreamEvent.advance(1.5)])
+        assert first.amount + second.amount == 1.5
+
+    def test_zero_and_unit_advances_unchanged(self):
+        events = [StreamEvent.advance(0.0), StreamEvent.advance(1.0)]
+        assert split_advances(events) == events
+
+    def test_non_advance_events_pass_through(self):
+        events = [StreamEvent.insert([1, 2]), StreamEvent.expire(2)]
+        assert split_advances(events) == events
+
+    def test_count_policy_amounts_stay_integral(self):
+        out = split_advances([StreamEvent.advance(4.0)])
+        assert all(e.amount == int(e.amount) for e in out)
+
+
+class TestStreamRelations:
+    def test_relaxation_trace_holds_all_relations(self):
+        case = StreamCase.make(
+            [
+                StreamEvent.insert([1, 2, 3]),
+                StreamEvent.insert([1, 2, 3]),
+                StreamEvent.insert([1, 2]),
+                StreamEvent.expire(1),
+                StreamEvent.insert([4, 5]),
+            ],
+            k=2,
+            window=3,
+        )
+        assert stream_metamorphic_failures(case) == []
+
+    def test_time_policy_trace_holds_all_relations(self):
+        case = StreamCase.make(
+            [
+                StreamEvent.insert([1, 2]),
+                StreamEvent.advance(1.0),
+                StreamEvent.insert([1, 2, 3]),
+                StreamEvent.advance(2.0),
+                StreamEvent.insert([2, 3]),
+                StreamEvent.advance(0.5),
+            ],
+            k=2,
+            window=3,
+            policy="time",
+            similarity="cosine",
+        )
+        assert stream_metamorphic_failures(case) == []
+
+    def test_generated_cases_hold(self):
+        rng = random.Random(4321)
+        names = sorted(STREAM_GENERATORS)
+        for index in range(30):
+            case = STREAM_GENERATORS[names[index % len(names)]](rng)
+            failures = stream_metamorphic_failures(case)
+            assert failures == [], "\n".join(failures)
+
+    def test_detects_divergence_from_batch(self, monkeypatch):
+        """A broken engine must fail the final-window relation."""
+        original = StreamingTopkEngine.results
+
+        def lossy(self):
+            return original(self)[:-1]
+
+        monkeypatch.setattr(StreamingTopkEngine, "results", lossy)
+        case = StreamCase.make(
+            [StreamEvent.insert([1, 2]), StreamEvent.insert([1, 2])], k=1
+        )
+        failures = stream_metamorphic_failures(case)
+        assert any("batch join" in message for message in failures)
+
+    def test_detects_advance_sensitivity(self, monkeypatch):
+        """An engine whose state depends on advance granularity fails
+        the splitting relation."""
+        original = StreamingTopkEngine.advance
+
+        def chunky(self, amount):
+            # Deliberately wrong: a fractional advance is rounded up, so
+            # advance(0.75) twice expires more than advance(1.5) once.
+            if self._options.window_policy == "time":
+                import math
+
+                return original(self, math.ceil(amount))
+            return original(self, amount)
+
+        monkeypatch.setattr(StreamingTopkEngine, "advance", chunky)
+        case = StreamCase.make(
+            [
+                StreamEvent.insert([1, 2]),
+                StreamEvent.insert([1, 2]),
+                StreamEvent.advance(1.5),
+                StreamEvent.insert([2, 3]),
+            ],
+            k=2,
+            window=2,
+            policy="time",
+        )
+        failures = stream_metamorphic_failures(case)
+        assert failures  # batch relation and/or splitting relation
+
+    @pytest.mark.slow
+    def test_generated_cases_hold_deep(self):
+        rng = random.Random(8765)
+        names = sorted(STREAM_GENERATORS)
+        for index in range(150):
+            case = STREAM_GENERATORS[names[index % len(names)]](rng)
+            failures = stream_metamorphic_failures(case)
+            assert failures == [], "\n".join(failures)
