@@ -38,10 +38,12 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.bench.baseline import (  # noqa: E402 — path bootstrap above
     BASELINE_PATH,
+    MIN_KERNEL2_SPEEDUP,
     MIN_PARALLEL_SPEEDUP,
     MIN_SPEEDUP,
     MIN_STREAM_SPEEDUP,
     SLOWDOWN_LIMIT,
+    carry_kernel2_reference,
     check_against_baseline,
     load_baseline,
     measure_baseline,
@@ -103,6 +105,12 @@ def main(argv=None) -> int:
              "has a parallel row (default %.2f)" % MIN_PARALLEL_SPEEDUP,
     )
     parser.add_argument(
+        "--min-kernel2-speedup", type=float, default=MIN_KERNEL2_SPEEDUP,
+        help="required second-gen kernel speedup over the frozen gen-1 "
+             "reference for --check when the committed baseline has a "
+             "kernel2 row (default %.2f)" % MIN_KERNEL2_SPEEDUP,
+    )
+    parser.add_argument(
         "--stream", action="store_true",
         help="also measure the streaming engine's incremental-vs-"
              "recompute speedup and add it to the report as a 'stream' "
@@ -151,6 +159,22 @@ def main(argv=None) -> int:
         print("# wrote %s" % args.output, file=sys.stderr)
 
     if args.record:
+        # Re-records must not lose the frozen gen-1 kernel reference:
+        # carry it out of the baseline being overwritten, rescaled by
+        # the off-time calibration between the two measurements.
+        try:
+            previous = load_baseline()
+        except (OSError, ValueError):
+            previous = None
+        if previous is not None:
+            carry_kernel2_reference(report, previous)
+            kernel2 = report.get("kernel2")
+            if kernel2 is not None:
+                print(
+                    "# kernel2 row: gen-1 reference %(gen1_wall_s)ss on "
+                    "%(dataset)s k=%(k)s" % kernel2,
+                    file=sys.stderr,
+                )
         target = save_baseline(report)
         print("# recorded baseline %s" % target, file=sys.stderr)
         return 0
@@ -165,6 +189,7 @@ def main(argv=None) -> int:
             min_speedup=args.min_speedup,
             min_parallel_speedup=args.min_parallel_speedup,
             min_stream_speedup=args.min_stream_speedup,
+            min_kernel2_speedup=args.min_kernel2_speedup,
         )
         for failure in failures:
             print("REGRESSION: %s" % failure, file=sys.stderr)

@@ -38,9 +38,10 @@ import time
 from types import ModuleType
 from typing import TYPE_CHECKING, Any, List, Optional, Set, Tuple, Union
 
-from ..data.records import RecordCollection, popcount
+from ..data.records import RecordCollection, popcount, signature_width
 from ..joins.filters import suffix_admits
 from ..similarity.functions import SimilarityFunction
+from ..similarity.overlap import OverlapProbe
 from ..similarity.overlap import overlap_with_common_positions as _merge
 
 if TYPE_CHECKING:
@@ -57,6 +58,7 @@ Pair = Tuple[int, int]
 __all__ = [
     "ACCEL_MODES",
     "make_kernel",
+    "native_available",
     "numpy_available",
     "resolve_accel_mode",
     "PythonScanKernel",
@@ -64,9 +66,18 @@ __all__ = [
 ]
 
 #: Accepted values of ``TopkOptions.accel``.
-ACCEL_MODES = ("on", "python", "numpy", "off")
+ACCEL_MODES = ("on", "native", "numpy", "python", "off")
 
 _SIG_WORD_MASK = 0xFFFFFFFFFFFFFFFF
+
+#: Sentinel threshold meaning "size filter already killed this |y|"
+#: (no reachable Hamming bound ever satisfies it).
+_TAB_INF = 1 << 62
+
+#: Batch verification keeps one int64 position map over the token
+#: universe; above this many distinct tokens the map would dominate the
+#: working set, so the kernel falls back to the sequential tail.
+_BATCH_UNIVERSE_LIMIT = 1 << 24
 
 _np: Optional[ModuleType] = None
 _np_checked = False
@@ -90,15 +101,35 @@ def numpy_available() -> bool:
     return _numpy() is not None
 
 
-def resolve_accel_mode(mode: str) -> str:
-    """Normalize ``TopkOptions.accel`` to ``"python"|"numpy"|"off"``.
+def native_available() -> bool:
+    """Whether the numba-compiled kernel can run in this interpreter.
 
-    ``"on"`` selects the best available implementation (NumPy batch
-    kernel when importable, pure-Python kernel otherwise); ``"numpy"``
-    demands NumPy and raises when it is missing.
+    True only when numba imports *and* a probe function actually
+    compiles — platforms where the JIT backend is broken fall off the
+    escalation ladder the same way a missing install does.
+    """
+    from .native import native_usable
+
+    return native_usable()
+
+
+def resolve_accel_mode(mode: str) -> str:
+    """Normalize ``TopkOptions.accel`` to ``"native"|"numpy"|"python"|"off"``.
+
+    ``"on"`` selects the best always-available implementation (NumPy
+    batch kernel when importable, pure-Python kernel otherwise);
+    ``"native"`` opts into the numba-compiled kernel and *falls back*
+    down the same ladder (NumPy, then pure Python) when numba is
+    missing or cannot compile — the compiled path is an accelerator,
+    never a dependency.  ``"numpy"`` demands NumPy and raises when it
+    is missing.
     """
     if mode not in ACCEL_MODES:
         raise ValueError("accel must be one of %s, got %r" % (ACCEL_MODES, mode))
+    if mode == "native":
+        if native_available():
+            return "native"
+        mode = "on"
     if mode == "on":
         return "numpy" if numpy_available() else "python"
     if mode == "numpy" and not numpy_available():
@@ -127,7 +158,14 @@ def make_kernel(
     mode = resolve_accel_mode(options.accel)
     if mode == "off":
         return None
-    cls = NumpyScanKernel if mode == "numpy" else PythonScanKernel
+    if mode == "native":
+        from .native import NativeScanKernel
+
+        cls: type = NativeScanKernel
+    elif mode == "numpy":
+        cls = NumpyScanKernel
+    else:
+        cls = PythonScanKernel
     kernel = cls(
         collection, similarity, options, buffer, registry, seen_pairs, stats, checks
     )
@@ -182,7 +220,9 @@ class PythonScanKernel:
         checks: Optional["CheckHooks"] = None,
     ) -> None:
         self.records = collection.records
-        self.signatures = collection.signatures
+        self.sig_bits = signature_width(options.sig_bits)
+        self.signatures = collection.signatures_at(self.sig_bits)
+        self.universe_size = collection.universe_size
         self.sim = similarity
         self.buffer = buffer
         self.registry = registry
@@ -193,6 +233,9 @@ class PythonScanKernel:
         self.suffix_on = options.suffix_filter
         self.maxdepth = options.maxdepth
         self.access_on = options.access_optimization
+        #: Second-generation batch verification (only the batch kernels
+        #: read it; the pure-Python loop always merges sequentially).
+        self.batch_verify = options.batch_verify
         # s_k-keyed caches shared across events (cleared whenever s_k
         # rises): α by (|x|, |y|), probing prefix length by size.
         self._cache_s_k = -1.0
@@ -385,14 +428,25 @@ class PythonScanKernel:
 
 
 class NumpyScanKernel(PythonScanKernel):
-    """Batch scan kernel: vectorized size/bitmap/positional prefilter.
+    """Batch scan kernel: vectorized prefilter plus batched verification.
 
-    The cheap per-posting tests run as NumPy array operations over the
-    whole (truncation-bounded) posting list at once; only survivors enter
-    the sequential suffix/merge/buffer loop.  All vector thresholds use
-    the ``s_k`` captured at batch start, which is conservative: ``s_k``
-    only rises, so a stale threshold prunes *less*, never more — the
-    merge for each survivor still aborts against the current α.
+    The cheap per-posting tests — size, word-parallel bitmap (at any
+    supported signature width), positional — run as NumPy array
+    operations over the whole (truncation-bounded) posting list at once.
+    Survivors are then *verified in one vectorized pass* over the flat
+    token columns (``batch_verify``, the second-generation default): a
+    position map over the token universe marks the probing record's
+    tokens, one gather over the survivors' concatenated token slices
+    counts exact overlaps and recovers the first/second common-token
+    positions Algorithm 6's dedup rule needs, and only the buffer/
+    registry feed stays sequential.  With ``batch_verify=False`` the
+    first-generation tail runs instead: per-survivor Python
+    suffix-filter + early-abort merge.
+
+    All vector thresholds use the ``s_k`` captured at batch start, which
+    is conservative: ``s_k`` only rises, so a stale threshold prunes
+    *less*, never more; every survivor is verified exactly, so a stale
+    α can never cost correctness either.
     """
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:
@@ -409,21 +463,70 @@ class NumpyScanKernel(PythonScanKernel):
             [int(s) for s in np.unique(self._sizes_np)] if records else []
         )
         self._max_size = self._present_sizes[-1] if self._present_sizes else 0
-        # Signatures as (n, 2) uint64 words so XOR + popcount vectorize.
-        sig_words = np.zeros((len(records), 2), dtype=np.uint64)
-        for i, signature in enumerate(self.signatures):
-            sig_words[i, 0] = signature & _SIG_WORD_MASK
-            sig_words[i, 1] = (signature >> 64) & _SIG_WORD_MASK
+        # Signatures as (n, words) uint64 so XOR + popcount vectorize at
+        # the configured width (sig_bits // 64 words per record).
+        words = self.sig_bits // 64
+        self._sig_word_count = words
+        sig_words = np.zeros((len(records), words), dtype=np.uint64)
+        signatures = self.signatures
+        for w in range(words):
+            shift = 64 * w
+            sig_words[:, w] = [
+                (signature >> shift) & _SIG_WORD_MASK
+                for signature in signatures
+            ]
         self._sig_words = sig_words
-        if hasattr(np, "bitwise_count"):
+        # At one or two words (64/128-bit) a per-word contiguous column
+        # beats the (n, words) row gather: np.take on a flat array plus
+        # a uint8 popcount add, no axis reduction.  Word popcounts are
+        # <= 64 so a two-word uint8 sum cannot overflow; wider widths
+        # could (4 * 64 = 256), so they keep the row-matrix path.
+        has_bitwise_count = hasattr(np, "bitwise_count")
+        self._sig_cols = (
+            [np.ascontiguousarray(sig_words[:, w]) for w in range(words)]
+            if has_bitwise_count and words <= 2
+            else None
+        )
+        if has_bitwise_count:
             self._row_popcount = self._row_popcount_native
         else:  # NumPy < 2.0 (the 3.9 CI lane): 256-entry LUT on bytes.
             self._popcount_lut = np.array(
                 [bin(i).count("1") for i in range(256)], dtype=np.uint8
             )
             self._row_popcount = self._row_popcount_lut
-        self._alpha_table = None
-        self._alpha_table_key = None
+        # Per-(|x|, s_k) packed threshold tables (see _threshold_tab);
+        # a dict, not a single slot: the event queue interleaves
+        # records of different sizes, and a one-entry cache would
+        # rebuild the table on nearly every event.
+        self._tab_cache: dict = {}
+        # Batched-verification state, built lazily on the first batch
+        # (a join whose buffer never fills pays nothing for it).
+        self._batch_on = (
+            self.batch_verify and self.universe_size <= _BATCH_UNIVERSE_LIMIT
+        )
+        self._tok_offsets: Any = None
+        self._tok_flat: Any = None
+        self._pos_map: Any = None
+
+    def _sync_caches(self, s_k: float) -> None:
+        if s_k > self._cache_s_k:
+            self._tab_cache.clear()
+        PythonScanKernel._sync_caches(self, s_k)
+
+    def _ensure_batch_state(self) -> None:
+        """Flatten the token columns + allocate the universe position map."""
+        if self._tok_flat is not None:
+            return
+        np = self._np
+        records = self.records
+        offsets = np.zeros(len(records) + 1, dtype=np.int64)
+        np.cumsum(self._sizes_np, out=offsets[1:])
+        flat = np.empty(int(offsets[-1]), dtype=np.int64)
+        for i, record in enumerate(records):
+            flat[offsets[i] : offsets[i + 1]] = record.tokens
+        self._tok_offsets = offsets
+        self._tok_flat = flat
+        self._pos_map = np.zeros(self.universe_size, dtype=np.int64)
 
     # ------------------------------------------------------------------
 
@@ -436,23 +539,36 @@ class NumpyScanKernel(PythonScanKernel):
         as_bytes = xor_words.view(np.uint8).reshape(len(xor_words), -1)
         return self._popcount_lut[as_bytes].sum(axis=1, dtype=np.int64)
 
-    def _alphas_for(self, size_x: int, s_k: float) -> Any:
-        """α per partner size as an int64 table indexed by ``|y|``.
+    def _threshold_tab(self, size_x: int, s_k: float) -> Any:
+        """Packed per-``|y|`` thresholds: one gather serves every filter.
 
-        Rebuilt only when ``(|x|, s_k)`` changes; only sizes actually
-        present in the collection are filled (absent entries stay 0,
-        which never prunes).
+        Returns two int64 tables of length ``max_size + 1`` indexed by
+        partner size.  The first holds the bitmap threshold ``2α - |x|``
+        (a candidate passes iff ``|y| - hamming >= tab0[|y|]``), with
+        :data:`_TAB_INF` standing in whenever the size filter already
+        rules the pair out (``α > min(|x|, |y|)``) — no reachable
+        Hamming bound satisfies it, so the size filter costs nothing
+        extra.  The second holds ``α - 1``, the positional-filter
+        threshold: ``min(rest_x, |y| - position) >= α - 1`` splits into
+        two scalar compares.  Only sizes present in the collection are
+        filled; absent entries keep the sentinel (they can never be
+        gathered).
         """
         key = (size_x, s_k)
-        if self._alpha_table_key != key:
+        tab = self._tab_cache.get(key)
+        if tab is None:
             np = self._np
-            table = np.zeros(self._max_size + 1, dtype=np.int64)
+            tab0 = np.full(self._max_size + 1, _TAB_INF, dtype=np.int64)
+            tab1 = np.full(self._max_size + 1, _TAB_INF, dtype=np.int64)
             required_overlap = self.sim.required_overlap
             for size in self._present_sizes:
-                table[size] = required_overlap(s_k, size_x, size)
-            self._alpha_table = table
-            self._alpha_table_key = key
-        return self._alpha_table
+                alpha = required_overlap(s_k, size_x, size)
+                if alpha <= (size if size < size_x else size_x):
+                    tab0[size] = 2 * alpha - size_x
+                    tab1[size] = alpha - 1
+            tab = (tab0, tab1)
+            self._tab_cache[key] = tab
+        return tab
 
     # ------------------------------------------------------------------
 
@@ -520,54 +636,244 @@ class NumpyScanKernel(PythonScanKernel):
         rest_x = size_x - prefix
 
         rids_np = np.frombuffer(columns.rids, dtype=np.int64)[:batch]
-        sizes_y = self._sizes_np[rids_np]
-        alphas = self._alphas_for(size_x, s_k)[sizes_y]
+        sizes_y = self._sizes_np.take(rids_np, mode="clip")
+        tab = self._threshold_tab(size_x, s_k)
+        positions = (
+            np.frombuffer(columns.positions, dtype=np.int64)[:batch]
+            if self.positional_on
+            else None
+        )
 
-        # Size filter: α above min(|x|, |y|) is unreachable.
-        ok = alphas <= np.minimum(sizes_y, size_x)
-        passed_size = int(ok.sum())
+        ok, passed_size, passed_bitmap = self._prefilter_core(
+            rid, rids_np, sizes_y, positions, tab, rest_x
+        )
+        survivors = ok.nonzero()[0]
+        # Derive first-killing-filter attribution from the pass counts,
+        # matching the sequential loop's accounting.
         stats.size_pruned += batch - passed_size
         stats.bitmap_checked += passed_size
-
-        # Bitmap prefilter: vectorized XOR + popcount Hamming bound.
-        sig_x = self.signatures[rid]
-        x_words = np.array(
-            [sig_x & _SIG_WORD_MASK, (sig_x >> 64) & _SIG_WORD_MASK],
-            dtype=np.uint64,
-        )
-        hamming = self._row_popcount(self._sig_words[rids_np] ^ x_words)
-        ok_bitmap = size_x + sizes_y - hamming >= 2 * alphas
-        stats.bitmap_pruned += int((ok & ~ok_bitmap).sum())
-        ok &= ok_bitmap
-
-        # Positional filter (Section V-A), vectorized.
-        if self.positional_on:
-            positions = np.frombuffer(columns.positions, dtype=np.int64)[:batch]
-            best = 1 + np.minimum(rest_x, sizes_y - positions)
-            ok_positional = best >= alphas
-            stats.positional_pruned += int((ok & ~ok_positional).sum())
-            ok &= ok_positional
-            del positions
+        stats.bitmap_pruned += passed_size - passed_bitmap
+        stats.positional_pruned += passed_bitmap - len(survivors)
+        # Fancy indexing copies, so survivor rids stay valid after the
+        # zero-copy views below are dropped.
+        survivor_rids = rids_np[survivors] if len(survivors) else None
 
         # Drop the zero-copy views before any column mutation: a live
         # buffer export would make the tail cut a BufferError.
-        del rids_np
+        del rids_np, positions
 
-        survivors = np.nonzero(ok)[0]
-        if len(survivors):
-            self._process_survivors(
-                survivors.tolist(),
-                columns,
-                rid,
-                tokens_x,
-                size_x,
-                prefix,
-                external,
-                full,
-                s_k,
-            )
+        if survivor_rids is not None:
+            if self._batch_on:
+                self._verify_survivors_batched(
+                    survivor_rids, rid, tokens_x, size_x, external, s_k
+                )
+            else:
+                self._process_survivors(
+                    survivors.tolist(),
+                    columns,
+                    rid,
+                    tokens_x,
+                    size_x,
+                    prefix,
+                    external,
+                    full,
+                    s_k,
+                )
         if batch < total:
             probe_index.truncate(token, batch)
+
+    # ------------------------------------------------------------------
+
+    def _prefilter_core(
+        self,
+        rid: int,
+        rids_np: Any,
+        sizes_y: Any,
+        positions: Any,
+        tab: Any,
+        rest_x: int,
+    ) -> Tuple[Any, int, int]:
+        """Size / bitmap / positional tests over one posting batch.
+
+        *tab* is the packed :meth:`_threshold_tab` for the probing
+        record.  Returns ``(ok_mask, passed_size, passed_bitmap)``: the
+        survivor mask plus how many candidates passed the size filter
+        and how many also passed the bitmap filter, from which the
+        caller derives first-killing-filter attribution.  The native
+        kernel overrides exactly this method with one fused compiled
+        loop; everything around it (candidate set, truncation,
+        verification) is shared.
+        """
+        np = self._np
+        # Bound-method takes with mode="clip": the module-level np.take
+        # goes through two layers of dispatch per call, which at ~8.5k
+        # small batches per join is real time; "clip" skips the bounds
+        # check (every index here is a valid rid / record size).
+        t_bitmap = tab[0].take(sizes_y, mode="clip")
+        # The size filter is folded into the bitmap compare: size-killed
+        # partner sizes carry the _TAB_INF sentinel, which no Hamming
+        # bound can reach.
+        passed_size = len(sizes_y) - int(np.count_nonzero(t_bitmap == _TAB_INF))
+
+        # Bitmap prefilter: word-parallel XOR + popcount Hamming bound;
+        # |x| + |y| - hamming >= 2α rearranged as |y| - hamming >= 2α - |x|.
+        cols = self._sig_cols
+        if cols is not None:
+            # 64/128-bit fast path: flat per-word takes, uint8 popcount
+            # add — no row gather, no axis reduction.
+            bitwise_count = np.bitwise_count
+            col = cols[0]
+            hamming = bitwise_count(col.take(rids_np, mode="clip") ^ col[rid])
+            if len(cols) == 2:
+                col = cols[1]
+                hamming += bitwise_count(col.take(rids_np, mode="clip") ^ col[rid])
+        else:
+            hamming = self._row_popcount(
+                self._sig_words[rids_np] ^ self._sig_words[rid]
+            )
+        ok = sizes_y - hamming >= t_bitmap
+        passed_bitmap = int(np.count_nonzero(ok))
+
+        # Positional filter (Section V-A): min(rest_x, |y| - position)
+        # >= α - 1 as two scalar-threshold compares (rest_x is scalar).
+        if positions is not None:
+            t_pos = tab[1].take(sizes_y, mode="clip")
+            ok &= sizes_y - positions >= t_pos
+            ok &= t_pos <= rest_x
+        return ok, passed_size, passed_bitmap
+
+    # ------------------------------------------------------------------
+
+    def _segment_overlaps(
+        self, starts: Any, lengths: Any
+    ) -> Tuple[Any, Any, Any, Any, Any]:
+        """Exact overlap + common-token positions per survivor segment.
+
+        *starts*/*lengths* delimit each survivor's slice of the flat
+        token column; :attr:`_pos_map` must already hold the probing
+        record's 1-based token positions (0 elsewhere).  Returns five
+        equal-length lists — ``overlap``, and the 1-based first/second
+        common-token positions in x and in y (0 = absent) that
+        Algorithm 6's re-generability rule needs.  The gather is
+        vectorized; the hit walk is a Python loop, which is cheap
+        because hits are rare — surviving candidates are few and their
+        common tokens fewer.  The native kernel overrides this with one
+        fused compiled loop.
+        """
+        np = self._np
+        cum = lengths.cumsum()
+        total = int(cum[-1])
+        seg_starts = cum - lengths
+        # Gather every survivor's token slice in one shot: global flat
+        # index = slice start + offset within the segment.
+        gather = np.arange(total, dtype=np.int64) + (
+            (starts - seg_starts).repeat(lengths)
+        )
+        x_pos = self._pos_map.take(
+            self._tok_flat.take(gather, mode="clip"), mode="clip"
+        )
+        hit_slots = x_pos.nonzero()[0]
+
+        count = len(lengths)
+        overlaps = [0] * count
+        first_x = [0] * count
+        first_y = [0] * count
+        second_x = [0] * count
+        second_y = [0] * count
+        if len(hit_slots):
+            segs = seg_starts.searchsorted(hit_slots, side="right") - 1
+            seg_start_list = seg_starts.tolist()
+            for slot, seg, xp in zip(
+                hit_slots.tolist(), segs.tolist(), x_pos[hit_slots].tolist()
+            ):
+                rank = overlaps[seg]
+                overlaps[seg] = rank + 1
+                if rank == 0:
+                    first_x[seg] = xp
+                    first_y[seg] = slot - seg_start_list[seg] + 1
+                elif rank == 1:
+                    second_x[seg] = xp
+                    second_y[seg] = slot - seg_start_list[seg] + 1
+        return overlaps, first_x, first_y, second_x, second_y
+
+    def _verify_survivors_batched(
+        self,
+        survivor_rids: Any,
+        rid: int,
+        tokens_x: Tuple[int, ...],
+        size_x: int,
+        external: float,
+        s_k: float,
+    ) -> None:
+        """Verify every prefilter survivor exactly, in one vectorized pass.
+
+        Replaces the per-survivor Python suffix-filter + early-abort
+        merge: the full overlap of each survivor is computed against the
+        probing record's universe position map, so no merge can abort —
+        every survivor yields a final, exact similarity.  Verifying a
+        candidate the suffix filter would have skipped is safe (it is
+        still verified at most once, and the registry records it), and
+        strictly more informative: the probe covers both records
+        entirely, so Algorithm 6's re-generability decision is always
+        decisive.  Only the buffer/registry feed below is sequential,
+        and it re-reads ``s_k`` as it rises.
+        """
+        np = self._np
+        self._ensure_batch_state()
+        posmap = self._pos_map
+        tok_x = np.asarray(tokens_x, dtype=np.int64)
+        posmap[tok_x] = np.arange(1, size_x + 1, dtype=np.int64)
+        try:
+            starts = self._tok_offsets.take(survivor_rids, mode="clip")
+            lengths = self._sizes_np.take(survivor_rids, mode="clip")
+            overlaps, first_x, first_y, second_x, second_y = (
+                self._segment_overlaps(starts, lengths)
+            )
+        finally:
+            posmap[tok_x] = 0
+
+        buffer = self.buffer
+        registry = self.registry
+        seen_pairs = self.seen_pairs
+        checks = self.checks
+        from_overlap = self.sim.from_overlap
+        rid_list = survivor_rids.tolist()
+        size_list = lengths.tolist()
+
+        duplicates = verifications = 0
+        for i in range(len(rid_list)):
+            rid_y = rid_list[i]
+            pair = (rid, rid_y) if rid < rid_y else (rid_y, rid)
+            if seen_pairs is not None and pair in seen_pairs:
+                duplicates += 1
+                continue
+            size_y = size_list[i]
+            verifications += 1
+            if checks is not None:
+                checks.on_verified(pair)
+            value = from_overlap(overlaps[i], size_x, size_y)
+            if buffer.add(pair, value):
+                new_s_k = buffer.s_k
+                if external > new_s_k:
+                    new_s_k = external
+                if new_s_k > s_k:
+                    s_k = new_s_k
+                    self._sync_caches(s_k)
+            probe = OverlapProbe(
+                overlaps[i],
+                first_x[i] or None,
+                first_y[i] or None,
+                second_x[i] or None,
+                second_y[i] or None,
+                False,
+                size_x,
+                size_y,
+            )
+            registry.record(pair, probe, size_x, size_y, s_k)
+
+        stats = self.stats
+        stats.duplicates_skipped += duplicates
+        stats.verifications += verifications
 
     # ------------------------------------------------------------------
 

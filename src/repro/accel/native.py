@@ -1,0 +1,275 @@
+"""Optional numba-compiled scan kernel — the ``accel="native"`` tier.
+
+The NumPy kernel (:class:`repro.accel.kernel.NumpyScanKernel`) spends
+its time in a handful of whole-array passes, each allocating temporary
+arrays.  This module fuses the two hottest of them into single compiled
+loops:
+
+* the **posting-scan prefilter** — size, word-parallel bitmap popcount
+  and positional tests in one pass per batch, no temporaries;
+* the **batch-verify segment walk** — exact overlap plus the
+  first/second common-token positions per survivor, straight off the
+  flat token column and the universe position map.
+
+Everything around the two loops (candidate batching, truncation, the
+buffer/registry feed, every exactness decision) is inherited unchanged
+from :class:`NumpyScanKernel`, so the compiled tier can only be faster,
+never differently-answered.
+
+Feature gating: numba is an *optional* accelerator, never a dependency.
+``native_usable()`` imports numba lazily and force-compiles both loops
+once against probe arrays; any failure — numba missing, an unsupported
+platform, a broken LLVM backend — makes ``accel="native"`` fall back
+down the ladder (NumPy, then pure Python) inside
+:func:`repro.accel.kernel.resolve_accel_mode`.  The loop bodies are
+plain Python functions jitted at probe time, so the test suite verifies
+their semantics against the vectorized implementations even on
+interpreters without numba.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from .kernel import _TAB_INF, NumpyScanKernel, _numpy
+
+__all__ = ["NativeScanKernel", "native_usable"]
+
+#: Jitted entry points, filled by the one-shot compile probe.
+_JITTED: Dict[str, Any] = {}
+_PROBE_RESULT: Optional[bool] = None
+
+
+def _prefilter_impl(
+    rids: Any,
+    sizes_y: Any,
+    positions: Any,
+    has_positions: bool,
+    tab0: Any,
+    tab1: Any,
+    sig_words: Any,
+    rid: int,
+    rest_x: int,
+    ok_out: Any,
+) -> Tuple[int, int]:
+    """Fused size / bitmap / positional prefilter over one batch.
+
+    Mirrors :meth:`NumpyScanKernel._prefilter_core` exactly:
+    *tab0*/*tab1* are the packed per-size threshold tables (*tab0* the
+    bitmap threshold, ``_TAB_INF`` when the size filter already killed
+    that partner size; *tab1* the positional threshold ``alpha - 1``).  Kept
+    numba-``njit`` compatible (no Python objects, popcount via
+    Kernighan's loop so no unsigned overflow is ever provoked).
+    Returns ``(passed_size, passed_bitmap)`` and fills *ok_out* with
+    the survivor mask.
+    """
+    passed_size = 0
+    passed_bitmap = 0
+    words = sig_words.shape[1]
+    for i in range(rids.shape[0]):
+        size_y = sizes_y[i]
+        t_bitmap = tab0[size_y]
+        if t_bitmap >= _TAB_INF:
+            ok_out[i] = False
+            continue
+        passed_size += 1
+        rid_y = rids[i]
+        hamming = 0
+        for w in range(words):
+            v = sig_words[rid_y, w] ^ sig_words[rid, w]
+            while v:
+                v &= v - 1
+                hamming += 1
+        if size_y - hamming < t_bitmap:
+            ok_out[i] = False
+            continue
+        passed_bitmap += 1
+        if has_positions:
+            t_pos = tab1[size_y]
+            if size_y - positions[i] < t_pos or t_pos > rest_x:
+                ok_out[i] = False
+                continue
+        ok_out[i] = True
+    return passed_size, passed_bitmap
+
+
+def _segment_overlaps_impl(
+    starts: Any,
+    lengths: Any,
+    tok_flat: Any,
+    pos_map: Any,
+    overlaps_out: Any,
+    first_x_out: Any,
+    first_y_out: Any,
+    second_x_out: Any,
+    second_y_out: Any,
+) -> None:
+    """Fused batch-verify walk: exact overlap + common-token positions.
+
+    Mirrors :meth:`NumpyScanKernel._segment_overlaps`: for survivor *i*
+    the tokens are ``tok_flat[starts[i] : starts[i] + lengths[i]]`` and
+    *pos_map* holds the probing record's 1-based token positions (0 =
+    absent).  No gather temporaries, no reduceat — one read per token.
+    """
+    for i in range(starts.shape[0]):
+        begin = starts[i]
+        count = 0
+        fx = 0
+        fy = 0
+        sx = 0
+        sy = 0
+        for j in range(lengths[i]):
+            p = pos_map[tok_flat[begin + j]]
+            if p > 0:
+                count += 1
+                if count == 1:
+                    fx = p
+                    fy = j + 1
+                elif count == 2:
+                    sx = p
+                    sy = j + 1
+        overlaps_out[i] = count
+        first_x_out[i] = fx
+        first_y_out[i] = fy
+        second_x_out[i] = sx
+        second_y_out[i] = sy
+
+
+def _try_compile() -> bool:  # pragma: no cover - needs a numba install
+    """Import numba and force-compile both loops against probe arrays.
+
+    Compiling eagerly (instead of on the first real batch) turns an
+    unsupported platform into a clean ``False`` — the resolve ladder
+    then falls back — rather than an exception mid-join.
+    """
+    np = _numpy()
+    if np is None:
+        return False
+    try:
+        import numba
+    except ImportError:
+        return False
+    try:
+        prefilter = numba.njit(cache=True, nogil=True)(_prefilter_impl)
+        segment_overlaps = numba.njit(cache=True, nogil=True)(
+            _segment_overlaps_impl
+        )
+        one = np.ones(1, dtype=np.int64)
+        prefilter(
+            np.zeros(1, dtype=np.int64),
+            one,
+            np.zeros(1, dtype=np.int64),
+            True,
+            np.zeros(2, dtype=np.int64),
+            np.zeros(2, dtype=np.int64),
+            np.zeros((1, 2), dtype=np.uint64),
+            0,
+            1,
+            np.zeros(1, dtype=np.bool_),
+        )
+        segment_overlaps(
+            np.zeros(1, dtype=np.int64),
+            one,
+            np.zeros(1, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+        )
+    except Exception:
+        # Anything — a missing LLVM backend, an unsupported CPU, a numba
+        # /NumPy version clash — disqualifies the tier; the caller falls
+        # back to the NumPy kernel, which computes identical answers.
+        return False
+    _JITTED["prefilter"] = prefilter
+    _JITTED["segment_overlaps"] = segment_overlaps
+    return True
+
+
+def native_usable() -> bool:
+    """Whether the compiled kernel is importable *and* compiles here."""
+    global _PROBE_RESULT
+    if _PROBE_RESULT is None:
+        _PROBE_RESULT = _try_compile()
+    return _PROBE_RESULT
+
+
+class NativeScanKernel(NumpyScanKernel):  # pragma: no cover - needs numba
+    """The NumPy batch kernel with both hot loops numba-compiled.
+
+    Constructed only when :func:`native_usable` already returned true
+    (``resolve_accel_mode`` guarantees it), so the jitted entry points
+    exist and are warm.  Only the two override methods differ from the
+    parent — all candidate bookkeeping, exactness decisions and stats
+    accounting are inherited.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        if not native_usable():
+            raise RuntimeError(
+                "NativeScanKernel requires a working numba install; "
+                "resolve_accel_mode should have fallen back"
+            )
+        self._jit_prefilter = _JITTED["prefilter"]
+        self._jit_segment_overlaps = _JITTED["segment_overlaps"]
+        self._no_positions = self._np.empty(0, dtype=self._np.int64)
+
+    def _prefilter_core(
+        self,
+        rid: int,
+        rids_np: Any,
+        sizes_y: Any,
+        positions: Any,
+        tab: Any,
+        rest_x: int,
+    ) -> Tuple[Any, int, int]:
+        np = self._np
+        ok = np.empty(len(sizes_y), dtype=np.bool_)
+        has_positions = positions is not None
+        passed_size, passed_bitmap = self._jit_prefilter(
+            np.ascontiguousarray(rids_np),
+            sizes_y,
+            np.ascontiguousarray(positions)
+            if has_positions
+            else self._no_positions,
+            has_positions,
+            tab[0],
+            tab[1],
+            self._sig_words,
+            rid,
+            rest_x,
+            ok,
+        )
+        return ok, int(passed_size), int(passed_bitmap)
+
+    def _segment_overlaps(
+        self, starts: Any, lengths: Any
+    ) -> Tuple[Any, Any, Any, Any, Any]:
+        np = self._np
+        count = len(lengths)
+        overlaps = np.empty(count, dtype=np.int64)
+        first_x = np.empty(count, dtype=np.int64)
+        first_y = np.empty(count, dtype=np.int64)
+        second_x = np.empty(count, dtype=np.int64)
+        second_y = np.empty(count, dtype=np.int64)
+        self._jit_segment_overlaps(
+            np.ascontiguousarray(starts),
+            np.ascontiguousarray(lengths),
+            self._tok_flat,
+            self._pos_map,
+            overlaps,
+            first_x,
+            first_y,
+            second_x,
+            second_y,
+        )
+        return (
+            overlaps.tolist(),
+            first_x.tolist(),
+            first_y.tolist(),
+            second_x.tolist(),
+            second_y.tolist(),
+        )

@@ -5,7 +5,8 @@ Subcommands::
     python -m repro topk      --input data.txt --k 100 [--similarity jaccard]
                               [--workers N] [--shards M] [--shm|--no-shm]
                               [--check]
-                              [--accel on|python|numpy|off]
+                              [--accel on|native|python|numpy|off]
+                              [--sig-bits 64|128|256|512]
                               [--trace] [--trace-out trace.json]
     python -m repro trace     [--workload dblp | --input data.txt] [--k 100]
                               [--prom-out m.prom] [--json-out trace.json]
@@ -177,7 +178,7 @@ def _cmd_topk(args: argparse.Namespace) -> int:
             outputs = opened
     options = TopkOptions(
         maxdepth=args.maxdepth, check_invariants=args.check,
-        accel=args.accel, trace=tracer,
+        accel=args.accel, sig_bits=args.sig_bits, trace=tracer,
     )
     start = time.perf_counter()
     with maybe_profile(tracer):
@@ -220,7 +221,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 2
     tracer = Tracer()
     stats = TopkStats()
-    options = TopkOptions(maxdepth=maxdepth, accel=args.accel, trace=tracer)
+    options = TopkOptions(
+        maxdepth=maxdepth, accel=args.accel, sig_bits=args.sig_bits,
+        trace=tracer,
+    )
     start = time.perf_counter()
     with maybe_profile(tracer):
         results = _run_topk(collection, args, sim, options, stats)
@@ -384,6 +388,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     options = TopkOptions(
         check_invariants=args.check,
         accel=args.accel,
+        sig_bits=args.sig_bits,
         trace=tracer,
         window_size=args.window,
         window_policy=args.policy,
@@ -653,10 +658,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="assert the paper's runtime invariants while "
                            "joining (slow; also via REPRO_CHECK=1)")
     topk.add_argument("--accel", default="on",
-                      choices=["on", "python", "numpy", "off"],
+                      choices=["on", "native", "python", "numpy", "off"],
                       help="hot-path acceleration: 'on' picks the best "
-                           "available kernel, 'off' runs the historical "
-                           "loop (ablation baseline)")
+                           "available kernel, 'native' asks for the "
+                           "numba-compiled tier (falls back when numba "
+                           "is absent), 'off' runs the historical loop "
+                           "(ablation baseline)")
+    topk.add_argument("--sig-bits", type=int, default=128, dest="sig_bits",
+                      choices=[64, 128, 256, 512],
+                      help="bitmap signature width in bits: wider prunes "
+                           "more candidates but costs more memory "
+                           "bandwidth per probe")
     topk.add_argument("--trace", action="store_true",
                       help="trace phase timings and print a phase-time "
                            "tree to stderr after the results")
@@ -697,7 +709,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="data plane for the parallel backend "
                             "(see 'topk --shm')")
     trace.add_argument("--accel", default="on",
-                       choices=["on", "python", "numpy", "off"])
+                       choices=["on", "native", "python", "numpy", "off"])
+    trace.add_argument("--sig-bits", type=int, default=128, dest="sig_bits",
+                       choices=[64, 128, 256, 512],
+                       help="bitmap signature width (see 'topk --sig-bits')")
     trace.add_argument("--prom-out", default=None, metavar="PATH",
                        help="write Prometheus text exposition to PATH")
     trace.add_argument("--json-out", default=None, metavar="PATH",
@@ -779,7 +794,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "re-runs the batch join after every mutation "
                              "(the reference twin)")
     stream.add_argument("--accel", default="on",
-                        choices=["on", "python", "numpy", "off"])
+                        choices=["on", "native", "python", "numpy", "off"])
+    stream.add_argument("--sig-bits", type=int, default=128, dest="sig_bits",
+                        choices=[64, 128, 256, 512],
+                        help="bitmap signature width (see 'topk --sig-bits')")
     stream.add_argument("--check", action="store_true",
                         help="assert the streaming runtime invariants "
                              "after every event (slow; also via "

@@ -21,7 +21,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from ..data.records import RecordCollection, signature_overlap_bound
+from ..data.records import (
+    SIGNATURE_BITS,
+    RecordCollection,
+    signature_overlap_bound,
+)
 from ..result import ordered_pair
 from ..similarity.functions import SimilarityFunction
 from ..similarity.overlap import overlap_with_common_positions
@@ -80,6 +84,7 @@ def seed_temporary_results(
     checks: Optional["CheckHooks"] = None,
     stats: Optional["TopkStats"] = None,
     bitmap: bool = True,
+    sig_bits: int = SIGNATURE_BITS,
 ) -> int:
     """Fill *buffer* with pairs sharing selective tokens.
 
@@ -93,7 +98,9 @@ def seed_temporary_results(
     overlap bound (see :func:`repro.data.records.signature_overlap_bound`)
     cannot reach ``s_k`` are skipped *without* verifying or recording
     them — the event loop regenerates and verifies them later if they
-    matter, so the verify-once discipline is untouched.  *stats* is an
+    matter, so the verify-once discipline is untouched.  *sig_bits*
+    selects the signature width, matching the caller's kernel so the
+    per-width cache is warmed exactly once per run.  *stats* is an
     optional :class:`repro.core.metrics.TopkStats` receiving the bitmap
     counters.
 
@@ -133,7 +140,7 @@ def seed_temporary_results(
             if token in wanted:
                 holders[token].append(record.rid)
 
-    signatures = collection.signatures if bitmap else None
+    signatures = collection.signatures_at(sig_bits) if bitmap else None
     verified = 0
     seen: set = set()
     for token in chosen:

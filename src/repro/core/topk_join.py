@@ -58,7 +58,7 @@ from typing import (
 )
 
 from ..accel.kernel import make_kernel
-from ..data.records import RecordCollection
+from ..data.records import RecordCollection, signature_width
 from ..index.inverted import BoundedInvertedIndex
 from ..joins.filters import DEFAULT_MAXDEPTH, suffix_admits
 from ..oracle.invariants import CheckHooks, invariant_checks_enabled
@@ -116,11 +116,33 @@ class TopkOptions:
     bipartite_sides: Optional[Sequence[int]] = None
     #: Hot-path acceleration (see :mod:`repro.accel.kernel`): ``"on"``
     #: picks the NumPy batch kernel when NumPy is importable and the
-    #: pure-Python kernel otherwise; ``"python"`` / ``"numpy"`` force one
-    #: implementation; ``"off"`` runs the historical scan loop (kept for
-    #: ablation and as the benchmark-gate baseline).  All modes are exact
-    #: — the differential fuzzer cross-checks them against the oracle.
+    #: pure-Python kernel otherwise; ``"native"`` escalates to the
+    #: numba-compiled kernel when numba is importable and otherwise
+    #: falls down the same ladder (NumPy, then pure Python — never an
+    #: error, the compiled path is an opt-in accelerator, not a
+    #: dependency); ``"python"`` / ``"numpy"`` force one implementation;
+    #: ``"off"`` runs the historical scan loop (kept for ablation and as
+    #: the benchmark-gate baseline).  All modes are exact — the
+    #: differential fuzzer cross-checks them against the oracle.
     accel: str = "on"
+    #: Width of the bitmap-filter signatures in bits (any value in
+    #: :data:`repro.data.records.SUPPORTED_SIGNATURE_BITS`).  Wider
+    #: signatures collide less — higher prune rates on token-rich
+    #: records — at the cost of more 64-bit words per XOR+popcount;
+    #: 128 is the sweet spot for the paper's word-token workloads (see
+    #: docs/PERFORMANCE.md for width-selection guidance).  Ignored with
+    #: ``accel="off"`` *except* by result seeding, the streaming
+    #: engine's arrival probe and the shared-memory data plane, which
+    #: serialize signatures at exactly this width.
+    sig_bits: int = 128
+    #: Verify prefilter survivors in one vectorized pass over the flat
+    #: token columns (the second-generation kernel's batch-verify layer)
+    #: instead of the per-candidate Python suffix-filter + merge.  Only
+    #: the NumPy/native kernels read it; ``False`` restores the
+    #: first-generation sequential tail — kept reachable as the
+    #: benchmark gate's comparison point and as a differential-fuzzer
+    #: backend.
+    batch_verify: bool = True
     #: Assert the paper's invariants at runtime (event order, ``s_k``
     #: monotonicity, verify-exactly-once, Lemma 1/4 reference bounds,
     #: emission guarantees) via :mod:`repro.oracle.invariants`.  Also
@@ -227,6 +249,10 @@ def _topk_join_run(
     run untouched.
     """
     sim = similarity or Jaccard()
+    # Reject unsupported widths up front, in every accel mode: sig_bits
+    # configures seeding/kernel/shm alike, so a typo'd width must fail
+    # loudly here rather than silently join at the default.
+    signature_width(opts.sig_bits)
     run_stats = stats if stats is not None else TopkStats()
     span = tracer.span if tracer is not None else _null_span
     start = time.perf_counter()
@@ -268,6 +294,7 @@ def _topk_join_run(
             run_stats.verifications += seed_temporary_results(
                 collection, sim, buffer, registry, sides=sides,
                 checks=checks, stats=run_stats, bitmap=kernel is not None,
+                sig_bits=opts.sig_bits,
             )
         if provider is not None:
             if buffer.full:

@@ -13,18 +13,23 @@ so ``coll[r.rid] is r``.  The original input position is preserved in
 
 Collections also carry per-record **bit signatures** (the bitmap-filter
 technique of Sandes, Teodoro & Melo, arXiv:1711.07295): each token is
-hashed to one bit of a fixed ``SIGNATURE_BITS``-wide word and a record's
-signature is the XOR-fold of its token bits.  Because the XOR of two
-signatures equals the XOR-fold over the records' *symmetric difference*,
-its popcount can never exceed ``|x Δ y|``, giving the exact-safe overlap
-upper bound
+hashed to one bit of a configurable-width word (any width in
+:data:`SUPPORTED_SIGNATURE_BITS`; default :data:`SIGNATURE_BITS`) and a
+record's signature is the XOR-fold of its token bits.  Because the XOR
+of two signatures equals the XOR-fold over the records' *symmetric
+difference*, its popcount can never exceed ``|x Δ y|``, giving the
+exact-safe overlap upper bound
 
     ``|x ∩ y| <= (|x| + |y| - popcount(sig_x ^ sig_y)) // 2``
 
 which the accelerated join kernels (:mod:`repro.accel.kernel`) check
 before any per-pair merge work.  Signatures are built once per collection
-(lazily, cached) right after canonicalization — token ranks are already
-integers, so hashing is one multiply-shift per token.
+and width (lazily, cached per width) right after canonicalization —
+token ranks are already integers, so hashing is one multiply-shift per
+token.  Wider signatures cost more words per XOR+popcount but collide
+less, raising prune rates where the 128-bit filter saturates; bounds
+from *different* widths are never comparable, so every consumer works
+at one explicit width (``TopkOptions.sig_bits``).
 """
 
 from __future__ import annotations
@@ -38,40 +43,90 @@ __all__ = [
     "Record",
     "RecordCollection",
     "SIGNATURE_BITS",
+    "SUPPORTED_SIGNATURE_BITS",
     "popcount",
     "signature_of",
     "signature_overlap_bound",
+    "signature_width",
 ]
 
-#: Width of the per-record bit signature (1-4 machine words; 128 = 2 words).
+#: Signature widths the kernels accept (whole 64-bit words, 1-8 each).
+SUPPORTED_SIGNATURE_BITS = (64, 128, 256, 512)
+
+#: Default width of the per-record bit signature (2 machine words).
 SIGNATURE_BITS = 128
 
 #: 64-bit golden-ratio multiplier (splitmix64's increment) — one multiply
 #: mixes a token rank well enough that the high bits index a signature bit.
 _MIX = 0x9E3779B97F4A7C15
 _WORD_MASK = 0xFFFFFFFFFFFFFFFF
-#: ``64 - log2(SIGNATURE_BITS)`` — the top bits select one of 128 positions.
-_BIT_SHIFT = 57
+#: ``width -> 64 - log2(width)``: the hash's top bits select a bit position.
+_BIT_SHIFT_OF = {
+    bits: 64 - (bits.bit_length() - 1) for bits in SUPPORTED_SIGNATURE_BITS
+}
 
-try:  # int.bit_count is Python >= 3.10; fall back to bin() on 3.9.
+#: 16-bit-chunk popcount table for interpreters without ``int.bit_count``
+#: (Python 3.9).  Built lazily on first use: at 64k entries the build is
+#: noticeable, and 3.10+ interpreters never need it.
+_POPCOUNT_TABLE: List[int] = []
+
+
+def _table_popcount(value: int) -> int:
+    """Number of set bits in *value*, via a 16-bit lookup table.
+
+    The ``int.bit_count`` fallback for Python 3.9: chunking through a
+    65536-entry table beats ``bin(value).count("1")`` on every signature
+    width because no intermediate string is built (see the popcount note
+    in docs/PERFORMANCE.md for measurements).
+    """
+    table = _POPCOUNT_TABLE
+    if not table:
+        table.extend(bin(i).count("1") for i in range(1 << 16))
+    count = 0
+    while value:
+        count += table[value & 0xFFFF]
+        value >>= 16
+    return count
+
+
+try:  # int.bit_count is Python >= 3.10; table fallback on 3.9.
     popcount = int.bit_count
 except AttributeError:  # pragma: no cover - exercised only on 3.9
-    def popcount(value: int) -> int:
-        """Number of set bits in *value* (``int.bit_count`` fallback)."""
-        return bin(value).count("1")
+    popcount = _table_popcount
 
 
-def signature_of(tokens: Iterable[int]) -> int:
-    """XOR-folded bit signature of a token set.
+def signature_width(bits: int) -> int:
+    """Validate *bits* and return it (the kernels' width check).
 
-    Each token sets (toggles) one of ``SIGNATURE_BITS`` bit positions
-    chosen by a multiply-shift hash of its rank.  XOR-folding (rather
-    than OR) is what makes the Hamming bound exact-safe: colliding
-    tokens cancel, they never inflate the apparent overlap floor.
+    Raises ``ValueError`` for widths outside
+    :data:`SUPPORTED_SIGNATURE_BITS` — every supported width is a whole
+    number of 64-bit machine words, which the word-parallel kernels and
+    the shared-memory wire format rely on.
     """
+    if bits not in _BIT_SHIFT_OF:
+        raise ValueError(
+            "sig_bits must be one of %s, got %r"
+            % (SUPPORTED_SIGNATURE_BITS, bits)
+        )
+    return bits
+
+
+def signature_of(tokens: Iterable[int], bits: int = SIGNATURE_BITS) -> int:
+    """XOR-folded bit signature of a token set at width *bits*.
+
+    Each token sets (toggles) one of *bits* bit positions chosen by a
+    multiply-shift hash of its rank.  XOR-folding (rather than OR) is
+    what makes the Hamming bound exact-safe: colliding tokens cancel,
+    they never inflate the apparent overlap floor.  Signatures of
+    different widths are incomparable — both sides of every XOR must be
+    built at the same *bits*.
+    """
+    if bits not in _BIT_SHIFT_OF:
+        signature_width(bits)  # raise the canonical error
+    shift = _BIT_SHIFT_OF[bits]
     signature = 0
     for token in tokens:
-        signature ^= 1 << (((token * _MIX) & _WORD_MASK) >> _BIT_SHIFT)
+        signature ^= 1 << (((token * _MIX) & _WORD_MASK) >> shift)
     return signature
 
 
@@ -149,10 +204,11 @@ class RecordCollection:
         self.records = records
         self.universe_size = universe_size
         self.token_of_rank = token_of_rank
-        #: Lazily built per-rid bit signatures (see :func:`signature_of`).
+        #: Lazily built per-rid bit signatures, keyed by width (see
+        #: :func:`signature_of`).
         #: :func:`repro.parallel.partitioner.subproblem` pre-fills this for
         #: sub-collections so worker tasks never re-hash tokens.
-        self._signatures: Optional[List[int]] = None
+        self._signatures: Dict[int, List[int]] = {}
         #: Owner of the backing storage when record tokens are borrowed
         #: views (a ``SharedMemory`` handle on the zero-copy data plane).
         #: Declared before :attr:`records` would be natural, but it must
@@ -253,6 +309,7 @@ class RecordCollection:
         source_ids: Sequence[int],
         universe_size: int,
         signatures: Optional[Sequence[int]] = None,
+        sig_bits: int = SIGNATURE_BITS,
     ) -> "RecordCollection":
         """Rebuild an already-canonical collection from flat buffers.
 
@@ -264,7 +321,8 @@ class RecordCollection:
         copied.  The buffers must describe a collection that already went
         through canonicalization: tokens sorted ascending within each
         record, records sorted by size.  *signatures* (when given)
-        pre-fills the signature cache so no attached process re-hashes.
+        pre-fills the *sig_bits*-wide signature cache so no attached
+        process re-hashes.
         """
         records = [
             Record(rid, tokens[offsets[rid] : offsets[rid + 1]], source_ids[rid])
@@ -272,7 +330,7 @@ class RecordCollection:
         ]
         collection = cls(records, universe_size=universe_size)
         if signatures is not None:
-            collection._signatures = list(signatures)
+            collection._signatures[signature_width(sig_bits)] = list(signatures)
         return collection
 
     # ------------------------------------------------------------------
@@ -294,17 +352,34 @@ class RecordCollection:
 
     @property
     def signatures(self) -> List[int]:
-        """Per-rid bit signatures, built on first use and cached.
+        """Per-rid bit signatures at the default width (cached).
 
         ``signatures[rid]`` is :func:`signature_of` of record *rid*'s
-        tokens.  The accelerated join kernels index this list directly,
-        so it must stay aligned with :attr:`records`.
+        tokens at :data:`SIGNATURE_BITS`.  The accelerated join kernels
+        index this list directly, so it must stay aligned with
+        :attr:`records`.
         """
-        if self._signatures is None:
-            self._signatures = [
-                signature_of(record.tokens) for record in self.records
+        return self.signatures_at(SIGNATURE_BITS)
+
+    def signatures_at(self, bits: int) -> List[int]:
+        """Per-rid bit signatures at width *bits*, built once and cached.
+
+        Each supported width keeps its own cache entry — a 256-bit probe
+        never invalidates the 128-bit signatures another consumer (the
+        streaming engine, a second join run) already paid for.
+        """
+        cached = self._signatures.get(bits)
+        if cached is None:
+            signature_width(bits)
+            cached = [
+                signature_of(record.tokens, bits) for record in self.records
             ]
-        return self._signatures
+            self._signatures[bits] = cached
+        return cached
+
+    def clear_signature_cache(self) -> None:
+        """Drop every cached signature list (benchmarks re-charge hashing)."""
+        self._signatures.clear()
 
     # ------------------------------------------------------------------
     # Derived statistics

@@ -7,9 +7,9 @@ up, for an entire :class:`~repro.data.records.RecordCollection`:
 * ``offsets`` — ``n + 1`` int64 token-start offsets: record *rid*'s
   tokens are ``tokens[offsets[rid]:offsets[rid + 1]]``;
 * ``source_ids`` — ``n`` int64 original input positions;
-* ``signature_words`` — ``2 * n`` int64 words holding each record's
-  128-bit bit signature as a ``(lo, hi)`` pair (all zeros when the
-  signatures were not built);
+* ``signature_words`` — ``(sig_bits // 64) * n`` int64 words holding each
+  record's ``sig_bits``-wide bit signature, least-significant word first
+  (all zeros when the signatures were not built);
 * ``tokens`` — every record's sorted global token ranks, concatenated.
 
 This layout is the wire format of the shared-memory data plane
@@ -17,6 +17,9 @@ This layout is the wire format of the shared-memory data plane
 into these four buffers once, writes them into one flat int64 region,
 and every worker *attaches* read-only ``memoryview`` slices over the
 same physical pages instead of unpickling its own copy of the records.
+The signature width travels in the segment header, so attached workers
+decode exactly the words the parent encoded — any width in
+:data:`~repro.data.records.SUPPORTED_SIGNATURE_BITS`.
 
 All four columns are plain int64 sequences, so a ``RecordColumns`` can
 be backed either by ``array('q')`` buffers (the detached, writable form)
@@ -30,7 +33,7 @@ from __future__ import annotations
 from array import array
 from typing import List, Optional, Sequence, Union
 
-from ..data.records import RecordCollection
+from ..data.records import SIGNATURE_BITS, RecordCollection, signature_width
 
 __all__ = ["RecordColumns"]
 
@@ -49,7 +52,7 @@ def _as_signed(word: int) -> int:
 class RecordColumns:
     """A record collection detached into four flat int64 columns."""
 
-    __slots__ = ("offsets", "source_ids", "signature_words", "tokens")
+    __slots__ = ("offsets", "source_ids", "signature_words", "tokens", "sig_bits")
 
     def __init__(
         self,
@@ -57,11 +60,13 @@ class RecordColumns:
         source_ids: IntColumn,
         signature_words: IntColumn,
         tokens: IntColumn,
+        sig_bits: int = SIGNATURE_BITS,
     ) -> None:
         self.offsets = offsets
         self.source_ids = source_ids
         self.signature_words = signature_words
         self.tokens = tokens
+        self.sig_bits = signature_width(sig_bits)
 
     @property
     def records(self) -> int:
@@ -70,6 +75,11 @@ class RecordColumns:
     @property
     def total_tokens(self) -> int:
         return len(self.tokens)
+
+    @property
+    def words_per_signature(self) -> int:
+        """int64 words per record signature (``sig_bits // 64``)."""
+        return self.sig_bits // 64
 
     def word_count(self) -> int:
         """Total int64 words of the flattened layout."""
@@ -82,14 +92,20 @@ class RecordColumns:
 
     @classmethod
     def from_collection(
-        cls, collection: RecordCollection, with_signatures: bool = True
+        cls,
+        collection: RecordCollection,
+        with_signatures: bool = True,
+        sig_bits: int = SIGNATURE_BITS,
     ) -> "RecordColumns":
         """Detach *collection* into writable ``array('q')`` columns.
 
-        With *with_signatures* the collection's 128-bit signatures are
-        built (if not already cached) and encoded, so attached workers
-        decode two words per record instead of re-hashing every token.
+        With *with_signatures* the collection's *sig_bits*-wide
+        signatures are built (if not already cached) and encoded
+        little-word-first, so attached workers decode ``sig_bits // 64``
+        words per record instead of re-hashing every token.
         """
+        sig_bits = signature_width(sig_bits)
+        words = sig_bits // 64
         offsets = array("q", [0])
         tokens = array("q")
         source_ids = array("q")
@@ -99,35 +115,40 @@ class RecordColumns:
             source_ids.append(record.source_id)
         if with_signatures:
             signature_words = array("q")
-            for signature in collection.signatures:
-                signature_words.append(_as_signed(signature & _WORD_MASK))
-                signature_words.append(
-                    _as_signed((signature >> 64) & _WORD_MASK)
-                )
+            for signature in collection.signatures_at(sig_bits):
+                for __ in range(words):
+                    signature_words.append(_as_signed(signature & _WORD_MASK))
+                    signature >>= 64
         else:
-            signature_words = array("q", bytes(16 * len(collection)))
-        return cls(offsets, source_ids, signature_words, tokens)
+            signature_words = array("q", bytes(8 * words * len(collection)))
+        return cls(offsets, source_ids, signature_words, tokens, sig_bits)
 
     @classmethod
     def read_from(
-        cls, view: memoryview, records: int, total_tokens: int
+        cls,
+        view: memoryview,
+        records: int,
+        total_tokens: int,
+        sig_bits: int = SIGNATURE_BITS,
     ) -> "RecordColumns":
         """Attach zero-copy column views over an int64-cast *view*.
 
         *view* must hold exactly the :meth:`write_into` layout for
-        *records* records and *total_tokens* tokens; the returned columns
-        are slices of it, so they stay valid for as long as the backing
-        buffer does and never copy token data.
+        *records* records, *total_tokens* tokens and *sig_bits*-wide
+        signatures; the returned columns are slices of it, so they stay
+        valid for as long as the backing buffer does and never copy
+        token data.
         """
+        words = signature_width(sig_bits) // 64
         base = 0
         offsets = view[base : base + records + 1]
         base += records + 1
         source_ids = view[base : base + records]
         base += records
-        signature_words = view[base : base + 2 * records]
-        base += 2 * records
+        signature_words = view[base : base + words * records]
+        base += words * records
         tokens = view[base : base + total_tokens]
-        return cls(offsets, source_ids, signature_words, tokens)
+        return cls(offsets, source_ids, signature_words, tokens, sig_bits)
 
     def write_into(self, view: memoryview) -> None:
         """Write all four columns into an int64-cast *view*, in layout order.
@@ -145,13 +166,16 @@ class RecordColumns:
             base += len(column)
 
     def signatures(self) -> List[int]:
-        """Decode the signature words back into 128-bit integers."""
+        """Decode the signature words back into ``sig_bits``-wide integers."""
         words = self.signature_words
-        return [
-            ((words[2 * rid + 1] & _WORD_MASK) << 64)
-            | (words[2 * rid] & _WORD_MASK)
-            for rid in range(len(words) // 2)
-        ]
+        per = self.words_per_signature
+        out: List[int] = []
+        for rid in range(len(words) // per):
+            signature = 0
+            for w in range(per - 1, -1, -1):
+                signature = (signature << 64) | (words[per * rid + w] & _WORD_MASK)
+            out.append(signature)
+        return out
 
     def to_collection(
         self, universe_size: int, with_signatures: bool = True
@@ -161,8 +185,8 @@ class RecordColumns:
         Each record's ``tokens`` is a slice of :attr:`tokens` — a
         zero-copy sub-view when the columns are memoryviews over a
         shared segment.  With *with_signatures* the encoded signatures
-        are decoded into the collection's cache, so no attached process
-        ever re-hashes tokens.
+        are decoded into the collection's ``sig_bits`` cache slot, so no
+        attached process ever re-hashes tokens.
         """
         signatures: Optional[Sequence[int]] = (
             self.signatures() if with_signatures else None
@@ -173,4 +197,5 @@ class RecordColumns:
             self.source_ids,
             universe_size,
             signatures=signatures,
+            sig_bits=self.sig_bits,
         )

@@ -17,6 +17,16 @@ backend           relation to :func:`repro.oracle.reference.naive_topk`
                   loop + bitmap prefilter, no NumPy)
 ``accel-numpy``   tie-equivalent (``accel="numpy"`` — vectorized batch
                   prefilter; registered only when NumPy is importable)
+``accel-native``  tie-equivalent (``accel="native"`` — the compiled
+                  kernel when numba is importable, otherwise the
+                  fallback ladder resolves it to NumPy/Python; always
+                  registered so the ladder itself is under test)
+``accel-nobatch`` tie-equivalent (``batch_verify=False`` — the
+                  first-generation per-survivor verification tail
+                  behind the vectorized prefilter)
+``sig-64``        tie-equivalent (``sig_bits=64`` — narrowest signature)
+``sig-256``       tie-equivalent (``sig_bits=256``)
+``sig-512``       tie-equivalent (``sig_bits=512`` — widest signature)
 ``parallel``      tie-equivalent (sharded backend, 5 shards, serial
                   execution so fuzz iterations stay cheap)
 ``parallel-accel-off``  the same, with acceleration disabled
@@ -363,6 +373,21 @@ def _backend_registry() -> Dict[str, BackendFn]:
         ),
         "accel-python": _equivalence_backend(
             TopkOptions(check_invariants=True, accel="python")
+        ),
+        "accel-native": _equivalence_backend(
+            TopkOptions(check_invariants=True, accel="native")
+        ),
+        "accel-nobatch": _equivalence_backend(
+            TopkOptions(check_invariants=True, batch_verify=False)
+        ),
+        "sig-64": _equivalence_backend(
+            TopkOptions(check_invariants=True, sig_bits=64)
+        ),
+        "sig-256": _equivalence_backend(
+            TopkOptions(check_invariants=True, sig_bits=256)
+        ),
+        "sig-512": _equivalence_backend(
+            TopkOptions(check_invariants=True, sig_bits=512)
         ),
         "record-all": _equivalence_backend(
             TopkOptions(

@@ -174,6 +174,34 @@ LINT_FAULTS: Tuple[SeededLintFault, ...] = (
     ),
     SeededLintFault(
         checker="options-plumbing",
+        repro_path="parallel/worker.py",
+        description="worker pins sig_bits, ignoring the caller's width",
+        replacements=(
+            (
+                '        bound_provider=_STATE["bound"],',
+                '        bound_provider=_STATE["bound"],\n'
+                "        sig_bits=128,",
+            ),
+        ),
+    ),
+    SeededLintFault(
+        checker="options-plumbing",
+        repro_path="parallel/join.py",
+        description="parallel backend pins accel, dropping accel=native",
+        replacements=(
+            (
+                "    base = replace(opts, bound_provider=None, "
+                "bipartite_sides=None, trace=None)",
+                "    base = replace(\n"
+                "        opts, bound_provider=None, bipartite_sides=None, "
+                "trace=None,\n"
+                '        accel="numpy",\n'
+                "    )",
+            ),
+        ),
+    ),
+    SeededLintFault(
+        checker="options-plumbing",
         repro_path="parallel/join.py",
         description="entry-point flag accepted but never read",
         replacements=(

@@ -246,16 +246,21 @@ def _build_segment(
 
     Failure is not an error: sandboxes without a usable ``/dev/shm``
     fall back to the pickling data plane, which computes the identical
-    answer.  Signatures are encoded whenever the accelerated kernels
-    will want them, so workers decode two words per record instead of
-    re-hashing every token.
+    answer.  Signatures are encoded at the options' configured width
+    whenever the accelerated kernels will want them, so workers decode
+    ``sig_bits // 64`` words per record instead of re-hashing every
+    token.
     """
     span: ContextManager[Any] = (
         tracer.span("shm_build") if tracer is not None else nullcontext()
     )
     try:
         with span:
-            segment = create_segment(collection, with_signatures=base.accel != "off")
+            segment = create_segment(
+                collection,
+                with_signatures=base.accel != "off",
+                sig_bits=base.sig_bits,
+            )
     except (ImportError, OSError, PermissionError):
         return None
     if tracer is not None:

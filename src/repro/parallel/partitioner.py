@@ -104,9 +104,8 @@ def subproblem(
         token_of_rank=collection.token_of_rank,
     )
     # Each shard participates in many tasks: reuse the parent collection's
-    # bit signatures (when already built, e.g. by the worker initializer)
-    # instead of re-hashing every token once per task.
-    parent_signatures = collection._signatures
-    if parent_signatures is not None:
-        sub._signatures = [parent_signatures[rid] for rid in chosen]
+    # bit signatures (whichever widths are already built, e.g. by the
+    # worker initializer) instead of re-hashing every token once per task.
+    for bits, parent_signatures in collection._signatures.items():
+        sub._signatures[bits] = [parent_signatures[rid] for rid in chosen]
     return sub, sides

@@ -13,7 +13,7 @@ free.
 Segment layout (all int64 words)::
 
     word 0..7   header: MAGIC, SCHEMA, records, total_tokens,
-                universe_size, has_signatures, reserved, reserved
+                universe_size, has_signatures, sig_bits, reserved
     word 8..    RecordColumns payload — offsets, source_ids,
                 signature_words, tokens (see repro.index.columns)
 
@@ -49,7 +49,11 @@ from multiprocessing import shared_memory
 from pathlib import Path
 from typing import List
 
-from ..data.records import RecordCollection
+from ..data.records import (
+    SIGNATURE_BITS,
+    RecordCollection,
+    signature_width,
+)
 from ..index.columns import RecordColumns
 
 __all__ = [
@@ -66,7 +70,7 @@ __all__ = [
 
 #: ``b"TKSM"`` ("top-k shared memory") as a little int.
 _MAGIC = 0x544B534D
-_SCHEMA = 1
+_SCHEMA = 2
 _HEADER_WORDS = 8
 
 #: Prefix of every segment name this module creates; the leak check in
@@ -120,6 +124,7 @@ class ShmDescriptor:
     universe_size: int
     has_signatures: bool
     nbytes: int
+    sig_bits: int = SIGNATURE_BITS
 
 
 class AttachedSegment:
@@ -192,18 +197,25 @@ def leaked_segments() -> List[str]:
 
 
 def create_segment(
-    collection: RecordCollection, with_signatures: bool = True
+    collection: RecordCollection,
+    with_signatures: bool = True,
+    sig_bits: int = SIGNATURE_BITS,
 ) -> ShmDescriptor:
     """Serialize *collection* into a fresh shared segment, once.
 
     Detaches the collection into flat :class:`RecordColumns`, writes
     header plus payload, closes the create-time handle (the named
     segment persists until :func:`destroy_segment`) and returns the
-    descriptor to ship to workers.  Raises ``OSError`` where shared
-    memory is unavailable — probe with :func:`shm_usable` or be ready to
-    fall back.
+    descriptor to ship to workers.  *sig_bits* selects the signature
+    width serialized into the payload (matching the join options, so
+    attached kernels never re-hash at a different width).  Raises
+    ``OSError`` where shared memory is unavailable — probe with
+    :func:`shm_usable` or be ready to fall back.
     """
-    columns = RecordColumns.from_collection(collection, with_signatures=with_signatures)
+    sig_bits = signature_width(sig_bits)
+    columns = RecordColumns.from_collection(
+        collection, with_signatures=with_signatures, sig_bits=sig_bits
+    )
     nbytes = 8 * (_HEADER_WORDS + columns.word_count())
     shm = shared_memory.SharedMemory(create=True, size=nbytes, name=_fresh_name())
     try:
@@ -215,7 +227,7 @@ def create_segment(
             view[3] = columns.total_tokens
             view[4] = collection.universe_size
             view[5] = 1 if with_signatures else 0
-            view[6] = 0
+            view[6] = sig_bits
             view[7] = 0
             payload = view[_HEADER_WORDS:]
             try:
@@ -235,6 +247,7 @@ def create_segment(
         universe_size=collection.universe_size,
         has_signatures=with_signatures,
         nbytes=nbytes,
+        sig_bits=sig_bits,
     )
     shm.close()
     return descriptor
@@ -282,6 +295,13 @@ def attach_collection(descriptor: ShmDescriptor) -> AttachedSegment:
                     descriptor.total_tokens,
                 )
             )
+        if header[6] != descriptor.sig_bits:
+            view.release()
+            raise ShmAttachError(
+                "segment %r was written with %d-bit signatures, "
+                "descriptor promises %d-bit"
+                % (descriptor.name, header[6], descriptor.sig_bits)
+            )
     except ShmAttachError:
         shm.close()
         raise
@@ -289,6 +309,7 @@ def attach_collection(descriptor: ShmDescriptor) -> AttachedSegment:
         view[_HEADER_WORDS:],
         records=descriptor.records,
         total_tokens=descriptor.total_tokens,
+        sig_bits=descriptor.sig_bits,
     )
     collection = columns.to_collection(
         universe_size=header[4], with_signatures=bool(header[5])

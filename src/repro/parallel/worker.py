@@ -78,9 +78,9 @@ def initialize_worker(
         collection = source
     if options.accel != "off":
         # Build (attached: decode) the collection's bit signatures once
-        # per worker; every task's subproblem then slices them instead
-        # of re-hashing.
-        collection.signatures
+        # per worker at the configured width; every task's subproblem
+        # then slices them instead of re-hashing.
+        collection.signatures_at(options.sig_bits)
     _STATE["collection"] = collection
     _STATE["segment"] = segment
     _STATE["shards"] = shards

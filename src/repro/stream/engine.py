@@ -127,7 +127,9 @@ class StreamingTopkEngine(EngineLifecycle):
         self._use_bitmap = opts.accel != "off"
         self._checks: Optional[StreamCheckHooks] = None
         # Validates window_size/window_policy eagerly (before open).
-        self._window = SlidingWindow(opts.window_size, opts.window_policy)
+        self._window = SlidingWindow(
+            opts.window_size, opts.window_policy, sig_bits=opts.sig_bits
+        )
         self._index = InvertedIndex()
         self._buffer = StreamTopkBuffer(k)
         #: Aggregate counters of every refill/recompute batch join.
@@ -139,7 +141,9 @@ class StreamingTopkEngine(EngineLifecycle):
 
     def _on_open(self) -> None:
         opts = self._options
-        self._window = SlidingWindow(opts.window_size, opts.window_policy)
+        self._window = SlidingWindow(
+            opts.window_size, opts.window_policy, sig_bits=opts.sig_bits
+        )
         self._index = InvertedIndex()
         self._buffer = StreamTopkBuffer(self.k)
         if invariant_checks_enabled(opts):

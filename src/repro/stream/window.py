@@ -26,7 +26,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Tuple
 
-from ..data.records import signature_of
+from ..data.records import SIGNATURE_BITS, signature_of, signature_width
 
 __all__ = ["LiveRecord", "SlidingWindow", "WINDOW_POLICIES"]
 
@@ -45,14 +45,17 @@ class LiveRecord:
     tokens: Tuple[int, ...]
     #: Stream-clock value at arrival (0.0 under the count policy).
     arrival: float
-    #: 128-bit XOR-fold bitmap signature (see :mod:`repro.data.records`).
+    #: XOR-fold bitmap signature at the window's configured width
+    #: (see :mod:`repro.data.records`).
     signature: int
 
 
 class SlidingWindow:
     """FIFO live-record store; the engine drives all expiry decisions."""
 
-    def __init__(self, size: int, policy: str) -> None:
+    def __init__(
+        self, size: int, policy: str, sig_bits: int = SIGNATURE_BITS
+    ) -> None:
         if policy not in WINDOW_POLICIES:
             raise ValueError(
                 "unknown window policy %r (choose from %s)"
@@ -62,6 +65,7 @@ class SlidingWindow:
             raise ValueError("window size must be >= 0, got %d" % size)
         self.size = size
         self.policy = policy
+        self.sig_bits = signature_width(sig_bits)
         self.clock = 0.0
         self._records: "OrderedDict[int, LiveRecord]" = OrderedDict()
         self._next_sid = 0
@@ -78,7 +82,7 @@ class SlidingWindow:
             sid=self._next_sid,
             tokens=canonical,
             arrival=self.clock,
-            signature=signature_of(canonical),
+            signature=signature_of(canonical, self.sig_bits),
         )
         self._next_sid += 1
         self._records[record.sid] = record

@@ -16,16 +16,23 @@ from repro import TopkOptions, TopkStats, naive_topk, topk_join
 from repro.accel.kernel import (
     ACCEL_MODES,
     make_kernel,
+    native_available,
     numpy_available,
     resolve_accel_mode,
 )
-from repro.bench.baseline import check_against_baseline, speedup_of
+from repro.bench.baseline import (
+    carry_kernel2_reference,
+    check_against_baseline,
+    speedup_of,
+)
 from repro.data import RecordCollection, random_integer_collection
 from repro.data.records import (
     SIGNATURE_BITS,
+    SUPPORTED_SIGNATURE_BITS,
     popcount,
     signature_of,
     signature_overlap_bound,
+    signature_width,
 )
 from repro.index.inverted import BoundedInvertedIndex, PostingColumns
 from repro.similarity import Jaccard
@@ -35,6 +42,10 @@ from conftest import rounded_multiset
 token_set = st.sets(st.integers(min_value=0, max_value=500), max_size=40)
 
 ACCEL_UNDER_TEST = [m for m in ("python", "numpy") if m != "numpy" or numpy_available()]
+# "native" resolves down the fallback ladder when numba is absent, so it
+# is always safe to run — with numba it exercises the compiled kernel,
+# without it the resolution ladder itself.
+ACCEL_UNDER_TEST.append("native")
 
 
 class TestSignatureBound:
@@ -47,6 +58,34 @@ class TestSignatureBound:
             signature_of(sorted(x)), signature_of(sorted(y)), len(x), len(y)
         )
         assert bound >= len(x & y)
+
+    @pytest.mark.parametrize("bits", SUPPORTED_SIGNATURE_BITS)
+    @given(token_set, token_set)
+    @settings(max_examples=60, deadline=None)
+    def test_overlap_bound_conservative_at_every_width(self, bits, x, y):
+        # Narrow signatures fold more tokens per bit and wide ones
+        # fewer, but the Hamming bound must stay conservative at every
+        # supported width — exactness cannot depend on --sig-bits.
+        bound = signature_overlap_bound(
+            signature_of(sorted(x), bits),
+            signature_of(sorted(y), bits),
+            len(x),
+            len(y),
+        )
+        assert bound >= len(x & y)
+
+    @pytest.mark.parametrize("bits", SUPPORTED_SIGNATURE_BITS)
+    def test_signature_fits_configured_width(self, bits):
+        rng = random.Random(bits)
+        tokens = sorted({rng.randrange(10**6) for __ in range(500)})
+        assert 0 <= signature_of(tokens, bits) < (1 << bits)
+
+    def test_signature_width_validation(self):
+        assert signature_width(256) == 256
+        with pytest.raises(ValueError):
+            signature_width(100)
+        with pytest.raises(ValueError):
+            signature_width(0)
 
     @given(token_set)
     @settings(max_examples=100, deadline=None)
@@ -89,6 +128,49 @@ class TestKernelEquivalence:
         accelerated = topk_join(coll, 60, options=TopkOptions(accel=accel))
         assert rounded_multiset(accelerated) == rounded_multiset(baseline)
 
+    @pytest.mark.parametrize("bits", SUPPORTED_SIGNATURE_BITS)
+    def test_every_width_matches_accel_off(self, bits):
+        # Cross-width kernel equivalence: the signature width tunes the
+        # prefilter's selectivity, never the answer.
+        rng = random.Random(bits)
+        coll = random_integer_collection(100, universe=45, max_size=10, rng=rng)
+        baseline = topk_join(coll, 40, options=TopkOptions(accel="off"))
+        for accel in ACCEL_UNDER_TEST:
+            got = topk_join(
+                coll, 40,
+                options=TopkOptions(
+                    accel=accel, sig_bits=bits, check_invariants=True
+                ),
+            )
+            assert rounded_multiset(got) == rounded_multiset(baseline), (
+                "accel=%s bits=%d" % (accel, bits)
+            )
+
+    @pytest.mark.parametrize("accel", ACCEL_UNDER_TEST)
+    def test_batch_verify_off_matches(self, accel):
+        # The first-generation per-survivor verification tail must stay
+        # a drop-in twin of the batched pass.
+        rng = random.Random(23)
+        coll = random_integer_collection(110, universe=40, max_size=11, rng=rng)
+        batched = topk_join(
+            coll, 45, options=TopkOptions(accel=accel, batch_verify=True)
+        )
+        sequential = topk_join(
+            coll, 45,
+            options=TopkOptions(
+                accel=accel, batch_verify=False, check_invariants=True
+            ),
+        )
+        assert rounded_multiset(sequential) == rounded_multiset(batched)
+
+    @pytest.mark.parametrize("accel", ACCEL_UNDER_TEST)
+    def test_unsupported_width_raises_in_every_mode(self, accel):
+        coll = RecordCollection.from_integer_sets([[1, 2], [2, 3]])
+        with pytest.raises(ValueError):
+            topk_join(coll, 1, options=TopkOptions(accel=accel, sig_bits=96))
+        with pytest.raises(ValueError):
+            topk_join(coll, 1, options=TopkOptions(accel="off", sig_bits=96))
+
     @pytest.mark.parametrize("accel", ACCEL_UNDER_TEST)
     def test_ablations_compose_with_accel(self, accel):
         # The kernels must honor every paper ablation toggle.
@@ -125,9 +207,16 @@ class TestAccelModeResolution:
         assert resolve_accel_mode("off") == "off"
         assert resolve_accel_mode("python") == "python"
         assert resolve_accel_mode("on") in ("python", "numpy")
+        # "native" never raises: it falls down the ladder when numba is
+        # missing or cannot compile on this platform.
+        resolved = resolve_accel_mode("native")
+        if native_available():
+            assert resolved == "native"
+        else:
+            assert resolved in ("numpy", "python")
         with pytest.raises(ValueError):
             resolve_accel_mode("turbo")
-        assert set(ACCEL_MODES) == {"on", "python", "numpy", "off"}
+        assert set(ACCEL_MODES) == {"on", "native", "python", "numpy", "off"}
 
     def test_off_builds_no_kernel(self):
         coll = RecordCollection.from_integer_sets([[1, 2], [1, 3]])
@@ -140,6 +229,109 @@ class TestAccelModeResolution:
         coll = RecordCollection.from_integer_sets([[1, 2], [1, 3]])
         with pytest.raises(ValueError):
             topk_join(coll, 1, options=TopkOptions(accel="turbo"))
+
+
+@pytest.mark.skipif(not numpy_available(), reason="requires numpy")
+class TestNativeImplParity:
+    """The plain-Python loop bodies numba jits must match the vectorized
+    kernel bit-for-bit.  Running them uncompiled keeps the native path
+    covered on boxes without numba — the same source is what the ladder
+    compiles when numba is present.
+    """
+
+    def _kernel(self, coll, k=20, sig_bits=128):
+        from repro.accel.kernel import NumpyScanKernel
+        from repro.core.results import TopKBuffer
+        from repro.core.verification import VerificationRegistry
+
+        sim = Jaccard()
+        return NumpyScanKernel(
+            coll,
+            sim,
+            TopkOptions(accel="numpy", sig_bits=sig_bits),
+            TopKBuffer(k),
+            VerificationRegistry(sim),
+            None,
+            TopkStats(),
+            None,
+        )
+
+    def test_prefilter_impl_matches_numpy_core(self):
+        from repro.accel.native import _prefilter_impl
+
+        rng = random.Random(99)
+        coll = random_integer_collection(300, universe=120, max_size=14, rng=rng)
+        kernel = self._kernel(coll)
+        np = kernel._np
+        sizes = kernel._sizes_np
+        for rid, s_k in ((0, 0.2), (7, 0.35), (42, 0.6)):
+            size_x = int(sizes[rid])
+            tab = kernel._threshold_tab(size_x, s_k)
+            rids_np = np.asarray(
+                [rng.randrange(len(coll)) for __ in range(64)], dtype=np.int64
+            )
+            sizes_y = sizes.take(rids_np, mode="clip")
+            positions = np.asarray(
+                [rng.randrange(1, int(s) + 1) for s in sizes_y.tolist()],
+                dtype=np.int64,
+            )
+            rest_x = size_x - 1
+            ok, ps, pb = kernel._prefilter_core(
+                rid, rids_np, sizes_y, positions, tab, rest_x
+            )
+            ok_out = np.empty(len(rids_np), dtype=np.bool_)
+            ps2, pb2 = _prefilter_impl(
+                rids_np, sizes_y, positions, True,
+                tab[0], tab[1], kernel._sig_words, rid, rest_x, ok_out,
+            )
+            assert ok_out.tolist() == ok.tolist()
+            assert (ps2, pb2) == (ps, pb)
+            # Positional filter off: same mask, same pass counts.
+            ok, ps, pb = kernel._prefilter_core(
+                rid, rids_np, sizes_y, None, tab, rest_x
+            )
+            ps2, pb2 = _prefilter_impl(
+                rids_np, sizes_y, positions[:0], False,
+                tab[0], tab[1], kernel._sig_words, rid, rest_x, ok_out,
+            )
+            assert ok_out.tolist() == ok.tolist()
+            assert (ps2, pb2) == (ps, pb)
+
+    def test_segment_overlaps_impl_matches_numpy(self):
+        from repro.accel.native import _segment_overlaps_impl
+
+        rng = random.Random(5)
+        coll = random_integer_collection(150, universe=60, max_size=12, rng=rng)
+        kernel = self._kernel(coll)
+        np = kernel._np
+        kernel._ensure_batch_state()
+        rid = 3
+        tokens_x = coll.records[rid].tokens
+        tok_x = np.asarray(tokens_x, dtype=np.int64)
+        kernel._pos_map[tok_x] = np.arange(1, len(tokens_x) + 1, dtype=np.int64)
+        try:
+            survivor_rids = np.asarray(
+                sorted(rng.sample(range(len(coll)), 40)), dtype=np.int64
+            )
+            starts = kernel._tok_offsets.take(survivor_rids, mode="clip")
+            lengths = kernel._sizes_np.take(survivor_rids, mode="clip")
+            expected = kernel._segment_overlaps(starts, lengths)
+            outs = [np.empty(len(lengths), dtype=np.int64) for __ in range(5)]
+            _segment_overlaps_impl(
+                np.ascontiguousarray(starts),
+                np.ascontiguousarray(lengths),
+                kernel._tok_flat,
+                kernel._pos_map,
+                *outs,
+            )
+            assert [o.tolist() for o in outs] == [list(e) for e in expected]
+            # And the counts really are the exact intersection sizes.
+            xs = set(tokens_x)
+            for i, rid_y in enumerate(survivor_rids.tolist()):
+                truth = len(xs & set(coll.records[rid_y].tokens))
+                assert outs[0][i] == truth
+        finally:
+            kernel._pos_map[tok_x] = 0
 
 
 class TestPostingColumns:
@@ -168,12 +360,18 @@ class TestPostingColumns:
 
 
 class TestBaselineGate:
-    def _report(self, on=0.1, off=0.5):
+    def _report(self, on=1.0, off=5.0):
         return {
-            "schema": 3,
+            "schema": 4,
             "entries": [
-                {"dataset": "dblp", "k": 100, "accel": "off", "wall_s": off},
-                {"dataset": "dblp", "k": 100, "accel": "on", "wall_s": on},
+                {
+                    "dataset": "dblp", "k": 100, "accel": "off",
+                    "wall_s": off, "sig_bits": 128,
+                },
+                {
+                    "dataset": "dblp", "k": 100, "accel": "on",
+                    "wall_s": on, "sig_bits": 128,
+                },
             ],
         }
 
@@ -182,27 +380,86 @@ class TestBaselineGate:
         assert check_against_baseline(report, report) == []
 
     def test_speedup_computed(self):
-        assert speedup_of(self._report(on=0.1, off=0.5)) == pytest.approx(5.0)
+        assert speedup_of(self._report(on=1.0, off=5.0)) == pytest.approx(5.0)
 
     def test_regression_detected_after_calibration(self):
         # Same machine speed (off time unchanged) but the accelerated
-        # path got 2x slower: the gate must fire.
-        baseline = self._report(on=0.1, off=0.5)
-        current = self._report(on=0.2, off=0.5)
+        # path got 2x slower: the gate must fire.  Walls are large
+        # enough that the absolute noise floor cannot absorb the 2x.
+        baseline = self._report(on=1.0, off=5.0)
+        current = self._report(on=2.0, off=5.0)
         failures = check_against_baseline(current, baseline)
         assert any("exceeds" in f for f in failures)
 
+    def test_noise_floor_absorbs_small_absolute_jitter(self):
+        # Sub-second accel cells see tens-of-ms scheduler jitter that a
+        # pure ratio limit would misread as a regression.
+        baseline = self._report(on=0.10, off=0.5)
+        current = self._report(on=0.15, off=0.5)
+        assert check_against_baseline(current, baseline) == []
+
     def test_slower_machine_does_not_trip_gate(self):
         # Everything 3x slower (a slower CI box): calibration absorbs it.
-        baseline = self._report(on=0.1, off=0.5)
-        current = self._report(on=0.3, off=1.5)
+        baseline = self._report(on=1.0, off=5.0)
+        current = self._report(on=3.0, off=15.0)
         assert check_against_baseline(current, baseline) == []
 
     def test_lost_speedup_detected(self):
-        baseline = self._report(on=0.1, off=0.5)
-        current = self._report(on=0.42, off=0.5)
+        baseline = self._report(on=1.0, off=5.0)
+        current = self._report(on=4.2, off=5.0)
         failures = check_against_baseline(current, baseline, slowdown_limit=10.0)
         assert any("speedup" in f for f in failures)
+
+    def test_kernel2_gate_passes_with_margin(self):
+        baseline = self._report(on=1.0, off=5.0)
+        baseline["kernel2"] = {"dataset": "dblp", "k": 100, "gen1_wall_s": 2.0}
+        current = self._report(on=1.0, off=5.0)
+        assert check_against_baseline(current, baseline) == []
+
+    def test_kernel2_gate_fires_below_required_speedup(self):
+        # gen-1 reference 1.2s vs 1.0s measured: only 1.2x, below 1.5x.
+        baseline = self._report(on=1.0, off=5.0)
+        baseline["kernel2"] = {"dataset": "dblp", "k": 100, "gen1_wall_s": 1.2}
+        current = self._report(on=1.0, off=5.0)
+        failures = check_against_baseline(current, baseline)
+        assert any("second-gen kernel speedup" in f for f in failures)
+
+    def test_kernel2_gate_rescales_with_machine_speed(self):
+        # A 3x slower box slows the gen-1 reference too: no false alarm.
+        baseline = self._report(on=1.0, off=5.0)
+        baseline["kernel2"] = {"dataset": "dblp", "k": 100, "gen1_wall_s": 2.0}
+        current = self._report(on=3.0, off=15.0)
+        assert check_against_baseline(current, baseline) == []
+
+    def test_carry_kernel2_reference_from_schema3_on_cell(self):
+        # Recording over the last gen-1 baseline: its accel-on cell IS
+        # the gen-1 measurement, rescaled onto the recording machine.
+        previous = self._report(on=1.0, off=5.0)
+        previous["schema"] = 3
+        report = self._report(on=0.5, off=10.0)
+        carry_kernel2_reference(report, previous, dataset="dblp", k=100)
+        row = report["kernel2"]
+        assert row["dataset"] == "dblp" and row["k"] == 100
+        assert row["gen1_wall_s"] == pytest.approx(2.0)  # 1.0 x (10/5)
+        assert row["speedup"] == pytest.approx(4.0)
+
+    def test_carry_kernel2_reference_forwards_existing_row(self):
+        # Later re-records must forward the frozen reference, not reset
+        # it to the (now second-gen) accel-on cell.
+        previous = self._report(on=1.0, off=5.0)
+        previous["kernel2"] = {"dataset": "dblp", "k": 100, "gen1_wall_s": 3.0}
+        report = self._report(on=1.0, off=5.0)
+        carry_kernel2_reference(report, previous, dataset="dblp", k=100)
+        assert report["kernel2"]["gen1_wall_s"] == pytest.approx(3.0)
+
+    def test_carry_kernel2_reference_missing_cells_is_noop(self):
+        report = self._report()
+        carry_kernel2_reference(report, {"entries": []}, dataset="dblp", k=100)
+        assert "kernel2" not in report
+
+    def test_baseline_without_kernel2_row_is_not_gated(self):
+        report = self._report()
+        assert check_against_baseline(report, report) == []
 
     def test_no_common_cells(self):
         baseline = {"entries": []}
@@ -253,6 +510,6 @@ class TestBenchJsonCli:
         import json
 
         report = json.loads(out)
-        assert report["schema"] == 3
+        assert report["schema"] == 4
         modes = {(e["k"], e["accel"]) for e in report["entries"]}
         assert (5, "on") in modes and (5, "off") in modes

@@ -75,6 +75,28 @@ def test_seeded_fault_invisible_to_other_checkers(pristine_project, fault):
     assert run_checkers(project, select=others) == []
 
 
+def test_second_gen_kernel_flags_are_plumb_checked(pristine_project):
+    # The second-generation kernel rides on two new TopkOptions fields;
+    # the options-plumbing checker must treat both as caller-owned: a
+    # parallel-layer override of sig_bits or accel (e.g. pinning
+    # accel="numpy" and silently dropping accel="native") is a finding
+    # that names the overridden field.
+    by_description = {fault.description: fault for fault in LINT_FAULTS}
+    for description, field in (
+        ("worker pins sig_bits, ignoring the caller's width", "sig_bits"),
+        ("parallel backend pins accel, dropping accel=native", "accel"),
+    ):
+        fault = by_description[description]
+        module = pristine_project.module(fault.repro_path)
+        project = pristine_project.with_source(
+            fault.repro_path, fault.apply(module.text)
+        )
+        findings = run_checkers(project, select=["options-plumbing"])
+        assert any(
+            "TopkOptions.%s" % field in finding.message for finding in findings
+        ), "options-plumbing did not name the overridden %s field" % field
+
+
 def test_fault_application_is_loud_on_drift():
     fault = LINT_FAULTS[0]
     with pytest.raises(ValueError):
