@@ -24,7 +24,23 @@ checker               invariant
                       differential fuzzer (or explicitly exempted)
 ``annotations``       every function is fully annotated (the local
                       proxy for ``mypy --strict``)
+``shm-lifecycle``     every shared-memory segment acquisition reaches a
+                      release/escape on every CFG path, including
+                      exceptional ones
+``lock-discipline``   no compare-then-lock on shared cells, one global
+                      lock-acquisition order, no bare mutation of
+                      objects aliased from shared worker state
+``kernel-parity``     every scan kernel writes the same ``TopkStats``
+                      fields and reads the same ``TopkOptions`` knobs
+``exception-safety``  exported views/handles are released before an
+                      exception can propagate past them
 ====================  ==================================================
+
+The last four are *flow-sensitive*: they query the CFG / reaching-
+definitions layer in :mod:`repro.analysis.dataflow` rather than matching
+syntax.  Their runtime twin is :mod:`repro.analysis.sanitizer`
+(``REPRO_SANITIZE=1``), which observes actual shm and lock events and
+reports leaks and lock-order inversions at process exit.
 
 Every checker has a seeded-fault self-test
 (:data:`repro.oracle.faults.LINT_FAULTS`) proving it fires on a known-bad
@@ -37,13 +53,14 @@ from __future__ import annotations
 from . import checkers as _checkers  # noqa: F401 — registers the checkers
 from .engine import (
     SYNTAX_CHECKER_ID,
+    UNUSED_SUPPRESSION_ID,
     UnknownCheckerError,
     lint_paths,
     run_checkers,
     selected_checker_ids,
 )
 from .findings import Finding
-from .project import ModuleSource, Project, load_project
+from .project import ModuleSource, Project, SourceReadError, load_project
 from .registry import Checker, all_checkers, checker_ids, register
 
 __all__ = [
@@ -52,6 +69,8 @@ __all__ = [
     "ModuleSource",
     "Project",
     "SYNTAX_CHECKER_ID",
+    "SourceReadError",
+    "UNUSED_SUPPRESSION_ID",
     "UnknownCheckerError",
     "all_checkers",
     "checker_ids",

@@ -5,22 +5,35 @@ Importing this package registers every checker with
 it for that side effect.  To add a checker, drop a module here, decorate
 the class with ``@register`` and import it below — nothing else in the
 engine changes (see ``docs/STATIC_ANALYSIS.md``).
+
+The second-generation checkers (``shm-lifecycle``, ``lock-discipline``,
+``kernel-parity``, ``exception-safety``) are *flow-sensitive*: they
+query the CFG/dataflow layer in :mod:`repro.analysis.dataflow` instead
+of matching syntax patterns.
 """
 
 from __future__ import annotations
 
 from .annotations import AnnotationsChecker
 from .bound_safety import BoundSafetyChecker
+from .exception_safety import ExceptionSafetyChecker
+from .kernel_parity import KernelParityChecker
+from .lock_discipline import LockDisciplineChecker
 from .options_plumbing import OptionsPlumbingChecker
 from .race import RaceChecker
 from .registry_coverage import RegistryCoverageChecker
+from .shm_lifecycle import ShmLifecycleChecker
 from .stats_drift import StatsDriftChecker
 
 __all__ = [
     "AnnotationsChecker",
     "BoundSafetyChecker",
+    "ExceptionSafetyChecker",
+    "KernelParityChecker",
+    "LockDisciplineChecker",
     "OptionsPlumbingChecker",
     "RaceChecker",
     "RegistryCoverageChecker",
+    "ShmLifecycleChecker",
     "StatsDriftChecker",
 ]

@@ -1,0 +1,280 @@
+"""``lock-discipline`` — flow-sensitive rules for cross-process state.
+
+The pattern-based ``race`` checker enforces the *lexical* contract
+(``.value`` writes sit inside ``with <cell>.get_lock():``; only the
+blessed initializer installs worker state).  Three bug classes slip
+through a lexical check and need the dataflow layer:
+
+* **compare-then-lock (TOCTOU)** — the guard ``if candidate >
+  cell.value:`` evaluated *outside* the lock that protects the update
+  inside.  Both the read and the write are individually blessed, but
+  between them another process can publish a larger bound and the
+  locked write moves the shared maximum backwards.  The correct shape
+  (what ``SharedSimilarityBound.offer`` does) takes the lock first and
+  compares inside it.
+
+* **inconsistent acquisition order** — ``with a.get_lock(): with
+  b.get_lock():`` in one place and the reverse nesting in another is a
+  deadlock waiting for contention.  The checker collects every nested
+  acquisition pair in the module and flags a pair acquired in both
+  orders.
+
+* **bare shared-object mutation** — a worker/stream function that
+  mutates an attribute or element of an object it *loaded from the
+  shared worker state* (a subscript of a module-level container such as
+  ``_STATE``).  Reaching definitions connect the local name back to the
+  load, so aliasing does not hide the write; writes under a held
+  ``get_lock()`` and the blessed install/teardown functions are exempt.
+  Writing through the module-level container itself is the ``race``
+  checker's territory — this rule covers the aliased object the
+  lexical checker cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..dataflow import CFG, ReachingDefinitions, build_cfg, reaching_definitions
+from ..findings import Finding
+from ..project import ModuleSource, Project
+from ..registry import Checker, register
+from ..resources import iter_sync_functions
+
+__all__ = ["LockDisciplineChecker"]
+
+_SCOPE_PREFIXES = ("parallel/", "stream/")
+
+#: Functions allowed to install/tear down shared state wholesale.
+_BLESSED_WRITERS = frozenset(
+    {"initialize_worker", "teardown_worker", "__init__", "__enter__", "__exit__"}
+)
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for statement in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(statement, ast.Assign):
+            targets = list(statement.targets)
+        elif isinstance(statement, ast.AnnAssign):
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _lock_bases(node: ast.With) -> List[str]:
+    """Rendered base expressions of every ``get_lock()`` item of *node*.
+
+    Walks each context expression in full so a lock threaded through a
+    wrapper — the runtime sanitizer's ``_tracked(cell.get_lock(), ...)``
+    — is still recognized as an acquisition of that cell's lock.
+    """
+    bases: List[str] = []
+    for item in node.items:
+        for expr in ast.walk(item.context_expr):
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "get_lock"
+            ):
+                bases.append(ast.unparse(expr.func.value))
+    return bases
+
+
+def _value_bases_read(node: ast.AST) -> Set[str]:
+    """Rendered bases of every ``<base>.value`` read inside *node*."""
+    bases: Set[str] = set()
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Attribute)
+            and child.attr == "value"
+            and isinstance(child.ctx, ast.Load)
+        ):
+            bases.add(ast.unparse(child.value))
+    return bases
+
+
+def _writes_value_of(node: ast.AST, base: str) -> bool:
+    """Whether *node* contains a store to ``<base>.value``."""
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Attribute)
+            and child.attr == "value"
+            and isinstance(child.ctx, ast.Store)
+            and ast.unparse(child.value) == base
+        ):
+            return True
+    return False
+
+
+@register
+class LockDisciplineChecker(Checker):
+    """Flow-sensitive lock rules over ``parallel/`` and ``stream/``."""
+
+    id = "lock-discipline"
+    description = (
+        "no compare-then-lock on shared cells, one global lock "
+        "acquisition order, and no bare mutation of objects loaded "
+        "from shared worker state"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for prefix in _SCOPE_PREFIXES:
+            for module in project.repro_modules(prefix):
+                assert module.tree is not None
+                yield from self._compare_then_lock(module)
+                yield from self._acquisition_order(module)
+                yield from self._aliased_shared_writes(module)
+
+    # -- rule 1: TOCTOU ----------------------------------------------------
+
+    def _compare_then_lock(self, module: ModuleSource) -> Iterator[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.If, ast.While)):
+                continue
+            read_bases = _value_bases_read(node.test)
+            if not read_bases:
+                continue
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.With):
+                    continue
+                for base in _lock_bases(inner):
+                    if base in read_bases and _writes_value_of(inner, base):
+                        yield self.finding(
+                            module,
+                            node,
+                            "compare-then-lock on shared cell %s: the "
+                            "guard reads %s.value outside the lock that "
+                            "protects the update inside — another process "
+                            "can publish between the check and the "
+                            "acquisition; take the lock first and compare "
+                            "under it" % (base, base),
+                        )
+
+    # -- rule 2: acquisition order ----------------------------------------
+
+    def _acquisition_order(self, module: ModuleSource) -> Iterator[Finding]:
+        assert module.tree is not None
+        edges: Dict[Tuple[str, str], ast.With] = {}
+
+        def walk(node: ast.AST, held: List[str]) -> None:
+            acquired: List[str] = []
+            if isinstance(node, ast.With):
+                acquired = _lock_bases(node)
+                for inner in acquired:
+                    for outer in held:
+                        edges.setdefault((outer, inner), node)
+                held.extend(acquired)
+            for child in ast.iter_child_nodes(node):
+                walk(child, held)
+            for __ in acquired:
+                held.pop()
+
+        walk(module.tree, [])
+        for (outer, inner), node in sorted(
+            edges.items(), key=lambda entry: entry[1].lineno
+        ):
+            if (inner, outer) in edges and outer < inner:
+                other = edges[(inner, outer)]
+                yield self.finding(
+                    module,
+                    node if node.lineno >= other.lineno else other,
+                    "inconsistent lock order: %s.get_lock() nests inside "
+                    "%s.get_lock() here, but the opposite nesting exists "
+                    "at line %d — under contention the two paths deadlock"
+                    % (
+                        inner,
+                        outer,
+                        min(node.lineno, other.lineno),
+                    ),
+                )
+
+    # -- rule 3: aliased shared-object writes ------------------------------
+
+    def _aliased_shared_writes(self, module: ModuleSource) -> Iterator[Finding]:
+        assert module.tree is not None
+        containers = _module_level_names(module.tree)
+        if not containers:
+            return
+        for function in iter_sync_functions(module.tree):
+            if function.name in _BLESSED_WRITERS:
+                continue
+            yield from self._writes_in(module, function, containers)
+
+    def _writes_in(
+        self,
+        module: ModuleSource,
+        function: ast.FunctionDef,
+        containers: Set[str],
+    ) -> Iterator[Finding]:
+        locked = _statements_under_locks(function)
+        cfg = build_cfg(function)
+        reaching = reaching_definitions(cfg)
+        for node in cfg.nodes:
+            stmt = node.stmt
+            if not isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                continue
+            if id(stmt) in locked:
+                continue
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                    continue
+                base = target.value
+                while isinstance(base, (ast.Attribute, ast.Subscript)):
+                    base = base.value
+                if not isinstance(base, ast.Name):
+                    continue
+                if self._comes_from_shared_state(
+                    cfg, reaching, node.index, base.id, containers
+                ):
+                    yield self.finding(
+                        module,
+                        stmt,
+                        "function %r mutates %s, an object loaded from "
+                        "shared worker state: under a process pool the "
+                        "write is process-local (fork) or lost (spawn), "
+                        "and under threads it races — publish through "
+                        "SharedSimilarityBound/a Value or hold its lock"
+                        % (function.name, ast.unparse(target)),
+                    )
+
+    @staticmethod
+    def _comes_from_shared_state(
+        cfg: CFG,
+        reaching: ReachingDefinitions,
+        node_index: int,
+        name: str,
+        containers: Set[str],
+    ) -> bool:
+        sites = reaching.definitions_reaching(node_index, name)
+        for site in sites:
+            stmt = cfg.nodes[site].stmt
+            if stmt is None:
+                continue
+            for child in ast.walk(stmt):
+                if (
+                    isinstance(child, ast.Subscript)
+                    and isinstance(child.ctx, ast.Load)
+                    and isinstance(child.value, ast.Name)
+                    and child.value.id in containers
+                ):
+                    return True
+        return False
+
+
+def _statements_under_locks(function: ast.FunctionDef) -> Set[int]:
+    """``id()`` of every statement lexically inside a ``get_lock()`` with."""
+    inside: Set[int] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.With) and _lock_bases(node):
+            for child in ast.walk(node):
+                if isinstance(child, ast.stmt):
+                    inside.add(id(child))
+    return inside

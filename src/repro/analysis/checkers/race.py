@@ -90,15 +90,18 @@ class _LockTracker(ast.NodeVisitor):
         self._held_locks: List[str] = []
 
     def visit_With(self, node: ast.With) -> None:
+        # Walk the whole context expression (not just its head call) so a
+        # lock passed through a wrapper — the runtime sanitizer's
+        # ``_tracked(cell.get_lock(), ...)`` — still counts as held.
         acquired: List[str] = []
         for item in node.items:
-            expr = item.context_expr
-            if (
-                isinstance(expr, ast.Call)
-                and isinstance(expr.func, ast.Attribute)
-                and expr.func.attr == "get_lock"
-            ):
-                acquired.append(ast.unparse(expr.func.value))
+            for expr in ast.walk(item.context_expr):
+                if (
+                    isinstance(expr, ast.Call)
+                    and isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr == "get_lock"
+                ):
+                    acquired.append(ast.unparse(expr.func.value))
         self._held_locks.extend(acquired)
         self.generic_visit(node)
         for __ in acquired:

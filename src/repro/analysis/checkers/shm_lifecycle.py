@@ -1,0 +1,101 @@
+"""``shm-lifecycle`` — every shared-memory segment create reaches a destroy.
+
+The zero-copy data plane's one hard contract (see
+:mod:`repro.parallel.shm`): the creating process owns the segment and
+must unlink it on every exit — success, worker crash, and
+KeyboardInterrupt alike.  A segment that misses its ``destroy_segment``
+survives on ``/dev/shm`` until reboot; the test suite catches that *at
+runtime* (the ``leaked_segments`` fixture), but only on the paths a test
+actually executes.  This checker proves it on **all** paths: for every
+``x = SharedMemory(...)`` / ``x = create_segment(...)`` style
+acquisition it walks the function's CFG (``finally`` bodies duplicated
+per continuation, ``with`` blocks modeled, ``raise`` statements routed
+type-aware to their handlers) and flags any path to a function exit that
+hits neither a release (``close``/``unlink``/``detach``/
+``destroy_segment``) nor an ownership transfer (return, attribute or
+subscript store, alias).
+
+Paths are challenged along normal flow and explicit-``raise`` edges.
+Call-origin exception edges are exempt: intraprocedurally *every* call
+can raise, and demanding cleanup on all of them would flag the
+deliberate design of ``attach_collection`` (reader-side handles are
+pinned by the views and unmapped at process exit).  The owner-side
+``finally`` blocks that this checker does demand also cover those
+paths in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..dataflow import ALL_EDGE_KINDS
+from ..findings import Finding
+from ..project import Project
+from ..registry import Checker, register
+from ..resources import ResourceSpec, iter_sync_functions, leaking_acquisitions
+
+__all__ = ["ShmLifecycleChecker"]
+
+#: Normal flow plus explicit raises; call-origin exception edges exempt.
+_PATH_KINDS = ALL_EDGE_KINDS - {"call"}
+
+_SPECS = (
+    ResourceSpec(
+        kind="shared-memory handle",
+        constructors=frozenset({"SharedMemory", "_Segment"}),
+        release_methods=frozenset({"close", "unlink"}),
+        release_funcs=frozenset({"destroy_segment"}),
+    ),
+    ResourceSpec(
+        kind="shared-memory segment",
+        constructors=frozenset({"create_segment", "_build_segment"}),
+        release_funcs=frozenset({"destroy_segment"}),
+    ),
+    ResourceSpec(
+        kind="attached segment",
+        constructors=frozenset({"attach_collection"}),
+        release_methods=frozenset({"detach", "close"}),
+    ),
+)
+
+
+@register
+class ShmLifecycleChecker(Checker):
+    """Segment creates must reach destroy/close/transfer on every path."""
+
+    id = "shm-lifecycle"
+    description = (
+        "every SharedMemory/segment acquisition must reach a destroy/"
+        "close or an ownership transfer on every path, exceptions "
+        "included"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.repro_modules():
+            assert module.tree is not None
+            for function in iter_sync_functions(module.tree):
+                for acquisition, cfg in leaking_acquisitions(
+                    function, _SPECS, _PATH_KINDS, include_normal_exit=True
+                ):
+                    del cfg  # location comes from the acquisition itself
+                    yield self.finding(
+                        module,
+                        acquisition.stmt,
+                        "%s %r acquired in %r can reach a function exit "
+                        "without %s; release it in a finally block (or "
+                        "transfer ownership) so every path — including "
+                        "exceptions — unlinks it"
+                        % (
+                            acquisition.spec.kind,
+                            acquisition.name,
+                            function.name,
+                            _release_words(acquisition.spec),
+                        ),
+                    )
+
+
+def _release_words(spec: ResourceSpec) -> str:
+    names = sorted(spec.release_methods) + sorted(
+        "%s()" % func for func in spec.release_funcs
+    )
+    return "/".join(names) or "a release"

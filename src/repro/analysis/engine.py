@@ -5,12 +5,21 @@ seeded-fault self-tests and the CI job all call :func:`run_checkers`
 (or :func:`lint_paths`, which loads sources from disk first).  Syntax
 errors surface as findings under the reserved ``syntax`` id rather than
 exceptions, so one broken file cannot mask findings elsewhere.
+
+A finding can be silenced at its line with an inline
+``# repro-lint: ignore[checker-id]`` comment (several ids separated by
+commas).  Suppressions are themselves checked: one that silences
+nothing is reported under the reserved ``unused-suppression`` id, so
+stale ignores cannot quietly accumulate after the underlying code is
+fixed.  A line may opt out of that meta-check by including
+``unused-suppression`` among its own ids (for suppressions kept
+deliberately, e.g. guarding platform-specific code).
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from .findings import Finding
 from .project import Project, load_project
@@ -18,6 +27,7 @@ from .registry import all_checkers, checker_ids
 
 __all__ = [
     "SYNTAX_CHECKER_ID",
+    "UNUSED_SUPPRESSION_ID",
     "UnknownCheckerError",
     "lint_paths",
     "run_checkers",
@@ -26,6 +36,13 @@ __all__ = [
 
 #: Reserved id for unparseable files (not a registered checker).
 SYNTAX_CHECKER_ID = "syntax"
+
+#: Reserved id for ``# repro-lint: ignore[...]`` comments that silence
+#: nothing (not a registered checker).
+UNUSED_SUPPRESSION_ID = "unused-suppression"
+
+#: Ids the engine owns; every other id belongs to a registered checker.
+RESERVED_IDS = (SYNTAX_CHECKER_ID, UNUSED_SUPPRESSION_ID)
 
 
 class UnknownCheckerError(ValueError):
@@ -37,7 +54,7 @@ class UnknownCheckerError(ValueError):
             "unknown checker id(s) %s (choose from %s)"
             % (
                 ", ".join(sorted(self.unknown)),
-                ", ".join(checker_ids() + [SYNTAX_CHECKER_ID]),
+                ", ".join(checker_ids() + list(RESERVED_IDS)),
             )
         )
 
@@ -51,7 +68,7 @@ def selected_checker_ids(
     Raises :class:`UnknownCheckerError` on ids no checker registered —
     a misspelled id must fail loudly, not silently lint nothing.
     """
-    known = set(checker_ids()) | {SYNTAX_CHECKER_ID}
+    known = set(checker_ids()) | set(RESERVED_IDS)
     requested = list(select) if select else sorted(known)
     ignored = set(ignore) if ignore else set()
     unknown = [i for i in list(requested) + sorted(ignored) if i not in known]
@@ -85,7 +102,47 @@ def run_checkers(
         if checker.id not in active:
             continue
         findings.extend(checker.check(project))
-    return sorted(findings)
+    return sorted(_apply_suppressions(project, findings, active))
+
+
+def _apply_suppressions(
+    project: Project, findings: List[Finding], active: Set[str]
+) -> List[Finding]:
+    """Filter inline-suppressed findings; flag suppressions that fired on
+    nothing under :data:`UNUSED_SUPPRESSION_ID`."""
+    by_path = {module.path: module for module in project.modules}
+    kept: List[Finding] = []
+    used: Set[Tuple[str, int]] = set()
+    for finding in findings:
+        module = by_path.get(finding.path)
+        ids = module.suppressions.get(finding.line) if module else None
+        if ids is not None and finding.checker in ids:
+            used.add((finding.path, finding.line))
+        else:
+            kept.append(finding)
+    if UNUSED_SUPPRESSION_ID not in active:
+        return kept
+    for module in project.modules:
+        for line, ids in sorted(module.suppressions.items()):
+            if (module.path, line) in used:
+                continue
+            if UNUSED_SUPPRESSION_ID in ids:
+                continue  # deliberately-kept suppression, opted out
+            kept.append(
+                Finding(
+                    path=module.path,
+                    line=line,
+                    col=0,
+                    checker=UNUSED_SUPPRESSION_ID,
+                    message=(
+                        "suppression ignore[%s] silences nothing on this "
+                        "line — remove it, or add %r to keep it "
+                        "deliberately"
+                        % (", ".join(sorted(ids)), UNUSED_SUPPRESSION_ID)
+                    ),
+                )
+            )
+    return kept
 
 
 def lint_paths(

@@ -12,12 +12,63 @@ the in-memory mutated sources of the seeded-fault self-tests.
 from __future__ import annotations
 
 import ast
+import io
+import re
+import tokenize
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["ModuleSource", "Project", "load_project"]
+__all__ = ["ModuleSource", "Project", "SourceReadError", "load_project"]
 
 _REPRO_MARKER = "repro/"
+
+#: Inline suppression syntax — a comment of the form
+#: ``repro-lint: ignore[checker-a, checker-b]`` (after the ``#``).
+#: Anchored to the start of the comment token so prose that merely
+#: *mentions* the syntax (docstrings, doc-comments like this one) never
+#: registers as a suppression.
+_SUPPRESSION_RE = re.compile(r"^#\s*repro-lint:\s*ignore\[([^\]]*)\]")
+
+
+class SourceReadError(OSError):
+    """A requested source file exists but cannot be read or decoded.
+
+    Raised by :func:`load_project` for unreadable files (permissions,
+    I/O errors) and files that are not valid UTF-8; the CLI maps it to
+    the same usage-error exit code as a missing path, instead of
+    crashing with a bare traceback.
+    """
+
+    def __init__(self, path: str, reason: Exception) -> None:
+        self.path = path
+        super().__init__("cannot read %s: %s" % (path, reason))
+
+
+def _parse_suppressions(text: str) -> Dict[int, FrozenSet[str]]:
+    """Per-line suppressed checker ids, keyed by 1-based line number.
+
+    Only genuine comment tokens count (a docstring quoting the syntax is
+    not a suppression); files the tokenizer rejects yield no
+    suppressions — they surface as ``syntax`` findings instead.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.match(token.string)
+            if match is None:
+                continue
+            ids = frozenset(
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            )
+            if ids:
+                suppressions[token.start[0]] = ids
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return suppressions
 
 
 def _repro_relative(path: str) -> Optional[str]:
@@ -49,6 +100,10 @@ class ModuleSource:
         self.path = path.replace("\\", "/")
         self.text = text
         self.repro_path = _repro_relative(self.path)
+        #: ``{lineno: {checker ids}}`` from inline
+        #: ``# repro-lint: ignore[...]`` comments; the engine filters
+        #: findings against it and reports suppressions that never fire.
+        self.suppressions: Dict[int, FrozenSet[str]] = _parse_suppressions(text)
         self.tree: Optional[ast.Module] = None
         self.syntax_error: Optional[SyntaxError] = None
         try:
@@ -148,5 +203,11 @@ def load_project(
                 display = resolved.relative_to(base_dir).as_posix()
             except ValueError:
                 display = file_path.as_posix()
-            modules.append(ModuleSource(display, file_path.read_text()))
+            try:
+                text = file_path.read_text(encoding="utf-8")
+            except UnicodeDecodeError as error:
+                raise SourceReadError(display, error) from error
+            except OSError as error:
+                raise SourceReadError(display, error) from error
+            modules.append(ModuleSource(display, text))
     return Project(modules), missing

@@ -1,0 +1,210 @@
+"""Runtime shm/lock sanitizer (``REPRO_SANITIZE=1``).
+
+The static checkers prove lifecycle and lock discipline over the paths
+the *source* admits; this sanitizer observes the paths a *process
+actually takes*.  With ``REPRO_SANITIZE=1`` in the environment, the
+shared-memory data plane (:mod:`repro.parallel.shm`) and the shared
+bound (:mod:`repro.parallel.bound`) report their lifecycle events here:
+
+* segment ``create``/``attach``/``detach``/``destroy`` keep a ledger;
+  a segment created but never destroyed by this process is a **leak**
+  (attach without detach is not — pool workers unmap at exit by
+  design);
+* lock ``acquire``/``release`` maintain a per-thread held-lock stack
+  and a global acquisition-order graph; acquiring ``a`` then ``b`` in
+  one place and ``b`` then ``a`` in another records a **lock-order
+  violation** (the dynamic mirror of the ``lock-discipline`` checker's
+  static rule).
+
+At process exit an armed sanitizer prints its findings to stderr —
+worker processes inherit the environment variable, so pool children
+self-report too.  The test suite and the differential fuzzer instead
+call :func:`check_clean` at deterministic points.  Hook call sites pay
+a single cached environment check when the sanitizer is off; nothing
+here imports the analysis engine, so arming it does not drag the
+checker machinery into the hot path.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+__all__ = [
+    "Sanitizer",
+    "SanitizerReport",
+    "active",
+    "check_clean",
+    "enabled",
+    "reset",
+]
+
+_ENV_VAR = "REPRO_SANITIZE"
+
+
+def enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` arms the sanitizer in this process."""
+    return os.environ.get(_ENV_VAR, "") not in ("", "0")
+
+
+@dataclass
+class SanitizerReport:
+    """What the sanitizer observed: leaks and lock-order violations."""
+
+    leaked_segments: List[str] = field(default_factory=list)
+    lock_order_violations: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.leaked_segments and not self.lock_order_violations
+
+    def render(self) -> str:
+        lines = ["repro sanitizer report:"]
+        if self.clean:
+            lines.append("  no leaked segments, no lock-order violations")
+        for name in self.leaked_segments:
+            lines.append(
+                "  LEAK: segment %r created but never destroyed by this "
+                "process" % name
+            )
+        for violation in self.lock_order_violations:
+            lines.append("  LOCK-ORDER: %s" % violation)
+        return "\n".join(lines)
+
+
+class Sanitizer:
+    """Per-process event ledger behind the module-level hooks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._created: Set[str] = set()
+        self._destroyed: Set[str] = set()
+        self._attached: Dict[str, int] = {}
+        self._order: Dict[Tuple[str, str], str] = {}
+        self._violations: List[str] = []
+        self._violated_pairs: Set[FrozenSet[str]] = set()
+        self._held = threading.local()
+
+    # -- segment lifecycle -------------------------------------------------
+
+    def on_create(self, name: str) -> None:
+        with self._lock:
+            self._created.add(name)
+            self._destroyed.discard(name)
+
+    def on_attach(self, name: str) -> None:
+        with self._lock:
+            self._attached[name] = self._attached.get(name, 0) + 1
+
+    def on_detach(self, name: str) -> None:
+        with self._lock:
+            self._attached[name] = self._attached.get(name, 0) - 1
+
+    def on_destroy(self, name: str) -> None:
+        with self._lock:
+            self._destroyed.add(name)
+
+    # -- lock ordering -----------------------------------------------------
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def on_acquire(self, key: str) -> None:
+        stack = self._stack()
+        with self._lock:
+            for outer in stack:
+                if outer == key:
+                    continue
+                self._order.setdefault((outer, key), "%s -> %s" % (outer, key))
+                reverse = (key, outer)
+                pair = frozenset((outer, key))
+                if reverse in self._order and pair not in self._violated_pairs:
+                    self._violated_pairs.add(pair)
+                    self._violations.append(
+                        "%r acquired while holding %r, but the opposite "
+                        "order (%s) was also observed — the two paths "
+                        "deadlock under contention"
+                        % (key, outer, self._order[reverse])
+                    )
+        stack.append(key)
+
+    def on_release(self, key: str) -> None:
+        stack = self._stack()
+        if stack and stack[-1] == key:
+            stack.pop()
+        elif key in stack:  # released out of order; drop the entry anyway
+            stack.remove(key)
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self) -> SanitizerReport:
+        with self._lock:
+            leaked = sorted(self._created - self._destroyed)
+            violations = list(self._violations)
+        return SanitizerReport(leaked, violations)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._created.clear()
+            self._destroyed.clear()
+            self._attached.clear()
+            self._order.clear()
+            self._violations.clear()
+            self._violated_pairs.clear()
+
+
+_SINGLETON: Optional[Sanitizer] = None
+
+
+def active() -> Optional[Sanitizer]:
+    """The process sanitizer, or ``None`` when not armed.
+
+    The first armed call installs the atexit reporter; pool children
+    re-run this in their own process (the environment variable is
+    inherited) and therefore self-report.
+    """
+    global _SINGLETON
+    if not enabled():
+        return None
+    if _SINGLETON is None:
+        _SINGLETON = Sanitizer()
+        atexit.register(_report_at_exit)
+    return _SINGLETON
+
+
+def reset() -> None:
+    """Clear the ledger (tests run several joins per process)."""
+    if _SINGLETON is not None:
+        _SINGLETON.reset()
+
+
+def check_clean() -> SanitizerReport:
+    """The current report; raises ``RuntimeError`` when it is not clean.
+
+    The differential fuzzer calls this after every shm round-trip so a
+    leak is attributed to the case that caused it instead of surfacing
+    as an end-of-process diagnostic.
+    """
+    sanitizer = active()
+    if sanitizer is None:
+        return SanitizerReport()
+    report = sanitizer.report()
+    if not report.clean:
+        raise RuntimeError(report.render())
+    return report
+
+
+def _report_at_exit() -> None:
+    if _SINGLETON is None:
+        return
+    report = _SINGLETON.report()
+    if not report.clean:
+        print(report.render(), file=sys.stderr)

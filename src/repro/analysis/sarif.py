@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 export for ``repro lint`` findings.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning ingests: uploading the
+document produced here (``repro lint --sarif out.json`` plus the
+``github/codeql-action/upload-sarif`` action) turns every domain-checker
+finding into an annotation on the offending line of the pull request.
+
+The document carries one run of one tool (``repro-lint``).  Every
+checker that was *selected* appears as a rule — including the reserved
+``syntax`` and ``unused-suppression`` ids — so a clean run still
+publishes the rule set and code scanning can close previously-open
+alerts for rules that now report nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .engine import SYNTAX_CHECKER_ID, UNUSED_SUPPRESSION_ID
+from .findings import Finding
+from .registry import all_checkers
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Short descriptions for the engine-owned ids (not registered checkers).
+_RESERVED_DESCRIPTIONS = {
+    SYNTAX_CHECKER_ID: "the file must parse as Python",
+    UNUSED_SUPPRESSION_ID: (
+        "every '# repro-lint: ignore[...]' comment must silence at "
+        "least one finding"
+    ),
+}
+
+
+def _rule_descriptions(checkers: Sequence[str]) -> Dict[str, str]:
+    descriptions = dict(_RESERVED_DESCRIPTIONS)
+    for checker in all_checkers():
+        descriptions[checker.id] = checker.description
+    return {
+        checker_id: descriptions.get(checker_id, "repro domain checker")
+        for checker_id in checkers
+    }
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    return {
+        "ruleId": finding.checker,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; Finding.col is 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(
+    findings: Sequence[Finding], checkers: Sequence[str]
+) -> Dict[str, Any]:
+    """The SARIF 2.1.0 document for one lint run.
+
+    *checkers* is the list of selected checker ids (what ``repro lint
+    --json`` reports as ``checkers``); each becomes a rule so the
+    document is self-describing even when *findings* is empty.
+    """
+    descriptions = _rule_descriptions(checkers)
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": checker_id,
+            "name": checker_id,
+            "shortDescription": {"text": descriptions[checker_id]},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for checker_id in checkers
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": [_result(finding) for finding in findings],
+            }
+        ],
+    }

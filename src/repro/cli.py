@@ -22,7 +22,7 @@ Subcommands::
                               [--quiet] [--prom-out m.prom] [--trace]
     python -m repro bench     --json [--k 100]  (hot-path baseline JSON)
     python -m repro lint      [paths...] [--select ids] [--ignore ids]
-                              [--json] [--list]
+                              [--json] [--sarif out.json] [--list]
 
 Input files hold one record per line, tokens separated by spaces (use
 ``--qgram Q`` to treat each line as raw text tokenized into q-grams).
@@ -577,12 +577,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
     from .analysis import (
+        SourceReadError,
         UnknownCheckerError,
         all_checkers,
         lint_paths,
         selected_checker_ids,
     )
     from .analysis.engine import report_to_json
+    from .analysis.sarif import to_sarif
 
     if args.list:
         for checker in all_checkers():
@@ -595,9 +597,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     try:
         active = selected_checker_ids(select=select, ignore=ignore)
         findings, files = lint_paths(paths, select=select, ignore=ignore)
-    except (UnknownCheckerError, FileNotFoundError) as error:
+    except (UnknownCheckerError, FileNotFoundError, SourceReadError) as error:
         print("repro lint: %s" % error, file=sys.stderr)
         return 2
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            json.dump(to_sarif(findings, active), handle, indent=2)
+            handle.write("\n")
     if args.json:
         json.dump(report_to_json(findings, files, active), sys.stdout, indent=2)
         print()
@@ -842,6 +848,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated checker ids to skip")
     lint.add_argument("--json", action="store_true",
                       help="emit the findings as a JSON document")
+    lint.add_argument("--sarif", default=None, metavar="PATH",
+                      help="additionally write the findings as a SARIF "
+                           "2.1.0 document to PATH (for GitHub code "
+                           "scanning upload)")
     lint.add_argument("--list", action="store_true",
                       help="list the registered checkers and exit")
     lint.set_defaults(handler=_cmd_lint)

@@ -134,14 +134,16 @@ LINT_FAULTS: Tuple[SeededLintFault, ...] = (
         description="shared-bound write outside get_lock()",
         replacements=(
             (
-                "        with self._value.get_lock():\n"
+                '        with _tracked(self._value.get_lock(), "bound.value"):\n'
                 "            if candidate > self._value.value:\n"
                 "                self._value.value = candidate\n"
-                "                with self._generation.get_lock():\n"
+                "                with _tracked(self._generation.get_lock(),"
+                ' "bound.generation"):\n'
                 "                    self._generation.value += 1",
                 "        if candidate > self._value.value:\n"
                 "            self._value.value = candidate\n"
-                "            with self._generation.get_lock():\n"
+                '            with _tracked(self._generation.get_lock(),'
+                ' "bound.generation"):\n'
                 "                self._generation.value += 1",
             ),
         ),
@@ -249,6 +251,66 @@ LINT_FAULTS: Tuple[SeededLintFault, ...] = (
             ("shared = parallel_topk_join(", "shared = topk_join("),
         ),
         expect_path="parallel/join.py",
+    ),
+    SeededLintFault(
+        checker="shm-lifecycle",
+        repro_path="parallel/join.py",
+        description="owner-side finally no longer destroys the segment",
+        replacements=(
+            (
+                "            if segment is not None:\n"
+                "                destroy_segment(segment)",
+                "            pass",
+            ),
+        ),
+    ),
+    SeededLintFault(
+        checker="lock-discipline",
+        repro_path="parallel/bound.py",
+        description="shared-bound compare hoisted outside the lock",
+        replacements=(
+            (
+                '        with _tracked(self._value.get_lock(), "bound.value"):\n'
+                "            if candidate > self._value.value:\n"
+                "                self._value.value = candidate\n"
+                "                with _tracked(self._generation.get_lock(),"
+                ' "bound.generation"):\n'
+                "                    self._generation.value += 1",
+                "        if candidate > self._value.value:\n"
+                '            with _tracked(self._value.get_lock(),'
+                ' "bound.value"):\n'
+                "                self._value.value = candidate\n"
+                "                with _tracked(self._generation.get_lock(),"
+                ' "bound.generation"):\n'
+                "                    self._generation.value += 1",
+            ),
+        ),
+    ),
+    SeededLintFault(
+        checker="kernel-parity",
+        repro_path="accel/kernel.py",
+        description="python kernel stops attributing suffix_pruned",
+        replacements=(
+            (
+                "        stats.positional_pruned += positional_pruned\n"
+                "        stats.suffix_pruned += suffix_pruned\n",
+                "        stats.positional_pruned += positional_pruned\n",
+            ),
+        ),
+    ),
+    SeededLintFault(
+        checker="exception-safety",
+        repro_path="parallel/shm.py",
+        description="attach raises with the header view still exported",
+        replacements=(
+            (
+                "        if header[6] != descriptor.sig_bits:\n"
+                "            view.release()\n"
+                "            raise ShmAttachError(",
+                "        if header[6] != descriptor.sig_bits:\n"
+                "            raise ShmAttachError(",
+            ),
+        ),
     ),
     SeededLintFault(
         checker="annotations",

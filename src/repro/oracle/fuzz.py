@@ -659,6 +659,33 @@ def replay_corpus(
 # The fuzz loop
 # ----------------------------------------------------------------------
 
+
+def _sanitizer_failures() -> List[str]:
+    """Runtime-sanitizer findings (``REPRO_SANITIZE=1``), then reset.
+
+    Consulted after every fuzz iteration so a leaked shared-memory
+    segment or a lock-order inversion is attributed to the case that
+    caused it rather than surfacing as an end-of-process diagnostic.
+    The ledger is reset after a hit so later iterations report only
+    their own events.  Returns ``[]`` when the sanitizer is not armed.
+    """
+    if os.environ.get("REPRO_SANITIZE", "") in ("", "0"):
+        return []
+    from ..analysis.sanitizer import active
+
+    sanitizer = active()
+    if sanitizer is None:  # pragma: no cover - env raced between checks
+        return []
+    report = sanitizer.report()
+    if report.clean:
+        return []
+    sanitizer.reset()
+    return [
+        "sanitizer: " + line.strip()
+        for line in report.render().splitlines()[1:]
+    ]
+
+
 @dataclass
 class FuzzReport:
     """Outcome of one :func:`fuzz_run`."""
@@ -716,6 +743,7 @@ def fuzz_run(
         metamorphic_seed = rng.randrange(2 ** 31)
 
         failures = _case_failures(case, backends, metamorphic, metamorphic_seed)
+        failures = failures + _sanitizer_failures()
         report.iterations += 1
         if on_progress is not None:
             on_progress(iteration + 1, len(report.failures))
@@ -802,6 +830,7 @@ def fuzz_stream_run(
         metamorphic = iteration % _METAMORPHIC_EVERY == 0
 
         failures = _stream_case_failures(case, backends, metamorphic)
+        failures = failures + _sanitizer_failures()
         report.iterations += 1
         if on_progress is not None:
             on_progress(iteration + 1, len(report.failures))

@@ -30,9 +30,42 @@ value can only make pruning weaker, and the read ordering in
 from __future__ import annotations
 
 import multiprocessing
-from typing import Any, Optional, Tuple
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.sanitizer import Sanitizer
 
 __all__ = ["LocalSimilarityBound", "SharedSimilarityBound"]
+
+
+def _sanitizer() -> "Optional[Sanitizer]":
+    """The armed runtime sanitizer, or ``None`` without importing it.
+
+    The environment check is the entire cost on the (default) disabled
+    path; the analysis package is only imported once ``REPRO_SANITIZE``
+    arms the sanitizer.
+    """
+    if os.environ.get("REPRO_SANITIZE", "") in ("", "0"):
+        return None
+    from ..analysis.sanitizer import active
+
+    return active()
+
+
+@contextmanager
+def _tracked(lock: Any, key: str) -> Iterator[None]:
+    """Hold *lock*, reporting acquisition order to the sanitizer as *key*."""
+    sanitizer = _sanitizer()
+    if sanitizer is not None:
+        sanitizer.on_acquire(key)
+    try:
+        with lock:
+            yield
+    finally:
+        if sanitizer is not None:
+            sanitizer.on_release(key)
 
 
 class LocalSimilarityBound:
@@ -128,10 +161,10 @@ class SharedSimilarityBound:
         if candidate <= self._published:
             return
         self._published = candidate
-        with self._value.get_lock():
+        with _tracked(self._value.get_lock(), "bound.value"):
             if candidate > self._value.value:
                 self._value.value = candidate
-                with self._generation.get_lock():
+                with _tracked(self._generation.get_lock(), "bound.generation"):
                     self._generation.value += 1
         if candidate > self._cached:
             self._cached = candidate

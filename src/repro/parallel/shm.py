@@ -42,12 +42,16 @@ Segment names carry a recognizable prefix so tests can assert (via
 
 from __future__ import annotations
 
+import os
 import secrets
 from dataclasses import dataclass
 from functools import lru_cache
 from multiprocessing import shared_memory
 from pathlib import Path
-from typing import List
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.sanitizer import Sanitizer
 
 from ..data.records import (
     SIGNATURE_BITS,
@@ -157,10 +161,27 @@ class AttachedSegment:
         mapping goes away with the last view.
         """
         self._shm.close()
+        sanitizer = _sanitizer()
+        if sanitizer is not None:
+            sanitizer.on_detach(self.descriptor.name)
 
 
 def _fresh_name() -> str:
     return _NAME_PREFIX + secrets.token_hex(8)
+
+
+def _sanitizer() -> "Optional[Sanitizer]":
+    """The armed runtime sanitizer, or ``None`` without importing it.
+
+    One environment-variable check is the entire cost on the (default)
+    disabled path; the analysis package is only imported once
+    ``REPRO_SANITIZE`` arms the sanitizer.
+    """
+    if os.environ.get("REPRO_SANITIZE", "") in ("", "0"):
+        return None
+    from ..analysis.sanitizer import active
+
+    return active()
 
 
 @lru_cache(maxsize=1)
@@ -250,6 +271,9 @@ def create_segment(
         sig_bits=sig_bits,
     )
     shm.close()
+    sanitizer = _sanitizer()
+    if sanitizer is not None:
+        sanitizer.on_create(descriptor.name)
     return descriptor
 
 
@@ -318,6 +342,9 @@ def attach_collection(descriptor: ShmDescriptor) -> AttachedSegment:
     # mapping, so the handle must live at least as long as the records do
     # — even when the AttachedSegment wrapper is dropped first.
     collection._retained_buffer = shm
+    sanitizer = _sanitizer()
+    if sanitizer is not None:
+        sanitizer.on_attach(descriptor.name)
     return AttachedSegment(collection, descriptor, shm)
 
 
@@ -328,12 +355,17 @@ def destroy_segment(descriptor: ShmDescriptor) -> None:
     segment; attached processes keep their mappings (POSIX unlink
     semantics) and the pages are reclaimed once the last one exits.
     """
+    sanitizer = _sanitizer()
     try:
         shm = shared_memory.SharedMemory(name=descriptor.name, create=False)
     except FileNotFoundError:
+        if sanitizer is not None:  # already gone counts as destroyed
+            sanitizer.on_destroy(descriptor.name)
         return
     try:
         shm.unlink()
     except FileNotFoundError:  # pragma: no cover - lost a destroy race
         pass
     shm.close()
+    if sanitizer is not None:
+        sanitizer.on_destroy(descriptor.name)

@@ -62,6 +62,28 @@ class TestExitCodes:
         assert main(["lint", path]) == 1
         assert "[syntax]" in capsys.readouterr().out
 
+    def test_two_on_undecodable_file_not_a_crash(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "latin.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_bytes(b"# caf\xe9 = tr\xe8s bien\nx = 1\n")  # latin-1
+        assert main(["lint", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+        assert "latin.py" in err
+
+    def test_two_on_unreadable_file_not_a_crash(self, tree, capsys):
+        import os
+
+        path = tree("repro/secret.py", CLEAN)
+        os.chmod(path, 0o000)
+        try:
+            if os.access(path, os.R_OK):  # running as root: chmod is moot
+                pytest.skip("permissions not enforced for this user")
+            assert main(["lint", path]) == 2
+            assert "cannot read" in capsys.readouterr().err
+        finally:
+            os.chmod(path, 0o644)
+
 
 class TestSelection:
     def test_select_restricts_checkers(self, tree, capsys):
@@ -92,7 +114,10 @@ class TestJsonMode:
         assert main(["lint", path, "--json"]) == 1
         report = json.loads(capsys.readouterr().out)
         assert report["files"] == 1
-        assert set(report["checkers"]) == set(checker_ids()) | {"syntax"}
+        assert set(report["checkers"]) == set(checker_ids()) | {
+            "syntax",
+            "unused-suppression",
+        }
         (finding,) = [f for f in report["findings"] if f["checker"] == "annotations"]
         assert finding["path"].endswith("bad.py")
         assert finding["line"] >= 1
@@ -103,6 +128,38 @@ class TestJsonMode:
         assert main(["lint", path, "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["findings"] == []
+
+
+class TestSarifMode:
+    def test_sarif_document_structure(self, tree, tmp_path, capsys):
+        path = tree("repro/bad.py", UNTYPED)
+        out_path = tmp_path / "out.sarif.json"
+        assert main(["lint", path, "--sarif", str(out_path)]) == 1
+        document = json.loads(out_path.read_text())
+        assert document["version"] == "2.1.0"
+        assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = document["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert set(checker_ids()) <= rule_ids
+        assert {"syntax", "unused-suppression"} <= rule_ids
+        (result,) = [
+            r for r in run["results"] if r["ruleId"] == "annotations"
+        ]
+        assert "shout" in result["message"]["text"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("bad.py")
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+
+    def test_sarif_clean_run_still_lists_rules(self, tree, tmp_path, capsys):
+        path = tree("clean.py", CLEAN)
+        out_path = tmp_path / "clean.sarif.json"
+        assert main(["lint", path, "--sarif", str(out_path)]) == 0
+        document = json.loads(out_path.read_text())
+        (run,) = document["runs"]
+        assert run["results"] == []
+        assert run["tool"]["driver"]["rules"]
 
 
 class TestList:

@@ -1,0 +1,214 @@
+"""The runtime shm/lock sanitizer (``REPRO_SANITIZE=1``).
+
+Two halves: unit tests of the ledger/order-graph semantics on synthetic
+event sequences, and end-to-end runs of the real shared-memory data
+plane plus the shared bound with the sanitizer armed — the ISSUE's
+acceptance check that a parallel shm join reports zero leaks and zero
+lock-order violations.
+"""
+
+import pytest
+
+from repro.analysis import sanitizer as sz
+from repro.parallel.bound import SharedSimilarityBound
+from repro.parallel.shm import (
+    attach_collection,
+    create_segment,
+    destroy_segment,
+    shm_usable,
+)
+
+from conftest import make_collection
+
+
+@pytest.fixture(autouse=True)
+def clean_sanitizer():
+    """Each test starts and ends with an empty ledger.
+
+    The module singleton survives across tests once armed (it must: the
+    atexit reporter holds it), so the ledger is wiped on both sides to
+    keep tests independent and the end-of-process report quiet.
+    """
+    sz.reset()
+    yield
+    sz.reset()
+
+
+@pytest.fixture
+def armed(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sanitizer = sz.active()
+    assert sanitizer is not None
+    sanitizer.reset()
+    return sanitizer
+
+
+class TestArming:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sz.enabled()
+        assert sz.active() is None
+
+    def test_zero_means_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not sz.enabled()
+        assert sz.active() is None
+
+    def test_armed_returns_singleton(self, armed):
+        assert sz.active() is armed
+
+    def test_check_clean_is_noop_when_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert sz.check_clean().clean
+
+
+class TestSegmentLedger:
+    def test_create_without_destroy_is_a_leak(self, armed):
+        armed.on_create("repro_shm_aaaa")
+        report = armed.report()
+        assert report.leaked_segments == ["repro_shm_aaaa"]
+        assert not report.clean
+        assert "LEAK" in report.render()
+
+    def test_create_then_destroy_is_clean(self, armed):
+        armed.on_create("repro_shm_aaaa")
+        armed.on_destroy("repro_shm_aaaa")
+        assert armed.report().clean
+
+    def test_attach_without_detach_is_not_a_leak(self, armed):
+        # Pool workers unmap at process exit by design; only the owner's
+        # missing destroy is a leak.
+        armed.on_attach("repro_shm_aaaa")
+        assert armed.report().clean
+
+    def test_check_clean_raises_on_leak(self, armed):
+        armed.on_create("repro_shm_aaaa")
+        with pytest.raises(RuntimeError, match="LEAK"):
+            sz.check_clean()
+
+    def test_reset_clears_the_ledger(self, armed):
+        armed.on_create("repro_shm_aaaa")
+        armed.reset()
+        assert armed.report().clean
+
+
+class TestLockOrder:
+    def test_consistent_order_is_clean(self, armed):
+        for _ in range(2):
+            armed.on_acquire("a")
+            armed.on_acquire("b")
+            armed.on_release("b")
+            armed.on_release("a")
+        assert armed.report().clean
+
+    def test_inversion_is_reported(self, armed):
+        armed.on_acquire("a")
+        armed.on_acquire("b")
+        armed.on_release("b")
+        armed.on_release("a")
+        armed.on_acquire("b")
+        armed.on_acquire("a")
+        armed.on_release("a")
+        armed.on_release("b")
+        report = armed.report()
+        assert len(report.lock_order_violations) == 1
+        assert "deadlock" in report.lock_order_violations[0]
+
+    def test_inversion_reported_once(self, armed):
+        for _ in range(3):
+            armed.on_acquire("a")
+            armed.on_acquire("b")
+            armed.on_release("b")
+            armed.on_release("a")
+            armed.on_acquire("b")
+            armed.on_acquire("a")
+            armed.on_release("a")
+            armed.on_release("b")
+        assert len(armed.report().lock_order_violations) == 1
+
+    def test_reacquire_same_key_is_not_an_inversion(self, armed):
+        armed.on_acquire("a")
+        armed.on_acquire("a")
+        armed.on_release("a")
+        armed.on_release("a")
+        assert armed.report().clean
+
+    def test_out_of_order_release_keeps_stack_sane(self, armed):
+        armed.on_acquire("a")
+        armed.on_acquire("b")
+        armed.on_release("a")  # released out of order
+        armed.on_release("b")
+        armed.on_acquire("a")
+        armed.on_release("a")
+        assert armed.report().clean
+
+
+class TestHooksEndToEnd:
+    pytestmark = pytest.mark.skipif(
+        not shm_usable(), reason="no usable shared memory on this host"
+    )
+
+    def test_serial_roundtrip_reports_clean(self, armed):
+        coll = make_collection((1, 2, 3), (2, 3, 4), (5,))
+        descriptor = create_segment(coll)
+        attached = attach_collection(descriptor)
+        attached.detach()  # safe while views live: close is deferred
+        destroy_segment(descriptor)
+        assert sz.check_clean().clean
+
+    def test_missing_destroy_is_caught(self, armed):
+        coll = make_collection((1, 2), (2, 3))
+        descriptor = create_segment(coll)
+        try:
+            with pytest.raises(RuntimeError, match=descriptor.name):
+                sz.check_clean()
+        finally:
+            destroy_segment(descriptor)
+        assert sz.check_clean().clean
+
+    def test_parallel_shm_join_is_clean(self, armed):
+        from repro.parallel import parallel_topk_join
+
+        coll = make_collection(
+            (1, 2, 3), (2, 3, 4), (1, 3, 5), (2, 4, 6), (1, 2, 6)
+        )
+        results = parallel_topk_join(coll, 5, workers=1, shards=4, shm=True)
+        assert len(results) == 5
+        report = sz.check_clean()
+        assert report.leaked_segments == []
+        assert report.lock_order_violations == []
+
+    def test_shared_bound_offer_is_clean(self, armed):
+        bound = SharedSimilarityBound()
+        bound.offer(0.25)
+        bound.offer(0.50)
+        bound.offer(0.50)  # no-op republish
+        assert bound.refresh() == 0.50
+        assert sz.check_clean().clean
+
+    def test_hooks_are_inert_when_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        if not shm_usable():
+            pytest.skip("no usable shared memory on this host")
+        coll = make_collection((1, 2), (2, 3))
+        descriptor = create_segment(coll)
+        destroy_segment(descriptor)
+        sanitizer = sz.active()
+        assert sanitizer is None
+
+
+class TestFuzzerWiring:
+    def test_no_failures_when_disabled(self, monkeypatch):
+        from repro.oracle.fuzz import _sanitizer_failures
+
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert _sanitizer_failures() == []
+
+    def test_leak_becomes_failure_and_resets(self, armed, monkeypatch):
+        from repro.oracle.fuzz import _sanitizer_failures
+
+        armed.on_create("repro_shm_bbbb")
+        failures = _sanitizer_failures()
+        assert failures and "repro_shm_bbbb" in failures[0]
+        # The ledger was reset: the next iteration reports nothing.
+        assert _sanitizer_failures() == []
