@@ -40,6 +40,7 @@ _ABSORBERS = {
     "absorb_topk_stats": "TopkStats",
     "absorb_join_stats": "JoinStats",
     "absorb_stream_stats": "StreamStats",
+    "absorb_serve_stats": "ServeStats",
 }
 
 

@@ -15,11 +15,16 @@ Subcommands::
     python -m repro stats     --input data.txt
     python -m repro fuzz      --seed 0 --iters 200 [--budget 60]
                               [--corpus-dir tests/corpus] [--replay]
-                              [--stream]
+                              [--stream | --serve]
     python -m repro stream    --input events.txt|- --k 10 [--window 50]
                               [--policy count|time]
                               [--mode incremental|recompute] [--check]
                               [--quiet] [--prom-out m.prom] [--trace]
+    python -m repro serve     --k 10 [--host 127.0.0.1] [--port 0]
+                              [--window 50] [--policy count|time]
+                              [--queue-limit 256] [--degradation reject|shed]
+                              [--read-timeout 30] [--idle-timeout 300]
+                              [--ingest-delay 0] [--check]
     python -m repro bench     --json [--k 100]  (hot-path baseline JSON)
     python -m repro lint      [paths...] [--select ids] [--ignore ids]
                               [--json] [--sarif out.json] [--list]
@@ -284,12 +289,27 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from .oracle import fuzz_run, fuzz_stream_run, replay_corpus
+    from .oracle import (
+        fuzz_run,
+        fuzz_serve_run,
+        fuzz_stream_run,
+        replay_corpus,
+    )
     from .oracle.differential import (
         available_backends,
         available_stream_backends,
     )
 
+    if args.serve and args.stream:
+        print("choose one of --stream / --serve", file=sys.stderr)
+        return 2
+    if args.serve and args.backends:
+        print(
+            "serve fuzzing drives the daemon itself; --backends does not "
+            "apply",
+            file=sys.stderr,
+        )
+        return 2
     valid = (
         available_stream_backends() if args.stream else available_backends()
     )
@@ -319,6 +339,33 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             return 1
         print("# corpus %s: all cases pass" % args.corpus_dir, file=sys.stderr)
         return 0
+
+    if args.serve:
+        serve_report = fuzz_serve_run(
+            seed=args.seed,
+            iterations=args.iters,
+            budget=args.budget,
+            corpus_dir=args.corpus_dir,
+        )
+        print(
+            "# serve fuzz seed=%d: %d adversarial session(s) in %.1fs, "
+            "%d failure(s)"
+            % (args.seed, serve_report.iterations, serve_report.elapsed,
+               len(serve_report.failures)),
+            file=sys.stderr,
+        )
+        for iteration, generator, serve_case, failures, path in (
+            serve_report.failures
+        ):
+            print(
+                "FAIL iteration=%d generator=%s chunks=%d abort=%s%s"
+                % (iteration, generator, len(serve_case.chunks),
+                   serve_case.abort, " -> %s" % path if path else ""),
+                file=sys.stderr,
+            )
+            for message in failures:
+                print("  %s" % message, file=sys.stderr)
+        return 1 if serve_report.failures else 0
 
     if args.stream:
         stream_report = fuzz_stream_run(
@@ -467,6 +514,86 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve import ServeOptions, TopkServer
+    from .stream.engine import StreamingTopkEngine
+
+    sim = similarity_by_name(args.similarity)
+    options = TopkOptions(
+        check_invariants=args.check,
+        accel=args.accel,
+        sig_bits=args.sig_bits,
+        window_size=args.window,
+        window_policy=args.policy,
+    )
+    try:
+        engine = StreamingTopkEngine(
+            args.k, similarity=sim, options=options, mode=args.mode
+        )
+        server = TopkServer(
+            engine,
+            ServeOptions(
+                host=args.host,
+                port=args.port,
+                queue_limit=args.queue_limit,
+                degradation=args.degradation,
+                read_timeout=args.read_timeout,
+                idle_timeout=args.idle_timeout,
+                max_frame_bytes=args.max_frame_bytes,
+                ingest_delay=args.ingest_delay,
+            ),
+        )
+    except ValueError as error:
+        print("repro serve: %s" % error, file=sys.stderr)
+        return 2
+
+    async def _amain() -> int:
+        await server.start()
+        loop = asyncio.get_running_loop()
+
+        def _on_signal() -> None:
+            server.request_shutdown()
+
+        # Handlers go in BEFORE the address is announced: a supervisor
+        # that SIGTERMs the moment it reads the port must hit a graceful
+        # drain, not the default killing disposition.
+        installed: List[int] = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, _on_signal)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                signal.signal(
+                    signum,
+                    lambda *_: loop.call_soon_threadsafe(_on_signal),
+                )
+        host, port = server.address
+        print("# serving on %s:%d" % (host, port), file=sys.stderr)
+        sys.stderr.flush()
+        try:
+            await server.wait_closed()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+        stats = server.stats
+        print(
+            "# served %d request(s) on %d connection(s) "
+            "(%d accepted, %d shed, %d rejected, %d error(s))"
+            % (stats.requests, stats.connections, stats.accepted,
+               stats.shed, stats.rejected, stats.errors),
+            file=sys.stderr,
+        )
+        return 0
+
+    try:
+        return asyncio.run(_amain())
+    except KeyboardInterrupt:
+        return 0
 
 
 #: Experiment id -> (description, runner).  Runners print to stdout.
@@ -770,6 +897,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fuzz the sliding-window streaming engine with "
                            "random insert/expire/advance traces instead of "
                            "the batch backends")
+    fuzz.add_argument("--serve", action="store_true",
+                      help="throw adversarial byte sessions (malformed "
+                           "frames, junk bytes, truncations, oversized "
+                           "payloads, mid-request disconnects) at a live "
+                           "in-process daemon and assert it never crashes")
     fuzz.set_defaults(handler=_cmd_fuzz)
 
     stream = commands.add_parser(
@@ -818,6 +950,64 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trace ingest/expire/refill phase timings "
                              "and print the phase tree to stderr")
     stream.set_defaults(handler=_cmd_stream)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the async streaming top-k daemon (newline-delimited "
+             "JSON protocol plus GET /metrics on the same port)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback only)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (0 = ephemeral; the chosen port is "
+                            "printed to stderr as '# serving on host:port')")
+    serve.add_argument("--k", type=int, required=True)
+    serve.add_argument("--similarity", default="jaccard",
+                       choices=["jaccard", "cosine", "dice", "overlap"])
+    serve.add_argument("--window", type=int, default=0,
+                       help="sliding-window size (0 = unbounded)")
+    serve.add_argument("--policy", default="count",
+                       choices=["count", "time"],
+                       help="window policy (see 'stream --policy')")
+    serve.add_argument("--mode", default="incremental",
+                       choices=["incremental", "recompute"],
+                       help="engine mode (see 'stream --mode')")
+    serve.add_argument("--accel", default="on",
+                       choices=["on", "native", "python", "numpy", "off"])
+    serve.add_argument("--sig-bits", type=int, default=128, dest="sig_bits",
+                       choices=[64, 128, 256, 512],
+                       help="bitmap signature width (see 'topk --sig-bits')")
+    serve.add_argument("--check", action="store_true",
+                       help="assert the streaming runtime invariants after "
+                            "every applied event (slow)")
+    serve.add_argument("--queue-limit", type=int, default=256,
+                       dest="queue_limit",
+                       help="bounded ingestion queue depth; events beyond "
+                            "it hit the degradation policy")
+    serve.add_argument("--degradation", default="reject",
+                       choices=["reject", "shed"],
+                       help="overload policy: 'reject' refuses overflow "
+                            "events with a structured error, 'shed' drops "
+                            "them with an acknowledged tail-drop")
+    serve.add_argument("--read-timeout", type=float, default=30.0,
+                       dest="read_timeout",
+                       help="seconds a client may stall mid-frame before "
+                            "eviction (0 disables)")
+    serve.add_argument("--idle-timeout", type=float, default=300.0,
+                       dest="idle_timeout",
+                       help="seconds an unsubscribed client may idle "
+                            "between frames before eviction (0 disables; "
+                            "subscribers are exempt)")
+    serve.add_argument("--max-frame-bytes", type=int, default=1 << 20,
+                       dest="max_frame_bytes",
+                       help="per-frame byte cap; larger frames are "
+                            "refused with 'frame-too-large'")
+    serve.add_argument("--ingest-delay", type=float, default=0.0,
+                       dest="ingest_delay",
+                       help="artificial per-event writer delay in seconds "
+                            "(a chaos/testing knob for deterministic "
+                            "backpressure; keep 0 in production)")
+    serve.set_defaults(handler=_cmd_serve)
 
     bench = commands.add_parser(
         "bench", help="run one of the paper's experiments"

@@ -32,6 +32,7 @@ from .exporters import (
 from .metrics import (
     BOUND_GAP_BUCKETS,
     EMIT_LATENCY_BUCKETS,
+    SERVE_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -55,6 +56,7 @@ __all__ = [
     "MetricsRegistry",
     "EMIT_LATENCY_BUCKETS",
     "BOUND_GAP_BUCKETS",
+    "SERVE_LATENCY_BUCKETS",
     "phase_tree",
     "render_phase_tree",
     "to_json",

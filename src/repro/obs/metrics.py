@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..core.metrics import JoinStats, StreamStats, TopkStats
+    from ..core.metrics import JoinStats, ServeStats, StreamStats, TopkStats
 
 __all__ = [
     "Counter",
@@ -35,6 +35,7 @@ __all__ = [
     "MetricsRegistry",
     "EMIT_LATENCY_BUCKETS",
     "BOUND_GAP_BUCKETS",
+    "SERVE_LATENCY_BUCKETS",
 ]
 
 LabelSet = Tuple[Tuple[str, str], ...]
@@ -51,6 +52,14 @@ EMIT_LATENCY_BUCKETS: Tuple[float, ...] = (
 #: sat at emission time — the tightness of the progressive guarantee.
 BOUND_GAP_BUCKETS: Tuple[float, ...] = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2, 0.4, 0.8, 1.0,
+)
+
+#: Histogram bucket edges for daemon request latency (seconds from
+#: enqueue to applied) — sub-millisecond engine work up to multi-second
+#: queueing under backpressure.
+SERVE_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
 )
 # fmt: on
 
@@ -469,6 +478,72 @@ class MetricsRegistry:
             "Peak number of live postings in the streaming index.",
             mode="sum",
         ).set(stats.index_entries_peak)
+
+    def absorb_serve_stats(self, stats: "ServeStats") -> None:
+        """Fold a serving daemon's lifetime counters into metric families.
+
+        Reads every field of :class:`~repro.core.metrics.ServeStats`
+        (statically enforced, see :meth:`absorb_topk_stats`).
+        """
+        c = self.counter
+        c(
+            "repro_serve_connections_total",
+            "Client connections accepted by the daemon.",
+        ).inc(stats.connections)
+        c(
+            "repro_serve_requests_total",
+            "Request frames received (well-formed or not).",
+        ).inc(stats.requests)
+        c(
+            "repro_serve_errors_total",
+            "Structured error replies sent.",
+        ).inc(stats.errors)
+        c(
+            "repro_serve_malformed_total",
+            "Frames rejected as unparseable.",
+        ).inc(stats.malformed)
+        c(
+            "repro_serve_oversized_total",
+            "Frames rejected for exceeding the byte cap.",
+        ).inc(stats.oversized)
+        c(
+            "repro_serve_accepted_total",
+            "Ingestion events admitted to the bounded queue.",
+        ).inc(stats.accepted)
+        c(
+            "repro_serve_rejected_total",
+            "Ingestion events refused under the reject policy.",
+        ).inc(stats.rejected)
+        c(
+            "repro_serve_shed_total",
+            "Ingestion events dropped under the shed policy.",
+        ).inc(stats.shed)
+        c(
+            "repro_serve_deltas_pushed_total",
+            "Delta notifications written to subscriber outboxes.",
+        ).inc(stats.deltas_pushed)
+        c(
+            "repro_serve_idle_evictions_total",
+            "Connections closed for idling past the idle timeout.",
+        ).inc(stats.idle_evictions)
+        c(
+            "repro_serve_read_timeouts_total",
+            "Connections closed for stalling mid-frame.",
+        ).inc(stats.read_timeouts)
+        c(
+            "repro_serve_subscriber_evictions_total",
+            "Subscribers evicted for overflowing their outbox.",
+        ).inc(stats.subscriber_evictions)
+        self.gauge(
+            "repro_serve_queue_peak",
+            "Peak depth of the bounded ingestion queue.",
+            mode="sum",
+        ).set(stats.queue_peak)
+        self.gauge(
+            "repro_serve_subscribers_peak",
+            "Peak number of simultaneous subscribers.",
+            mode="sum",
+        ).set(stats.subscribers_peak)
 
     def finalize_derived(self) -> None:
         """Recompute gauges derived from counters (safe to call repeatedly).

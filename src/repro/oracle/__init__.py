@@ -59,16 +59,24 @@ __all__ = [
     "run_stream_differential",
     "available_backends",
     "available_stream_backends",
+    "sockets_usable",
     "FuzzReport",
     "StreamFuzzReport",
+    "ServeFuzzReport",
+    "ServeCase",
+    "SERVE_CASE_SCHEMA",
     "fuzz_run",
     "fuzz_stream_run",
+    "fuzz_serve_run",
     "shrink_case",
     "shrink_stream_case",
+    "shrink_serve_case",
     "save_corpus_case",
     "load_corpus_case",
     "save_stream_case",
     "load_stream_case",
+    "save_serve_case",
+    "load_serve_case",
     "replay_corpus",
     "metamorphic_failures",
     "stream_metamorphic_failures",
@@ -82,16 +90,24 @@ _LAZY = {
     "run_stream_differential": "differential",
     "available_backends": "differential",
     "available_stream_backends": "differential",
+    "sockets_usable": "differential",
     "FuzzReport": "fuzz",
     "StreamFuzzReport": "fuzz",
+    "ServeFuzzReport": "fuzz",
+    "ServeCase": "fuzz",
+    "SERVE_CASE_SCHEMA": "fuzz",
     "fuzz_run": "fuzz",
     "fuzz_stream_run": "fuzz",
+    "fuzz_serve_run": "fuzz",
     "shrink_case": "fuzz",
     "shrink_stream_case": "fuzz",
+    "shrink_serve_case": "fuzz",
     "save_corpus_case": "fuzz",
     "load_corpus_case": "fuzz",
     "save_stream_case": "fuzz",
     "load_stream_case": "fuzz",
+    "save_serve_case": "fuzz",
+    "load_serve_case": "fuzz",
     "replay_corpus": "fuzz",
     "metamorphic_failures": "metamorphic",
     "stream_metamorphic_failures": "metamorphic",

@@ -79,7 +79,14 @@ from ..weighted.functions import WeightedCosine, WeightedJaccard
 from ..weighted.join import weighted_topk_join
 from ..weighted.records import WeightedCollection
 from ..stream.engine import StreamingTopkEngine
-from ..stream.events import StreamEvent, events_from_lists, events_to_lists
+from ..stream.events import (
+    ADVANCE,
+    EXPIRE,
+    INSERT,
+    StreamEvent,
+    events_from_lists,
+    events_to_lists,
+)
 from .invariants import InvariantViolation
 from .reference import (
     assert_topk_equivalent,
@@ -95,6 +102,7 @@ __all__ = [
     "available_stream_backends",
     "run_differential",
     "run_stream_differential",
+    "sockets_usable",
 ]
 
 #: Shard count for the parallel backend — small enough that tiny fuzz
@@ -686,6 +694,208 @@ def _stream_trace_backend(
     return None
 
 
+def sockets_usable() -> bool:
+    """Whether loopback TCP sockets work in this environment.
+
+    Mirrors :func:`repro.parallel.shm.shm_usable`: capability-gated
+    backends (the ``serve-daemon`` differential) register only where the
+    capability actually exists, so sandboxes without networking skip
+    them instead of failing them.
+    """
+    import socket
+
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            probe.bind(("127.0.0.1", 0))
+        finally:
+            probe.close()
+    except OSError:
+        return False
+    return True
+
+
+def _event_request(event: StreamEvent) -> Tuple[str, Dict[str, object]]:
+    """The protocol verb and payload fields of one stream event."""
+    if event.kind == INSERT:
+        return "insert", {"tokens": list(event.tokens)}
+    if event.kind == EXPIRE:
+        return "expire", {"count": int(event.amount)}
+    assert event.kind == ADVANCE
+    return "advance", {"amount": event.amount}
+
+
+def _serve_daemon_backend(
+    case: StreamCase,
+    snapshots: List[List[Tuple[int, Tuple[int, ...]]]],
+    sim: SimilarityFunction,
+) -> Optional[str]:
+    """The daemon must be a **byte-identical** network veneer.
+
+    The case replays twice.  In process: a plain engine applies every
+    event and each delta is serialized through
+    :func:`repro.serve.protocol.delta_line`.  Over the wire: a real
+    daemon (own thread, real sockets) receives the same events from a
+    scripted client while a second client subscribes.  Three byte-level
+    checks: every reply's delta list re-encodes to exactly the
+    in-process lines; the final ``query`` rows equal the in-process
+    rows; and the subscriber's full push stream — flushed by graceful
+    shutdown and terminated by the ``shutdown`` event frame — equals
+    the flattened in-process delta sequence.  ``snapshots`` is unused:
+    the in-process engine *is* the reference here (the other stream
+    backends already tie it to the window oracle).
+    """
+    del snapshots
+    from ..serve import (
+        InProcessDaemon,
+        ServeClient,
+        ServeOptions,
+        delta_line,
+        encode,
+    )
+
+    def fresh_engine() -> StreamingTopkEngine:
+        return StreamingTopkEngine(
+            case.k,
+            similarity=similarity_by_name(case.similarity),
+            options=case.options(),
+            mode="incremental",
+        )
+
+    expected: List[List[bytes]] = []
+    apply_errors: List[Optional[str]] = []
+    engine = fresh_engine()
+    with engine:
+        for event in case.events:
+            try:
+                deltas = engine.apply(event)
+            except ValueError as error:
+                expected.append([])
+                apply_errors.append(str(error))
+            else:
+                expected.append([delta_line(d) for d in deltas])
+                apply_errors.append(None)
+        final_rows = _stream_rows(engine)
+
+    daemon = InProcessDaemon(
+        fresh_engine,
+        ServeOptions(
+            queue_limit=max(16, len(case.events) + 1),
+            read_timeout=30.0,
+            idle_timeout=0.0,
+        ),
+    )
+    host, port = daemon.start()
+    subscriber: Optional[ServeClient] = None
+    requester: Optional[ServeClient] = None
+    try:
+        subscriber = ServeClient(host, port)
+        reply = subscriber.request("subscribe")
+        if not reply.get("ok"):
+            raise AssertionError("subscribe refused: %r" % reply)
+        requester = ServeClient(host, port)
+        for index, event in enumerate(case.events):
+            verb, fields = _event_request(event)
+            reply = requester.request(verb, **fields)
+            if apply_errors[index] is not None:
+                error = reply.get("error")
+                if reply.get("ok") is not False or (
+                    not isinstance(error, dict)
+                    or error.get("code") != "bad-request"
+                ):
+                    raise AssertionError(
+                        "event %d: engine raised %r but the daemon replied "
+                        "%r" % (index, apply_errors[index], reply)
+                    )
+                continue
+            if not reply.get("ok"):
+                raise AssertionError(
+                    "event %d: daemon refused a valid event: %r"
+                    % (index, reply)
+                )
+            got = [
+                encode(
+                    {
+                        "action": delta["action"],
+                        "x": delta["x"],
+                        "y": delta["y"],
+                        "similarity": delta["similarity"],
+                    }
+                )
+                for delta in reply.get("deltas", ())
+            ]
+            if got != expected[index]:
+                raise AssertionError(
+                    "event %d: daemon reply deltas diverge from the "
+                    "in-process engine: %r != %r"
+                    % (index, got[:4], expected[index][:4])
+                )
+        query = requester.request("query")
+        rows = [
+            (int(x), int(y), float(value))
+            for x, y, value in query.get("results", ())
+        ]
+        if rows != final_rows:
+            raise AssertionError(
+                "final query rows diverge from the in-process engine: "
+                "%r != %r" % (rows[:8], final_rows[:8])
+            )
+        requester.close()
+        requester = None
+        daemon.stop()  # graceful: flushes subscriber deltas, sends shutdown
+        frames = subscriber.drain_until_eof()
+        pushed = [
+            encode(
+                {
+                    "action": frame["action"],
+                    "x": frame["x"],
+                    "y": frame["y"],
+                    "similarity": frame["similarity"],
+                }
+            )
+            for frame in frames
+            if frame.get("event") == "delta"
+        ]
+        flattened = [line for lines in expected for line in lines]
+        if pushed != flattened:
+            raise AssertionError(
+                "subscriber push stream diverges from the in-process "
+                "delta sequence: %d pushed vs %d expected (first "
+                "difference at %d)"
+                % (
+                    len(pushed),
+                    len(flattened),
+                    next(
+                        (
+                            i
+                            for i, (a, b) in enumerate(zip(pushed, flattened))
+                            if a != b
+                        ),
+                        min(len(pushed), len(flattened)),
+                    ),
+                )
+            )
+        if not frames or frames[-1].get("event") != "shutdown":
+            raise AssertionError(
+                "graceful shutdown sent no terminal shutdown event frame"
+            )
+        server = daemon.server
+        unhandled = server.drain_unhandled() if server is not None else []
+        if unhandled:
+            raise AssertionError(
+                "daemon swallowed unhandled exceptions: %r" % unhandled
+            )
+    finally:
+        for client in (requester, subscriber):
+            if client is not None:
+                try:
+                    client.close()
+                except OSError:  # pragma: no cover - teardown best effort
+                    pass
+        daemon.stop()
+    return None
+
+
 _STREAM_BACKENDS: Dict[str, StreamBackendFn] = {
     "stream-incremental": _stream_backend("incremental", "on"),
     "stream-incremental-accel-off": _stream_backend("incremental", "off"),
@@ -693,6 +903,8 @@ _STREAM_BACKENDS: Dict[str, StreamBackendFn] = {
     "stream-recompute-accel-off": _stream_backend("recompute", "off"),
     "stream-trace-on": _stream_trace_backend,
 }
+if sockets_usable():
+    _STREAM_BACKENDS["serve-daemon"] = _serve_daemon_backend
 
 
 def available_stream_backends() -> Tuple[str, ...]:
@@ -709,9 +921,12 @@ def run_stream_differential(
     The incremental engine, the per-event full-recompute twin, and their
     acceleration variants must all stay tie-equivalent to the
     brute-force window oracle after **every single event**, with runtime
-    invariants armed.  Failure semantics match :func:`run_differential`:
-    invariant violations, mismatches and crashes are collected, not
-    propagated.
+    invariants armed.  Where loopback sockets work, ``serve-daemon``
+    additionally replays the case through a real network daemon and
+    requires byte-identical delta lines (see
+    :func:`_serve_daemon_backend`).  Failure semantics match
+    :func:`run_differential`: invariant violations, mismatches and
+    crashes are collected, not propagated.
     """
     names = (
         list(backends) if backends is not None else list(_STREAM_BACKENDS)

@@ -1,0 +1,99 @@
+"""``repro serve`` — the async streaming top-k daemon.
+
+The sliding-window engine (:mod:`repro.stream`) computes the live top-k
+join over an event stream; this package puts a network front on it.  One
+asyncio daemon owns one engine behind a single writer task fed by a
+bounded ingestion queue, speaks a newline-delimited JSON protocol
+(``insert``/``expire``/``advance``/``query``/``subscribe``/``stats``/
+``metrics``/``shutdown``), pushes ``enter``/``leave`` delta
+notifications to subscribers, and answers plain HTTP ``GET /metrics``
+on the same port with a live Prometheus exposition.
+
+Under overload the bounded queue applies a declared degradation policy
+(``reject`` or ``shed``, see :mod:`repro.serve.degradation`); under
+abuse the framing layer answers with structured errors and timeouts
+rather than dying (see :mod:`repro.serve.protocol` and
+:mod:`repro.serve.session`); under SIGTERM the daemon drains accepted
+events, flushes subscriber deltas, and closes the engine cleanly.
+
+Start one from the command line::
+
+    repro serve --port 7777 --k 10 --window 500 &
+    curl -s http://127.0.0.1:7777/metrics | grep repro_serve
+
+or in-process for tests (:class:`~repro.serve.client.InProcessDaemon`).
+``docs/SERVING.md`` specifies the protocol and the degradation policy;
+the end-to-end harness proves the daemon's delta stream byte-identical
+to an in-process engine replay.
+"""
+
+from .client import InProcessDaemon, ServeClient
+from .degradation import (
+    ACCEPTED,
+    DEGRADATION_POLICIES,
+    REJECTED,
+    SHED,
+    IngestionGate,
+    QueuedEvent,
+    validate_gate,
+)
+from .protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    VERBS,
+    ProtocolError,
+    Request,
+    delta_line,
+    delta_payload,
+    encode,
+    error_payload,
+    http_request_path,
+    http_response,
+    looks_like_http,
+    ok_payload,
+    parse_request,
+)
+from .server import ServeOptions, TopkServer, open_servers
+from .session import (
+    FrameReader,
+    FrameTooLarge,
+    IdleTimeout,
+    ReadStalled,
+    Session,
+    TruncatedFrame,
+)
+
+__all__ = [
+    "ACCEPTED",
+    "DEGRADATION_POLICIES",
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "REJECTED",
+    "SHED",
+    "VERBS",
+    "FrameReader",
+    "FrameTooLarge",
+    "IdleTimeout",
+    "IngestionGate",
+    "InProcessDaemon",
+    "ProtocolError",
+    "QueuedEvent",
+    "ReadStalled",
+    "Request",
+    "ServeClient",
+    "ServeOptions",
+    "Session",
+    "TopkServer",
+    "TruncatedFrame",
+    "delta_line",
+    "delta_payload",
+    "encode",
+    "error_payload",
+    "http_request_path",
+    "http_response",
+    "looks_like_http",
+    "ok_payload",
+    "open_servers",
+    "parse_request",
+    "validate_gate",
+]

@@ -1,0 +1,206 @@
+"""Test-harness clients: a scripted socket client and a daemon-in-a-thread.
+
+:class:`ServeClient` is a deliberately boring synchronous client: one
+blocking socket, newline-delimited JSON, auto-incrementing request ids.
+Push frames (delta notifications, the shutdown event) that arrive while
+waiting for a reply are buffered on :attr:`ServeClient.pushes` in arrival
+order, so a test can drive request/reply traffic and still assert on the
+exact subscription stream afterwards.
+
+:class:`InProcessDaemon` runs a real :class:`TopkServer` — real sockets,
+real event loop — on a background thread inside the test process, so the
+end-to-end suite needs no subprocess management and the differential
+oracle can stand a daemon up per case in milliseconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from ..stream.engine import StreamingTopkEngine
+from .server import ServeOptions, TopkServer
+
+__all__ = ["InProcessDaemon", "ServeClient"]
+
+
+class ServeClient:
+    """A synchronous scripted client for one daemon connection."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 10.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+        #: Push frames received while waiting for replies, in order.
+        self.pushes: List[Dict[str, Any]] = []
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def send_raw(self, data: bytes) -> None:
+        """Write raw bytes (fault-injection tests build broken frames)."""
+        self._sock.sendall(data)
+
+    def read_frame(self) -> Dict[str, Any]:
+        """The next frame from the daemon (blocking; raises on EOF)."""
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        payload = json.loads(line.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("daemon sent a non-object frame: %r" % line)
+        return payload
+
+    def request(self, verb: str, **fields: object) -> Dict[str, Any]:
+        """Send one request and block for *its* reply.
+
+        Frames without a matching ``id`` (pushes, or replies to earlier
+        pipelined requests read late) are appended to :attr:`pushes`.
+        """
+        self._next_id += 1
+        rid = self._next_id
+        payload: Dict[str, object] = {"verb": verb, "id": rid}
+        payload.update(fields)
+        self.send_raw(
+            json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+        )
+        while True:
+            frame = self.read_frame()
+            if frame.get("id") == rid:
+                return frame
+            self.pushes.append(frame)
+
+    def drain_until_eof(self, limit: int = 100000) -> List[Dict[str, Any]]:
+        """Read frames into :attr:`pushes` until the daemon closes.
+
+        Returns the full push list.  Used by shutdown tests: subscribe,
+        then drain — the flushed deltas and the ``shutdown`` event land
+        here, terminated by a clean EOF.
+        """
+        for _ in range(limit):
+            try:
+                self.pushes.append(self.read_frame())
+            except (ConnectionError, ValueError, OSError):
+                break
+        return self.pushes
+
+
+class InProcessDaemon:
+    """A real daemon on a background thread, for tests and the oracle.
+
+    ``engine_factory`` builds the (unopened) engine *inside* the daemon
+    thread's event loop; the server opens and closes it.  Use as a
+    context manager::
+
+        with InProcessDaemon(make_engine, options) as (host, port):
+            with ServeClient(host, port) as client:
+                client.request("insert", tokens=[1, 2, 3])
+    """
+
+    def __init__(
+        self,
+        engine_factory: Callable[[], StreamingTopkEngine],
+        options: Optional[ServeOptions] = None,
+    ) -> None:
+        self._engine_factory = engine_factory
+        self._options = options or ServeOptions()
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._failure: Optional[BaseException] = None
+        self.server: Optional[TopkServer] = None
+
+    def start(self) -> Tuple[str, int]:
+        """Start the daemon thread; returns the bound ``(host, port)``."""
+        if self._thread is not None:
+            raise RuntimeError("daemon already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-daemon", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30.0):
+            raise RuntimeError("daemon thread did not start within 30s")
+        if self._failure is not None:
+            raise RuntimeError(
+                "daemon failed to start: %r" % self._failure
+            ) from self._failure
+        assert self._address is not None
+        return self._address
+
+    def stop(self) -> None:
+        """Graceful shutdown (drain, flush, close engine) and join."""
+        thread = self._thread
+        if thread is None:
+            return
+        loop = self._loop
+        stop_event = self._stop_event
+        if loop is not None and stop_event is not None and thread.is_alive():
+            try:
+                loop.call_soon_threadsafe(stop_event.set)
+            except RuntimeError:
+                pass  # the loop already closed on its own
+        thread.join(timeout=30.0)
+        if thread.is_alive():  # pragma: no cover - diagnostic dead end
+            raise RuntimeError("daemon thread did not stop within 30s")
+        self._thread = None
+        if self._failure is not None:
+            raise RuntimeError(
+                "daemon died: %r" % self._failure
+            ) from self._failure
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: object,
+    ) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as failure:  # noqa: BLE001 — reported to caller
+            self._failure = failure
+        finally:
+            self._started.set()  # unblock start() even on early death
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = TopkServer(self._engine_factory(), self._options)
+        await server.start()
+        self.server = server
+        self._address = server.address
+        self._started.set()
+        try:
+            stopper = asyncio.create_task(self._stop_event.wait())
+            closer = asyncio.create_task(server.wait_closed())
+            done, pending = await asyncio.wait(
+                {stopper, closer}, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            del done
+        finally:
+            await server.shutdown()

@@ -1,0 +1,151 @@
+"""Backpressure and load shedding for the ingestion queue.
+
+The daemon owns exactly one mutable :class:`StreamingTopkEngine`, fed by
+a single writer task draining a bounded queue.  When producers outrun
+the writer the queue fills, and the :class:`IngestionGate` applies the
+configured degradation policy to each overflowing event:
+
+``reject``
+    The event is refused with a structured ``overloaded`` error reply —
+    the client knows its event was **not** applied and may retry.  This
+    is the default: the window stays exact with respect to everything
+    the daemon acknowledged.
+
+``shed``
+    The event is dropped (tail drop) but acknowledged with
+    ``{"ok": true, "shed": true}`` — ingestion keeps flowing at the
+    cost of holes in the stream.  Shed events are counted and exposed
+    as ``repro_serve_shed_total``; the window stays exact for the
+    *accepted* subsequence (the soak test proves this by replaying the
+    accepted events through a fresh in-process engine).
+
+Either way the bound is honest: the queue never holds more than
+``queue_limit`` pending events, so daemon memory and worst-case drain
+latency stay proportional to a CLI flag, not to client enthusiasm.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..core.metrics import ServeStats
+from .protocol import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import Session
+
+__all__ = [
+    "ACCEPTED",
+    "DEGRADATION_POLICIES",
+    "REJECTED",
+    "SHED",
+    "IngestionGate",
+    "QueuedEvent",
+    "validate_gate",
+]
+
+#: Verdicts of :meth:`IngestionGate.offer`.
+ACCEPTED = "accepted"
+REJECTED = "rejected"
+SHED = "shed"
+
+#: Accepted ``--degradation`` policies.
+DEGRADATION_POLICIES = ("reject", "shed")
+
+
+def validate_gate(queue_limit: int, policy: str) -> None:
+    """Raise ``ValueError`` for an illegal limit/policy combination.
+
+    Separate from :class:`IngestionGate` so configuration can fail fast
+    in synchronous context — the gate itself must be constructed on the
+    event loop (its ``asyncio.Queue`` binds the running loop on 3.9).
+    """
+    if queue_limit < 1:
+        raise ValueError("queue limit must be >= 1, got %d" % queue_limit)
+    if policy not in DEGRADATION_POLICIES:
+        raise ValueError(
+            "unknown degradation policy %r (choose from %s)"
+            % (policy, ", ".join(DEGRADATION_POLICIES))
+        )
+
+
+@dataclass
+class QueuedEvent:
+    """One accepted ingestion request awaiting the writer task.
+
+    ``session`` is ``None`` when the originating connection is already
+    gone — the writer still applies the event (it was acknowledged as
+    accepted) and simply drops the reply.
+    """
+
+    request: Request
+    session: Optional["Session"]
+    #: ``perf_counter`` at enqueue, for the request latency histogram.
+    received: float
+
+
+class IngestionGate:
+    """The bounded ingestion queue plus its degradation policy.
+
+    The queue object itself is unbounded and the limit is enforced in
+    :meth:`offer` — that way :meth:`close` can always enqueue its
+    sentinel (a ``None``) even when the queue is full, so the writer's
+    drain loop terminates deterministically during graceful shutdown.
+    """
+
+    def __init__(
+        self, queue_limit: int, policy: str, stats: ServeStats
+    ) -> None:
+        validate_gate(queue_limit, policy)
+        self.policy = policy
+        self.queue_limit = queue_limit
+        self._stats = stats
+        self._queue: "asyncio.Queue[Optional[QueuedEvent]]" = asyncio.Queue()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def depth(self) -> int:
+        """Events currently pending (the sentinel does not count)."""
+        pending = self._queue.qsize()
+        if self._closed and pending > 0:
+            pending -= 1
+        return max(0, pending)
+
+    def offer(self, item: QueuedEvent) -> str:
+        """Admit, reject, or shed one event; returns the verdict.
+
+        Synchronous by design: the session task calls this inline while
+        parsing frames, so admission control never awaits and the
+        bounded-queue check cannot race another reader.
+        """
+        if self._closed:
+            self._stats.rejected += 1
+            return REJECTED
+        if self._queue.qsize() >= self.queue_limit:
+            if self.policy == "shed":
+                self._stats.shed += 1
+                return SHED
+            self._stats.rejected += 1
+            return REJECTED
+        self._queue.put_nowait(item)
+        self._stats.accepted += 1
+        depth = self._queue.qsize()
+        if depth > self._stats.queue_peak:
+            self._stats.queue_peak = depth
+        return ACCEPTED
+
+    def close(self) -> None:
+        """Refuse further events and wake the writer with the sentinel."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put_nowait(None)
+
+    async def next_event(self) -> Optional[QueuedEvent]:
+        """The next accepted event, or ``None`` once closed and drained."""
+        return await self._queue.get()

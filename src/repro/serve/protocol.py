@@ -1,0 +1,337 @@
+"""Wire protocol of the ``repro serve`` daemon.
+
+Newline-delimited JSON: every request is one JSON object on one line,
+every reply is one JSON object on one line.  The encoding is pinned —
+compact separators, sorted keys, ``ensure_ascii`` — so a reply is a
+*byte-deterministic* function of its payload.  That determinism is
+load-bearing: the daemon differential backend asserts that a scripted
+client session produces **byte-identical** delta lines to an in-process
+engine replay, and both sides serialize through :func:`delta_line`.
+
+Requests carry a ``verb`` plus an optional client-chosen ``id`` (echoed
+verbatim in the reply, so clients may pipeline).  Malformed frames never
+raise out of :func:`parse_request` with anything but
+:class:`ProtocolError`, which the server turns into a structured error
+reply — a junk line costs one error frame, not the daemon.
+
+The same port also answers plain ``GET /metrics`` HTTP requests (the
+Prometheus scrape path); :func:`looks_like_http` spots those by their
+first bytes and :func:`http_response` renders a minimal HTTP/1.0 reply.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..stream.engine import StreamDelta
+from ..stream.events import StreamEvent
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "VERBS",
+    "ProtocolError",
+    "Request",
+    "delta_line",
+    "delta_payload",
+    "encode",
+    "error_payload",
+    "http_request_path",
+    "http_response",
+    "looks_like_http",
+    "ok_payload",
+    "parse_request",
+]
+
+#: Accepted request verbs.
+VERBS = (
+    "ping",
+    "insert",
+    "expire",
+    "advance",
+    "query",
+    "subscribe",
+    "unsubscribe",
+    "stats",
+    "metrics",
+    "shutdown",
+)
+
+#: Structured error codes a reply's ``error.code`` may carry.
+ERROR_CODES = (
+    "parse-error",
+    "bad-request",
+    "unknown-verb",
+    "frame-too-large",
+    "overloaded",
+    "forbidden",
+    "shutting-down",
+    "idle-timeout",
+    "read-timeout",
+    "internal-error",
+)
+
+#: Default per-frame size cap (bytes, including the newline).
+MAX_FRAME_BYTES = 1 << 20
+
+RequestId = Optional[Union[int, str]]
+
+
+class ProtocolError(Exception):
+    """A frame that cannot become a valid :class:`Request`.
+
+    ``code`` is one of :data:`ERROR_CODES`; ``request_id`` is the
+    client's ``id`` when it could still be extracted from the broken
+    frame (so even an error reply correlates where possible).
+    """
+
+    def __init__(
+        self, code: str, message: str, request_id: RequestId = None
+    ) -> None:
+        super().__init__(message)
+        if code not in ERROR_CODES:
+            raise ValueError("unknown protocol error code %r" % code)
+        self.code = code
+        self.request_id = request_id
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed client request."""
+
+    verb: str
+    id: RequestId = None
+    #: ``insert`` payload.
+    tokens: Tuple[int, ...] = ()
+    #: ``expire`` count or ``advance`` amount.
+    amount: float = 1.0
+
+    def event(self) -> StreamEvent:
+        """The engine event of an ``insert``/``expire``/``advance``."""
+        if self.verb == "insert":
+            return StreamEvent.insert(self.tokens)
+        if self.verb == "expire":
+            return StreamEvent.expire(int(self.amount))
+        if self.verb == "advance":
+            return StreamEvent.advance(self.amount)
+        raise ValueError("verb %r carries no stream event" % self.verb)
+
+
+def _extract_id(payload: Mapping[str, object]) -> RequestId:
+    """The ``id`` field when it is a legal correlation id, else ``None``."""
+    raw = payload.get("id")
+    if isinstance(raw, bool):
+        return None
+    if isinstance(raw, (int, str)):
+        return raw
+    return None
+
+
+def _require_number(
+    payload: Mapping[str, object],
+    key: str,
+    request_id: RequestId,
+    default: Optional[float] = None,
+) -> float:
+    raw = payload.get(key, default)
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise ProtocolError(
+            "bad-request",
+            "%r must be a number, got %r" % (key, raw),
+            request_id,
+        )
+    value = float(raw)
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ProtocolError(
+            "bad-request", "%r must be finite, got %r" % (key, raw), request_id
+        )
+    return value
+
+
+def parse_request(frame: Union[str, bytes]) -> Request:
+    """Parse one frame into a :class:`Request`.
+
+    Raises :class:`ProtocolError` — never anything else — on junk:
+    invalid JSON, a non-object document, a missing/unknown verb, or a
+    payload of the wrong shape.  The error carries the client's ``id``
+    whenever the broken frame still had a usable one.
+    """
+    if isinstance(frame, bytes):
+        try:
+            text = frame.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(
+                "parse-error", "frame is not valid UTF-8: %s" % error
+            ) from error
+    else:
+        text = frame
+    try:
+        payload = json.loads(text)
+    except ValueError as error:
+        raise ProtocolError(
+            "parse-error", "frame is not valid JSON: %s" % error
+        ) from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "bad-request",
+            "frame must be a JSON object, got %s" % type(payload).__name__,
+        )
+    if "id" in payload:
+        raw_id = payload["id"]
+        if isinstance(raw_id, bool) or not isinstance(raw_id, (int, str)):
+            raise ProtocolError(
+                "bad-request",
+                "'id' must be an integer or a string, got %r" % (raw_id,),
+            )
+    request_id = _extract_id(payload)
+    verb = payload.get("verb")
+    if not isinstance(verb, str):
+        raise ProtocolError(
+            "bad-request", "request has no string 'verb' field", request_id
+        )
+    if verb not in VERBS:
+        raise ProtocolError(
+            "unknown-verb",
+            "unknown verb %r (choose from %s)" % (verb, ", ".join(VERBS)),
+            request_id,
+        )
+    if verb == "insert":
+        raw_tokens = payload.get("tokens", [])
+        if not isinstance(raw_tokens, list):
+            raise ProtocolError(
+                "bad-request",
+                "'tokens' must be a list of integers, got %r" % (raw_tokens,),
+                request_id,
+            )
+        tokens: List[int] = []
+        for item in raw_tokens:
+            if isinstance(item, bool) or not isinstance(item, int):
+                raise ProtocolError(
+                    "bad-request",
+                    "'tokens' must hold integers, got %r" % (item,),
+                    request_id,
+                )
+            if item < 0:
+                raise ProtocolError(
+                    "bad-request",
+                    "'tokens' must be non-negative, got %d" % item,
+                    request_id,
+                )
+            tokens.append(item)
+        return Request("insert", request_id, tokens=tuple(tokens))
+    if verb == "expire":
+        count = _require_number(payload, "count", request_id, default=1.0)
+        if count != int(count) or count < 1:
+            raise ProtocolError(
+                "bad-request",
+                "'count' must be an integer >= 1, got %r" % count,
+                request_id,
+            )
+        return Request("expire", request_id, amount=count)
+    if verb == "advance":
+        if "amount" not in payload:
+            raise ProtocolError(
+                "bad-request", "'advance' requires an 'amount'", request_id
+            )
+        amount = _require_number(payload, "amount", request_id)
+        if amount < 0:
+            raise ProtocolError(
+                "bad-request",
+                "'amount' must be >= 0, got %r" % amount,
+                request_id,
+            )
+        return Request("advance", request_id, amount=amount)
+    return Request(verb, request_id)
+
+
+# ----------------------------------------------------------------------
+# Reply encoding — byte-deterministic by construction
+# ----------------------------------------------------------------------
+
+
+def encode(payload: Mapping[str, object]) -> bytes:
+    """One reply frame: compact sorted-key JSON plus the newline."""
+    text = json.dumps(
+        payload, separators=(",", ":"), sort_keys=True, ensure_ascii=True
+    )
+    return text.encode("utf-8") + b"\n"
+
+
+def delta_payload(delta: StreamDelta) -> Dict[str, object]:
+    """The JSON object form of one :class:`StreamDelta`."""
+    return {
+        "action": delta.action,
+        "x": delta.x,
+        "y": delta.y,
+        "similarity": delta.similarity,
+    }
+
+
+def delta_line(delta: StreamDelta) -> bytes:
+    """The canonical byte form of one delta.
+
+    Both sides of the daemon differential use this: the oracle replay
+    serializes the in-process engine's deltas with it, and the scripted
+    client re-encodes the daemon's parsed delta objects with
+    :func:`encode` — JSON floats round-trip exactly (``repr`` shortest
+    form), so equal deltas produce equal bytes.
+    """
+    return encode(delta_payload(delta))
+
+
+def ok_payload(
+    request_id: RequestId, **fields: object
+) -> Dict[str, object]:
+    """A success reply body (callers :func:`encode` it)."""
+    payload: Dict[str, object] = {"ok": True, "id": request_id}
+    payload.update(fields)
+    return payload
+
+
+def error_payload(
+    request_id: RequestId, code: str, message: str
+) -> Dict[str, object]:
+    """A structured error reply body."""
+    if code not in ERROR_CODES:
+        raise ValueError("unknown protocol error code %r" % code)
+    return {
+        "ok": False,
+        "id": request_id,
+        "error": {"code": code, "message": message},
+    }
+
+
+# ----------------------------------------------------------------------
+# The HTTP scrape path
+# ----------------------------------------------------------------------
+
+
+def looks_like_http(first_bytes: bytes) -> bool:
+    """Whether a connection opened with an HTTP request line."""
+    return first_bytes.startswith((b"GET ", b"HEAD "))
+
+
+def http_request_path(request_line: bytes) -> str:
+    """The target path of an HTTP request line (empty when unparseable)."""
+    parts = request_line.split()
+    if len(parts) < 2:
+        return ""
+    try:
+        return parts[1].decode("ascii")
+    except UnicodeDecodeError:
+        return ""
+
+
+def http_response(status: int, reason: str, body: str) -> bytes:
+    """A minimal ``HTTP/1.0`` response with a text body."""
+    encoded = body.encode("utf-8")
+    head = (
+        "HTTP/1.0 %d %s\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: %d\r\n"
+        "Connection: close\r\n"
+        "\r\n" % (status, reason, len(encoded))
+    )
+    return head.encode("ascii") + encoded

@@ -1,0 +1,192 @@
+"""Per-connection state: frame reading with timeouts, and the outbox.
+
+Each accepted connection gets a :class:`Session` (identity, subscription
+flag, a bounded outbox queue drained by one sender task) and a
+:class:`FrameReader` (newline-delimited frame extraction with the two
+timeout regimes the protocol distinguishes):
+
+* **read timeout** — the peer stalled *mid-frame*: bytes arrived but the
+  newline never did.  That is a misbehaving or wedged client and the
+  connection is closed with a ``read-timeout`` error.
+* **idle timeout** — the peer is connected but silent *between* frames.
+  Plain request/reply clients are evicted (``idle-timeout``) so
+  abandoned connections cannot accumulate; subscribed clients are
+  exempt — a subscriber's silence is the normal case.
+
+Replies and push notifications never block the event loop: they are
+enqueued on the session's bounded outbox and written by the sender task.
+A full outbox means the peer reads slower than the daemon produces —
+:meth:`Session.send` reports the overflow and the server evicts the
+subscriber rather than buffering without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+__all__ = [
+    "FrameReader",
+    "FrameTooLarge",
+    "IdleTimeout",
+    "ReadStalled",
+    "Session",
+    "TruncatedFrame",
+]
+
+_READ_CHUNK = 65536
+
+
+class FrameTooLarge(Exception):
+    """A frame exceeded the per-frame byte cap before its newline."""
+
+
+class ReadStalled(Exception):
+    """The peer stalled mid-frame past the read timeout."""
+
+
+class IdleTimeout(Exception):
+    """The peer sent nothing for longer than the idle timeout."""
+
+
+class TruncatedFrame(Exception):
+    """The peer disconnected mid-frame (EOF before the newline)."""
+
+
+class FrameReader:
+    """Newline-delimited frames from an ``asyncio.StreamReader``.
+
+    ``read_timeout`` bounds mid-frame stalls; ``idle_timeout`` bounds
+    silence between frames (``0`` disables either).  Frames are returned
+    without their trailing newline; a clean EOF between frames returns
+    ``None``.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        max_frame_bytes: int,
+        read_timeout: float,
+        idle_timeout: float,
+    ) -> None:
+        self._reader = reader
+        self._max_frame_bytes = max_frame_bytes
+        self._read_timeout = read_timeout
+        self._idle_timeout = idle_timeout
+        self._buffer = bytearray()
+
+    async def next_frame(self, idle_exempt: bool = False) -> Optional[bytes]:
+        """The next complete frame (or ``None`` on a clean EOF).
+
+        Raises :class:`FrameTooLarge`, :class:`ReadStalled`,
+        :class:`IdleTimeout` or :class:`TruncatedFrame`; transport
+        errors (``ConnectionError``/``OSError``) propagate as such.
+        """
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                if newline > self._max_frame_bytes:
+                    raise FrameTooLarge(
+                        "frame of %d bytes exceeds the %d-byte cap"
+                        % (newline, self._max_frame_bytes)
+                    )
+                frame = bytes(self._buffer[:newline])
+                del self._buffer[: newline + 1]
+                return frame
+            if len(self._buffer) > self._max_frame_bytes:
+                raise FrameTooLarge(
+                    "frame exceeds the %d-byte cap without a newline"
+                    % self._max_frame_bytes
+                )
+            mid_frame = bool(self._buffer)
+            if mid_frame:
+                timeout = self._read_timeout
+            elif idle_exempt:
+                timeout = 0.0
+            else:
+                timeout = self._idle_timeout
+            try:
+                if timeout > 0:
+                    chunk = await asyncio.wait_for(
+                        self._reader.read(_READ_CHUNK), timeout
+                    )
+                else:
+                    chunk = await self._reader.read(_READ_CHUNK)
+            except asyncio.TimeoutError:
+                if mid_frame:
+                    raise ReadStalled(
+                        "no frame completion within %.1fs"
+                        % self._read_timeout
+                    ) from None
+                raise IdleTimeout(
+                    "no request within %.1fs" % self._idle_timeout
+                ) from None
+            if not chunk:
+                if mid_frame:
+                    raise TruncatedFrame(
+                        "EOF %d bytes into a frame" % len(self._buffer)
+                    )
+                return None
+            self._buffer.extend(chunk)
+
+
+class Session:
+    """One connected client: identity, subscription flag, outbox."""
+
+    def __init__(
+        self,
+        sid: int,
+        writer: asyncio.StreamWriter,
+        outbox_limit: int,
+    ) -> None:
+        self.sid = sid
+        self.subscribed = False
+        #: Set by the server to make the session loop stop after the
+        #: current frame (graceful shutdown).
+        self.closing = False
+        #: Whether any JSON frame was dispatched yet (the HTTP sniff
+        #: only applies to a connection's very first frame).
+        self.saw_frame = False
+        self._writer = writer
+        self._outbox_limit = outbox_limit
+        self._outbox: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
+        self._outbox_closed = False
+
+    @property
+    def peername(self) -> str:
+        peer = self._writer.get_extra_info("peername")
+        if isinstance(peer, tuple) and len(peer) >= 2:
+            return "%s:%s" % (peer[0], peer[1])
+        return repr(peer)
+
+    def send(self, frame: bytes) -> bool:
+        """Queue one outgoing frame; ``False`` on overflow or closed."""
+        if self._outbox_closed:
+            return False
+        if self._outbox.qsize() >= self._outbox_limit:
+            return False
+        self._outbox.put_nowait(frame)
+        return True
+
+    def close_outbox(self) -> None:
+        """No more frames; the sender flushes the backlog and exits."""
+        if self._outbox_closed:
+            return
+        self._outbox_closed = True
+        self._outbox.put_nowait(None)
+
+    async def sender_loop(self) -> None:
+        """Drain the outbox onto the transport until the close sentinel.
+
+        Transport errors end the loop quietly — the reader side of the
+        connection surfaces the disconnect.
+        """
+        try:
+            while True:
+                frame = await self._outbox.get()
+                if frame is None:
+                    break
+                self._writer.write(frame)
+                await self._writer.drain()
+        except (ConnectionError, OSError):
+            pass

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.engine import EngineLifecycle
 from ..core.metrics import StreamStats, TopkStats
@@ -58,9 +58,13 @@ from .buffer import StreamTopkBuffer
 from .events import ADVANCE, EXPIRE, INSERT, StreamEvent
 from .window import LiveRecord, SlidingWindow
 
-__all__ = ["StreamDelta", "StreamingTopkEngine", "STREAM_MODES"]
+__all__ = ["DeltaSubscriber", "StreamDelta", "StreamingTopkEngine", "STREAM_MODES"]
 
 Pair = Tuple[int, int]
+
+#: A delta-subscription callback: receives each event's non-empty delta
+#: list, synchronously, after the event fully applied.
+DeltaSubscriber = Callable[[List["StreamDelta"]], None]
 
 #: Engine maintenance modes.
 STREAM_MODES = ("incremental", "recompute")
@@ -132,6 +136,7 @@ class StreamingTopkEngine(EngineLifecycle):
         )
         self._index = InvertedIndex()
         self._buffer = StreamTopkBuffer(k)
+        self._delta_subscribers: List[DeltaSubscriber] = []
         #: Aggregate counters of every refill/recompute batch join.
         self.refill_stats = TopkStats()
 
@@ -206,6 +211,7 @@ class StreamingTopkEngine(EngineLifecycle):
             self._tracer.add_phase_time(
                 "stream_ingest", time.perf_counter() - started
             )
+        self._notify(deltas)
         return deltas
 
     def expire(self, count: int = 1) -> List[StreamDelta]:
@@ -221,6 +227,7 @@ class StreamingTopkEngine(EngineLifecycle):
             self._recompute_after_shrink(deltas)
         if self._checks is not None:
             self._checks.after_event(self)
+        self._notify(deltas)
         return deltas
 
     def advance(self, amount: float) -> List[StreamDelta]:
@@ -253,7 +260,40 @@ class StreamingTopkEngine(EngineLifecycle):
             self._recompute_after_shrink(deltas)
         if self._checks is not None:
             self._checks.after_event(self)
+        self._notify(deltas)
         return deltas
+
+    # ------------------------------------------------------------------
+    # Delta subscription
+    # ------------------------------------------------------------------
+
+    def subscribe(self, callback: DeltaSubscriber) -> Callable[[], None]:
+        """Register *callback* for every event's non-empty delta list.
+
+        Callbacks run synchronously inside :meth:`insert` /
+        :meth:`expire` / :meth:`advance`, after the event fully applied
+        and in registration order, so a subscriber observes the exact
+        delta stream the caller receives — the ``repro serve`` daemon
+        broadcasts push notifications from here.  Returns an unsubscribe
+        callable (idempotent).  Subscriber exceptions propagate to the
+        event caller; subscribers that must not disturb ingestion catch
+        their own.
+        """
+        self._delta_subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._delta_subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _notify(self, deltas: List[StreamDelta]) -> None:
+        if not deltas or not self._delta_subscribers:
+            return
+        for callback in tuple(self._delta_subscribers):
+            callback(deltas)
 
     # ------------------------------------------------------------------
     # Results and inspection
@@ -293,6 +333,15 @@ class StreamingTopkEngine(EngineLifecycle):
         for token in self._index.tokens():
             for sid, __ in self._index.postings(token):
                 yield token, sid
+
+    def publish_metrics(self, tracer: Tracer) -> None:
+        """Fold the engine's counters and gauges into *tracer*'s registry.
+
+        The ``repro serve`` daemon calls this on every live ``/metrics``
+        scrape to combine the engine families with its own
+        ``repro_serve_*`` families in one exposition.
+        """
+        self._publish_metrics(tracer)
 
     def metrics_text(self) -> str:
         """A Prometheus-format snapshot of the engine's current metrics.

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import random
+import sys
+import threading
 from typing import List, Sequence
 
 import pytest
@@ -38,6 +40,37 @@ def no_leaked_shm_segments():
     assert not fresh, (
         "test leaked shared-memory segments: %r (the creating join must "
         "destroy_segment() in a finally block)" % fresh
+    )
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_serve_resources():
+    """Fail any test that leaves a serve daemon (or its thread) running.
+
+    Mirrors the shm fixture above for the service layer: every
+    TopkServer registers itself in a live-server table on start and
+    removes itself on shutdown, and every InProcessDaemon thread is
+    named ``repro-serve-daemon`` — so a post-test scan turns a leaked
+    event loop, socket, or daemon thread anywhere in the suite into a
+    precise failure.  Checked lazily via sys.modules so the suite never
+    pays an asyncio import for tests that don't touch serving.
+    """
+    yield
+    server_module = sys.modules.get("repro.serve.server")
+    if server_module is not None:
+        leaked = server_module.open_servers()
+        assert not leaked, (
+            "test leaked running serve daemons: %r (stop() or shutdown() "
+            "must run in a finally block)" % leaked
+        )
+    lingering = [
+        thread.name
+        for thread in threading.enumerate()
+        if thread.name == "repro-serve-daemon" and thread.is_alive()
+    ]
+    assert not lingering, (
+        "test leaked %d repro-serve-daemon thread(s); InProcessDaemon "
+        "must be stopped (use it as a context manager)" % len(lingering)
     )
 
 

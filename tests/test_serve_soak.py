@@ -1,0 +1,202 @@
+"""Soak and backpressure tests for the serve daemon (slow lane).
+
+A deliberately fast producer against a tiny ingestion queue plus an
+artificial per-event apply delay must trigger the declared degradation
+policy — and the engine's window must stay *exact* for the accepted
+subsequence: replaying exactly the accepted events in an in-process
+engine reproduces the daemon's final top-k byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.core import TopkOptions
+from repro.oracle.differential import sockets_usable
+from repro.serve import (
+    InProcessDaemon,
+    ServeClient,
+    ServeOptions,
+    open_servers,
+)
+from repro.stream.engine import StreamingTopkEngine
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        not sockets_usable(), reason="cannot bind local sockets"
+    ),
+]
+
+
+def make_engine(k: int = 3, window: int = 64) -> StreamingTopkEngine:
+    return StreamingTopkEngine(
+        k,
+        options=TopkOptions(window_size=window),
+        mode="incremental",
+    )
+
+
+def event_tokens(i: int) -> List[int]:
+    return [i % 17, (i * 3) % 17, (i * 7) % 17]
+
+
+def flood(
+    host: str,
+    port: int,
+    count: int,
+    degradation: str,
+) -> Tuple[List[Optional[bool]], int]:
+    """Pipeline *count* inserts without waiting, then collect replies.
+
+    Returns (per-event accepted flags, error count).  A flag is True
+    for applied events, False for shed/rejected ones.  Every insert
+    gets exactly one reply — shed/rejected acks come inline from the
+    session loop, applied acks from the writer task once the event is
+    really in the engine — so this reads until all ids are resolved.
+    """
+    assert degradation in ("shed", "reject")
+    with ServeClient(host, port, timeout=30.0) as client:
+        for i in range(count):
+            client.send_raw(
+                json.dumps(
+                    {"verb": "insert", "id": i, "tokens": event_tokens(i)}
+                ).encode("utf-8")
+                + b"\n"
+            )
+        accepted: List[Optional[bool]] = [None] * count
+        errors = 0
+        unresolved = count
+        while unresolved:
+            frame = client.read_frame()
+            rid = frame.get("id")
+            if not isinstance(rid, int) or not 0 <= rid < count:
+                continue
+            assert accepted[rid] is None, "duplicate reply for %d" % rid
+            if frame.get("ok"):
+                accepted[rid] = not frame.get("shed", False)
+            else:
+                errors += 1
+                accepted[rid] = False
+            unresolved -= 1
+    return accepted, errors
+
+
+class TestBackpressure:
+    def test_shed_policy_degrades_and_stays_exact(self):
+        events = 120
+        with InProcessDaemon(
+            lambda: make_engine(),
+            ServeOptions(
+                queue_limit=4, degradation="shed", ingest_delay=0.002
+            ),
+        ) as (host, port):
+            accepted, errors = flood(host, port, events, "shed")
+            with ServeClient(host, port) as client:
+                rows = client.request("query")["results"]
+                stats = client.request("stats")["stats"]
+        assert errors == 0  # shed policy acks with shed=true, not errors
+        assert stats["shed"] > 0, stats
+        assert stats["accepted"] + stats["shed"] == events
+        assert stats["queue_peak"] <= 4
+        applied = [i for i, flag in enumerate(accepted) if flag]
+        assert len(applied) == stats["accepted"]
+        # Exactness: replay ONLY the accepted events in-process.
+        with make_engine() as oracle:
+            for i in applied:
+                oracle.insert(event_tokens(i))
+            expected = [
+                [r.x, r.y, r.similarity] for r in oracle.results()
+            ]
+        # The daemon renumbers records densely over accepted events, so
+        # similarity rows must match exactly (ids are both dense).
+        assert rows == expected
+
+    def test_reject_policy_answers_overloaded(self):
+        events = 120
+        with InProcessDaemon(
+            lambda: make_engine(),
+            ServeOptions(
+                queue_limit=4, degradation="reject", ingest_delay=0.002
+            ),
+        ) as (host, port):
+            accepted, errors = flood(host, port, events, "reject")
+            with ServeClient(host, port) as client:
+                stats = client.request("stats")["stats"]
+        assert errors > 0
+        assert stats["rejected"] == errors
+        assert stats["accepted"] + stats["rejected"] == events
+        applied = [i for i, flag in enumerate(accepted) if flag]
+        assert len(applied) == stats["accepted"]
+
+    def test_sustained_mixed_load_leaves_no_residue(self):
+        """Three producer threads, one subscriber, modest soak; then
+        every socket, task, and thread is gone."""
+        events_per_producer = 60
+        with InProcessDaemon(
+            lambda: make_engine(k=2, window=16),
+            ServeOptions(
+                queue_limit=8, degradation="shed", ingest_delay=0.001
+            ),
+        ) as (host, port):
+            with ServeClient(host, port) as sub:
+                sub.request("subscribe")
+
+                def produce(offset: int) -> None:
+                    with ServeClient(host, port, timeout=30.0) as c:
+                        for i in range(events_per_producer):
+                            c.request(
+                                "insert",
+                                tokens=event_tokens(offset + i),
+                            )
+
+                threads = [
+                    threading.Thread(target=produce, args=(n * 1000,))
+                    for n in range(3)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=60.0)
+                assert not any(t.is_alive() for t in threads)
+                sub.request("ping")
+                stats = sub.request("stats")["stats"]
+                deltas = [
+                    f for f in sub.pushes if f.get("event") == "delta"
+                ]
+            assert stats["accepted"] + stats["shed"] == (
+                3 * events_per_producer
+            )
+            seqs = [f["seq"] for f in deltas]
+            assert seqs == sorted(seqs)
+        assert open_servers() == []
+        names = [t.name for t in threading.enumerate()]
+        assert "repro-serve-daemon" not in names
+
+    def test_subscriber_overflow_evicts_not_blocks(self):
+        """A subscriber that never reads must be evicted from the
+        subscription set (outbox overflow), not stall the writer."""
+        events = 400
+        with InProcessDaemon(
+            lambda: make_engine(k=8, window=8),
+            ServeOptions(queue_limit=512, outbox_limit=4),
+        ) as (host, port):
+            lazy = ServeClient(host, port)
+            try:
+                lazy.request("subscribe")
+                # Never read again; flood from another connection.
+                with ServeClient(host, port, timeout=60.0) as producer:
+                    for i in range(events):
+                        producer.request(
+                            "insert", tokens=event_tokens(i)
+                        )
+                    stats = producer.request("stats")["stats"]
+                assert stats["accepted"] == events
+                assert stats["subscriber_evictions"] >= 1
+                assert stats["subscribers"] == 0
+            finally:
+                lazy.close()
